@@ -1,0 +1,78 @@
+/// Ablation for the paper's research opportunity 1 (Section 8): does
+/// warm-starting the evolution-based search beat random initialization?
+/// Warm start here = seeding PBT's population with the 7 singleton
+/// pipelines plus a few scaling-heavy patterns that are cheap priors,
+/// instead of uniform random pipelines.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "search/pbt.h"
+
+int main() {
+  using namespace autofp;
+  bench::PrintHeader(
+      "bench_ablation_warmstart", "Section 8, research opportunity 1",
+      "PBT with random vs warm-started initial population, small budgets "
+      "(averaged over 3 seeds).");
+
+  std::vector<PipelineSpec> warm;
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    warm.push_back(PipelineSpec::FromKinds({kind}));
+  }
+  warm.push_back(PipelineSpec::FromKinds(
+      {PreprocessorKind::kPowerTransformer, PreprocessorKind::kStandardScaler}));
+  warm.push_back(PipelineSpec::FromKinds(
+      {PreprocessorKind::kQuantileTransformer, PreprocessorKind::kMinMaxScaler}));
+  warm.push_back(PipelineSpec::FromKinds(
+      {PreprocessorKind::kNormalizer, PreprocessorKind::kStandardScaler}));
+
+  const std::vector<std::string> datasets = {
+      "heart_syn", "blood_syn", "vehicle_syn", "kc1_syn", "ionosphere_syn"};
+  const std::vector<long> budgets = {15, 30, 60};
+
+  std::printf("%-16s", "dataset");
+  for (long budget : budgets) {
+    std::printf("  cold@%-3ld warm@%-3ld", budget, budget);
+  }
+  std::printf("\n");
+  int warm_wins = 0, cells = 0;
+  for (const std::string& dataset : datasets) {
+    TrainValidSplit split = bench::PrepareScenario(dataset, 19, 400);
+    ModelConfig model = bench::BenchModel(ModelKind::kLogisticRegression);
+    std::printf("%-16s", dataset.c_str());
+    for (long budget : budgets) {
+      double cold_total = 0.0, warm_total = 0.0;
+      for (uint64_t seed : {1u, 2u, 3u}) {
+        {
+          PipelineEvaluator evaluator(split.train, split.valid, model);
+          Pbt cold;
+          cold_total += RunSearch(&cold, &evaluator, SearchSpace::Default(),
+                                  Budget::Evaluations(budget), seed)
+                            .best_accuracy;
+        }
+        {
+          PipelineEvaluator evaluator(split.train, split.valid, model);
+          Pbt::Config config;
+          config.initial_population = warm;
+          Pbt warm_pbt(config);
+          warm_total +=
+              RunSearch(&warm_pbt, &evaluator, SearchSpace::Default(),
+                        Budget::Evaluations(budget), seed)
+                  .best_accuracy;
+        }
+      }
+      double cold = cold_total / 3.0, warm_avg = warm_total / 3.0;
+      std::printf("  %.4f   %.4f  ", cold, warm_avg);
+      ++cells;
+      if (warm_avg >= cold) ++warm_wins;
+    }
+    std::printf("\n");
+  }
+  std::printf("\nWarm start >= cold start in %d / %d cells. Expected: the "
+              "advantage concentrates at the smallest budgets, supporting "
+              "the paper's warm-start research direction.\n",
+              warm_wins, cells);
+  return 0;
+}

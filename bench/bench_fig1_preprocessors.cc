@@ -1,0 +1,64 @@
+/// Figure 1: the worked example of all seven preprocessors applied to the
+/// single feature column [-1.5, 1, 1.5, 2.5, 3, 4, 5].
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "preprocess/power_transformer.h"
+
+int main() {
+  using namespace autofp;
+  bench::PrintHeader("bench_fig1_preprocessors", "Figure 1",
+                     "Each column: the example feature transformed by one "
+                     "preprocessor (paper values in brackets).");
+
+  Matrix column = {{-1.5}, {1.0}, {1.5}, {2.5}, {3.0}, {4.0}, {5.0}};
+  struct Column {
+    const char* label;
+    PreprocessorKind kind;
+  };
+  const Column columns[] = {
+      {"(b) StandardScaler", PreprocessorKind::kStandardScaler},
+      {"(c) MaxAbsScaler", PreprocessorKind::kMaxAbsScaler},
+      {"(d) MinMaxScaler", PreprocessorKind::kMinMaxScaler},
+      {"(e) Normalizer", PreprocessorKind::kNormalizer},
+      {"(f) PowerTransformer", PreprocessorKind::kPowerTransformer},
+      {"(g) QuantileTransformer", PreprocessorKind::kQuantileTransformer},
+      {"(h) Binarizer", PreprocessorKind::kBinarizer},
+  };
+
+  std::printf("%-8s", "(a) Num");
+  for (const Column& c : columns) std::printf("  %-24s", c.label);
+  std::printf("\n");
+
+  std::vector<Matrix> outputs;
+  for (const Column& c : columns) {
+    outputs.push_back(MakePreprocessor(c.kind)->FitTransform(column));
+  }
+  // Paper's Figure 1 values for cross-checking by eye.
+  const double paper[7][7] = {
+      {-1.87, -0.3, 0.0, -1, -1.72, 0.0, 0},
+      {-0.61, 0.2, 0.38, 1, -0.71, 0.17, 1},
+      {-0.36, 0.3, 0.46, 1, -0.46, 0.33, 1},
+      {0.15, 0.5, 0.61, 1, 0.07, 0.5, 1},
+      {0.40, 0.6, 0.69, 1, 0.35, 0.67, 1},
+      {0.90, 0.8, 0.85, 1, 0.93, 0.83, 1},
+      {1.41, 1.0, 1.0, 1, 1.53, 1.0, 1},
+  };
+  for (size_t r = 0; r < 7; ++r) {
+    std::printf("%-8.2f", column(r, 0));
+    for (size_t c = 0; c < outputs.size(); ++c) {
+      std::printf("  %6.2f [paper %6.2f]", outputs[c](r, 0), paper[r][c]);
+    }
+    std::printf("\n");
+  }
+
+  PreprocessorConfig no_standardize =
+      PreprocessorConfig::Defaults(PreprocessorKind::kPowerTransformer);
+  no_standardize.standardize = false;
+  PowerTransformer power(no_standardize);
+  power.Fit(column);
+  std::printf("\nPowerTransformer lambda (MLE): %.3f [paper 1.22]\n",
+              power.lambdas()[0]);
+  return 0;
+}

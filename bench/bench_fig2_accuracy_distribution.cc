@@ -1,0 +1,111 @@
+/// Figure 2: distribution of LR validation accuracy over *all* 2800
+/// pipelines of length <= 4 on the four motivation datasets, versus the
+/// no-FP baseline. The paper's finding: accuracies spread widely; good
+/// pipelines beat no-FP and bad pipelines fall far below it.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace autofp;
+
+/// All pipelines of length 1..max_length over the default 7 operators.
+void EnumeratePipelines(const SearchSpace& space, size_t max_length,
+                        std::vector<PipelineSpec>* out) {
+  std::vector<int> stack;
+  // Iterative depth-first enumeration.
+  struct Frame {
+    std::vector<int> prefix;
+  };
+  std::vector<Frame> work = {{{}}};
+  while (!work.empty()) {
+    Frame frame = std::move(work.back());
+    work.pop_back();
+    if (!frame.prefix.empty()) out->push_back(space.Decode(frame.prefix));
+    if (frame.prefix.size() >= max_length) continue;
+    for (size_t op = 0; op < space.num_operators(); ++op) {
+      Frame child = frame;
+      child.prefix.push_back(static_cast<int>(op));
+      work.push_back(std::move(child));
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "bench_fig2_accuracy_distribution", "Figure 2",
+      "All 2800 pipelines (length <= 4) with LR on the 4 motivation "
+      "datasets; histogram of validation accuracy vs the no-FP line.");
+
+  SearchSpace space = SearchSpace::Default(4);
+  std::vector<PipelineSpec> pipelines;
+  EnumeratePipelines(space, 4, &pipelines);
+  std::printf("enumerated pipelines: %zu (paper: 2800)\n\n",
+              pipelines.size());
+
+  for (const SyntheticSpec& spec : MotivationSuiteSpecs()) {
+    TrainValidSplit split = bench::PrepareScenario(spec.name, 2, 350);
+    PipelineEvaluator evaluator(
+        split.train, split.valid,
+        bench::BenchModel(ModelKind::kLogisticRegression));
+    double baseline = evaluator.BaselineAccuracy();
+    std::vector<double> accuracies;
+    accuracies.reserve(pipelines.size());
+    PipelineSpec best_pipeline, worst_pipeline;
+    double best = -1.0, worst = 2.0;
+    for (const PipelineSpec& pipeline : pipelines) {
+      double accuracy = evaluator.Evaluate(pipeline).accuracy;
+      accuracies.push_back(accuracy);
+      if (accuracy > best) {
+        best = accuracy;
+        best_pipeline = pipeline;
+      }
+      if (accuracy < worst) {
+        worst = accuracy;
+        worst_pipeline = pipeline;
+      }
+    }
+    std::sort(accuracies.begin(), accuracies.end());
+    std::printf("--- %s (LR) ---\n", spec.name.c_str());
+    std::printf("no-FP baseline: %.4f | min %.4f  median %.4f  max %.4f\n",
+                baseline, accuracies.front(),
+                accuracies[accuracies.size() / 2], accuracies.back());
+    std::printf("best pipeline : %s (%.4f)\n",
+                best_pipeline.ToString().c_str(), best);
+    std::printf("worst pipeline: %s (%.4f)\n",
+                worst_pipeline.ToString().c_str(), worst);
+    // ASCII histogram over 20 bins spanning [min, max].
+    const int bins = 20;
+    std::vector<int> histogram(bins, 0);
+    double lo = accuracies.front(), hi = accuracies.back();
+    double width = hi > lo ? (hi - lo) / bins : 1.0;
+    for (double accuracy : accuracies) {
+      int bin = std::min(bins - 1,
+                         static_cast<int>((accuracy - lo) / width));
+      histogram[bin]++;
+    }
+    int peak = *std::max_element(histogram.begin(), histogram.end());
+    for (int b = 0; b < bins; ++b) {
+      double left = lo + b * width;
+      bool has_baseline = baseline >= left && baseline < left + width;
+      int bars = peak > 0 ? histogram[b] * 50 / peak : 0;
+      std::printf("  %.3f |%-50.*s| %4d %s\n", left, bars,
+                  "##################################################",
+                  histogram[b], has_baseline ? "<- no-FP" : "");
+    }
+    size_t above = 0, below = 0;
+    for (double accuracy : accuracies) {
+      if (accuracy > baseline) ++above;
+      if (accuracy < baseline) ++below;
+    }
+    std::printf("pipelines above no-FP: %zu, below: %zu (of %zu)\n\n", above,
+                below, accuracies.size());
+  }
+  return 0;
+}

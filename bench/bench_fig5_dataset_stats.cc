@@ -1,0 +1,46 @@
+/// Figure 5 / Table 9: statistics of the benchmark datasets. Our suite is
+/// the synthetic analogue of the paper's 45 datasets (see DESIGN.md); this
+/// bench prints the per-dataset shapes and the distribution summaries shown
+/// in Figure 5 (size, rows, columns, class counts, binary vs multi-class).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace autofp;
+  bench::PrintHeader("bench_fig5_dataset_stats", "Figure 5 / Table 9",
+                     "Shapes of the synthetic benchmark suite (analogue of "
+                     "the paper's 45 real datasets).");
+
+  std::vector<SyntheticSpec> specs = BenchmarkSuiteSpecs();
+  std::printf("%-18s %-16s %9s %7s %8s %9s\n", "dataset", "family",
+              "rows", "cols", "classes", "size(MB)");
+  std::vector<double> sizes, rows, cols;
+  int binary = 0, multi = 0;
+  for (const SyntheticSpec& spec : specs) {
+    double size_mb =
+        static_cast<double>(spec.rows * spec.cols * 8) / 1e6;
+    std::printf("%-18s %-16s %9zu %7zu %8d %9.2f\n", spec.name.c_str(),
+                FamilyName(spec.family).c_str(), spec.rows, spec.cols,
+                spec.num_classes, size_mb);
+    sizes.push_back(size_mb);
+    rows.push_back(static_cast<double>(spec.rows));
+    cols.push_back(static_cast<double>(spec.cols));
+    (spec.num_classes == 2 ? binary : multi) += 1;
+  }
+  auto summary = [](const char* label, std::vector<double> values) {
+    std::sort(values.begin(), values.end());
+    std::printf("%-10s min %-10.2f median %-10.2f max %-10.2f\n", label,
+                values.front(), values[values.size() / 2], values.back());
+  };
+  std::printf("\ntotal datasets: %zu (paper: 45)\n", specs.size());
+  summary("size(MB)", sizes);
+  summary("rows", rows);
+  summary("cols", cols);
+  std::printf("binary: %d, multi-class: %d (paper: 28 binary, 17 multi)\n",
+              binary, multi);
+  return 0;
+}

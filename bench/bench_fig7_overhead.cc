@@ -1,0 +1,62 @@
+/// Figure 7 (and Figures 20-22): Pick/Prep/Train overhead percentages per
+/// algorithm on representative datasets for each downstream model, under a
+/// wall-clock budget. The paper's finding: "Train" dominates in most
+/// cases, then "Prep"; "Pick" is small except for surrogate-heavy
+/// algorithms (SMAC/TPE/PLNE/PLE).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "search/registry.h"
+
+int main() {
+  using namespace autofp;
+  bench::PrintHeader(
+      "bench_fig7_overhead", "Figure 7 / Figures 20-22",
+      "Overhead decomposition per algorithm (percent of elapsed time). "
+      "HYPERBAND/BOHB are excluded as in the paper (their pick and "
+      "evaluation phases interleave).");
+
+  // The 13 algorithms the paper decomposes.
+  std::vector<std::string> algorithms;
+  for (const std::string& name : AllSearchAlgorithmNames()) {
+    if (name != "HYPERBAND" && name != "BOHB") algorithms.push_back(name);
+  }
+  const std::vector<std::string> datasets = {"blood_syn", "jasmine_syn",
+                                             "electricity_syn"};
+  const double kSecondsPerRun = 0.4;
+
+  SearchSpace space = SearchSpace::Default();
+  for (const std::string& dataset : datasets) {
+    for (ModelKind model_kind : bench::BenchModels()) {
+      std::printf("--- %s, %s ---\n", dataset.c_str(),
+                  ModelKindName(model_kind).c_str());
+      std::printf("%-10s %6s %6s %6s   %s\n", "algorithm", "pick%", "prep%",
+                  "train%", "evals");
+      TrainValidSplit split = bench::PrepareScenario(dataset, 7, 600);
+      for (const std::string& name : algorithms) {
+        PipelineEvaluator evaluator(split.train, split.valid,
+                                    bench::HeavyModel(model_kind));
+        auto algorithm = MakeSearchAlgorithm(name);
+        SearchResult result =
+            RunSearch(algorithm.value().get(), &evaluator, space,
+                      Budget::Seconds(kSecondsPerRun), 66);
+        double total = result.pick_seconds + result.prep_seconds +
+                       result.train_seconds;
+        if (total <= 0.0) total = 1.0;
+        std::printf("%-10s %6.1f %6.1f %6.1f   %ld\n", name.c_str(),
+                    100.0 * result.pick_seconds / total,
+                    100.0 * result.prep_seconds / total,
+                    100.0 * result.train_seconds / total,
+                    result.num_evaluations);
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("Paper shape: Train dominates for XGB/MLP everywhere and for "
+              "LR on larger data; Prep matters for LR on small data; Pick "
+              "is large only for LSTM-surrogate algorithms (PLNE/PLE) and "
+              "SMAC.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+/// Micro-benchmarks (google-benchmark): training throughput of the three
+/// downstream models — the "Train" component of the paper's Section 5.3
+/// decomposition, which the paper identifies as the dominant bottleneck.
+
+#include <benchmark/benchmark.h>
+
+#include "core/auto_fp.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace autofp;
+
+Dataset MakeDataset(size_t rows, int classes) {
+  SyntheticSpec spec;
+  spec.name = "micro";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = rows;
+  spec.cols = 16;
+  spec.num_classes = classes;
+  spec.seed = 11;
+  return GenerateSynthetic(spec);
+}
+
+void BM_ModelTrain(benchmark::State& state) {
+  auto kind = static_cast<ModelKind>(state.range(0));
+  size_t rows = static_cast<size_t>(state.range(1));
+  int classes = static_cast<int>(state.range(2));
+  Dataset data = MakeDataset(rows, classes);
+  ModelConfig config = ModelConfig::Defaults(kind);
+  for (auto _ : state) {
+    auto model = MakeClassifier(config);
+    model->Train(data.features, data.labels, classes);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetLabel(ModelKindName(kind) + "/" + std::to_string(classes) +
+                 "cls");
+}
+
+void ModelArgs(benchmark::internal::Benchmark* bench) {
+  for (int64_t kind : {0, 1, 2}) {
+    for (int64_t rows : {256, 1024}) {
+      for (int64_t classes : {2, 5}) {
+        bench->Args({kind, rows, classes});
+      }
+    }
+  }
+}
+BENCHMARK(BM_ModelTrain)->Apply(ModelArgs)->Unit(benchmark::kMillisecond);
+
+void BM_FullEvaluation(benchmark::State& state) {
+  // One complete pipeline evaluation: prep + train + score, the unit the
+  // search budgets count.
+  Dataset data = MakeDataset(512, 2);
+  Rng rng(12);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  auto kind = static_cast<ModelKind>(state.range(0));
+  PipelineEvaluator evaluator(split.train, split.valid,
+                              ModelConfig::Defaults(kind));
+  PipelineSpec pipeline = PipelineSpec::FromKinds(
+      {PreprocessorKind::kPowerTransformer, PreprocessorKind::kMinMaxScaler});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(evaluator.Evaluate(pipeline));
+  }
+  state.SetLabel(ModelKindName(kind));
+}
+BENCHMARK(BM_FullEvaluation)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

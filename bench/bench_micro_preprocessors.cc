@@ -1,0 +1,85 @@
+/// Micro-benchmarks (google-benchmark): fit+transform throughput of each
+/// preprocessor and of representative pipelines, across data sizes.
+/// These quantify the "Prep" component of the paper's Section 5.3
+/// decomposition.
+
+#include <benchmark/benchmark.h>
+
+#include "core/auto_fp.h"
+
+namespace {
+
+using namespace autofp;
+
+Matrix MakeData(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      data(r, c) = rng.Gaussian(0.0, 1.0 + static_cast<double>(c));
+    }
+  }
+  return data;
+}
+
+void BM_Preprocessor(benchmark::State& state) {
+  auto kind = static_cast<PreprocessorKind>(state.range(0));
+  size_t rows = static_cast<size_t>(state.range(1));
+  Matrix data = MakeData(rows, 16, 3);
+  for (auto _ : state) {
+    auto preprocessor = MakePreprocessor(kind);
+    benchmark::DoNotOptimize(preprocessor->FitTransform(data));
+  }
+  state.SetLabel(KindName(kind));
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(rows * 16));
+}
+
+void PreprocessorArgs(benchmark::internal::Benchmark* bench) {
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    for (int64_t rows : {256, 2048}) {
+      bench->Args({static_cast<int64_t>(kind), rows});
+    }
+  }
+}
+BENCHMARK(BM_Preprocessor)->Apply(PreprocessorArgs)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Matrix train = MakeData(rows, 16, 5);
+  Matrix valid = MakeData(rows / 4 + 1, 16, 6);
+  PipelineSpec spec = PipelineSpec::FromKinds(
+      {PreprocessorKind::kPowerTransformer,
+       PreprocessorKind::kQuantileTransformer,
+       PreprocessorKind::kStandardScaler, PreprocessorKind::kNormalizer});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitTransformPair(spec, train, valid));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(256)->Arg(2048)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_SpaceSampling(benchmark::State& state) {
+  SearchSpace space = SearchSpace::Default();
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.SampleUniform(&rng));
+  }
+}
+BENCHMARK(BM_SpaceSampling);
+
+void BM_SpaceMutation(benchmark::State& state) {
+  SearchSpace space = SearchSpace::Default();
+  Rng rng(8);
+  PipelineSpec pipeline = space.SampleUniform(&rng);
+  for (auto _ : state) {
+    pipeline = space.Mutate(pipeline, &rng);
+    benchmark::DoNotOptimize(pipeline);
+  }
+}
+BENCHMARK(BM_SpaceMutation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

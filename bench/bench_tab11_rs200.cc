@@ -1,0 +1,55 @@
+/// Table 11: accuracy of 200-iteration random search vs no preprocessing,
+/// for every suite dataset and every downstream model. The paper's
+/// finding: even plain RS with 200 evaluations improves (often
+/// substantially) over no-FP on most dataset/model pairs.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "search/random_search.h"
+
+int main() {
+  using namespace autofp;
+  bench::PrintHeader(
+      "bench_tab11_rs200", "Table 11",
+      "200-iteration RS accuracy vs no-FP across the suite (rows capped at "
+      "500 per dataset for runtime).");
+
+  // Small/medium datasets (the full suite's largest entries are skipped to
+  // keep this binary around a minute).
+  std::vector<std::string> names;
+  for (const SyntheticSpec& spec : BenchmarkSuiteSpecs()) {
+    if (spec.cols <= 150) names.push_back(spec.name);
+  }
+  SearchSpace space = SearchSpace::Default();
+
+  std::printf("%-18s", "dataset");
+  for (ModelKind kind : bench::BenchModels()) {
+    std::printf(" | %s no-prep  %s RS200", ModelKindName(kind).c_str(),
+                ModelKindName(kind).c_str());
+  }
+  std::printf("\n");
+  int improved = 0, total = 0;
+  for (const std::string& name : names) {
+    std::printf("%-18s", name.c_str());
+    TrainValidSplit split = bench::PrepareScenario(name, 15, 500);
+    for (ModelKind kind : bench::BenchModels()) {
+      PipelineEvaluator evaluator(split.train, split.valid,
+                                  bench::BenchModel(kind));
+      RandomSearch rs;
+      SearchResult result = RunSearch(&rs, &evaluator, space,
+                                      Budget::Evaluations(200), 88);
+      std::printf(" |    %.4f     %.4f", result.baseline_accuracy,
+                  result.best_accuracy);
+      ++total;
+      if (result.best_accuracy >= result.baseline_accuracy) ++improved;
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  std::printf("\nRS200 >= no-FP on %d/%d dataset-model pairs "
+              "(paper: nearly all pairs improve).\n",
+              improved, total);
+  return 0;
+}

@@ -1,0 +1,77 @@
+/// Table 5: dominant performance bottleneck by scenario — dataset
+/// dimensionality (high/low) x size (small/medium/large) x downstream
+/// model, for RS / PBT / TEVO_H / TEVO_Y. The paper's finding: "Train"
+/// dominates almost everywhere; LR on low-dimensional data shifts toward
+/// "Prep" (or mixed Prep/Train).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "search/registry.h"
+
+int main() {
+  using namespace autofp;
+  bench::PrintHeader(
+      "bench_tab5_bottleneck", "Table 5",
+      "Dominant cost component per (dimensionality x size x model), "
+      "averaged over RS/PBT/TEVO_H/TEVO_Y under a wall-clock budget.");
+
+  struct Bucket {
+    const char* dimensions;
+    const char* size;
+    const char* dataset;
+    size_t max_rows;
+  };
+  // Representative of the paper's buckets: high-dim; low-dim small /
+  // medium / large (size grows with retained rows).
+  const Bucket buckets[] = {
+      {"High", "All", "jasmine_syn", 600},
+      {"Low", "Small", "blood_syn", 400},
+      {"Low", "Medium", "electricity_syn", 2000},
+      {"Low", "Large", "higgs_syn", 6000},
+  };
+  const std::vector<std::string> algorithms = {"RS", "PBT", "TEVO_H",
+                                               "TEVO_Y"};
+  SearchSpace space = SearchSpace::Default();
+
+  std::printf("%-6s %-8s %-16s %-6s %6s %6s %6s  %s\n", "Dims", "Size",
+              "dataset", "model", "pick%", "prep%", "train%", "bottleneck");
+  for (const Bucket& bucket : buckets) {
+    TrainValidSplit split =
+        bench::PrepareScenario(bucket.dataset, 8, bucket.max_rows);
+    for (ModelKind model_kind : bench::BenchModels()) {
+      double pick = 0.0, prep = 0.0, train = 0.0;
+      for (const std::string& name : algorithms) {
+        PipelineEvaluator evaluator(split.train, split.valid,
+                                    bench::HeavyModel(model_kind));
+        auto algorithm = MakeSearchAlgorithm(name);
+        SearchResult result =
+            RunSearch(algorithm.value().get(), &evaluator, space,
+                      Budget::Seconds(0.35), 44);
+        pick += result.pick_seconds;
+        prep += result.prep_seconds;
+        train += result.train_seconds;
+      }
+      double total = pick + prep + train;
+      if (total <= 0.0) total = 1.0;
+      const char* bottleneck;
+      double prep_pct = prep / total, train_pct = train / total;
+      if (prep_pct > 0.55) {
+        bottleneck = "Prep";
+      } else if (train_pct > 0.55) {
+        bottleneck = "Train";
+      } else {
+        bottleneck = prep_pct > train_pct ? "Prep/Train" : "Train/Prep";
+      }
+      std::printf("%-6s %-8s %-16s %-6s %6.1f %6.1f %6.1f  %s\n",
+                  bucket.dimensions, bucket.size, bucket.dataset,
+                  ModelKindName(model_kind).c_str(), 100.0 * pick / total,
+                  100.0 * prep / total, 100.0 * train / total, bottleneck);
+    }
+  }
+  std::printf("\nPaper shape: Train dominates for XGB/MLP in every bucket; "
+              "LR on low-dimensional data leans to Prep.\n");
+  return 0;
+}

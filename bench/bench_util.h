@@ -1,0 +1,101 @@
+#ifndef AUTOFP_BENCH_BENCH_UTIL_H_
+#define AUTOFP_BENCH_BENCH_UTIL_H_
+
+/// Shared helpers for the table/figure reproduction binaries.
+///
+/// The paper's experiments run 60-3600 s wall-clock per (dataset, model,
+/// algorithm) on a 110-vCPU server; these benches reproduce the *shape* of
+/// every table and figure at laptop scale by (a) capping training rows,
+/// (b) using lighter model training configurations, and (c) using
+/// evaluation-count budgets (machine-independent). See DESIGN.md.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/auto_fp.h"
+
+namespace autofp {
+namespace bench {
+
+/// Row cap applied to every bench dataset (keeps each binary ~a minute).
+inline constexpr size_t kMaxRows = 600;
+
+/// Lighter-than-default model configurations used by all benches.
+inline ModelConfig BenchModel(ModelKind kind) {
+  ModelConfig config = ModelConfig::Defaults(kind);
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      config.lr_epochs = 40;
+      break;
+    case ModelKind::kXgboost:
+      config.xgb_rounds = 15;
+      config.xgb_max_depth = 3;
+      break;
+    case ModelKind::kMlp:
+      config.mlp_hidden = 16;
+      config.mlp_epochs = 10;
+      break;
+  }
+  return config;
+}
+
+/// Paper-faithful heavy model configurations (sklearn/XGBoost-like
+/// training effort) used by the *timing* benches (Figure 7 / Table 5),
+/// where the Prep-vs-Train balance depends on realistic training cost.
+inline ModelConfig HeavyModel(ModelKind kind) {
+  ModelConfig config = ModelConfig::Defaults(kind);
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      config.lr_epochs = 100;
+      break;
+    case ModelKind::kXgboost:
+      config.xgb_rounds = 100;
+      config.xgb_max_depth = 6;
+      break;
+    case ModelKind::kMlp:
+      config.mlp_hidden = 100;
+      config.mlp_epochs = 50;
+      break;
+  }
+  return config;
+}
+
+/// Loads a suite dataset, caps its rows, and splits 80:20.
+inline TrainValidSplit PrepareScenario(const std::string& dataset_name,
+                                       uint64_t seed = 1,
+                                       size_t max_rows = kMaxRows) {
+  Result<Dataset> dataset = GetSuiteDataset(dataset_name);
+  AUTOFP_CHECK(dataset.ok()) << dataset.status().ToString();
+  Rng rng(seed);
+  Dataset capped = dataset.value();
+  if (capped.num_rows() > max_rows) {
+    capped = SubsampleRows(
+        capped,
+        static_cast<double>(max_rows) / static_cast<double>(capped.num_rows()),
+        &rng);
+    capped.name = dataset.value().name;
+  }
+  return SplitTrainValid(capped, 0.8, &rng);
+}
+
+/// The three downstream models in paper order.
+inline const std::vector<ModelKind>& BenchModels() {
+  static const std::vector<ModelKind>* kinds = new std::vector<ModelKind>{
+      ModelKind::kLogisticRegression, ModelKind::kXgboost, ModelKind::kMlp};
+  return *kinds;
+}
+
+/// Section-header printer so every bench output is self-describing.
+inline void PrintHeader(const char* experiment, const char* paper_ref,
+                        const char* note) {
+  std::printf("==============================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_ref);
+  std::printf("%s\n", note);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace autofp
+
+#endif  // AUTOFP_BENCH_BENCH_UTIL_H_

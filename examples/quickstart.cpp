@@ -1,0 +1,63 @@
+/// Quickstart: search for the best feature-preprocessing pipeline for one
+/// dataset with the paper's top-ranked algorithm (PBT), then compare it to
+/// the no-FP baseline.
+///
+///   ./build/examples/quickstart [dataset_name] [budget_evaluations]
+///
+/// Dataset names come from the built-in benchmark suite (default
+/// "heart_syn"); see bench_fig5_dataset_stats for the full list.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/auto_fp.h"
+#include "search/registry.h"
+
+int main(int argc, char** argv) {
+  using namespace autofp;
+  std::string dataset_name = argc > 1 ? argv[1] : "heart_syn";
+  long budget = argc > 2 ? std::atol(argv[2]) : 200;
+
+  Result<Dataset> dataset = GetSuiteDataset(dataset_name);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("dataset %s: %zu rows x %zu cols, %d classes\n",
+              dataset_name.c_str(), dataset.value().num_rows(),
+              dataset.value().num_cols(), dataset.value().num_classes);
+
+  // 80:20 train/validation split, as in the paper.
+  Rng rng(1);
+  TrainValidSplit split = SplitTrainValid(dataset.value(), 0.8, &rng);
+
+  // Downstream model: logistic regression (the paper's most common model).
+  PipelineEvaluator evaluator(
+      split.train, split.valid,
+      ModelConfig::Defaults(ModelKind::kLogisticRegression));
+
+  // The default Auto-FP search space: 7 preprocessors, pipelines up to
+  // length 7 (~1M candidate pipelines).
+  SearchSpace space = SearchSpace::Default();
+  std::printf("search space: %zu operators, max length %zu (%.0f pipelines)\n",
+              space.num_operators(), space.max_pipeline_length(),
+              space.TotalPipelines());
+
+  Result<std::unique_ptr<SearchAlgorithm>> pbt = MakeSearchAlgorithm("PBT");
+  SearchResult result = RunSearch(pbt.value().get(), &evaluator, space,
+                                  Budget::Evaluations(budget), /*seed=*/42);
+
+  std::printf("\nno-FP baseline accuracy : %.4f\n", result.baseline_accuracy);
+  std::printf("best pipeline accuracy  : %.4f (%+.2f%%)\n",
+              result.best_accuracy,
+              100.0 * (result.best_accuracy - result.baseline_accuracy));
+  std::printf("best pipeline           : %s\n",
+              result.best_pipeline.ToString().c_str());
+  std::printf("evaluations             : %ld in %.2fs "
+              "(pick %.2fs, prep %.2fs, train %.2fs)\n",
+              result.num_evaluations, result.elapsed_seconds,
+              result.pick_seconds, result.prep_seconds,
+              result.train_seconds);
+  return 0;
+}

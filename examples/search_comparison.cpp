@@ -1,0 +1,75 @@
+/// Compares all 15 search algorithms on one dataset x model scenario under
+/// the same evaluation budget — a single-scenario slice of the paper's
+/// Table 4 experiment.
+///
+///   ./build/examples/search_comparison [dataset_name] [model] [budget]
+///
+/// model is one of LR, XGB, MLP.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/auto_fp.h"
+#include "search/registry.h"
+
+namespace {
+
+autofp::ModelKind ParseModel(const std::string& name) {
+  if (name == "XGB") return autofp::ModelKind::kXgboost;
+  if (name == "MLP") return autofp::ModelKind::kMlp;
+  return autofp::ModelKind::kLogisticRegression;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace autofp;
+  std::string dataset_name = argc > 1 ? argv[1] : "vehicle_syn";
+  ModelKind model_kind = ParseModel(argc > 2 ? argv[2] : "LR");
+  long budget = argc > 3 ? std::atol(argv[3]) : 120;
+
+  Result<Dataset> dataset = GetSuiteDataset(dataset_name);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Rng rng(7);
+  TrainValidSplit split = SplitTrainValid(dataset.value(), 0.8, &rng);
+  SearchSpace space = SearchSpace::Default();
+
+  struct Row {
+    std::string name;
+    double accuracy;
+    long evaluations;
+    std::string pipeline;
+  };
+  std::vector<Row> rows;
+  double baseline = 0.0;
+  for (const std::string& name : AllSearchAlgorithmNames()) {
+    PipelineEvaluator evaluator(split.train, split.valid,
+                                ModelConfig::Defaults(model_kind));
+    auto algorithm = MakeSearchAlgorithm(name);
+    SearchResult result = RunSearch(algorithm.value().get(), &evaluator,
+                                    space, Budget::Evaluations(budget), 99);
+    baseline = result.baseline_accuracy;
+    rows.push_back({name, result.best_accuracy, result.num_evaluations,
+                    result.best_pipeline.ToString()});
+    std::printf(".");
+    std::fflush(stdout);
+  }
+  std::printf("\n\n%s, %s, budget=%ld evaluations (no-FP baseline %.4f)\n",
+              dataset_name.c_str(),
+              ModelKindName(model_kind).c_str(), budget, baseline);
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.accuracy > b.accuracy; });
+  std::printf("%-11s %-8s %-6s %s\n", "algorithm", "val acc", "evals",
+              "best pipeline");
+  for (const Row& row : rows) {
+    std::printf("%-11s %.4f   %-6ld %s\n", row.name.c_str(), row.accuracy,
+                row.evaluations, row.pipeline.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "automl/hpo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "ml/metrics.h"
+#include "util/timer.h"
+
+namespace autofp {
+
+namespace {
+
+double LogUniform(Rng* rng, double lo, double hi) {
+  return std::exp(rng->Uniform(std::log(lo), std::log(hi)));
+}
+
+}  // namespace
+
+ModelConfig SampleModelConfig(ModelKind kind, Rng* rng) {
+  ModelConfig config = ModelConfig::Defaults(kind);
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      config.lr_l2 = LogUniform(rng, 1e-6, 1.0);
+      config.lr_step = LogUniform(rng, 1e-3, 0.5);
+      config.lr_epochs = rng->UniformInt(20, 150);
+      break;
+    case ModelKind::kXgboost:
+      config.xgb_rounds = rng->UniformInt(10, 80);
+      config.xgb_max_depth = rng->UniformInt(2, 8);
+      config.xgb_eta = LogUniform(rng, 0.05, 0.5);
+      config.xgb_lambda = LogUniform(rng, 0.1, 10.0);
+      config.xgb_min_child_weight = LogUniform(rng, 0.5, 10.0);
+      break;
+    case ModelKind::kMlp:
+      config.mlp_hidden = rng->UniformInt(8, 96);
+      config.mlp_step = LogUniform(rng, 1e-4, 1e-1);
+      config.mlp_epochs = rng->UniformInt(10, 60);
+      config.mlp_batch = 1 << rng->UniformInt(4, 8);  // 16..256.
+      break;
+  }
+  return config;
+}
+
+ModelConfig MutateModelConfig(const ModelConfig& config, Rng* rng) {
+  ModelConfig mutated = config;
+  auto jitter = [rng](double value, double lo, double hi) {
+    double factor = std::exp(rng->Gaussian(0.0, 0.4));
+    return std::clamp(value * factor, lo, hi);
+  };
+  switch (config.kind) {
+    case ModelKind::kLogisticRegression:
+      switch (rng->UniformInt(0, 2)) {
+        case 0:
+          mutated.lr_l2 = jitter(config.lr_l2, 1e-6, 1.0);
+          break;
+        case 1:
+          mutated.lr_step = jitter(config.lr_step, 1e-3, 0.5);
+          break;
+        default:
+          mutated.lr_epochs = std::clamp(
+              config.lr_epochs + rng->UniformInt(-20, 20), 20, 150);
+      }
+      break;
+    case ModelKind::kXgboost:
+      switch (rng->UniformInt(0, 3)) {
+        case 0:
+          mutated.xgb_rounds = std::clamp(
+              config.xgb_rounds + rng->UniformInt(-10, 10), 10, 80);
+          break;
+        case 1:
+          mutated.xgb_max_depth =
+              std::clamp(config.xgb_max_depth + rng->UniformInt(-1, 1), 2, 8);
+          break;
+        case 2:
+          mutated.xgb_eta = jitter(config.xgb_eta, 0.05, 0.5);
+          break;
+        default:
+          mutated.xgb_lambda = jitter(config.xgb_lambda, 0.1, 10.0);
+      }
+      break;
+    case ModelKind::kMlp:
+      switch (rng->UniformInt(0, 2)) {
+        case 0:
+          mutated.mlp_hidden = std::clamp(
+              config.mlp_hidden + rng->UniformInt(-16, 16), 8, 96);
+          break;
+        case 1:
+          mutated.mlp_step = jitter(config.mlp_step, 1e-4, 1e-1);
+          break;
+        default:
+          mutated.mlp_epochs = std::clamp(
+              config.mlp_epochs + rng->UniformInt(-10, 10), 10, 60);
+      }
+      break;
+  }
+  return mutated;
+}
+
+HpoResult RunHpoSearch(ModelKind kind, const Dataset& train,
+                       const Dataset& valid, const Budget& budget,
+                       uint64_t seed, const HpoConfig& config) {
+  AUTOFP_CHECK(budget.limited());
+  Rng rng(seed);
+  Stopwatch watch;
+  HpoResult result;
+
+  auto evaluate = [&](const ModelConfig& candidate) {
+    std::unique_ptr<Classifier> model = MakeClassifier(candidate);
+    model->Train(train.features, train.labels, train.num_classes);
+    ++result.num_evaluations;
+    return EvaluateAccuracy(*model, valid.features, valid.labels);
+  };
+  auto exhausted = [&]() {
+    if (budget.max_evaluations >= 0 &&
+        result.num_evaluations >= budget.max_evaluations) {
+      return true;
+    }
+    return budget.max_seconds >= 0.0 &&
+           watch.ElapsedSeconds() >= budget.max_seconds;
+  };
+
+  // Default configuration = the no-HPO reference point.
+  result.default_accuracy = evaluate(ModelConfig::Defaults(kind));
+  result.best_config = ModelConfig::Defaults(kind);
+  result.best_accuracy = result.default_accuracy;
+
+  struct Member {
+    ModelConfig config;
+    double accuracy;
+  };
+  std::vector<Member> population;
+  while (!exhausted() && population.size() < config.population_size) {
+    ModelConfig candidate = SampleModelConfig(kind, &rng);
+    double accuracy = evaluate(candidate);
+    population.push_back({candidate, accuracy});
+    if (accuracy > result.best_accuracy) {
+      result.best_accuracy = accuracy;
+      result.best_config = candidate;
+    }
+  }
+  while (!exhausted() && !population.empty()) {
+    // Tournament select + mutate, steady-state replace-worst.
+    size_t best = rng.UniformIndex(population.size());
+    for (size_t i = 1; i < config.tournament_size; ++i) {
+      size_t contender = rng.UniformIndex(population.size());
+      if (population[contender].accuracy > population[best].accuracy) {
+        best = contender;
+      }
+    }
+    ModelConfig candidate = MutateModelConfig(population[best].config, &rng);
+    double accuracy = evaluate(candidate);
+    if (accuracy > result.best_accuracy) {
+      result.best_accuracy = accuracy;
+      result.best_config = candidate;
+    }
+    auto worst = std::min_element(population.begin(), population.end(),
+                                  [](const Member& a, const Member& b) {
+                                    return a.accuracy < b.accuracy;
+                                  });
+    if (accuracy > worst->accuracy) *worst = {candidate, accuracy};
+  }
+  result.elapsed_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace autofp

@@ -1,0 +1,44 @@
+#ifndef AUTOFP_AUTOML_HPO_H_
+#define AUTOFP_AUTOML_HPO_H_
+
+#include <string>
+
+#include "core/budget.h"
+#include "data/dataset.h"
+#include "ml/model.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// The hyperparameter-optimization module of a TPOT-style AutoML tool
+/// (Section 7.2's comparator): evolutionary search over the downstream
+/// model's hyperparameters with *no* feature preprocessing. The search
+/// spaces per model family mirror common AutoML grids.
+struct HpoConfig {
+  size_t population_size = 10;
+  size_t tournament_size = 3;
+};
+
+struct HpoResult {
+  ModelConfig best_config;
+  double best_accuracy = 0.0;
+  double default_accuracy = 0.0;  ///< default hyperparameters, no FP.
+  long num_evaluations = 0;
+  double elapsed_seconds = 0.0;
+};
+
+/// Samples a random hyperparameter configuration for `kind`.
+ModelConfig SampleModelConfig(ModelKind kind, Rng* rng);
+
+/// Mutates one hyperparameter of `config`.
+ModelConfig MutateModelConfig(const ModelConfig& config, Rng* rng);
+
+/// Runs the HPO search: trains candidate configurations on the raw
+/// training set and scores on the validation set until the budget ends.
+HpoResult RunHpoSearch(ModelKind kind, const Dataset& train,
+                       const Dataset& valid, const Budget& budget,
+                       uint64_t seed, const HpoConfig& config = {});
+
+}  // namespace autofp
+
+#endif  // AUTOFP_AUTOML_HPO_H_

@@ -1,0 +1,111 @@
+#include "automl/tpot_fp.h"
+
+#include <algorithm>
+
+namespace autofp {
+
+namespace {
+
+/// Genetic-programming search over the TPOT preprocessor alphabet,
+/// expressed in the unified framework so RunSearch handles budgets and
+/// timing identically to the 15 Auto-FP algorithms.
+class TpotGp : public SearchAlgorithm {
+ public:
+  explicit TpotGp(const TpotFpConfig& config) : config_(config) {}
+
+  std::string name() const override { return "TPOT-FP"; }
+
+  void Initialize(SearchContext* context) override {
+    population_.clear();
+    for (size_t i = 0; i < config_.population_size; ++i) {
+      PipelineSpec pipeline = context->space().SampleUniform(context->rng());
+      std::optional<double> accuracy = context->Evaluate(pipeline);
+      if (!accuracy.has_value()) return;
+      population_.push_back({pipeline, *accuracy});
+    }
+  }
+
+  void Iterate(SearchContext* context) override {
+    if (population_.size() < 2) {
+      Initialize(context);
+      if (population_.size() < 2) return;
+    }
+    Rng* rng = context->rng();
+    const SearchSpace& space = context->space();
+    PipelineSpec child = Select(rng).pipeline;
+    if (rng->Bernoulli(config_.crossover_rate)) {
+      child = Crossover(child, Select(rng).pipeline, rng);
+    }
+    if (rng->Bernoulli(config_.mutation_rate)) {
+      child = space.Mutate(child, rng);
+    }
+    if (child.size() > config_.max_pipeline_length) {
+      child.steps.resize(config_.max_pipeline_length);
+    }
+    std::optional<double> accuracy = context->Evaluate(child);
+    if (!accuracy.has_value()) return;
+    // Steady-state replacement of the worst member.
+    auto worst = std::min_element(
+        population_.begin(), population_.end(),
+        [](const Member& a, const Member& b) {
+          return a.accuracy < b.accuracy;
+        });
+    if (accuracy > worst->accuracy) *worst = {child, *accuracy};
+  }
+
+ private:
+  struct Member {
+    PipelineSpec pipeline;
+    double accuracy = 0.0;
+  };
+
+  const Member& Select(Rng* rng) const {
+    size_t best = rng->UniformIndex(population_.size());
+    for (size_t i = 1; i < config_.tournament_size; ++i) {
+      size_t contender = rng->UniformIndex(population_.size());
+      if (population_[contender].accuracy > population_[best].accuracy) {
+        best = contender;
+      }
+    }
+    return population_[best];
+  }
+
+  PipelineSpec Crossover(const PipelineSpec& a, const PipelineSpec& b,
+                         Rng* rng) const {
+    // One-point crossover: prefix of a + suffix of b.
+    PipelineSpec child;
+    size_t cut_a = rng->UniformIndex(a.size() + 1);
+    size_t cut_b = rng->UniformIndex(b.size() + 1);
+    child.steps.assign(a.steps.begin(), a.steps.begin() + cut_a);
+    child.steps.insert(child.steps.end(), b.steps.begin() + cut_b,
+                       b.steps.end());
+    if (child.steps.empty()) child = a;
+    return child;
+  }
+
+  TpotFpConfig config_;
+  std::vector<Member> population_;
+};
+
+}  // namespace
+
+SearchSpace TpotFpSpace(size_t max_pipeline_length) {
+  std::vector<PreprocessorConfig> operators = {
+      PreprocessorConfig::Defaults(PreprocessorKind::kBinarizer),
+      PreprocessorConfig::Defaults(PreprocessorKind::kMaxAbsScaler),
+      PreprocessorConfig::Defaults(PreprocessorKind::kMinMaxScaler),
+      PreprocessorConfig::Defaults(PreprocessorKind::kNormalizer),
+      PreprocessorConfig::Defaults(PreprocessorKind::kStandardScaler),
+  };
+  return SearchSpace(std::move(operators), max_pipeline_length);
+}
+
+SearchResult RunTpotFp(const TpotFpConfig& config,
+                       EvaluatorInterface* evaluator, const Budget& budget,
+                       uint64_t seed) {
+  SearchSpace space = TpotFpSpace(config.max_pipeline_length);
+  TpotGp algorithm(config);
+  return RunSearch(&algorithm, evaluator, space, budget, seed);
+}
+
+}  // namespace autofp

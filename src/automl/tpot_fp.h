@@ -1,0 +1,34 @@
+#ifndef AUTOFP_AUTOML_TPOT_FP_H_
+#define AUTOFP_AUTOML_TPOT_FP_H_
+
+#include "core/budget.h"
+#include "core/evaluator.h"
+#include "core/search_framework.h"
+#include "core/search_space.h"
+
+namespace autofp {
+
+/// The feature-preprocessing module of a TPOT-style AutoML tool
+/// (Section 7.1): genetic programming over TPOT's *five* preprocessors
+/// (Binarizer, MaxAbsScaler, MinMaxScaler, Normalizer, StandardScaler —
+/// no Power/Quantile transformer), pipelines of arbitrary length, with
+/// tournament selection, one-point crossover and point mutation.
+struct TpotFpConfig {
+  size_t population_size = 20;
+  size_t tournament_size = 3;
+  double crossover_rate = 0.5;
+  double mutation_rate = 0.9;
+  size_t max_pipeline_length = 7;
+};
+
+/// The 5-preprocessor TPOT search space.
+SearchSpace TpotFpSpace(size_t max_pipeline_length = 7);
+
+/// Runs the GP search under `budget` and returns the best pipeline found.
+SearchResult RunTpotFp(const TpotFpConfig& config,
+                       EvaluatorInterface* evaluator, const Budget& budget,
+                       uint64_t seed);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_AUTOML_TPOT_FP_H_

@@ -1,0 +1,34 @@
+#ifndef AUTOFP_CORE_AUTO_FP_H_
+#define AUTOFP_CORE_AUTO_FP_H_
+
+/// Umbrella header for the Auto-FP library: automated feature-preprocessing
+/// pipeline search for tabular classification (Qi et al., EDBT 2024).
+///
+/// Typical use:
+///
+///   Dataset data = GetSuiteDataset("heart_syn").value();
+///   Rng rng(1);
+///   TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+///   PipelineEvaluator evaluator(split.train, split.valid,
+///                               ModelConfig::Defaults(ModelKind::kLogisticRegression));
+///   SearchSpace space = SearchSpace::Default();
+///   auto algorithm = MakeSearchAlgorithm("PBT");
+///   SearchResult result = RunSearch(algorithm.get(), &evaluator, space,
+///                                   Budget::Evaluations(200), /*seed=*/42);
+///
+/// See examples/quickstart.cc for a runnable version.
+
+#include "core/budget.h"             // IWYU pragma: export
+#include "core/evaluator.h"          // IWYU pragma: export
+#include "core/fp_growth.h"          // IWYU pragma: export
+#include "core/ranking.h"            // IWYU pragma: export
+#include "core/search_framework.h"   // IWYU pragma: export
+#include "core/search_space.h"       // IWYU pragma: export
+#include "data/benchmark_suite.h"    // IWYU pragma: export
+#include "data/dataset.h"            // IWYU pragma: export
+#include "data/splits.h"             // IWYU pragma: export
+#include "ml/model.h"                // IWYU pragma: export
+#include "preprocess/pipeline.h"     // IWYU pragma: export
+#include "preprocess/preprocessor.h" // IWYU pragma: export
+
+#endif  // AUTOFP_CORE_AUTO_FP_H_

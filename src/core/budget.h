@@ -1,0 +1,30 @@
+#ifndef AUTOFP_CORE_BUDGET_H_
+#define AUTOFP_CORE_BUDGET_H_
+
+namespace autofp {
+
+/// Search budget: whichever limit is hit first ends the search. Negative
+/// values mean "unlimited" for that axis (at least one axis must be set).
+/// The paper's experiments use wall-clock budgets; the benches here default
+/// to evaluation-count budgets for machine independence (see DESIGN.md).
+struct Budget {
+  long max_evaluations = -1;
+  double max_seconds = -1.0;
+
+  static Budget Evaluations(long count) {
+    Budget budget;
+    budget.max_evaluations = count;
+    return budget;
+  }
+  static Budget Seconds(double seconds) {
+    Budget budget;
+    budget.max_seconds = seconds;
+    return budget;
+  }
+
+  bool limited() const { return max_evaluations >= 0 || max_seconds >= 0.0; }
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_CORE_BUDGET_H_

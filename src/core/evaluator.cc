@@ -1,0 +1,63 @@
+#include "core/evaluator.h"
+
+#include <utility>
+
+#include "data/splits.h"
+#include "ml/metrics.h"
+#include "util/timer.h"
+
+namespace autofp {
+
+PipelineEvaluator::PipelineEvaluator(Dataset train, Dataset valid,
+                                     ModelConfig model)
+    : train_(std::move(train)),
+      valid_(std::move(valid)),
+      model_(model),
+      subsample_rng_(0xFEEDFACE) {
+  AUTOFP_CHECK_GT(train_.num_rows(), 0u);
+  AUTOFP_CHECK_GT(valid_.num_rows(), 0u);
+  AUTOFP_CHECK_EQ(train_.num_cols(), valid_.num_cols());
+  AUTOFP_CHECK_EQ(train_.num_classes, valid_.num_classes);
+}
+
+Evaluation PipelineEvaluator::Evaluate(const PipelineSpec& pipeline,
+                                       double budget_fraction) {
+  AUTOFP_CHECK_GT(budget_fraction, 0.0);
+  AUTOFP_CHECK_LE(budget_fraction, 1.0);
+  ++num_evaluations_;
+  Evaluation result;
+  result.pipeline = pipeline;
+  result.budget_fraction = budget_fraction;
+
+  const Dataset* train_view = &train_;
+  Dataset subsampled;
+  double effective_fraction = budget_fraction * global_train_fraction_;
+  if (effective_fraction < 1.0) {
+    subsampled = SubsampleRows(train_, effective_fraction, &subsample_rng_);
+    train_view = &subsampled;
+  }
+
+  Stopwatch prep_watch;
+  TransformedPair transformed =
+      FitTransformPair(pipeline, train_view->features, valid_.features);
+  result.timing.prep_seconds = prep_watch.ElapsedSeconds();
+
+  Stopwatch train_watch;
+  std::unique_ptr<Classifier> model = MakeClassifier(model_);
+  model->Train(transformed.train, train_view->labels, train_.num_classes);
+  result.accuracy =
+      EvaluateAccuracy(*model, transformed.valid, valid_.labels);
+  result.timing.train_seconds = train_watch.ElapsedSeconds();
+  return result;
+}
+
+double PipelineEvaluator::BaselineAccuracy() {
+  if (baseline_accuracy_ < 0.0) {
+    long saved = num_evaluations_;
+    baseline_accuracy_ = Evaluate(PipelineSpec{}, 1.0).accuracy;
+    num_evaluations_ = saved;  // the baseline does not consume budget.
+  }
+  return baseline_accuracy_;
+}
+
+}  // namespace autofp

@@ -1,0 +1,94 @@
+#ifndef AUTOFP_CORE_EVALUATOR_H_
+#define AUTOFP_CORE_EVALUATOR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/model.h"
+#include "preprocess/pipeline.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// Timing decomposition of one pipeline evaluation — the "Prep" and
+/// "Train" components of the paper's Section 5.3 bottleneck analysis
+/// ("Pick" is measured by the search runner, outside the evaluator).
+struct EvalTiming {
+  double prep_seconds = 0.0;   ///< pipeline fit + transform of train/valid.
+  double train_seconds = 0.0;  ///< classifier training + validation scoring.
+};
+
+/// One evaluated pipeline: the record type of Algorithm 1's history.
+struct Evaluation {
+  PipelineSpec pipeline;
+  double accuracy = 0.0;
+  /// Fraction of training rows used (bandit partial-training budgets);
+  /// 1.0 = full training data.
+  double budget_fraction = 1.0;
+  EvalTiming timing;
+};
+
+/// Abstract pipeline evaluator: what the search framework needs from an
+/// evaluation backend. The production implementation is PipelineEvaluator;
+/// tests substitute synthetic reward landscapes.
+class EvaluatorInterface {
+ public:
+  virtual ~EvaluatorInterface() = default;
+
+  /// Evaluates a pipeline at the given training-budget fraction.
+  virtual Evaluation Evaluate(const PipelineSpec& pipeline,
+                              double budget_fraction) = 0;
+
+  /// Accuracy of the empty (no-FP) pipeline.
+  virtual double BaselineAccuracy() = 0;
+};
+
+/// Evaluates pipelines per the paper's pipeline-error definition (Eq. 2):
+/// fit the pipeline on the training features, transform train and valid,
+/// train the downstream classifier on the transformed training set and
+/// score accuracy on the transformed validation set.
+class PipelineEvaluator : public EvaluatorInterface {
+ public:
+  PipelineEvaluator(Dataset train, Dataset valid, ModelConfig model);
+
+  /// Data-size reduction (the paper's research opportunity 2): scale every
+  /// evaluation's training subsample by `fraction` in (0, 1]. The search
+  /// explores more pipelines per unit time at the cost of noisier scores.
+  void set_global_train_fraction(double fraction) {
+    AUTOFP_CHECK_GT(fraction, 0.0);
+    AUTOFP_CHECK_LE(fraction, 1.0);
+    global_train_fraction_ = fraction;
+  }
+  double global_train_fraction() const { return global_train_fraction_; }
+
+  /// Evaluates a pipeline. `budget_fraction` in (0, 1] subsamples training
+  /// rows before fitting (the resource axis for Hyperband/BOHB);
+  /// subsampling is seeded deterministically per call count.
+  Evaluation Evaluate(const PipelineSpec& pipeline,
+                      double budget_fraction) override;
+  Evaluation Evaluate(const PipelineSpec& pipeline) {
+    return Evaluate(pipeline, 1.0);
+  }
+
+  /// Validation accuracy with no preprocessing (the paper's no-FP line).
+  /// Computed once and cached.
+  double BaselineAccuracy() override;
+
+  const Dataset& train() const { return train_; }
+  const Dataset& valid() const { return valid_; }
+  const ModelConfig& model() const { return model_; }
+  long num_evaluations() const { return num_evaluations_; }
+
+ private:
+  Dataset train_;
+  Dataset valid_;
+  ModelConfig model_;
+  Rng subsample_rng_;
+  long num_evaluations_ = 0;
+  double baseline_accuracy_ = -1.0;
+  double global_train_fraction_ = 1.0;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_CORE_EVALUATOR_H_

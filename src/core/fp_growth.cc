@@ -1,0 +1,120 @@
+#include "core/fp_growth.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "util/logging.h"
+
+namespace autofp {
+
+namespace {
+
+struct FpNode {
+  int item = -1;
+  size_t count = 0;
+  FpNode* parent = nullptr;
+  std::map<int, std::unique_ptr<FpNode>> children;
+};
+
+/// FP-tree with header links per item.
+struct FpTree {
+  FpNode root;
+  std::map<int, std::vector<FpNode*>> header;
+
+  /// Inserts an (ordered) transaction with multiplicity `count`.
+  void Insert(const std::vector<int>& items, size_t count) {
+    FpNode* node = &root;
+    for (int item : items) {
+      auto it = node->children.find(item);
+      if (it == node->children.end()) {
+        auto child = std::make_unique<FpNode>();
+        child->item = item;
+        child->parent = node;
+        header[item].push_back(child.get());
+        it = node->children.emplace(item, std::move(child)).first;
+      }
+      it->second->count += count;
+      node = it->second.get();
+    }
+  }
+};
+
+void Mine(const FpTree& tree, size_t min_support,
+          const std::vector<int>& suffix,
+          std::vector<FrequentItemset>* output) {
+  // Items in this (conditional) tree with their supports.
+  for (const auto& [item, nodes] : tree.header) {
+    size_t support = 0;
+    for (const FpNode* node : nodes) support += node->count;
+    if (support < min_support) continue;
+
+    FrequentItemset itemset;
+    itemset.items = suffix;
+    itemset.items.push_back(item);
+    std::sort(itemset.items.begin(), itemset.items.end());
+    itemset.support = support;
+    output->push_back(itemset);
+
+    // Conditional pattern base -> conditional tree.
+    FpTree conditional;
+    for (const FpNode* node : nodes) {
+      std::vector<int> path;
+      for (const FpNode* walk = node->parent; walk != nullptr && walk->item >= 0;
+           walk = walk->parent) {
+        path.push_back(walk->item);
+      }
+      std::reverse(path.begin(), path.end());
+      if (!path.empty()) conditional.Insert(path, node->count);
+    }
+    // Prune infrequent items from the conditional tree by support count;
+    // Mine() re-checks supports, so simply recurse.
+    std::vector<int> new_suffix = suffix;
+    new_suffix.push_back(item);
+    Mine(conditional, min_support, new_suffix, output);
+  }
+}
+
+}  // namespace
+
+std::vector<FrequentItemset> FpGrowth(
+    const std::vector<std::vector<int>>& transactions, size_t min_support) {
+  AUTOFP_CHECK_GE(min_support, 1u);
+  // Global item supports (set semantics per transaction).
+  std::map<int, size_t> supports;
+  std::vector<std::vector<int>> cleaned;
+  cleaned.reserve(transactions.size());
+  for (const std::vector<int>& transaction : transactions) {
+    std::set<int> unique(transaction.begin(), transaction.end());
+    cleaned.emplace_back(unique.begin(), unique.end());
+    for (int item : unique) supports[item] += 1;
+  }
+  // Order items by descending support (ties by id) and drop infrequent.
+  auto item_order = [&](int a, int b) {
+    if (supports[a] != supports[b]) return supports[a] > supports[b];
+    return a < b;
+  };
+  FpTree tree;
+  for (std::vector<int>& transaction : cleaned) {
+    std::vector<int> filtered;
+    for (int item : transaction) {
+      if (supports[item] >= min_support) filtered.push_back(item);
+    }
+    std::sort(filtered.begin(), filtered.end(), item_order);
+    if (!filtered.empty()) tree.Insert(filtered, 1);
+  }
+  std::vector<FrequentItemset> output;
+  Mine(tree, min_support, {}, &output);
+  std::sort(output.begin(), output.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              if (a.support != b.support) return a.support > b.support;
+              if (a.items.size() != b.items.size()) {
+                return a.items.size() > b.items.size();
+              }
+              return a.items < b.items;
+            });
+  return output;
+}
+
+}  // namespace autofp

@@ -1,0 +1,27 @@
+#ifndef AUTOFP_CORE_FP_GROWTH_H_
+#define AUTOFP_CORE_FP_GROWTH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace autofp {
+
+/// A frequent itemset and its support (number of transactions containing
+/// every item of the set).
+struct FrequentItemset {
+  std::vector<int> items;  ///< ascending item ids.
+  size_t support = 0;
+};
+
+/// FP-growth frequent-itemset mining (Han et al., SIGMOD 2000), used by
+/// Section 5.2's "are there frequent excellent preprocessor patterns?"
+/// analysis over the best pipelines PBT finds per dataset. Transactions
+/// are sets of item ids (duplicates within a transaction are ignored).
+/// Returns all itemsets with support >= min_support, largest support
+/// first; singletons included.
+std::vector<FrequentItemset> FpGrowth(
+    const std::vector<std::vector<int>>& transactions, size_t min_support);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_CORE_FP_GROWTH_H_

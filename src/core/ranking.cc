@@ -1,0 +1,53 @@
+#include "core/ranking.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autofp {
+
+std::vector<double> RanksWithTies(const std::vector<double>& accuracies) {
+  const size_t n = accuracies.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return accuracies[a] > accuracies[b];
+  });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && accuracies[order[j]] == accuracies[order[i]]) ++j;
+    // Competition ("min") rank shared by the tie group.
+    for (size_t k = i; k < j; ++k) {
+      ranks[order[k]] = static_cast<double>(i + 1);
+    }
+    i = j;
+  }
+  return ranks;
+}
+
+std::vector<double> AverageRanks(const std::vector<ScenarioScores>& scenarios,
+                                 double min_improvement,
+                                 size_t* num_qualified) {
+  AUTOFP_CHECK(!scenarios.empty());
+  const size_t num_algorithms = scenarios[0].accuracies.size();
+  std::vector<double> totals(num_algorithms, 0.0);
+  size_t qualified = 0;
+  for (const ScenarioScores& scenario : scenarios) {
+    AUTOFP_CHECK_EQ(scenario.accuracies.size(), num_algorithms)
+        << "inconsistent algorithm count in scenario " << scenario.scenario;
+    double best = *std::max_element(scenario.accuracies.begin(),
+                                    scenario.accuracies.end());
+    if (best - scenario.baseline < min_improvement) continue;
+    ++qualified;
+    std::vector<double> ranks = RanksWithTies(scenario.accuracies);
+    for (size_t a = 0; a < num_algorithms; ++a) totals[a] += ranks[a];
+  }
+  if (num_qualified != nullptr) *num_qualified = qualified;
+  if (qualified == 0) return std::vector<double>(num_algorithms, 0.0);
+  for (double& total : totals) total /= static_cast<double>(qualified);
+  return totals;
+}
+
+}  // namespace autofp

@@ -1,0 +1,33 @@
+#ifndef AUTOFP_CORE_RANKING_H_
+#define AUTOFP_CORE_RANKING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace autofp {
+
+/// One benchmark scenario (dataset x model x budget) with the validation
+/// accuracy achieved by each algorithm (fixed algorithm order across
+/// scenarios) plus the no-FP baseline.
+struct ScenarioScores {
+  std::string scenario;
+  double baseline = 0.0;
+  std::vector<double> accuracies;
+};
+
+/// Competition ranks for one scenario: the highest accuracy gets rank 1;
+/// ties share the same (minimum) rank, as in the paper's Table 4.
+std::vector<double> RanksWithTies(const std::vector<double>& accuracies);
+
+/// Average rank per algorithm over the scenarios where FP "matters": the
+/// best algorithm improves on the baseline by at least `min_improvement`
+/// (the paper uses 0.015, i.e. 1.5%). `num_qualified` (optional) receives
+/// the number of scenarios that passed the filter.
+std::vector<double> AverageRanks(const std::vector<ScenarioScores>& scenarios,
+                                 double min_improvement,
+                                 size_t* num_qualified = nullptr);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_CORE_RANKING_H_

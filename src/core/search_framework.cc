@@ -1,0 +1,100 @@
+#include "core/search_framework.h"
+
+#include <algorithm>
+
+namespace autofp {
+
+SearchContext::SearchContext(const SearchSpace* space,
+                             EvaluatorInterface* evaluator,
+                             const Budget& budget, uint64_t seed)
+    : space_(space), evaluator_(evaluator), budget_(budget), rng_(seed) {
+  AUTOFP_CHECK(space != nullptr);
+  AUTOFP_CHECK(evaluator != nullptr);
+  AUTOFP_CHECK(budget.limited()) << "unlimited budget would never terminate";
+}
+
+bool SearchContext::BudgetExhausted() const {
+  if (budget_.max_evaluations >= 0 &&
+      evaluation_cost_ >= static_cast<double>(budget_.max_evaluations)) {
+    return true;
+  }
+  if (budget_.max_seconds >= 0.0 &&
+      total_watch_.ElapsedSeconds() >= budget_.max_seconds) {
+    return true;
+  }
+  return false;
+}
+
+std::optional<double> SearchContext::Evaluate(const PipelineSpec& pipeline,
+                                              double budget_fraction) {
+  if (BudgetExhausted()) return std::nullopt;
+  Stopwatch watch;
+  Evaluation evaluation = evaluator_->Evaluate(pipeline, budget_fraction);
+  eval_seconds_ += watch.ElapsedSeconds();
+  evaluation_cost_ += budget_fraction;
+  history_.push_back(evaluation);
+  // Prefer full-budget evaluations as final answers; a partial-budget
+  // result is only kept while no full-budget result exists.
+  bool is_full = evaluation.budget_fraction >= 1.0;
+  bool best_is_full =
+      best_index_ >= 0 && history_[best_index_].budget_fraction >= 1.0;
+  bool better;
+  if (best_index_ < 0) {
+    better = true;
+  } else if (is_full != best_is_full) {
+    better = is_full;
+  } else {
+    better = evaluation.accuracy > best_key_;
+  }
+  if (better) {
+    best_index_ = static_cast<int>(history_.size() - 1);
+    best_key_ = evaluation.accuracy;
+  }
+  return evaluation.accuracy;
+}
+
+const Evaluation& SearchContext::best() const {
+  AUTOFP_CHECK(has_best()) << "no evaluations recorded";
+  return history_[best_index_];
+}
+
+SearchResult RunSearch(SearchAlgorithm* algorithm,
+                       EvaluatorInterface* evaluator,
+                       const SearchSpace& space, const Budget& budget,
+                       uint64_t seed) {
+  AUTOFP_CHECK(algorithm != nullptr);
+  SearchContext context(&space, evaluator, budget, seed);
+  algorithm->Initialize(&context);
+  // Guard against algorithms that stop making progress before the budget
+  // is exhausted (would otherwise spin forever under time budgets).
+  int idle_iterations = 0;
+  while (!context.BudgetExhausted() && idle_iterations < 3) {
+    long before = context.num_evaluations();
+    algorithm->Iterate(&context);
+    idle_iterations = context.num_evaluations() == before
+                          ? idle_iterations + 1
+                          : 0;
+  }
+
+  SearchResult result;
+  result.algorithm = algorithm->name();
+  result.elapsed_seconds = context.elapsed_seconds();
+  result.num_evaluations = context.num_evaluations();
+  result.evaluation_cost = context.evaluation_cost();
+  result.baseline_accuracy = evaluator->BaselineAccuracy();
+  if (context.has_best()) {
+    result.best_pipeline = context.best().pipeline;
+    result.best_accuracy = context.best().accuracy;
+  } else {
+    result.best_accuracy = result.baseline_accuracy;
+  }
+  for (const Evaluation& evaluation : context.history()) {
+    result.prep_seconds += evaluation.timing.prep_seconds;
+    result.train_seconds += evaluation.timing.train_seconds;
+  }
+  result.pick_seconds = std::max(
+      0.0, result.elapsed_seconds - context.eval_seconds());
+  return result;
+}
+
+}  // namespace autofp

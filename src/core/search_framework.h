@@ -1,0 +1,114 @@
+#ifndef AUTOFP_CORE_SEARCH_FRAMEWORK_H_
+#define AUTOFP_CORE_SEARCH_FRAMEWORK_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/budget.h"
+#include "core/evaluator.h"
+#include "core/search_space.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+namespace autofp {
+
+/// Services the unified framework (Algorithm 1) offers an algorithm:
+/// the search space, a seeded RNG, budget-aware evaluation, and the
+/// shared evaluation history. Owned by RunSearch.
+class SearchContext {
+ public:
+  SearchContext(const SearchSpace* space, EvaluatorInterface* evaluator,
+                const Budget& budget, uint64_t seed);
+
+  const SearchSpace& space() const { return *space_; }
+  Rng* rng() { return &rng_; }
+
+  /// Step 4 of Algorithm 1: evaluates `pipeline`, records it in the
+  /// history, and returns its validation accuracy — or nullopt when the
+  /// budget ran out (the algorithm should then return from Iterate).
+  std::optional<double> Evaluate(const PipelineSpec& pipeline,
+                                 double budget_fraction = 1.0);
+
+  bool BudgetExhausted() const;
+
+  const std::vector<Evaluation>& history() const { return history_; }
+  long num_evaluations() const {
+    return static_cast<long>(history_.size());
+  }
+
+  /// Budget consumed on the evaluation axis: partial-training evaluations
+  /// (bandit algorithms) cost their budget fraction, so an evaluation-count
+  /// budget behaves like the paper's wall-clock budget.
+  double evaluation_cost() const { return evaluation_cost_; }
+
+  /// Best full-budget evaluation so far (partial-budget evaluations from
+  /// bandit algorithms are tracked separately and do not count as final
+  /// answers unless nothing else exists).
+  bool has_best() const { return best_index_ >= 0; }
+  const Evaluation& best() const;
+
+  /// Seconds spent inside Evaluate() (prep + train + overhead) — the
+  /// complement of "Pick" time in the Section 5.3 decomposition.
+  double eval_seconds() const { return eval_seconds_; }
+  double elapsed_seconds() const { return total_watch_.ElapsedSeconds(); }
+
+ private:
+  const SearchSpace* space_;
+  EvaluatorInterface* evaluator_;
+  Budget budget_;
+  Rng rng_;
+  std::vector<Evaluation> history_;
+  double evaluation_cost_ = 0.0;
+  int best_index_ = -1;
+  double best_key_ = -1.0;
+  double eval_seconds_ = 0.0;
+  Stopwatch total_watch_;
+};
+
+/// A search algorithm in the unified framework: Initialize() performs
+/// Step 1 (initial pipelines), each Iterate() performs Steps 2-4 (update
+/// surrogate, sample, evaluate via the context).
+class SearchAlgorithm {
+ public:
+  virtual ~SearchAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Step 1. May evaluate initial pipelines through the context.
+  virtual void Initialize(SearchContext* context) { (void)context; }
+
+  /// One iteration of Steps 2-4. Must call context->Evaluate() at least
+  /// once unless the budget is exhausted.
+  virtual void Iterate(SearchContext* context) = 0;
+};
+
+/// Outcome of one search run.
+struct SearchResult {
+  std::string algorithm;
+  PipelineSpec best_pipeline;
+  double best_accuracy = 0.0;
+  double baseline_accuracy = 0.0;  ///< no-FP accuracy.
+  long num_evaluations = 0;
+  /// Budget units consumed (partial-training evaluations cost their
+  /// training fraction); <= the evaluation budget when one was set.
+  double evaluation_cost = 0.0;
+  double elapsed_seconds = 0.0;
+  /// Section 5.3 decomposition. pick = elapsed - (prep + train + overhead
+  /// inside Evaluate); prep/train summed over all evaluations.
+  double pick_seconds = 0.0;
+  double prep_seconds = 0.0;
+  double train_seconds = 0.0;
+};
+
+/// Drives Algorithm 1: Initialize once, then Iterate until the budget is
+/// exhausted. Returns the best pipeline found (empty pipeline if the
+/// algorithm never completed an evaluation).
+SearchResult RunSearch(SearchAlgorithm* algorithm,
+                       EvaluatorInterface* evaluator,
+                       const SearchSpace& space, const Budget& budget,
+                       uint64_t seed);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_CORE_SEARCH_FRAMEWORK_H_

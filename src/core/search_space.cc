@@ -1,0 +1,229 @@
+#include "core/search_space.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+SearchSpace::SearchSpace(std::vector<PreprocessorConfig> operators,
+                         size_t max_pipeline_length)
+    : operators_(std::move(operators)),
+      max_pipeline_length_(max_pipeline_length) {
+  AUTOFP_CHECK(!operators_.empty());
+  AUTOFP_CHECK_GE(max_pipeline_length_, 1u);
+}
+
+SearchSpace SearchSpace::Default(size_t max_pipeline_length) {
+  std::vector<PreprocessorConfig> operators;
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    operators.push_back(PreprocessorConfig::Defaults(kind));
+  }
+  return SearchSpace(std::move(operators), max_pipeline_length);
+}
+
+double SearchSpace::TotalPipelines() const {
+  double total = 0.0;
+  double level = 1.0;
+  for (size_t len = 1; len <= max_pipeline_length_; ++len) {
+    level *= static_cast<double>(operators_.size());
+    total += level;
+    if (total > 1e18) return 1e18;
+  }
+  return total;
+}
+
+PipelineSpec SearchSpace::SampleUniform(Rng* rng) const {
+  size_t length =
+      1 + rng->UniformIndex(max_pipeline_length_);
+  PipelineSpec pipeline;
+  pipeline.steps.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    pipeline.steps.push_back(operators_[rng->UniformIndex(operators_.size())]);
+  }
+  return pipeline;
+}
+
+PipelineSpec SearchSpace::Mutate(const PipelineSpec& pipeline,
+                                 Rng* rng) const {
+  PipelineSpec child = pipeline;
+  if (child.steps.empty()) return SampleUniform(rng);
+  enum { kReplace, kInsert, kDelete };
+  std::vector<int> moves = {kReplace};
+  if (child.steps.size() < max_pipeline_length_) moves.push_back(kInsert);
+  if (child.steps.size() > 1) moves.push_back(kDelete);
+  int move = moves[rng->UniformIndex(moves.size())];
+  switch (move) {
+    case kReplace: {
+      size_t position = rng->UniformIndex(child.steps.size());
+      child.steps[position] = operators_[rng->UniformIndex(operators_.size())];
+      break;
+    }
+    case kInsert: {
+      size_t position = rng->UniformIndex(child.steps.size() + 1);
+      child.steps.insert(
+          child.steps.begin() + position,
+          operators_[rng->UniformIndex(operators_.size())]);
+      break;
+    }
+    case kDelete: {
+      size_t position = rng->UniformIndex(child.steps.size());
+      child.steps.erase(child.steps.begin() + position);
+      break;
+    }
+  }
+  return child;
+}
+
+std::vector<int> SearchSpace::Encode(const PipelineSpec& pipeline) const {
+  std::vector<int> encoding;
+  encoding.reserve(pipeline.steps.size());
+  for (const PreprocessorConfig& step : pipeline.steps) {
+    auto it = std::find(operators_.begin(), operators_.end(), step);
+    AUTOFP_CHECK(it != operators_.end())
+        << "pipeline step '" << step.ToString() << "' not in space";
+    encoding.push_back(static_cast<int>(it - operators_.begin()));
+  }
+  return encoding;
+}
+
+PipelineSpec SearchSpace::Decode(const std::vector<int>& encoding) const {
+  PipelineSpec pipeline;
+  pipeline.steps.reserve(encoding.size());
+  for (int index : encoding) {
+    AUTOFP_CHECK_GE(index, 0);
+    AUTOFP_CHECK_LT(static_cast<size_t>(index), operators_.size());
+    pipeline.steps.push_back(operators_[index]);
+  }
+  return pipeline;
+}
+
+std::vector<double> SearchSpace::EncodePadded(const PipelineSpec& pipeline,
+                                              double pad_value) const {
+  std::vector<int> encoding = Encode(pipeline);
+  std::vector<double> padded(max_pipeline_length_, pad_value);
+  for (size_t i = 0; i < encoding.size() && i < padded.size(); ++i) {
+    padded[i] = static_cast<double>(encoding[i]);
+  }
+  return padded;
+}
+
+ParameterSpace ParameterSpace::LowCardinality() {
+  ParameterSpace space;
+  space.binarizer_thresholds = {0.0, 0.2, 0.4, 0.6, 0.8, 1.0};
+  space.norms = {NormKind::kL1, NormKind::kL2, NormKind::kMax};
+  space.standard_with_mean = {true, false};
+  space.power_standardize = {true, false};
+  space.quantile_n_quantiles = {10, 100, 200, 500, 1000, 1200, 1500, 2000};
+  space.quantile_output_distributions = {OutputDistribution::kUniform,
+                                         OutputDistribution::kNormal};
+  return space;
+}
+
+ParameterSpace ParameterSpace::HighCardinality() {
+  ParameterSpace space = LowCardinality();
+  space.binarizer_thresholds.clear();
+  for (int i = 0; i <= 20; ++i) {
+    space.binarizer_thresholds.push_back(0.05 * i);
+  }
+  space.quantile_n_quantiles.clear();
+  for (int q = 10; q <= 2000; ++q) {
+    space.quantile_n_quantiles.push_back(q);
+  }
+  return space;
+}
+
+size_t ParameterSpace::OneStepOperatorCount() const {
+  return binarizer_thresholds.size() + /*MaxAbs*/ 1 + /*MinMax*/ 1 +
+         norms.size() + power_standardize.size() +
+         quantile_n_quantiles.size() * quantile_output_distributions.size() +
+         standard_with_mean.size();
+}
+
+std::vector<PreprocessorConfig> ParameterSpace::SampleAssignment(
+    Rng* rng) const {
+  std::vector<PreprocessorConfig> assignment;
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    PreprocessorConfig config = PreprocessorConfig::Defaults(kind);
+    switch (kind) {
+      case PreprocessorKind::kBinarizer:
+        config.threshold =
+            binarizer_thresholds[rng->UniformIndex(
+                binarizer_thresholds.size())];
+        break;
+      case PreprocessorKind::kNormalizer:
+        config.norm = norms[rng->UniformIndex(norms.size())];
+        break;
+      case PreprocessorKind::kStandardScaler:
+        config.with_mean =
+            standard_with_mean[rng->UniformIndex(standard_with_mean.size())];
+        break;
+      case PreprocessorKind::kPowerTransformer:
+        config.standardize =
+            power_standardize[rng->UniformIndex(power_standardize.size())];
+        break;
+      case PreprocessorKind::kQuantileTransformer:
+        config.n_quantiles = quantile_n_quantiles[rng->UniformIndex(
+            quantile_n_quantiles.size())];
+        config.output_distribution =
+            quantile_output_distributions[rng->UniformIndex(
+                quantile_output_distributions.size())];
+        break;
+      default:
+        break;
+    }
+    assignment.push_back(config);
+  }
+  return assignment;
+}
+
+SearchSpace OneStepSpace(const ParameterSpace& parameters,
+                         size_t max_pipeline_length) {
+  std::vector<PreprocessorConfig> operators;
+  for (double threshold : parameters.binarizer_thresholds) {
+    PreprocessorConfig config =
+        PreprocessorConfig::Defaults(PreprocessorKind::kBinarizer);
+    config.threshold = threshold;
+    operators.push_back(config);
+  }
+  operators.push_back(
+      PreprocessorConfig::Defaults(PreprocessorKind::kMaxAbsScaler));
+  operators.push_back(
+      PreprocessorConfig::Defaults(PreprocessorKind::kMinMaxScaler));
+  for (NormKind norm : parameters.norms) {
+    PreprocessorConfig config =
+        PreprocessorConfig::Defaults(PreprocessorKind::kNormalizer);
+    config.norm = norm;
+    operators.push_back(config);
+  }
+  for (bool with_mean : parameters.standard_with_mean) {
+    PreprocessorConfig config =
+        PreprocessorConfig::Defaults(PreprocessorKind::kStandardScaler);
+    config.with_mean = with_mean;
+    operators.push_back(config);
+  }
+  for (bool standardize : parameters.power_standardize) {
+    PreprocessorConfig config =
+        PreprocessorConfig::Defaults(PreprocessorKind::kPowerTransformer);
+    config.standardize = standardize;
+    operators.push_back(config);
+  }
+  for (int n_quantiles : parameters.quantile_n_quantiles) {
+    for (OutputDistribution dist :
+         parameters.quantile_output_distributions) {
+      PreprocessorConfig config =
+          PreprocessorConfig::Defaults(PreprocessorKind::kQuantileTransformer);
+      config.n_quantiles = n_quantiles;
+      config.output_distribution = dist;
+      operators.push_back(config);
+    }
+  }
+  return SearchSpace(std::move(operators), max_pipeline_length);
+}
+
+SearchSpace FixedAssignmentSpace(
+    const std::vector<PreprocessorConfig>& assignment,
+    size_t max_pipeline_length) {
+  return SearchSpace(assignment, max_pipeline_length);
+}
+
+}  // namespace autofp

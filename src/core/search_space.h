@@ -1,0 +1,96 @@
+#ifndef AUTOFP_CORE_SEARCH_SPACE_H_
+#define AUTOFP_CORE_SEARCH_SPACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "preprocess/pipeline.h"
+#include "preprocess/preprocessor.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// The pipeline search space of Definition 3: an operator alphabet (each a
+/// preprocessor with fixed parameters) and a maximum pipeline length. The
+/// default space has the 7 default-parameter preprocessors and max length 7
+/// (~1M pipelines, as in the paper's Auto-Sklearn comparison). The One-step
+/// extension of Section 6 is simply a larger alphabet.
+class SearchSpace {
+ public:
+  SearchSpace(std::vector<PreprocessorConfig> operators,
+              size_t max_pipeline_length);
+
+  /// The 7 default preprocessors, pipelines of length 1..7.
+  static SearchSpace Default(size_t max_pipeline_length = 7);
+
+  size_t num_operators() const { return operators_.size(); }
+  size_t max_pipeline_length() const { return max_pipeline_length_; }
+  const std::vector<PreprocessorConfig>& operators() const {
+    return operators_;
+  }
+  const PreprocessorConfig& operator_at(size_t index) const {
+    AUTOFP_CHECK_LT(index, operators_.size());
+    return operators_[index];
+  }
+
+  /// Total number of pipelines (sum over lengths of ops^len), saturating
+  /// at ~1e18.
+  double TotalPipelines() const;
+
+  /// Uniform pipeline: length uniform in [1, max], each slot uniform.
+  PipelineSpec SampleUniform(Rng* rng) const;
+
+  /// Mutation kernel shared by Anneal/evolution/PBT: with equal
+  /// probability replace a random position, insert a random operator
+  /// (if below max length), or delete a position (if length > 1).
+  PipelineSpec Mutate(const PipelineSpec& pipeline, Rng* rng) const;
+
+  /// Encoding to operator indices (for surrogates / policies).
+  std::vector<int> Encode(const PipelineSpec& pipeline) const;
+  PipelineSpec Decode(const std::vector<int>& encoding) const;
+
+  /// Fixed-length encoding padded with `pad_value` (for vector surrogates).
+  std::vector<double> EncodePadded(const PipelineSpec& pipeline,
+                                   double pad_value = -1.0) const;
+
+ private:
+  std::vector<PreprocessorConfig> operators_;
+  size_t max_pipeline_length_;
+};
+
+/// Parameter value lists for the extended search spaces (Section 6).
+struct ParameterSpace {
+  std::vector<double> binarizer_thresholds;
+  std::vector<NormKind> norms;
+  std::vector<bool> standard_with_mean;
+  std::vector<bool> power_standardize;
+  std::vector<int> quantile_n_quantiles;
+  std::vector<OutputDistribution> quantile_output_distributions;
+
+  /// Table 6: max cardinality 8 (n_quantiles).
+  static ParameterSpace LowCardinality();
+  /// Table 7: threshold 0..1 step 0.05; n_quantiles 10..2000 step 1.
+  static ParameterSpace HighCardinality();
+
+  /// Number of operator variants the One-step flattening produces.
+  size_t OneStepOperatorCount() const;
+
+  /// Draws one concrete parameter assignment: a 7-operator alphabet with
+  /// randomly chosen parameter values (the first step of Two-step).
+  std::vector<PreprocessorConfig> SampleAssignment(Rng* rng) const;
+};
+
+/// One-step extension: flattens every (preprocessor, parameter) combination
+/// into a single enlarged operator alphabet.
+SearchSpace OneStepSpace(const ParameterSpace& parameters,
+                         size_t max_pipeline_length = 7);
+
+/// Space over a fixed parameter assignment (the inner space of Two-step).
+SearchSpace FixedAssignmentSpace(
+    const std::vector<PreprocessorConfig>& assignment,
+    size_t max_pipeline_length = 7);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_CORE_SEARCH_SPACE_H_

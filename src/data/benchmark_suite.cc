@@ -1,0 +1,97 @@
+#include "data/benchmark_suite.h"
+
+namespace autofp {
+
+namespace {
+
+SyntheticSpec Spec(const std::string& name, SyntheticFamily family,
+                   size_t rows, size_t cols, int classes, uint64_t seed,
+                   double separation = 2.0, double noise = 0.05,
+                   double imbalance = 0.0) {
+  SyntheticSpec spec;
+  spec.name = name;
+  spec.family = family;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.num_classes = classes;
+  spec.seed = seed;
+  spec.separation = separation;
+  spec.label_noise = noise;
+  spec.imbalance = imbalance;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<SyntheticSpec> MotivationSuiteSpecs() {
+  using F = SyntheticFamily;
+  // Analogues of the paper's heart (242x13), forex (35kx10 — scaled down),
+  // pd (604x753 — scaled down), wine (5197x11, 7 classes).
+  return {
+      Spec("heart_syn", F::kScaledBlobs, 242, 13, 2, 11, 1.2, 0.10),
+      Spec("forex_syn", F::kThresholdCoded, 2400, 10, 2, 12, 2.5, 0.15),
+      Spec("pd_syn", F::kSkewed, 600, 120, 2, 13, 0.9, 0.05),
+      Spec("wine_syn", F::kHeavyTailed, 2000, 11, 7, 14, 1.0, 0.15),
+  };
+}
+
+std::vector<SyntheticSpec> MiniSuiteSpecs() {
+  using F = SyntheticFamily;
+  return {
+      Spec("blood_syn", F::kScaledBlobs, 598, 4, 2, 21, 1.5, 0.12),
+      Spec("vehicle_syn", F::kDirectional, 676, 18, 4, 22, 3.0, 0.08),
+      Spec("phoneme_syn", F::kNonlinearRings, 1000, 5, 2, 23, 2.0, 0.08),
+      Spec("kc1_syn", F::kSkewed, 1687, 21, 2, 24, 1.0, 0.10),
+      Spec("ionosphere_syn", F::kThresholdCoded, 280, 34, 2, 25, 3.0, 0.06),
+      Spec("thyroid_syn", F::kHeavyTailed, 1200, 26, 5, 26, 1.5, 0.08, 0.6),
+      Spec("madeline_syn", F::kSparseHighDim, 800, 120, 2, 27, 2.0, 0.10),
+  };
+}
+
+std::vector<SyntheticSpec> BenchmarkSuiteSpecs() {
+  using F = SyntheticFamily;
+  std::vector<SyntheticSpec> specs = MotivationSuiteSpecs();
+  std::vector<SyntheticSpec> mini = MiniSuiteSpecs();
+  specs.insert(specs.end(), mini.begin(), mini.end());
+  // Additional entries extending the size/dimension/class spread.
+  std::vector<SyntheticSpec> extra = {
+      // Small, low-dimensional.
+      Spec("australian_syn", F::kScaledBlobs, 552, 14, 2, 41, 1.8, 0.10),
+      Spec("wilt_syn", F::kHeavyTailed, 1200, 5, 2, 42, 2.0, 0.05, 0.4),
+      Spec("page_syn", F::kSkewed, 1500, 10, 5, 43, 1.5, 0.05, 0.5),
+      Spec("mobile_syn", F::kDirectional, 1600, 20, 4, 44, 2.5, 0.05),
+      // Medium.
+      Spec("spambase_syn", F::kSkewed, 3680, 57, 2, 45, 1.2, 0.07),
+      Spec("sylvine_syn", F::kThresholdCoded, 4099, 20, 2, 46, 3.5, 0.08),
+      Spec("robot_syn", F::kNonlinearRings, 4364, 24, 4, 47, 2.0, 0.05),
+      Spec("eeg_syn", F::kDirectional, 6000, 14, 2, 48, 2.0, 0.12),
+      Spec("gesture_syn", F::kNonlinearRings, 4000, 32, 5, 49, 1.5, 0.10),
+      // Large (scaled down from the paper's 30k-460k rows).
+      Spec("electricity_syn", F::kScaledBlobs, 12000, 8, 2, 50, 1.5, 0.10),
+      Spec("jannis_syn", F::kHeavyTailed, 10000, 54, 4, 51, 1.0, 0.15, 0.5),
+      Spec("higgs_syn", F::kSkewed, 16000, 28, 2, 52, 0.8, 0.20),
+      // High-dimensional (cols > 100, the paper's Table 5 bucket).
+      Spec("jasmine_syn", F::kSparseHighDim, 2387, 144, 2, 53, 2.5, 0.08),
+      Spec("christine_syn", F::kSparseHighDim, 1500, 400, 2, 54, 2.0, 0.10),
+      Spec("har_syn", F::kDirectional, 2000, 260, 6, 55, 3.0, 0.05),
+      Spec("isolet_syn", F::kScaledBlobs, 480, 600, 2, 56, 1.5, 0.05),
+      Spec("helena_syn", F::kHeavyTailed, 5000, 27, 10, 57, 1.2, 0.15, 0.7),
+  };
+  specs.insert(specs.end(), extra.begin(), extra.end());
+  return specs;
+}
+
+Result<SyntheticSpec> GetSuiteSpec(const std::string& name) {
+  for (const SyntheticSpec& spec : BenchmarkSuiteSpecs()) {
+    if (spec.name == name) return spec;
+  }
+  return Status::NotFound("no suite dataset named '" + name + "'");
+}
+
+Result<Dataset> GetSuiteDataset(const std::string& name) {
+  Result<SyntheticSpec> spec = GetSuiteSpec(name);
+  if (!spec.ok()) return spec.status();
+  return GenerateSynthetic(spec.value());
+}
+
+}  // namespace autofp

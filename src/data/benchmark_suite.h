@@ -1,0 +1,36 @@
+#ifndef AUTOFP_DATA_BENCHMARK_SUITE_H_
+#define AUTOFP_DATA_BENCHMARK_SUITE_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "util/status.h"
+
+namespace autofp {
+
+/// The deterministic synthetic analogue of the paper's 45-dataset benchmark
+/// (see DESIGN.md, Substitutions). Dataset names echo the paper's naming;
+/// families and size/dimensionality spread mirror Figure 5 / Table 9:
+/// rows 240–40k, columns 4–600, binary and multi-class up to 10 classes,
+/// and a mix of generator families so no single preprocessor dominates.
+std::vector<SyntheticSpec> BenchmarkSuiteSpecs();
+
+/// A small fast subset (7 datasets) used by unit tests and quick benches.
+std::vector<SyntheticSpec> MiniSuiteSpecs();
+
+/// The four datasets used by the paper's Figure 2 / Table 2 motivation
+/// experiments (heart, forex, pd, wine analogues).
+std::vector<SyntheticSpec> MotivationSuiteSpecs();
+
+/// Generates the dataset for a named suite entry.
+/// Returns NotFound for unknown names.
+Result<Dataset> GetSuiteDataset(const std::string& name);
+
+/// Looks up a spec by name across all suites.
+Result<SyntheticSpec> GetSuiteSpec(const std::string& name);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_DATA_BENCHMARK_SUITE_H_

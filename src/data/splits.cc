@@ -1,0 +1,84 @@
+#include "data/splits.h"
+
+#include <algorithm>
+
+namespace autofp {
+
+TrainValidSplit SplitTrainValid(const Dataset& dataset, double train_fraction,
+                                Rng* rng) {
+  AUTOFP_CHECK_GT(train_fraction, 0.0);
+  AUTOFP_CHECK_LT(train_fraction, 1.0);
+  AUTOFP_CHECK_GE(dataset.num_rows(), 2u);
+  std::vector<size_t> perm = rng->Permutation(dataset.num_rows());
+  size_t train_size = static_cast<size_t>(
+      train_fraction * static_cast<double>(dataset.num_rows()));
+  train_size = std::clamp(train_size, size_t{1}, dataset.num_rows() - 1);
+  std::vector<size_t> train_idx(perm.begin(), perm.begin() + train_size);
+  std::vector<size_t> valid_idx(perm.begin() + train_size, perm.end());
+  TrainValidSplit split;
+  split.train = dataset.SelectRows(train_idx);
+  split.valid = dataset.SelectRows(valid_idx);
+  return split;
+}
+
+TrainValidSplit StratifiedSplitTrainValid(const Dataset& dataset,
+                                          double train_fraction, Rng* rng) {
+  AUTOFP_CHECK_GT(train_fraction, 0.0);
+  AUTOFP_CHECK_LT(train_fraction, 1.0);
+  AUTOFP_CHECK_GE(dataset.num_rows(), 2u);
+  // Rows grouped by class, then each group split independently.
+  std::vector<std::vector<size_t>> by_class(dataset.num_classes);
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    by_class[dataset.labels[r]].push_back(r);
+  }
+  std::vector<size_t> train_idx, valid_idx;
+  for (std::vector<size_t>& rows : by_class) {
+    if (rows.empty()) continue;
+    rng->Shuffle(&rows);
+    size_t train_size = static_cast<size_t>(
+        train_fraction * static_cast<double>(rows.size()));
+    // Classes with >= 2 rows contribute to both sides.
+    if (rows.size() >= 2) {
+      train_size = std::clamp(train_size, size_t{1}, rows.size() - 1);
+    } else {
+      train_size = 1;  // singleton classes go to train.
+    }
+    train_idx.insert(train_idx.end(), rows.begin(),
+                     rows.begin() + train_size);
+    valid_idx.insert(valid_idx.end(), rows.begin() + train_size, rows.end());
+  }
+  AUTOFP_CHECK(!train_idx.empty());
+  AUTOFP_CHECK(!valid_idx.empty())
+      << "stratified split needs at least one class with 2+ rows";
+  // Shuffle the merged sides so row order carries no class signal.
+  rng->Shuffle(&train_idx);
+  rng->Shuffle(&valid_idx);
+  TrainValidSplit split;
+  split.train = dataset.SelectRows(train_idx);
+  split.valid = dataset.SelectRows(valid_idx);
+  return split;
+}
+
+std::vector<std::vector<size_t>> KFoldIndices(size_t num_rows, size_t k,
+                                              Rng* rng) {
+  AUTOFP_CHECK_GE(k, 2u);
+  AUTOFP_CHECK_GE(num_rows, k);
+  std::vector<size_t> perm = rng->Permutation(num_rows);
+  std::vector<std::vector<size_t>> folds(k);
+  for (size_t i = 0; i < num_rows; ++i) folds[i % k].push_back(perm[i]);
+  return folds;
+}
+
+Dataset SubsampleRows(const Dataset& dataset, double fraction, Rng* rng) {
+  AUTOFP_CHECK_GT(fraction, 0.0);
+  AUTOFP_CHECK_LE(fraction, 1.0);
+  size_t target = static_cast<size_t>(
+      fraction * static_cast<double>(dataset.num_rows()));
+  target = std::clamp(target, size_t{1}, dataset.num_rows());
+  if (target == dataset.num_rows()) return dataset;
+  std::vector<size_t> indices =
+      rng->SampleWithoutReplacement(dataset.num_rows(), target);
+  return dataset.SelectRows(indices);
+}
+
+}  // namespace autofp

@@ -1,0 +1,39 @@
+#ifndef AUTOFP_DATA_SPLITS_H_
+#define AUTOFP_DATA_SPLITS_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// A train/validation split of a dataset.
+struct TrainValidSplit {
+  Dataset train;
+  Dataset valid;
+};
+
+/// Shuffles rows and splits with `train_fraction` going to train (the paper
+/// uses 80:20). Guarantees at least one row on each side when possible.
+TrainValidSplit SplitTrainValid(const Dataset& dataset, double train_fraction,
+                                Rng* rng);
+
+/// Stratified variant: splits each class independently so class
+/// proportions are (approximately) preserved on both sides. Useful for
+/// heavily imbalanced data, where a plain shuffle can leave a class
+/// entirely out of the validation set.
+TrainValidSplit StratifiedSplitTrainValid(const Dataset& dataset,
+                                          double train_fraction, Rng* rng);
+
+/// Index folds for k-fold cross-validation (shuffled, near-equal sizes).
+std::vector<std::vector<size_t>> KFoldIndices(size_t num_rows, size_t k,
+                                              Rng* rng);
+
+/// Uniformly subsamples `fraction` of the rows (at least one row). Used to
+/// map Hyperband/BOHB resource budgets to partial training data.
+Dataset SubsampleRows(const Dataset& dataset, double fraction, Rng* rng);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_DATA_SPLITS_H_

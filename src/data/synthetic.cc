@@ -1,0 +1,292 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace autofp {
+
+namespace {
+
+/// Samples one class label according to (possibly imbalanced) priors.
+std::vector<double> ClassPriors(const SyntheticSpec& spec) {
+  std::vector<double> priors(spec.num_classes, 1.0);
+  if (spec.imbalance > 0.0) {
+    double weight = 1.0;
+    for (int k = 0; k < spec.num_classes; ++k) {
+      priors[k] = weight;
+      weight *= spec.imbalance;
+    }
+  }
+  return priors;
+}
+
+/// Heavy-tailed deviate: Student-t-like via normal divided by a small
+/// uniform, clipped to keep values finite but extreme.
+double HeavyTail(Rng* rng) {
+  double value = rng->Gaussian() / std::max(rng->Uniform(0.02, 1.0), 0.02);
+  return std::clamp(value, -500.0, 500.0);
+}
+
+void FlipLabels(const SyntheticSpec& spec, Rng* rng, std::vector<int>* labels) {
+  if (spec.label_noise <= 0.0 || spec.num_classes < 2) return;
+  for (int& label : *labels) {
+    if (rng->Bernoulli(spec.label_noise)) {
+      int other = rng->UniformInt(0, spec.num_classes - 2);
+      if (other >= label) ++other;
+      label = other;
+    }
+  }
+}
+
+Dataset MakeScaledBlobs(const SyntheticSpec& spec, Rng* rng,
+                        bool high_dim_sparse) {
+  Dataset out;
+  out.features = Matrix(spec.rows, spec.cols);
+  out.labels.resize(spec.rows);
+  out.num_classes = spec.num_classes;
+
+  size_t informative =
+      high_dim_sparse ? std::max<size_t>(3, spec.cols / 20) : spec.cols;
+  informative = std::min(informative, spec.cols);
+
+  // Per-class means over the informative features.
+  std::vector<std::vector<double>> means(spec.num_classes,
+                                         std::vector<double>(informative));
+  for (int k = 0; k < spec.num_classes; ++k) {
+    for (size_t j = 0; j < informative; ++j) {
+      means[k][j] = rng->Gaussian(0.0, spec.separation);
+    }
+  }
+  // Heterogeneous per-feature scales spanning seven decades: the regime in
+  // which scaling preprocessors matter for LR/MLP.
+  std::vector<double> scales(spec.cols);
+  std::vector<double> shifts(spec.cols);
+  for (size_t j = 0; j < spec.cols; ++j) {
+    scales[j] = std::pow(10.0, rng->Uniform(-3.0, 4.0));
+    shifts[j] = rng->Gaussian(0.0, 2.0) * scales[j];
+  }
+
+  std::vector<double> priors = ClassPriors(spec);
+  for (size_t r = 0; r < spec.rows; ++r) {
+    int label = static_cast<int>(rng->Categorical(priors));
+    out.labels[r] = label;
+    for (size_t j = 0; j < spec.cols; ++j) {
+      double base = (j < informative) ? means[label][j] + rng->Gaussian()
+                                      : rng->Gaussian();
+      out.features(r, j) = base * scales[j] + shifts[j];
+    }
+  }
+  FlipLabels(spec, rng, &out.labels);
+  return out;
+}
+
+Dataset MakeSkewed(const SyntheticSpec& spec, Rng* rng) {
+  Dataset out;
+  out.features = Matrix(spec.rows, spec.cols);
+  out.labels.resize(spec.rows);
+  out.num_classes = spec.num_classes;
+  std::vector<std::vector<double>> means(spec.num_classes,
+                                         std::vector<double>(spec.cols));
+  for (int k = 0; k < spec.num_classes; ++k) {
+    for (size_t j = 0; j < spec.cols; ++j) {
+      means[k][j] = rng->Gaussian(0.0, spec.separation * 0.5);
+    }
+  }
+  std::vector<double> priors = ClassPriors(spec);
+  for (size_t r = 0; r < spec.rows; ++r) {
+    int label = static_cast<int>(rng->Categorical(priors));
+    out.labels[r] = label;
+    for (size_t j = 0; j < spec.cols; ++j) {
+      double latent = means[label][j] + rng->Gaussian();
+      // exp() produces log-normal features: strong right skew that
+      // PowerTransformer/QuantileTransformer undo.
+      out.features(r, j) = std::exp(std::clamp(latent, -8.0, 8.0));
+    }
+  }
+  FlipLabels(spec, rng, &out.labels);
+  return out;
+}
+
+Dataset MakeHeavyTailed(const SyntheticSpec& spec, Rng* rng) {
+  Dataset out = MakeScaledBlobs(spec, rng, /*high_dim_sparse=*/false);
+  // Contaminate 5% of the cells with extreme outliers. StandardScaler's
+  // mean/std are dragged by these; quantile-based transforms are not.
+  for (size_t r = 0; r < out.num_rows(); ++r) {
+    for (size_t c = 0; c < out.num_cols(); ++c) {
+      if (rng->Bernoulli(0.05)) {
+        out.features(r, c) += HeavyTail(rng) * std::abs(out.features(r, c)) +
+                              HeavyTail(rng);
+      }
+    }
+  }
+  return out;
+}
+
+Dataset MakeDirectional(const SyntheticSpec& spec, Rng* rng) {
+  Dataset out;
+  out.features = Matrix(spec.rows, spec.cols);
+  out.labels.resize(spec.rows);
+  out.num_classes = spec.num_classes;
+  // One unit direction per class.
+  std::vector<std::vector<double>> directions(spec.num_classes,
+                                              std::vector<double>(spec.cols));
+  for (int k = 0; k < spec.num_classes; ++k) {
+    double norm = 0.0;
+    for (size_t j = 0; j < spec.cols; ++j) {
+      directions[k][j] = rng->Gaussian();
+      norm += directions[k][j] * directions[k][j];
+    }
+    norm = std::sqrt(std::max(norm, 1e-12));
+    for (size_t j = 0; j < spec.cols; ++j) directions[k][j] /= norm;
+  }
+  std::vector<double> priors = ClassPriors(spec);
+  double angular_noise = 1.0 / std::max(spec.separation, 0.1);
+  for (size_t r = 0; r < spec.rows; ++r) {
+    int label = static_cast<int>(rng->Categorical(priors));
+    out.labels[r] = label;
+    // Magnitude is pure nuisance, varying over 4 decades.
+    double magnitude = std::exp(rng->Gaussian(0.0, 2.0));
+    for (size_t j = 0; j < spec.cols; ++j) {
+      double component =
+          directions[label][j] + angular_noise * rng->Gaussian();
+      out.features(r, j) = magnitude * component;
+    }
+  }
+  FlipLabels(spec, rng, &out.labels);
+  return out;
+}
+
+Dataset MakeThresholdCoded(const SyntheticSpec& spec, Rng* rng) {
+  Dataset out;
+  out.features = Matrix(spec.rows, spec.cols);
+  out.labels.resize(spec.rows);
+  out.num_classes = spec.num_classes;
+  size_t informative = std::min<size_t>(spec.cols, 6);
+  // Fixed sign pattern per class: feature j "wants" sign pattern[k][j].
+  std::vector<std::vector<int>> pattern(spec.num_classes,
+                                        std::vector<int>(informative));
+  for (int k = 0; k < spec.num_classes; ++k) {
+    for (size_t j = 0; j < informative; ++j) {
+      pattern[k][j] = rng->Bernoulli(0.5) ? 1 : -1;
+    }
+  }
+  double fidelity = std::min(0.45, 0.1 * spec.separation);  // 0.5+fidelity
+  std::vector<double> priors = ClassPriors(spec);
+  for (size_t r = 0; r < spec.rows; ++r) {
+    int label = static_cast<int>(rng->Categorical(priors));
+    out.labels[r] = label;
+    for (size_t j = 0; j < spec.cols; ++j) {
+      double magnitude = std::exp(rng->Gaussian(0.0, 1.5));
+      int sign;
+      if (j < informative) {
+        bool agree = rng->Bernoulli(0.5 + fidelity);
+        sign = agree ? pattern[label][j] : -pattern[label][j];
+      } else {
+        sign = rng->Bernoulli(0.5) ? 1 : -1;
+      }
+      // Magnitude is noise; only the sign carries signal, so Binarizer
+      // (threshold 0) is the ideal preprocessor here.
+      out.features(r, j) = sign * magnitude;
+    }
+  }
+  FlipLabels(spec, rng, &out.labels);
+  return out;
+}
+
+Dataset MakeNonlinearRings(const SyntheticSpec& spec, Rng* rng) {
+  Dataset out;
+  out.features = Matrix(spec.rows, spec.cols);
+  out.labels.resize(spec.rows);
+  out.num_classes = spec.num_classes;
+  AUTOFP_CHECK_GE(spec.cols, 2u);
+  std::vector<double> priors = ClassPriors(spec);
+  double ring_noise = 0.4 / std::max(spec.separation, 0.1);
+  for (size_t r = 0; r < spec.rows; ++r) {
+    int label = static_cast<int>(rng->Categorical(priors));
+    out.labels[r] = label;
+    double radius = 1.0 + label + rng->Gaussian(0.0, ring_noise);
+    double angle = rng->Uniform(0.0, 2.0 * M_PI);
+    out.features(r, 0) = radius * std::cos(angle);
+    out.features(r, 1) = radius * std::sin(angle);
+    for (size_t j = 2; j < spec.cols; ++j) {
+      out.features(r, j) = rng->Gaussian();
+    }
+  }
+  FlipLabels(spec, rng, &out.labels);
+  return out;
+}
+
+}  // namespace
+
+Dataset GenerateSynthetic(const SyntheticSpec& spec) {
+  AUTOFP_CHECK_GE(spec.rows, 4u);
+  AUTOFP_CHECK_GE(spec.cols, 1u);
+  AUTOFP_CHECK_GE(spec.num_classes, 2);
+  Rng rng(spec.seed);
+  Dataset out;
+  switch (spec.family) {
+    case SyntheticFamily::kScaledBlobs:
+      out = MakeScaledBlobs(spec, &rng, false);
+      break;
+    case SyntheticFamily::kSkewed:
+      out = MakeSkewed(spec, &rng);
+      break;
+    case SyntheticFamily::kHeavyTailed:
+      out = MakeHeavyTailed(spec, &rng);
+      break;
+    case SyntheticFamily::kDirectional:
+      out = MakeDirectional(spec, &rng);
+      break;
+    case SyntheticFamily::kThresholdCoded:
+      out = MakeThresholdCoded(spec, &rng);
+      break;
+    case SyntheticFamily::kNonlinearRings:
+      out = MakeNonlinearRings(spec, &rng);
+      break;
+    case SyntheticFamily::kSparseHighDim:
+      out = MakeScaledBlobs(spec, &rng, true);
+      break;
+  }
+  out.name = spec.name;
+  // Ensure every class has at least one sample so downstream stratified
+  // logic never sees an empty class; re-label a few rows if needed.
+  std::vector<double> counts = out.ClassCounts();
+  size_t cursor = 0;
+  for (int k = 0; k < out.num_classes; ++k) {
+    if (counts[k] > 0.0) continue;
+    while (cursor < out.labels.size() &&
+           counts[out.labels[cursor]] <= 1.0) {
+      ++cursor;
+    }
+    if (cursor >= out.labels.size()) break;
+    counts[out.labels[cursor]] -= 1.0;
+    out.labels[cursor] = k;
+    counts[k] += 1.0;
+  }
+  return out;
+}
+
+std::string FamilyName(SyntheticFamily family) {
+  switch (family) {
+    case SyntheticFamily::kScaledBlobs:
+      return "scaled_blobs";
+    case SyntheticFamily::kSkewed:
+      return "skewed";
+    case SyntheticFamily::kHeavyTailed:
+      return "heavy_tailed";
+    case SyntheticFamily::kDirectional:
+      return "directional";
+    case SyntheticFamily::kThresholdCoded:
+      return "threshold_coded";
+    case SyntheticFamily::kNonlinearRings:
+      return "nonlinear_rings";
+    case SyntheticFamily::kSparseHighDim:
+      return "sparse_high_dim";
+  }
+  return "unknown";
+}
+
+}  // namespace autofp

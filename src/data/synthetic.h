@@ -1,0 +1,63 @@
+#ifndef AUTOFP_DATA_SYNTHETIC_H_
+#define AUTOFP_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "data/dataset.h"
+
+namespace autofp {
+
+/// Generator families. Each family is designed so that a *different*
+/// preprocessor (or none) is the right answer, mirroring the heterogeneity
+/// of the paper's 45 real datasets (see DESIGN.md, Substitutions).
+enum class SyntheticFamily {
+  /// Gaussian class blobs whose features live on wildly different scales
+  /// (10^-3 .. 10^4). Scalers (Standard/MinMax/MaxAbs) help LR and MLP.
+  kScaledBlobs,
+  /// Blobs pushed through exp(): log-normal, heavily right-skewed features.
+  /// PowerTransformer / QuantileTransformer help.
+  kSkewed,
+  /// Blobs contaminated with heavy-tailed outliers (Student-t, df ~ 1.5).
+  /// StandardScaler is hurt by outliers; QuantileTransformer is robust.
+  kHeavyTailed,
+  /// Class is encoded in the *direction* of each row vector, while row
+  /// magnitudes vary log-normally. Normalizer (row-wise unit norm) helps.
+  kDirectional,
+  /// Class is a (noisy) parity/majority function of feature *signs*;
+  /// magnitudes are pure noise. Binarizer helps.
+  kThresholdCoded,
+  /// Concentric rings / XOR structure: nonlinear boundary. Tree and MLP
+  /// models shine; preprocessing matters less. Exercises the "FP can hurt"
+  /// regime (Binarizer destroys the radius information).
+  kNonlinearRings,
+  /// Few informative features among many noise features; used to populate
+  /// the high-dimensional bucket of the paper's Table 5.
+  kSparseHighDim,
+};
+
+/// Full recipe for one synthetic dataset.
+struct SyntheticSpec {
+  std::string name;
+  SyntheticFamily family = SyntheticFamily::kScaledBlobs;
+  size_t rows = 1000;
+  size_t cols = 10;
+  int num_classes = 2;
+  uint64_t seed = 0;
+  /// Fraction of labels flipped uniformly at random (irreducible error).
+  double label_noise = 0.05;
+  /// Class-separation knob; larger = easier problem.
+  double separation = 2.0;
+  /// If > 0, class priors decay geometrically by this factor (imbalance).
+  double imbalance = 0.0;
+};
+
+/// Generates a dataset deterministically from the spec.
+Dataset GenerateSynthetic(const SyntheticSpec& spec);
+
+/// Human-readable family name (for reports).
+std::string FamilyName(SyntheticFamily family);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_DATA_SYNTHETIC_H_

@@ -1,0 +1,368 @@
+#include "metafeatures/metafeatures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "data/splits.h"
+#include "ml/cross_validation.h"
+#include "ml/decision_tree.h"
+#include "ml/knn.h"
+#include "ml/lda.h"
+#include "ml/naive_bayes.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace autofp {
+
+namespace {
+
+/// Jacobi eigenvalue decomposition of a symmetric matrix (values only,
+/// plus the eigenvector of the largest eigenvalue). Sizes are capped by
+/// MetaFeatureOptions::max_pca_features before calling.
+void JacobiEigen(std::vector<double> a, size_t d,
+                 std::vector<double>* eigenvalues,
+                 std::vector<double>* top_eigenvector) {
+  std::vector<double> v(d * d, 0.0);
+  for (size_t i = 0; i < d; ++i) v[i * d + i] = 1.0;
+  const int max_sweeps = 30;
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t i = 0; i < d; ++i) {
+      for (size_t j = i + 1; j < d; ++j) off += a[i * d + j] * a[i * d + j];
+    }
+    if (off < 1e-18) break;
+    for (size_t p = 0; p < d; ++p) {
+      for (size_t q = p + 1; q < d; ++q) {
+        double apq = a[p * d + q];
+        if (std::abs(apq) < 1e-15) continue;
+        double app = a[p * d + p], aqq = a[q * d + q];
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = std::copysign(1.0, theta) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (size_t k = 0; k < d; ++k) {
+          double akp = a[k * d + p], akq = a[k * d + q];
+          a[k * d + p] = c * akp - s * akq;
+          a[k * d + q] = s * akp + c * akq;
+        }
+        for (size_t k = 0; k < d; ++k) {
+          double apk = a[p * d + k], aqk = a[q * d + k];
+          a[p * d + k] = c * apk - s * aqk;
+          a[q * d + k] = s * apk + c * aqk;
+        }
+        for (size_t k = 0; k < d; ++k) {
+          double vkp = v[k * d + p], vkq = v[k * d + q];
+          v[k * d + p] = c * vkp - s * vkq;
+          v[k * d + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  eigenvalues->resize(d);
+  size_t top = 0;
+  for (size_t i = 0; i < d; ++i) {
+    (*eigenvalues)[i] = a[i * d + i];
+    if ((*eigenvalues)[i] > (*eigenvalues)[top]) top = i;
+  }
+  top_eigenvector->resize(d);
+  for (size_t k = 0; k < d; ++k) (*top_eigenvector)[k] = v[k * d + top];
+}
+
+}  // namespace
+
+std::vector<double> MetaFeatures::ToVector() const {
+  return {number_of_missing_values,
+          percentage_of_missing_values,
+          number_of_features_with_missing_values,
+          percentage_of_features_with_missing_values,
+          number_of_instances_with_missing_values,
+          percentage_of_instances_with_missing_values,
+          number_of_features,
+          log_number_of_features,
+          number_of_classes,
+          dataset_ratio,
+          log_dataset_ratio,
+          inverse_dataset_ratio,
+          log_inverse_dataset_ratio,
+          symbols_sum,
+          symbols_std,
+          symbols_mean,
+          symbols_max,
+          symbols_min,
+          skewness_std,
+          skewness_mean,
+          skewness_max,
+          skewness_min,
+          kurtosis_std,
+          kurtosis_mean,
+          kurtosis_max,
+          kurtosis_min,
+          class_probability_std,
+          class_probability_mean,
+          class_probability_max,
+          class_probability_min,
+          pca_skewness_first_pc,
+          pca_kurtosis_first_pc,
+          pca_fraction_components_95,
+          class_entropy,
+          landmark_1nn,
+          landmark_random_node,
+          landmark_decision_node,
+          landmark_decision_tree,
+          landmark_naive_bayes,
+          landmark_lda};
+}
+
+const std::vector<std::string>& MetaFeatures::Names() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "NumberOfMissingValues",
+      "PercentageOfMissingValues",
+      "NumberOfFeaturesWithMissingValues",
+      "PercentageOfFeaturesWithMissingValues",
+      "NumberOfInstancesWithMissingValues",
+      "PercentageOfInstancesWithMissingValues",
+      "NumberOfFeatures",
+      "LogNumberOfFeatures",
+      "NumberOfClasses",
+      "DatasetRatio",
+      "LogDatasetRatio",
+      "InverseDatasetRatio",
+      "LogInverseDatasetRatio",
+      "SymbolsSum",
+      "SymbolsSTD",
+      "SymbolsMean",
+      "SymbolsMax",
+      "SymbolsMin",
+      "SkewnessSTD",
+      "SkewnessMean",
+      "SkewnessMax",
+      "SkewnessMin",
+      "KurtosisSTD",
+      "KurtosisMean",
+      "KurtosisMax",
+      "KurtosisMin",
+      "ClassProbabilitySTD",
+      "ClassProbabilityMean",
+      "ClassProbabilityMax",
+      "ClassProbabilityMin",
+      "PCASkewnessFirstPC",
+      "PCAKurtosisFirstPC",
+      "PCAFractionOfComponentsFor95PercentVariance",
+      "ClassEntropy",
+      "Landmark1NN",
+      "LandmarkRandomNodeLearner",
+      "LandmarkDecisionNodeLearner",
+      "LandmarkDecisionTree",
+      "LandmarkNaiveBayes",
+      "LandmarkLDA"};
+  return *names;
+}
+
+MetaFeatures ComputeMetaFeatures(const Dataset& dataset,
+                                 const MetaFeatureOptions& options) {
+  MetaFeatures mf;
+  const size_t n = dataset.num_rows();
+  const size_t d = dataset.num_cols();
+  AUTOFP_CHECK_GT(n, 0u);
+  AUTOFP_CHECK_GT(d, 0u);
+
+  // Missing values (NaN cells).
+  size_t missing_cells = 0;
+  std::vector<bool> feature_has_missing(d, false);
+  size_t rows_with_missing = 0;
+  for (size_t r = 0; r < n; ++r) {
+    bool row_missing = false;
+    const double* row = dataset.features.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) {
+      if (std::isnan(row[c])) {
+        ++missing_cells;
+        feature_has_missing[c] = true;
+        row_missing = true;
+      }
+    }
+    if (row_missing) ++rows_with_missing;
+  }
+  size_t features_with_missing = static_cast<size_t>(
+      std::count(feature_has_missing.begin(), feature_has_missing.end(),
+                 true));
+  mf.number_of_missing_values = static_cast<double>(missing_cells);
+  mf.percentage_of_missing_values =
+      static_cast<double>(missing_cells) / static_cast<double>(n * d);
+  mf.number_of_features_with_missing_values =
+      static_cast<double>(features_with_missing);
+  mf.percentage_of_features_with_missing_values =
+      static_cast<double>(features_with_missing) / static_cast<double>(d);
+  mf.number_of_instances_with_missing_values =
+      static_cast<double>(rows_with_missing);
+  mf.percentage_of_instances_with_missing_values =
+      static_cast<double>(rows_with_missing) / static_cast<double>(n);
+
+  // Shape.
+  mf.number_of_features = static_cast<double>(d);
+  mf.log_number_of_features = std::log(static_cast<double>(d));
+  mf.number_of_classes = static_cast<double>(dataset.num_classes);
+  mf.dataset_ratio = static_cast<double>(d) / static_cast<double>(n);
+  mf.log_dataset_ratio = std::log(mf.dataset_ratio);
+  mf.inverse_dataset_ratio = static_cast<double>(n) / static_cast<double>(d);
+  mf.log_inverse_dataset_ratio = std::log(mf.inverse_dataset_ratio);
+
+  // Symbols + per-feature skew/kurtosis.
+  std::vector<double> symbol_counts(d);
+  std::vector<double> skews(d), kurts(d);
+  for (size_t c = 0; c < d; ++c) {
+    std::vector<double> column = dataset.features.Column(c);
+    std::unordered_set<double> unique(column.begin(), column.end());
+    symbol_counts[c] = static_cast<double>(unique.size());
+    skews[c] = Skewness(column);
+    kurts[c] = Kurtosis(column);
+  }
+  double symbols_total = 0.0;
+  for (double s : symbol_counts) symbols_total += s;
+  mf.symbols_sum = symbols_total;
+  mf.symbols_std = StdDev(symbol_counts);
+  mf.symbols_mean = Mean(symbol_counts);
+  mf.symbols_max = *std::max_element(symbol_counts.begin(),
+                                     symbol_counts.end());
+  mf.symbols_min = *std::min_element(symbol_counts.begin(),
+                                     symbol_counts.end());
+  mf.skewness_std = StdDev(skews);
+  mf.skewness_mean = Mean(skews);
+  mf.skewness_max = *std::max_element(skews.begin(), skews.end());
+  mf.skewness_min = *std::min_element(skews.begin(), skews.end());
+  mf.kurtosis_std = StdDev(kurts);
+  mf.kurtosis_mean = Mean(kurts);
+  mf.kurtosis_max = *std::max_element(kurts.begin(), kurts.end());
+  mf.kurtosis_min = *std::min_element(kurts.begin(), kurts.end());
+
+  // Class probabilities + entropy.
+  std::vector<double> counts = dataset.ClassCounts();
+  std::vector<double> probabilities(counts.size());
+  for (size_t k = 0; k < counts.size(); ++k) {
+    probabilities[k] = counts[k] / static_cast<double>(n);
+  }
+  mf.class_probability_std = StdDev(probabilities);
+  mf.class_probability_mean = Mean(probabilities);
+  mf.class_probability_max =
+      *std::max_element(probabilities.begin(), probabilities.end());
+  mf.class_probability_min =
+      *std::min_element(probabilities.begin(), probabilities.end());
+  mf.class_entropy = Entropy(counts);
+
+  // Bounded-cost subsample shared by PCA and landmarkers.
+  Rng rng(options.seed);
+  Dataset sample = dataset;
+  if (n > options.max_rows) {
+    double fraction =
+        static_cast<double>(options.max_rows) / static_cast<double>(n);
+    sample = SubsampleRows(dataset, fraction, &rng);
+  }
+
+  // PCA meta-features (on a feature subset if d is large).
+  {
+    std::vector<size_t> pca_features;
+    if (d > options.max_pca_features) {
+      pca_features =
+          rng.SampleWithoutReplacement(d, options.max_pca_features);
+    } else {
+      pca_features.resize(d);
+      for (size_t c = 0; c < d; ++c) pca_features[c] = c;
+    }
+    const size_t pd = pca_features.size();
+    const size_t pn = sample.num_rows();
+    // Column means.
+    std::vector<double> means(pd, 0.0);
+    for (size_t r = 0; r < pn; ++r) {
+      const double* row = sample.features.RowPtr(r);
+      for (size_t c = 0; c < pd; ++c) means[c] += row[pca_features[c]];
+    }
+    for (double& m : means) m /= static_cast<double>(pn);
+    // Covariance.
+    std::vector<double> cov(pd * pd, 0.0);
+    std::vector<double> centered(pd);
+    for (size_t r = 0; r < pn; ++r) {
+      const double* row = sample.features.RowPtr(r);
+      for (size_t c = 0; c < pd; ++c) {
+        centered[c] = row[pca_features[c]] - means[c];
+      }
+      for (size_t i = 0; i < pd; ++i) {
+        for (size_t j = 0; j <= i; ++j) {
+          cov[i * pd + j] += centered[i] * centered[j];
+        }
+      }
+    }
+    for (size_t i = 0; i < pd; ++i) {
+      for (size_t j = 0; j <= i; ++j) {
+        cov[i * pd + j] /= static_cast<double>(pn);
+        cov[j * pd + i] = cov[i * pd + j];
+      }
+    }
+    std::vector<double> eigenvalues, top_vector;
+    JacobiEigen(cov, pd, &eigenvalues, &top_vector);
+    // Fraction of components explaining 95% of variance.
+    std::vector<double> sorted = eigenvalues;
+    std::sort(sorted.begin(), sorted.end(), std::greater<double>());
+    double total = 0.0;
+    for (double e : sorted) total += std::max(e, 0.0);
+    if (total > 0.0) {
+      double cumulative = 0.0;
+      size_t needed = sorted.size();
+      for (size_t i = 0; i < sorted.size(); ++i) {
+        cumulative += std::max(sorted[i], 0.0);
+        if (cumulative >= 0.95 * total) {
+          needed = i + 1;
+          break;
+        }
+      }
+      mf.pca_fraction_components_95 =
+          static_cast<double>(needed) / static_cast<double>(pd);
+    }
+    // Projection onto the first PC.
+    std::vector<double> projection(pn);
+    for (size_t r = 0; r < pn; ++r) {
+      const double* row = sample.features.RowPtr(r);
+      double dot = 0.0;
+      for (size_t c = 0; c < pd; ++c) {
+        dot += (row[pca_features[c]] - means[c]) * top_vector[c];
+      }
+      projection[r] = dot;
+    }
+    mf.pca_skewness_first_pc = Skewness(projection);
+    mf.pca_kurtosis_first_pc = Kurtosis(projection);
+  }
+
+  // Landmarkers (5-fold CV on the subsample).
+  {
+    const size_t folds = options.landmark_folds;
+    const uint64_t seed = options.seed + 1;
+    mf.landmark_1nn =
+        CrossValidationAccuracy(KnnClassifier(1), sample, folds, seed);
+    TreeConfig stump;
+    stump.max_depth = 1;
+    mf.landmark_decision_node = CrossValidationAccuracy(
+        DecisionTreeClassifier(stump), sample, folds, seed);
+    // Random-node learner: a stump restricted to one random feature.
+    size_t random_feature = rng.UniformIndex(sample.num_cols());
+    Dataset one_feature = sample;
+    one_feature.features = Matrix(sample.num_rows(), 1);
+    for (size_t r = 0; r < sample.num_rows(); ++r) {
+      one_feature.features(r, 0) = sample.features(r, random_feature);
+    }
+    mf.landmark_random_node = CrossValidationAccuracy(
+        DecisionTreeClassifier(stump), one_feature, folds, seed);
+    TreeConfig full_tree;
+    full_tree.max_depth = 12;
+    full_tree.min_samples_leaf = 2;
+    mf.landmark_decision_tree = CrossValidationAccuracy(
+        DecisionTreeClassifier(full_tree), sample, folds, seed);
+    mf.landmark_naive_bayes =
+        CrossValidationAccuracy(GaussianNaiveBayes(), sample, folds, seed);
+    mf.landmark_lda =
+        CrossValidationAccuracy(LdaClassifier(), sample, folds, seed);
+  }
+
+  return mf;
+}
+
+}  // namespace autofp

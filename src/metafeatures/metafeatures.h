@@ -1,0 +1,88 @@
+#ifndef AUTOFP_METAFEATURES_METAFEATURES_H_
+#define AUTOFP_METAFEATURES_METAFEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace autofp {
+
+/// The 40 Auto-Sklearn meta-features of the paper's Table 10, grouped as
+/// simple / statistical / information-theoretic / landmarking. Used by the
+/// Table 1 experiment ("are there data-characteristic rules that predict
+/// whether FP helps?").
+struct MetaFeatures {
+  // --- Simple: missing values (always 0 for our numeric datasets, but
+  // computed, so CSV-loaded data with NaNs is handled faithfully).
+  double number_of_missing_values = 0;
+  double percentage_of_missing_values = 0;
+  double number_of_features_with_missing_values = 0;
+  double percentage_of_features_with_missing_values = 0;
+  double number_of_instances_with_missing_values = 0;
+  double percentage_of_instances_with_missing_values = 0;
+  // --- Simple: shape.
+  double number_of_features = 0;
+  double log_number_of_features = 0;
+  double number_of_classes = 0;
+  double dataset_ratio = 0;          ///< features / rows.
+  double log_dataset_ratio = 0;
+  double inverse_dataset_ratio = 0;  ///< rows / features.
+  double log_inverse_dataset_ratio = 0;
+  // --- Simple: symbols (distinct values per feature).
+  double symbols_sum = 0;
+  double symbols_std = 0;
+  double symbols_mean = 0;
+  double symbols_max = 0;
+  double symbols_min = 0;
+  // --- Statistical.
+  double skewness_std = 0;
+  double skewness_mean = 0;
+  double skewness_max = 0;
+  double skewness_min = 0;
+  double kurtosis_std = 0;
+  double kurtosis_mean = 0;
+  double kurtosis_max = 0;
+  double kurtosis_min = 0;
+  double class_probability_std = 0;
+  double class_probability_mean = 0;
+  double class_probability_max = 0;
+  double class_probability_min = 0;
+  double pca_skewness_first_pc = 0;
+  double pca_kurtosis_first_pc = 0;
+  double pca_fraction_components_95 = 0;
+  // --- Information-theoretic.
+  double class_entropy = 0;
+  // --- Landmarkers (5-fold CV accuracies).
+  double landmark_1nn = 0;
+  double landmark_random_node = 0;
+  double landmark_decision_node = 0;
+  double landmark_decision_tree = 0;
+  double landmark_naive_bayes = 0;
+  double landmark_lda = 0;
+
+  /// The 40 values in Table 10 order.
+  std::vector<double> ToVector() const;
+
+  /// Names matching ToVector() positions.
+  static const std::vector<std::string>& Names();
+};
+
+/// Options bounding the cost of the expensive meta-features.
+struct MetaFeatureOptions {
+  /// Landmarkers and PCA run on at most this many (random) rows.
+  size_t max_rows = 2000;
+  /// PCA meta-features use at most this many (random) feature columns;
+  /// eigen-decomposition is O(d^3).
+  size_t max_pca_features = 128;
+  size_t landmark_folds = 5;
+  uint64_t seed = 97;
+};
+
+/// Computes all 40 meta-features for a dataset.
+MetaFeatures ComputeMetaFeatures(const Dataset& dataset,
+                                 const MetaFeatureOptions& options = {});
+
+}  // namespace autofp
+
+#endif  // AUTOFP_METAFEATURES_METAFEATURES_H_

@@ -1,0 +1,32 @@
+#include "ml/cross_validation.h"
+
+#include "data/splits.h"
+#include "ml/metrics.h"
+
+namespace autofp {
+
+double CrossValidationAccuracy(const Classifier& prototype,
+                               const Dataset& dataset, size_t folds,
+                               uint64_t seed) {
+  AUTOFP_CHECK_GE(folds, 2u);
+  Rng rng(seed);
+  std::vector<std::vector<size_t>> fold_indices =
+      KFoldIndices(dataset.num_rows(), folds, &rng);
+  double total_accuracy = 0.0;
+  for (size_t f = 0; f < folds; ++f) {
+    std::vector<size_t> train_indices;
+    for (size_t g = 0; g < folds; ++g) {
+      if (g == f) continue;
+      train_indices.insert(train_indices.end(), fold_indices[g].begin(),
+                           fold_indices[g].end());
+    }
+    Dataset train = dataset.SelectRows(train_indices);
+    Dataset valid = dataset.SelectRows(fold_indices[f]);
+    std::unique_ptr<Classifier> model = prototype.Clone();
+    model->Train(train.features, train.labels, dataset.num_classes);
+    total_accuracy += EvaluateAccuracy(*model, valid.features, valid.labels);
+  }
+  return total_accuracy / static_cast<double>(folds);
+}
+
+}  // namespace autofp

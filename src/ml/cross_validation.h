@@ -1,0 +1,19 @@
+#ifndef AUTOFP_ML_CROSS_VALIDATION_H_
+#define AUTOFP_ML_CROSS_VALIDATION_H_
+
+#include "data/dataset.h"
+#include "ml/model.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// Mean k-fold cross-validation accuracy of an (untrained) classifier
+/// prototype on a dataset. `prototype` is cloned per fold. Folds are
+/// shuffled deterministically from `seed`.
+double CrossValidationAccuracy(const Classifier& prototype,
+                               const Dataset& dataset, size_t folds,
+                               uint64_t seed);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_CROSS_VALIDATION_H_

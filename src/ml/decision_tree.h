@@ -1,0 +1,99 @@
+#ifndef AUTOFP_ML_DECISION_TREE_H_
+#define AUTOFP_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// Shared CART growth limits.
+struct TreeConfig {
+  int max_depth = -1;             ///< -1 = unlimited.
+  size_t min_samples_split = 2;
+  size_t min_samples_leaf = 1;
+  /// If > 0, consider only this many randomly chosen features per split
+  /// (random-forest mode). Requires an Rng at train time.
+  int max_features = -1;
+};
+
+/// Binary CART decision tree, gini impurity. Used by the Table 1
+/// meta-rule experiment, the landmarking meta-features and tests.
+class DecisionTreeClassifier : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(const TreeConfig& config)
+      : config_(config) {}
+  DecisionTreeClassifier() : DecisionTreeClassifier(TreeConfig{}) {}
+
+  void Train(const Matrix& features, const std::vector<int>& labels,
+             int num_classes) override;
+
+  /// Random-forest variant: trains on the given row subset considering
+  /// `config.max_features` random features per split.
+  void TrainOnRows(const Matrix& features, const std::vector<int>& labels,
+                   int num_classes, const std::vector<size_t>& rows,
+                   Rng* rng);
+
+  int Predict(const double* row, size_t cols) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<DecisionTreeClassifier>(config_);
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  int depth() const;
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves.
+    double threshold = 0.0;  ///< go left if value <= threshold.
+    int left = -1;
+    int right = -1;
+    int label = 0;           ///< majority class (leaves).
+  };
+
+  int Build(const Matrix& features, const std::vector<int>& labels,
+            int num_classes, std::vector<size_t>* rows, int depth, Rng* rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+/// CART regression tree (variance reduction). The base learner of the
+/// random-forest surrogate used by SMAC.
+class DecisionTreeRegressor {
+ public:
+  explicit DecisionTreeRegressor(const TreeConfig& config)
+      : config_(config) {}
+  DecisionTreeRegressor() : DecisionTreeRegressor(TreeConfig{}) {}
+
+  void Train(const Matrix& features, const std::vector<double>& targets);
+
+  /// Random-forest variant (row subset + per-split feature subsampling).
+  void TrainOnRows(const Matrix& features, const std::vector<double>& targets,
+                   const std::vector<size_t>& rows, Rng* rng);
+
+  double Predict(const double* row, size_t cols) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    double value = 0.0;  ///< mean target (leaves).
+  };
+
+  int Build(const Matrix& features, const std::vector<double>& targets,
+            std::vector<size_t>* rows, int depth, Rng* rng);
+
+  TreeConfig config_;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_DECISION_TREE_H_

@@ -1,0 +1,240 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace autofp {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+double GbdtClassifier::Tree::Predict(const double* row) const {
+  int index = 0;
+  while (nodes[index].feature >= 0) {
+    index = row[nodes[index].feature] <= nodes[index].threshold
+                ? nodes[index].left
+                : nodes[index].right;
+  }
+  return nodes[index].weight;
+}
+
+GbdtClassifier::Tree GbdtClassifier::BuildTree(
+    const Matrix& features, const std::vector<std::vector<uint16_t>>& binned,
+    const std::vector<double>& grad, const std::vector<double>& hess) {
+  Tree tree;
+  const double lambda = config_.xgb_lambda;
+  const double eta = config_.xgb_eta;
+  const size_t num_features = binned.size();
+
+  struct WorkItem {
+    std::vector<size_t> rows;
+    int depth;
+    int node_index;
+  };
+
+  auto leaf_weight = [&](double g, double h) {
+    return -eta * g / (h + lambda);
+  };
+
+  // Root.
+  std::vector<size_t> all_rows(grad.size());
+  std::iota(all_rows.begin(), all_rows.end(), size_t{0});
+  tree.nodes.emplace_back();
+  std::vector<WorkItem> stack;
+  stack.push_back({std::move(all_rows), 0, 0});
+
+  while (!stack.empty()) {
+    WorkItem item = std::move(stack.back());
+    stack.pop_back();
+    double g_total = 0.0, h_total = 0.0;
+    for (size_t row : item.rows) {
+      g_total += grad[row];
+      h_total += hess[row];
+    }
+    TreeNode& node = tree.nodes[item.node_index];
+    node.weight = leaf_weight(g_total, h_total);
+    if (item.depth >= config_.xgb_max_depth || item.rows.size() < 2) continue;
+
+    // Best histogram split across features.
+    double best_gain = 1e-10;
+    int best_feature = -1;
+    int best_bin = -1;
+    const double parent_score = g_total * g_total / (h_total + lambda);
+    for (size_t f = 0; f < num_features; ++f) {
+      const size_t num_bins = bins_[f].size() + 1;
+      if (num_bins < 2) continue;
+      std::vector<double> g_hist(num_bins, 0.0), h_hist(num_bins, 0.0);
+      const std::vector<uint16_t>& feature_bins = binned[f];
+      for (size_t row : item.rows) {
+        g_hist[feature_bins[row]] += grad[row];
+        h_hist[feature_bins[row]] += hess[row];
+      }
+      double g_left = 0.0, h_left = 0.0;
+      for (size_t b = 0; b + 1 < num_bins; ++b) {
+        g_left += g_hist[b];
+        h_left += h_hist[b];
+        double h_right = h_total - h_left;
+        if (h_left < config_.xgb_min_child_weight ||
+            h_right < config_.xgb_min_child_weight) {
+          continue;
+        }
+        double g_right = g_total - g_left;
+        double gain = g_left * g_left / (h_left + lambda) +
+                      g_right * g_right / (h_right + lambda) - parent_score;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_feature = static_cast<int>(f);
+          best_bin = static_cast<int>(b);
+        }
+      }
+    }
+    if (best_feature < 0) continue;
+
+    node.feature = best_feature;
+    node.threshold = bins_[best_feature][best_bin];
+    std::vector<size_t> left_rows, right_rows;
+    const std::vector<uint16_t>& feature_bins = binned[best_feature];
+    for (size_t row : item.rows) {
+      if (feature_bins[row] <= static_cast<uint16_t>(best_bin)) {
+        left_rows.push_back(row);
+      } else {
+        right_rows.push_back(row);
+      }
+    }
+    item.rows.clear();
+    item.rows.shrink_to_fit();
+    tree.nodes.emplace_back();
+    int left_index = static_cast<int>(tree.nodes.size() - 1);
+    tree.nodes.emplace_back();
+    int right_index = static_cast<int>(tree.nodes.size() - 1);
+    tree.nodes[item.node_index].left = left_index;
+    tree.nodes[item.node_index].right = right_index;
+    stack.push_back({std::move(left_rows), item.depth + 1, left_index});
+    stack.push_back({std::move(right_rows), item.depth + 1, right_index});
+  }
+  (void)features;
+  return tree;
+}
+
+void GbdtClassifier::Train(const Matrix& features,
+                           const std::vector<int>& labels, int num_classes) {
+  AUTOFP_CHECK_EQ(features.rows(), labels.size());
+  AUTOFP_CHECK_GE(num_classes, 2);
+  num_classes_ = num_classes;
+  num_outputs_ = num_classes == 2 ? 1 : num_classes;
+  num_features_ = features.cols();
+  trees_.clear();
+  const size_t n = features.rows();
+
+  // Quantile histogram bins per feature (computed once on training data).
+  bins_.assign(num_features_, {});
+  std::vector<std::vector<uint16_t>> binned(
+      num_features_, std::vector<uint16_t>(n, 0));
+  const int max_bins = std::max(config_.xgb_max_bins, 2);
+  for (size_t f = 0; f < num_features_; ++f) {
+    std::vector<double> column = features.Column(f);
+    std::vector<double> sorted = column;
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    std::vector<double>& edges = bins_[f];
+    if (static_cast<int>(sorted.size()) <= max_bins) {
+      // One bin per distinct value; edge = value (left-inclusive).
+      edges.assign(sorted.begin(), sorted.end() - (sorted.empty() ? 0 : 1));
+    } else {
+      for (int b = 1; b < max_bins; ++b) {
+        size_t pos = sorted.size() * static_cast<size_t>(b) /
+                     static_cast<size_t>(max_bins);
+        edges.push_back(sorted[pos]);
+      }
+      edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    }
+    for (size_t r = 0; r < n; ++r) {
+      // bin index = count of edges strictly below the value, so that
+      // "bin <= b" at training time is exactly "value <= edges[b]" — the
+      // predicate Tree::Predict applies to raw feature values.
+      binned[f][r] = static_cast<uint16_t>(
+          std::lower_bound(edges.begin(), edges.end(), column[r]) -
+          edges.begin());
+    }
+  }
+
+  std::vector<double> scores(n * num_outputs_, 0.0);
+  std::vector<double> grad(n), hess(n);
+  for (int round = 0; round < config_.xgb_rounds; ++round) {
+    if (num_outputs_ == 1) {
+      for (size_t i = 0; i < n; ++i) {
+        double p = Sigmoid(scores[i]);
+        grad[i] = p - (labels[i] == 1 ? 1.0 : 0.0);
+        hess[i] = std::max(p * (1.0 - p), 1e-6);
+      }
+      Tree tree = BuildTree(features, binned, grad, hess);
+      for (size_t i = 0; i < n; ++i) {
+        // Tree routing on binned data must match value routing; use the
+        // original features for consistency with prediction time.
+        scores[i] += tree.Predict(features.RowPtr(i));
+      }
+      trees_.push_back(std::move(tree));
+    } else {
+      // Softmax probabilities for this round.
+      std::vector<double> probs(n * num_outputs_);
+      for (size_t i = 0; i < n; ++i) {
+        const double* s = scores.data() + i * num_outputs_;
+        double max_score = *std::max_element(s, s + num_outputs_);
+        double denom = 0.0;
+        for (int k = 0; k < num_outputs_; ++k) {
+          probs[i * num_outputs_ + k] =
+              std::exp(std::clamp(s[k] - max_score, -500.0, 0.0));
+          denom += probs[i * num_outputs_ + k];
+        }
+        for (int k = 0; k < num_outputs_; ++k) {
+          probs[i * num_outputs_ + k] /= denom;
+        }
+      }
+      for (int k = 0; k < num_outputs_; ++k) {
+        for (size_t i = 0; i < n; ++i) {
+          double p = probs[i * num_outputs_ + k];
+          grad[i] = p - (labels[i] == k ? 1.0 : 0.0);
+          hess[i] = std::max(p * (1.0 - p), 1e-6);
+        }
+        Tree tree = BuildTree(features, binned, grad, hess);
+        for (size_t i = 0; i < n; ++i) {
+          scores[i * num_outputs_ + k] += tree.Predict(features.RowPtr(i));
+        }
+        trees_.push_back(std::move(tree));
+      }
+    }
+  }
+}
+
+std::vector<double> GbdtClassifier::RawScores(const double* row,
+                                              size_t cols) const {
+  AUTOFP_CHECK_EQ(cols, num_features_);
+  std::vector<double> scores(num_outputs_, 0.0);
+  for (size_t t = 0; t < trees_.size(); ++t) {
+    scores[t % num_outputs_] += trees_[t].Predict(row);
+  }
+  return scores;
+}
+
+int GbdtClassifier::Predict(const double* row, size_t cols) const {
+  AUTOFP_CHECK(!trees_.empty()) << "Predict before Train";
+  std::vector<double> scores = RawScores(row, cols);
+  if (num_outputs_ == 1) return scores[0] > 0.0 ? 1 : 0;
+  return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
+                          scores.begin());
+}
+
+std::vector<int> GbdtClassifier::PredictBatch(const Matrix& features) const {
+  std::vector<int> predictions(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    predictions[r] = Predict(features.RowPtr(r), features.cols());
+  }
+  return predictions;
+}
+
+}  // namespace autofp

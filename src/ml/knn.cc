@@ -1,0 +1,46 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+
+namespace autofp {
+
+void KnnClassifier::Train(const Matrix& features,
+                          const std::vector<int>& labels, int num_classes) {
+  AUTOFP_CHECK_EQ(features.rows(), labels.size());
+  AUTOFP_CHECK_GT(features.rows(), 0u);
+  train_features_ = features;
+  train_labels_ = labels;
+  num_classes_ = num_classes;
+}
+
+int KnnClassifier::Predict(const double* row, size_t cols) const {
+  AUTOFP_CHECK(!train_labels_.empty()) << "Predict before Train";
+  AUTOFP_CHECK_EQ(cols, train_features_.cols());
+  const size_t n = train_features_.rows();
+  const size_t k = std::min<size_t>(static_cast<size_t>(k_), n);
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, int>> distances(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* train_row = train_features_.RowPtr(i);
+    double dist = 0.0;
+    for (size_t c = 0; c < cols; ++c) {
+      double d = row[c] - train_row[c];
+      dist += d * d;
+    }
+    distances[i] = {dist, train_labels_[i]};
+  }
+  std::partial_sort(distances.begin(), distances.begin() + k,
+                    distances.end());
+  std::vector<int> votes(num_classes_, 0);
+  for (size_t i = 0; i < k; ++i) votes[distances[i].second] += 1;
+  // Majority vote; ties broken by the nearest neighbour among tied classes.
+  int best_votes = *std::max_element(votes.begin(), votes.end());
+  for (size_t i = 0; i < k; ++i) {
+    if (votes[distances[i].second] == best_votes) {
+      return distances[i].second;
+    }
+  }
+  return distances[0].second;
+}
+
+}  // namespace autofp

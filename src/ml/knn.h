@@ -1,0 +1,35 @@
+#ifndef AUTOFP_ML_KNN_H_
+#define AUTOFP_ML_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace autofp {
+
+/// Brute-force k-nearest-neighbours classifier (Euclidean distance,
+/// majority vote with nearest-first tie-break). Used by the Landmark1NN
+/// meta-feature and available for experimentation.
+class KnnClassifier : public Classifier {
+ public:
+  explicit KnnClassifier(int k) : k_(k) { AUTOFP_CHECK_GE(k, 1); }
+  KnnClassifier() : KnnClassifier(1) {}
+
+  void Train(const Matrix& features, const std::vector<int>& labels,
+             int num_classes) override;
+  int Predict(const double* row, size_t cols) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<KnnClassifier>(k_);
+  }
+
+ private:
+  int k_;
+  int num_classes_ = 0;
+  Matrix train_features_;
+  std::vector<int> train_labels_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_KNN_H_

@@ -1,0 +1,142 @@
+#include "ml/lda.h"
+
+#include <cmath>
+#include <vector>
+
+namespace autofp {
+
+namespace {
+
+/// In-place Cholesky factorization of a symmetric positive-definite matrix
+/// (lower triangle). Returns false if a non-positive pivot appears.
+bool Cholesky(std::vector<double>* a, size_t d) {
+  std::vector<double>& m = *a;
+  for (size_t j = 0; j < d; ++j) {
+    double diag = m[j * d + j];
+    for (size_t k = 0; k < j; ++k) diag -= m[j * d + k] * m[j * d + k];
+    if (diag <= 0.0) return false;
+    diag = std::sqrt(diag);
+    m[j * d + j] = diag;
+    for (size_t i = j + 1; i < d; ++i) {
+      double sum = m[i * d + j];
+      for (size_t k = 0; k < j; ++k) sum -= m[i * d + k] * m[j * d + k];
+      m[i * d + j] = sum / diag;
+    }
+  }
+  return true;
+}
+
+/// Solves L L^T x = b given the Cholesky factor L (lower triangle of `l`).
+std::vector<double> CholeskySolve(const std::vector<double>& l, size_t d,
+                                  const std::vector<double>& b) {
+  std::vector<double> y(d);
+  for (size_t i = 0; i < d; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l[i * d + k] * y[k];
+    y[i] = sum / l[i * d + i];
+  }
+  std::vector<double> x(d);
+  for (size_t i = d; i-- > 0;) {
+    double sum = y[i];
+    for (size_t k = i + 1; k < d; ++k) sum -= l[k * d + i] * x[k];
+    x[i] = sum / l[i * d + i];
+  }
+  return x;
+}
+
+}  // namespace
+
+void LdaClassifier::Train(const Matrix& features,
+                          const std::vector<int>& labels, int num_classes) {
+  AUTOFP_CHECK_EQ(features.rows(), labels.size());
+  AUTOFP_CHECK_GT(features.rows(), 0u);
+  num_classes_ = num_classes;
+  num_features_ = features.cols();
+  const size_t d = num_features_;
+  const size_t n = features.rows();
+
+  std::vector<double> counts(num_classes, 0.0);
+  std::vector<double> means(static_cast<size_t>(num_classes) * d, 0.0);
+  for (size_t r = 0; r < n; ++r) {
+    counts[labels[r]] += 1.0;
+    const double* row = features.RowPtr(r);
+    double* mean = means.data() + static_cast<size_t>(labels[r]) * d;
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    double* mean = means.data() + static_cast<size_t>(k) * d;
+    if (counts[k] > 0.0) {
+      for (size_t j = 0; j < d; ++j) mean[j] /= counts[k];
+    }
+  }
+
+  // Pooled within-class covariance.
+  std::vector<double> cov(d * d, 0.0);
+  std::vector<double> centered(d);
+  for (size_t r = 0; r < n; ++r) {
+    const double* row = features.RowPtr(r);
+    const double* mean = means.data() + static_cast<size_t>(labels[r]) * d;
+    for (size_t j = 0; j < d; ++j) centered[j] = row[j] - mean[j];
+    for (size_t i = 0; i < d; ++i) {
+      if (centered[i] == 0.0) continue;
+      double ci = centered[i];
+      double* cov_row = cov.data() + i * d;
+      for (size_t j = 0; j <= i; ++j) cov_row[j] += ci * centered[j];
+    }
+  }
+  double trace = 0.0;
+  for (size_t i = 0; i < d; ++i) trace += cov[i * d + i];
+  double mean_variance = trace / (static_cast<double>(n) *
+                                  std::max<double>(1.0, static_cast<double>(d)));
+  double shrink = ridge_ * std::max(mean_variance, 1e-12) *
+                  static_cast<double>(n);
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < i; ++j) cov[j * d + i] = cov[i * d + j];
+    cov[i * d + i] += shrink + 1e-10;
+  }
+
+  // Factor once; increase ridge until positive definite.
+  std::vector<double> factor = cov;
+  double extra = shrink > 0.0 ? shrink : 1e-8;
+  while (!Cholesky(&factor, d)) {
+    factor = cov;
+    for (size_t i = 0; i < d; ++i) factor[i * d + i] += extra;
+    extra *= 10.0;
+  }
+
+  weights_.assign(static_cast<size_t>(num_classes) * d, 0.0);
+  biases_.assign(num_classes, -1e18);
+  for (int k = 0; k < num_classes; ++k) {
+    if (counts[k] <= 0.0) continue;
+    std::vector<double> mu(means.begin() + static_cast<size_t>(k) * d,
+                           means.begin() + static_cast<size_t>(k + 1) * d);
+    // Scale covariance back to per-sample units for the discriminant.
+    std::vector<double> rhs(d);
+    for (size_t j = 0; j < d; ++j) rhs[j] = mu[j] * static_cast<double>(n);
+    std::vector<double> w = CholeskySolve(factor, d, rhs);
+    double quad = 0.0;
+    for (size_t j = 0; j < d; ++j) quad += w[j] * mu[j];
+    double* weight = weights_.data() + static_cast<size_t>(k) * d;
+    for (size_t j = 0; j < d; ++j) weight[j] = w[j];
+    biases_[k] = -0.5 * quad + std::log(counts[k] / static_cast<double>(n));
+  }
+}
+
+int LdaClassifier::Predict(const double* row, size_t cols) const {
+  AUTOFP_CHECK_GT(num_classes_, 0) << "Predict before Train";
+  AUTOFP_CHECK_EQ(cols, num_features_);
+  double best_score = -1e300;
+  int best_class = 0;
+  for (int k = 0; k < num_classes_; ++k) {
+    const double* weight = weights_.data() + static_cast<size_t>(k) * cols;
+    double score = biases_[k];
+    for (size_t j = 0; j < cols; ++j) score += weight[j] * row[j];
+    if (score > best_score) {
+      best_score = score;
+      best_class = k;
+    }
+  }
+  return best_class;
+}
+
+}  // namespace autofp

@@ -1,0 +1,38 @@
+#ifndef AUTOFP_ML_LDA_H_
+#define AUTOFP_ML_LDA_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace autofp {
+
+/// Linear discriminant analysis with a ridge-regularized pooled covariance
+/// solved by Cholesky factorization. Used by the LandmarkLDA meta-feature.
+class LdaClassifier : public Classifier {
+ public:
+  explicit LdaClassifier(double ridge) : ridge_(ridge) {
+    AUTOFP_CHECK_GE(ridge, 0.0);
+  }
+  LdaClassifier() : LdaClassifier(1e-4) {}
+
+  void Train(const Matrix& features, const std::vector<int>& labels,
+             int num_classes) override;
+  int Predict(const double* row, size_t cols) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<LdaClassifier>(ridge_);
+  }
+
+ private:
+  double ridge_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  /// Discriminant k scores x via w_k . x + b_k.
+  std::vector<double> weights_;  ///< class-major [k * d + j].
+  std::vector<double> biases_;   ///< per class.
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_LDA_H_

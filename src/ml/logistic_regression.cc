@@ -1,0 +1,86 @@
+#include "ml/logistic_regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+void LogisticRegression::Train(const Matrix& features,
+                               const std::vector<int>& labels,
+                               int num_classes) {
+  AUTOFP_CHECK_EQ(features.rows(), labels.size());
+  AUTOFP_CHECK_GE(num_classes, 2);
+  num_classes_ = num_classes;
+  num_features_ = features.cols();
+  const size_t d = num_features_;
+  const size_t n = features.rows();
+  const size_t stride = d + 1;
+  Param params;
+  params.Resize(static_cast<size_t>(num_classes) * stride);
+
+  AdamConfig adam;
+  adam.learning_rate = config_.lr_step;
+  std::vector<double> logits(num_classes);
+  std::vector<double> probs(num_classes);
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (int epoch = 0; epoch < config_.lr_epochs; ++epoch) {
+    params.ZeroGrad();
+    for (size_t r = 0; r < n; ++r) {
+      const double* row = features.RowPtr(r);
+      double max_logit = -1e300;
+      for (int k = 0; k < num_classes; ++k) {
+        const double* w = params.value.data() + k * stride;
+        double sum = w[d];
+        for (size_t j = 0; j < d; ++j) sum += w[j] * row[j];
+        logits[k] = sum;
+        if (sum > max_logit) max_logit = sum;
+      }
+      double denom = 0.0;
+      for (int k = 0; k < num_classes; ++k) {
+        probs[k] = std::exp(std::clamp(logits[k] - max_logit, -500.0, 0.0));
+        denom += probs[k];
+      }
+      for (int k = 0; k < num_classes; ++k) {
+        double residual = probs[k] / denom - (labels[r] == k ? 1.0 : 0.0);
+        residual *= inv_n;
+        if (residual == 0.0) continue;
+        double* g = params.grad.data() + k * stride;
+        for (size_t j = 0; j < d; ++j) g[j] += residual * row[j];
+        g[d] += residual;
+      }
+    }
+    // L2 regularization on weights (not intercepts).
+    if (config_.lr_l2 > 0.0) {
+      for (int k = 0; k < num_classes; ++k) {
+        double* g = params.grad.data() + k * stride;
+        const double* w = params.value.data() + k * stride;
+        for (size_t j = 0; j < d; ++j) g[j] += config_.lr_l2 * w[j];
+      }
+    }
+    params.AdamStep(adam, epoch + 1);
+  }
+  weights_ = std::move(params.value);
+}
+
+std::vector<double> LogisticRegression::DecisionFunction(const double* row,
+                                                         size_t cols) const {
+  AUTOFP_CHECK_EQ(cols, num_features_);
+  AUTOFP_CHECK_GT(num_classes_, 0) << "Predict before Train";
+  const size_t stride = num_features_ + 1;
+  std::vector<double> scores(num_classes_);
+  for (int k = 0; k < num_classes_; ++k) {
+    const double* w = weights_.data() + k * stride;
+    double sum = w[num_features_];
+    for (size_t j = 0; j < num_features_; ++j) sum += w[j] * row[j];
+    scores[k] = sum;
+  }
+  return scores;
+}
+
+int LogisticRegression::Predict(const double* row, size_t cols) const {
+  std::vector<double> scores = DecisionFunction(row, cols);
+  return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
+                          scores.begin());
+}
+
+}  // namespace autofp

@@ -1,0 +1,43 @@
+#ifndef AUTOFP_ML_LOGISTIC_REGRESSION_H_
+#define AUTOFP_ML_LOGISTIC_REGRESSION_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+#include "nn/param.h"
+
+namespace autofp {
+
+/// Multinomial (softmax) logistic regression with L2 regularization,
+/// trained by full-batch Adam. Like scikit-learn's LogisticRegression it is
+/// a linear model and therefore sensitive to feature scale — the property
+/// the paper's feature-preprocessing study turns on.
+class LogisticRegression : public Classifier {
+ public:
+  explicit LogisticRegression(const ModelConfig& config) : config_(config) {
+    AUTOFP_CHECK(config.kind == ModelKind::kLogisticRegression);
+  }
+
+  void Train(const Matrix& features, const std::vector<int>& labels,
+             int num_classes) override;
+  int Predict(const double* row, size_t cols) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<LogisticRegression>(config_);
+  }
+
+  /// Per-class decision scores for one row (exposed for tests).
+  std::vector<double> DecisionFunction(const double* row, size_t cols) const;
+
+ private:
+  ModelConfig config_;
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  /// weights_[k * (d+1) + j]: weight of feature j for class k; index d is
+  /// the intercept.
+  std::vector<double> weights_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_LOGISTIC_REGRESSION_H_

@@ -1,0 +1,23 @@
+#include "ml/metrics.h"
+
+#include "util/logging.h"
+
+namespace autofp {
+
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels) {
+  AUTOFP_CHECK_EQ(predictions.size(), labels.size());
+  if (labels.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predictions[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+double EvaluateAccuracy(const Classifier& model, const Matrix& features,
+                        const std::vector<int>& labels) {
+  return Accuracy(model.PredictBatch(features), labels);
+}
+
+}  // namespace autofp

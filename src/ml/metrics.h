@@ -1,0 +1,21 @@
+#ifndef AUTOFP_ML_METRICS_H_
+#define AUTOFP_ML_METRICS_H_
+
+#include <vector>
+
+#include "ml/model.h"
+#include "util/matrix.h"
+
+namespace autofp {
+
+/// Fraction of matching predictions; 0 for empty input.
+double Accuracy(const std::vector<int>& predictions,
+                const std::vector<int>& labels);
+
+/// Predicts with `model` and scores against `labels`.
+double EvaluateAccuracy(const Classifier& model, const Matrix& features,
+                        const std::vector<int>& labels);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_METRICS_H_

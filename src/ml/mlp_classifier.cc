@@ -1,0 +1,77 @@
+#include "ml/mlp_classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace autofp {
+
+void MlpClassifier::Train(const Matrix& features,
+                          const std::vector<int>& labels, int num_classes) {
+  AUTOFP_CHECK_EQ(features.rows(), labels.size());
+  AUTOFP_CHECK_GE(num_classes, 2);
+  num_classes_ = num_classes;
+  Rng rng(config_.seed);
+
+  MlpNetConfig net_config;
+  net_config.input_dim = features.cols();
+  net_config.hidden_dims = {static_cast<size_t>(config_.mlp_hidden)};
+  net_config.output_dim = static_cast<size_t>(num_classes);
+  net_.emplace(net_config, &rng);
+
+  AdamConfig adam;
+  adam.learning_rate = config_.mlp_step;
+  const size_t n = features.rows();
+  const size_t batch_size =
+      std::min<size_t>(static_cast<size_t>(config_.mlp_batch), n);
+  for (int epoch = 0; epoch < config_.mlp_epochs; ++epoch) {
+    std::vector<size_t> order = rng.Permutation(n);
+    for (size_t start = 0; start < n; start += batch_size) {
+      size_t end = std::min(start + batch_size, n);
+      std::vector<size_t> batch(order.begin() + start, order.begin() + end);
+      Matrix inputs = features.SelectRows(batch);
+      Matrix logits = net_->Forward(inputs);
+      // Softmax cross-entropy gradient: probs - onehot, averaged over batch.
+      Matrix grad(logits.rows(), logits.cols());
+      const double inv_batch = 1.0 / static_cast<double>(batch.size());
+      for (size_t r = 0; r < logits.rows(); ++r) {
+        const double* z = logits.RowPtr(r);
+        double* g = grad.RowPtr(r);
+        double max_logit = *std::max_element(z, z + num_classes);
+        double denom = 0.0;
+        for (int k = 0; k < num_classes; ++k) {
+          g[k] = std::exp(std::clamp(z[k] - max_logit, -500.0, 0.0));
+          denom += g[k];
+        }
+        int label = labels[batch[r]];
+        for (int k = 0; k < num_classes; ++k) {
+          g[k] = (g[k] / denom - (k == label ? 1.0 : 0.0)) * inv_batch;
+        }
+      }
+      net_->ZeroGrads();
+      net_->Backward(grad);
+      net_->Step(adam);
+    }
+  }
+}
+
+std::vector<int> MlpClassifier::PredictBatch(const Matrix& features) const {
+  AUTOFP_CHECK(net_.has_value()) << "Predict before Train";
+  Matrix logits = net_->Infer(features);
+  std::vector<int> predictions(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const double* z = logits.RowPtr(r);
+    predictions[r] = static_cast<int>(
+        std::max_element(z, z + num_classes_) - z);
+  }
+  return predictions;
+}
+
+int MlpClassifier::Predict(const double* row, size_t cols) const {
+  Matrix single(1, cols);
+  for (size_t c = 0; c < cols; ++c) single(0, c) = row[c];
+  return PredictBatch(single)[0];
+}
+
+}  // namespace autofp

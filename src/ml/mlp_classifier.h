@@ -1,0 +1,39 @@
+#ifndef AUTOFP_ML_MLP_CLASSIFIER_H_
+#define AUTOFP_ML_MLP_CLASSIFIER_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "ml/model.h"
+#include "nn/mlp_net.h"
+
+namespace autofp {
+
+/// One-hidden-layer ReLU network trained with minibatch Adam on softmax
+/// cross-entropy — the analogue of scikit-learn's MLPClassifier with
+/// default-ish settings. Like the real thing, it is highly sensitive to
+/// feature scaling (unscaled features saturate/blow up early training).
+class MlpClassifier : public Classifier {
+ public:
+  explicit MlpClassifier(const ModelConfig& config) : config_(config) {
+    AUTOFP_CHECK(config.kind == ModelKind::kMlp);
+  }
+
+  void Train(const Matrix& features, const std::vector<int>& labels,
+             int num_classes) override;
+  int Predict(const double* row, size_t cols) const override;
+  std::vector<int> PredictBatch(const Matrix& features) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<MlpClassifier>(config_);
+  }
+
+ private:
+  ModelConfig config_;
+  int num_classes_ = 0;
+  std::optional<MlpNet> net_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_MLP_CLASSIFIER_H_

@@ -1,0 +1,65 @@
+#include "ml/model.h"
+
+#include <sstream>
+
+#include "ml/gbdt.h"
+#include "ml/logistic_regression.h"
+#include "ml/mlp_classifier.h"
+#include "util/logging.h"
+
+namespace autofp {
+
+std::string ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      return "LR";
+    case ModelKind::kXgboost:
+      return "XGB";
+    case ModelKind::kMlp:
+      return "MLP";
+  }
+  return "?";
+}
+
+std::string ModelConfig::ToString() const {
+  std::ostringstream out;
+  out << ModelKindName(kind);
+  switch (kind) {
+    case ModelKind::kLogisticRegression:
+      out << "(l2=" << lr_l2 << ", epochs=" << lr_epochs
+          << ", step=" << lr_step << ")";
+      break;
+    case ModelKind::kXgboost:
+      out << "(rounds=" << xgb_rounds << ", depth=" << xgb_max_depth
+          << ", eta=" << xgb_eta << ")";
+      break;
+    case ModelKind::kMlp:
+      out << "(hidden=" << mlp_hidden << ", epochs=" << mlp_epochs
+          << ", step=" << mlp_step << ")";
+      break;
+  }
+  return out.str();
+}
+
+std::vector<int> Classifier::PredictBatch(const Matrix& features) const {
+  std::vector<int> predictions(features.rows());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    predictions[r] = Predict(features.RowPtr(r), features.cols());
+  }
+  return predictions;
+}
+
+std::unique_ptr<Classifier> MakeClassifier(const ModelConfig& config) {
+  switch (config.kind) {
+    case ModelKind::kLogisticRegression:
+      return std::make_unique<LogisticRegression>(config);
+    case ModelKind::kXgboost:
+      return std::make_unique<GbdtClassifier>(config);
+    case ModelKind::kMlp:
+      return std::make_unique<MlpClassifier>(config);
+  }
+  AUTOFP_CHECK(false) << "unknown model kind";
+  return nullptr;
+}
+
+}  // namespace autofp

@@ -1,0 +1,85 @@
+#ifndef AUTOFP_ML_MODEL_H_
+#define AUTOFP_ML_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace autofp {
+
+/// The three downstream model families the paper evaluates (Section 5.1).
+enum class ModelKind : int {
+  kLogisticRegression = 0,
+  kXgboost = 1,  ///< gradient-boosted trees, XGBoost-style.
+  kMlp = 2,
+};
+
+/// Human-readable short name ("LR", "XGB", "MLP").
+std::string ModelKindName(ModelKind kind);
+
+/// Hyperparameters for every model family. Only the fields of the selected
+/// `kind` are read. Defaults approximate the scikit-learn / XGBoost defaults
+/// the paper uses, scaled to this library's training loops. These fields
+/// are also the search space of the HPO comparison in Section 7.
+struct ModelConfig {
+  ModelKind kind = ModelKind::kLogisticRegression;
+
+  // Logistic regression.
+  double lr_l2 = 1e-4;    ///< L2 penalty strength (1/C-style).
+  int lr_epochs = 60;     ///< full-batch Adam epochs.
+  double lr_step = 0.1;   ///< Adam learning rate.
+
+  // Gradient-boosted trees.
+  int xgb_rounds = 30;
+  int xgb_max_depth = 4;
+  double xgb_eta = 0.3;
+  double xgb_lambda = 1.0;     ///< L2 on leaf weights.
+  int xgb_max_bins = 32;
+  double xgb_min_child_weight = 1.0;
+
+  // MLP.
+  int mlp_hidden = 32;
+  int mlp_epochs = 30;
+  double mlp_step = 1e-3;  ///< Adam learning rate.
+  int mlp_batch = 64;
+
+  /// Deterministic training seed (models with stochastic init/shuffling).
+  uint64_t seed = 7;
+
+  static ModelConfig Defaults(ModelKind kind) {
+    ModelConfig config;
+    config.kind = kind;
+    return config;
+  }
+
+  std::string ToString() const;
+};
+
+/// A trainable multi-class classifier over dense features.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains from scratch on (features, labels) with labels in
+  /// [0, num_classes). Retraining discards previous state.
+  virtual void Train(const Matrix& features, const std::vector<int>& labels,
+                     int num_classes) = 0;
+
+  /// Predicts the class of a single row (length = training columns).
+  virtual int Predict(const double* row, size_t cols) const = 0;
+
+  /// Batch prediction (default loops over Predict).
+  virtual std::vector<int> PredictBatch(const Matrix& features) const;
+
+  /// Fresh untrained instance with identical hyperparameters.
+  virtual std::unique_ptr<Classifier> Clone() const = 0;
+};
+
+/// Instantiates the classifier described by `config`.
+std::unique_ptr<Classifier> MakeClassifier(const ModelConfig& config);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_MODEL_H_

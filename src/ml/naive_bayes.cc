@@ -1,0 +1,83 @@
+#include "ml/naive_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+void GaussianNaiveBayes::Train(const Matrix& features,
+                               const std::vector<int>& labels,
+                               int num_classes) {
+  AUTOFP_CHECK_EQ(features.rows(), labels.size());
+  AUTOFP_CHECK_GT(features.rows(), 0u);
+  num_classes_ = num_classes;
+  num_features_ = features.cols();
+  const size_t d = num_features_;
+  std::vector<double> counts(num_classes, 0.0);
+  means_.assign(static_cast<size_t>(num_classes) * d, 0.0);
+  variances_.assign(static_cast<size_t>(num_classes) * d, 0.0);
+  for (size_t r = 0; r < features.rows(); ++r) {
+    int k = labels[r];
+    counts[k] += 1.0;
+    const double* row = features.RowPtr(r);
+    double* mean = means_.data() + static_cast<size_t>(k) * d;
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    double* mean = means_.data() + static_cast<size_t>(k) * d;
+    if (counts[k] > 0.0) {
+      for (size_t j = 0; j < d; ++j) mean[j] /= counts[k];
+    }
+  }
+  double max_variance = 0.0;
+  for (size_t r = 0; r < features.rows(); ++r) {
+    int k = labels[r];
+    const double* row = features.RowPtr(r);
+    const double* mean = means_.data() + static_cast<size_t>(k) * d;
+    double* var = variances_.data() + static_cast<size_t>(k) * d;
+    for (size_t j = 0; j < d; ++j) {
+      double delta = row[j] - mean[j];
+      var[j] += delta * delta;
+    }
+  }
+  for (int k = 0; k < num_classes; ++k) {
+    double* var = variances_.data() + static_cast<size_t>(k) * d;
+    for (size_t j = 0; j < d; ++j) {
+      if (counts[k] > 0.0) var[j] /= counts[k];
+      max_variance = std::max(max_variance, var[j]);
+    }
+  }
+  // Variance smoothing as in scikit-learn (1e-9 * max feature variance).
+  double smoothing = std::max(1e-9 * max_variance, 1e-12);
+  for (double& var : variances_) var += smoothing;
+
+  log_priors_.assign(num_classes, -1e18);
+  const double n = static_cast<double>(features.rows());
+  for (int k = 0; k < num_classes; ++k) {
+    if (counts[k] > 0.0) log_priors_[k] = std::log(counts[k] / n);
+  }
+}
+
+int GaussianNaiveBayes::Predict(const double* row, size_t cols) const {
+  AUTOFP_CHECK_GT(num_classes_, 0) << "Predict before Train";
+  AUTOFP_CHECK_EQ(cols, num_features_);
+  const size_t d = num_features_;
+  double best_score = -1e300;
+  int best_class = 0;
+  for (int k = 0; k < num_classes_; ++k) {
+    const double* mean = means_.data() + static_cast<size_t>(k) * d;
+    const double* var = variances_.data() + static_cast<size_t>(k) * d;
+    double score = log_priors_[k];
+    for (size_t j = 0; j < d; ++j) {
+      double delta = row[j] - mean[j];
+      score -= 0.5 * (std::log(2.0 * M_PI * var[j]) + delta * delta / var[j]);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_class = k;
+    }
+  }
+  return best_class;
+}
+
+}  // namespace autofp

@@ -1,0 +1,34 @@
+#ifndef AUTOFP_ML_NAIVE_BAYES_H_
+#define AUTOFP_ML_NAIVE_BAYES_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/model.h"
+
+namespace autofp {
+
+/// Gaussian naive Bayes: per-class, per-feature Gaussian likelihoods with
+/// variance smoothing. Used by the LandmarkNaiveBayes meta-feature.
+class GaussianNaiveBayes : public Classifier {
+ public:
+  GaussianNaiveBayes() = default;
+
+  void Train(const Matrix& features, const std::vector<int>& labels,
+             int num_classes) override;
+  int Predict(const double* row, size_t cols) const override;
+  std::unique_ptr<Classifier> Clone() const override {
+    return std::make_unique<GaussianNaiveBayes>();
+  }
+
+ private:
+  int num_classes_ = 0;
+  size_t num_features_ = 0;
+  std::vector<double> log_priors_;  ///< per class.
+  std::vector<double> means_;       ///< class-major [k * d + j].
+  std::vector<double> variances_;   ///< class-major [k * d + j].
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_NAIVE_BAYES_H_

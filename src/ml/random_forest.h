@@ -1,0 +1,47 @@
+#ifndef AUTOFP_ML_RANDOM_FOREST_H_
+#define AUTOFP_ML_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "ml/decision_tree.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// Bagged random-forest regressor: bootstrap rows + per-split feature
+/// subsampling. The surrogate model SMAC fits over pipeline encodings
+/// (Section 4.1.2); per-tree predictions expose the ensemble variance the
+/// expected-improvement acquisition needs.
+class RandomForestRegressor {
+ public:
+  struct Config {
+    int num_trees = 20;
+    TreeConfig tree;  ///< tree.max_features <= 0 means ceil(sqrt(d)).
+    uint64_t seed = 13;
+  };
+
+  explicit RandomForestRegressor(const Config& config) : config_(config) {}
+  RandomForestRegressor() : RandomForestRegressor(Config{}) {}
+
+  void Train(const Matrix& features, const std::vector<double>& targets);
+
+  /// Ensemble mean prediction.
+  double Predict(const double* row, size_t cols) const;
+
+  /// Mean and standard deviation across trees (for acquisition functions).
+  struct Prediction {
+    double mean = 0.0;
+    double stddev = 0.0;
+  };
+  Prediction PredictWithUncertainty(const double* row, size_t cols) const;
+
+  bool trained() const { return !trees_.empty(); }
+
+ private:
+  Config config_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_ML_RANDOM_FOREST_H_

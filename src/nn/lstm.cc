@@ -1,0 +1,189 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+namespace autofp {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+}  // namespace
+
+LstmNet::LstmNet(const LstmNetConfig& config, Rng* rng) : config_(config) {
+  AUTOFP_CHECK_GT(config.vocab_size, 0u);
+  AUTOFP_CHECK_GT(config.hidden_dim, 0u);
+  const size_t h = config.hidden_dim;
+  const size_t e = config.embed_dim;
+  embed_.Resize(config.vocab_size * e);
+  embed_.InitGlorot(e, config.vocab_size, rng);
+  w_input_.Resize(4 * h * e);
+  w_input_.InitGlorot(e, 4 * h, rng);
+  w_hidden_.Resize(4 * h * h);
+  w_hidden_.InitGlorot(h, 4 * h, rng);
+  bias_.Resize(4 * h);
+  // Forget-gate bias init to 1 stabilizes early training.
+  for (size_t i = h; i < 2 * h; ++i) bias_.value[i] = 1.0;
+  w_out_.Resize(config.output_dim * h);
+  w_out_.InitGlorot(h, config.output_dim, rng);
+  b_out_.Resize(config.output_dim);
+}
+
+std::vector<std::vector<double>> LstmNet::Forward(
+    const std::vector<int>& tokens) {
+  const size_t h = config_.hidden_dim;
+  const size_t e = config_.embed_dim;
+  caches_.clear();
+  caches_.reserve(tokens.size());
+  std::vector<std::vector<double>> outputs;
+  outputs.reserve(tokens.size());
+  std::vector<double> h_prev(h, 0.0), c_prev(h, 0.0);
+  for (int token : tokens) {
+    AUTOFP_CHECK_GE(token, 0);
+    AUTOFP_CHECK_LT(static_cast<size_t>(token), config_.vocab_size);
+    StepCache cache;
+    cache.x.assign(embed_.value.begin() + token * e,
+                   embed_.value.begin() + (token + 1) * e);
+    // Gate pre-activations: z = W x + U h_prev + b, order [i f g o].
+    std::vector<double> z(4 * h);
+    for (size_t g = 0; g < 4 * h; ++g) {
+      const double* wi = w_input_.value.data() + g * e;
+      const double* wh = w_hidden_.value.data() + g * h;
+      double sum = bias_.value[g];
+      for (size_t i = 0; i < e; ++i) sum += wi[i] * cache.x[i];
+      for (size_t i = 0; i < h; ++i) sum += wh[i] * h_prev[i];
+      z[g] = sum;
+    }
+    cache.gates.resize(4 * h);
+    cache.c.resize(h);
+    cache.tanh_c.resize(h);
+    cache.h.resize(h);
+    for (size_t i = 0; i < h; ++i) {
+      double gi = Sigmoid(z[i]);
+      double gf = Sigmoid(z[h + i]);
+      double gg = std::tanh(z[2 * h + i]);
+      double go = Sigmoid(z[3 * h + i]);
+      cache.gates[i] = gi;
+      cache.gates[h + i] = gf;
+      cache.gates[2 * h + i] = gg;
+      cache.gates[3 * h + i] = go;
+      cache.c[i] = gf * c_prev[i] + gi * gg;
+      cache.tanh_c[i] = std::tanh(cache.c[i]);
+      cache.h[i] = go * cache.tanh_c[i];
+    }
+    std::vector<double> y(config_.output_dim);
+    for (size_t o = 0; o < config_.output_dim; ++o) {
+      const double* w = w_out_.value.data() + o * h;
+      double sum = b_out_.value[o];
+      for (size_t i = 0; i < h; ++i) sum += w[i] * cache.h[i];
+      y[o] = sum;
+    }
+    h_prev = cache.h;
+    c_prev = cache.c;
+    caches_.push_back(std::move(cache));
+    outputs.push_back(std::move(y));
+  }
+  return outputs;
+}
+
+void LstmNet::Backward(const std::vector<int>& tokens,
+                       const std::vector<std::vector<double>>& grad_outputs) {
+  AUTOFP_CHECK_EQ(tokens.size(), caches_.size())
+      << "Backward without matching Forward";
+  AUTOFP_CHECK_EQ(grad_outputs.size(), caches_.size());
+  const size_t h = config_.hidden_dim;
+  const size_t e = config_.embed_dim;
+  std::vector<double> dh_next(h, 0.0), dc_next(h, 0.0);
+  for (size_t t = tokens.size(); t-- > 0;) {
+    const StepCache& cache = caches_[t];
+    std::vector<double> zeros;
+    if (t == 0) zeros.assign(h, 0.0);
+    const std::vector<double>& h_prev = t > 0 ? caches_[t - 1].h : zeros;
+    const std::vector<double>& c_prev = t > 0 ? caches_[t - 1].c : zeros;
+    // Output head.
+    std::vector<double> dh = dh_next;
+    const std::vector<double>& dy = grad_outputs[t];
+    AUTOFP_CHECK_EQ(dy.size(), config_.output_dim);
+    for (size_t o = 0; o < config_.output_dim; ++o) {
+      if (dy[o] == 0.0) continue;
+      double* wg = w_out_.grad.data() + o * h;
+      const double* w = w_out_.value.data() + o * h;
+      for (size_t i = 0; i < h; ++i) {
+        wg[i] += dy[o] * cache.h[i];
+        dh[i] += dy[o] * w[i];
+      }
+      b_out_.grad[o] += dy[o];
+    }
+    // Cell / gate gradients.
+    std::vector<double> dz(4 * h);
+    std::vector<double> dc(h);
+    for (size_t i = 0; i < h; ++i) {
+      double gi = cache.gates[i];
+      double gf = cache.gates[h + i];
+      double gg = cache.gates[2 * h + i];
+      double go = cache.gates[3 * h + i];
+      dc[i] = dh[i] * go * (1.0 - cache.tanh_c[i] * cache.tanh_c[i]) +
+              dc_next[i];
+      double d_go = dh[i] * cache.tanh_c[i];
+      double d_gi = dc[i] * gg;
+      double d_gg = dc[i] * gi;
+      double d_gf = dc[i] * c_prev[i];
+      dz[i] = d_gi * gi * (1.0 - gi);
+      dz[h + i] = d_gf * gf * (1.0 - gf);
+      dz[2 * h + i] = d_gg * (1.0 - gg * gg);
+      dz[3 * h + i] = d_go * go * (1.0 - go);
+    }
+    // Parameter and input gradients.
+    std::vector<double> dx(e, 0.0);
+    std::vector<double> dh_prev(h, 0.0);
+    for (size_t g = 0; g < 4 * h; ++g) {
+      if (dz[g] == 0.0) continue;
+      double* wig = w_input_.grad.data() + g * e;
+      double* whg = w_hidden_.grad.data() + g * h;
+      const double* wi = w_input_.value.data() + g * e;
+      const double* wh = w_hidden_.value.data() + g * h;
+      for (size_t i = 0; i < e; ++i) {
+        wig[i] += dz[g] * cache.x[i];
+        dx[i] += dz[g] * wi[i];
+      }
+      for (size_t i = 0; i < h; ++i) {
+        whg[i] += dz[g] * h_prev[i];
+        dh_prev[i] += dz[g] * wh[i];
+      }
+      bias_.grad[g] += dz[g];
+    }
+    double* eg = embed_.grad.data() + tokens[t] * e;
+    for (size_t i = 0; i < e; ++i) eg[i] += dx[i];
+    // Carry to t-1.
+    dh_next = std::move(dh_prev);
+    for (size_t i = 0; i < h; ++i) {
+      dc_next[i] = dc[i] * cache.gates[h + i];
+    }
+  }
+}
+
+void LstmNet::ZeroGrads() {
+  embed_.ZeroGrad();
+  w_input_.ZeroGrad();
+  w_hidden_.ZeroGrad();
+  bias_.ZeroGrad();
+  w_out_.ZeroGrad();
+  b_out_.ZeroGrad();
+}
+
+void LstmNet::Step(const AdamConfig& adam) {
+  ++adam_step_;
+  embed_.AdamStep(adam, adam_step_);
+  w_input_.AdamStep(adam, adam_step_);
+  w_hidden_.AdamStep(adam, adam_step_);
+  bias_.AdamStep(adam, adam_step_);
+  w_out_.AdamStep(adam, adam_step_);
+  b_out_.AdamStep(adam, adam_step_);
+}
+
+size_t LstmNet::num_parameters() const {
+  return embed_.size() + w_input_.size() + w_hidden_.size() + bias_.size() +
+         w_out_.size() + b_out_.size();
+}
+
+}  // namespace autofp

@@ -1,0 +1,66 @@
+#ifndef AUTOFP_NN_LSTM_H_
+#define AUTOFP_NN_LSTM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/param.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// Architecture of a token-sequence LSTM: token embedding -> single LSTM
+/// layer -> linear head. Losses are applied by the caller (MSE for the
+/// Progressive-NAS surrogate, REINFORCE log-prob for the ENAS controller).
+struct LstmNetConfig {
+  size_t vocab_size = 0;   ///< number of distinct input tokens.
+  size_t embed_dim = 16;
+  size_t hidden_dim = 32;
+  size_t output_dim = 1;
+};
+
+/// Single-layer LSTM over token sequences with manual BPTT and Adam.
+class LstmNet {
+ public:
+  LstmNet(const LstmNetConfig& config, Rng* rng);
+
+  /// Runs the full sequence; returns one output vector (output_dim) per
+  /// timestep. Caches all intermediate state for Backward().
+  std::vector<std::vector<double>> Forward(const std::vector<int>& tokens);
+
+  /// Backpropagates through time given dLoss/dOutput at each step (same
+  /// shape as Forward's return). Accumulates gradients.
+  void Backward(const std::vector<int>& tokens,
+                const std::vector<std::vector<double>>& grad_outputs);
+
+  void ZeroGrads();
+  void Step(const AdamConfig& adam);
+
+  size_t num_parameters() const;
+
+  const LstmNetConfig& config() const { return config_; }
+
+ private:
+  struct StepCache {
+    std::vector<double> x;       ///< embedded input.
+    std::vector<double> gates;   ///< [i f g o] pre-nonlinearity outputs
+                                 ///  stored post-nonlinearity (4H).
+    std::vector<double> c;       ///< cell state after this step.
+    std::vector<double> tanh_c;  ///< tanh(c).
+    std::vector<double> h;       ///< hidden state after this step.
+  };
+
+  LstmNetConfig config_;
+  Param embed_;    ///< vocab x embed_dim.
+  Param w_input_;  ///< 4H x embed_dim.
+  Param w_hidden_; ///< 4H x H.
+  Param bias_;     ///< 4H.
+  Param w_out_;    ///< output_dim x H.
+  Param b_out_;    ///< output_dim.
+  std::vector<StepCache> caches_;
+  long adam_step_ = 0;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_NN_LSTM_H_

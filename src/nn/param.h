@@ -1,0 +1,66 @@
+#ifndef AUTOFP_NN_PARAM_H_
+#define AUTOFP_NN_PARAM_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// Hyperparameters of the Adam optimizer (defaults match Kingma & Ba).
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// A flat parameter array with its gradient and Adam moment estimates.
+/// All neural components in the library (MLP classifier, Progressive-NAS
+/// surrogates, ENAS controller, REINFORCE policy) are built from these.
+struct Param {
+  std::vector<double> value;
+  std::vector<double> grad;
+  std::vector<double> m;  ///< Adam first moment.
+  std::vector<double> v;  ///< Adam second moment.
+
+  void Resize(size_t n) {
+    value.assign(n, 0.0);
+    grad.assign(n, 0.0);
+    m.assign(n, 0.0);
+    v.assign(n, 0.0);
+  }
+
+  size_t size() const { return value.size(); }
+
+  void ZeroGrad() { std::fill(grad.begin(), grad.end(), 0.0); }
+
+  /// Glorot-uniform initialization for a (fan_out x fan_in) weight block.
+  void InitGlorot(size_t fan_in, size_t fan_out, Rng* rng) {
+    double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+    for (double& w : value) w = rng->Uniform(-limit, limit);
+  }
+
+  /// One Adam update using the stored gradient; `step` is the 1-based
+  /// global update counter used for bias correction.
+  void AdamStep(const AdamConfig& config, long step) {
+    AUTOFP_CHECK_GE(step, 1);
+    double bias1 = 1.0 - std::pow(config.beta1, static_cast<double>(step));
+    double bias2 = 1.0 - std::pow(config.beta2, static_cast<double>(step));
+    for (size_t i = 0; i < value.size(); ++i) {
+      m[i] = config.beta1 * m[i] + (1.0 - config.beta1) * grad[i];
+      v[i] = config.beta2 * v[i] + (1.0 - config.beta2) * grad[i] * grad[i];
+      double m_hat = m[i] / bias1;
+      double v_hat = v[i] / bias2;
+      value[i] -=
+          config.learning_rate * m_hat / (std::sqrt(v_hat) + config.epsilon);
+    }
+  }
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_NN_PARAM_H_

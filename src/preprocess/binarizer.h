@@ -1,0 +1,31 @@
+#ifndef AUTOFP_PREPROCESS_BINARIZER_H_
+#define AUTOFP_PREPROCESS_BINARIZER_H_
+
+#include <memory>
+
+#include "preprocess/preprocessor.h"
+
+namespace autofp {
+
+/// Maps each value to 1 if it is strictly greater than `threshold`, else 0
+/// (scikit-learn semantics: values <= threshold map to 0). Stateless.
+class Binarizer : public Preprocessor {
+ public:
+  explicit Binarizer(const PreprocessorConfig& config) : config_(config) {
+    AUTOFP_CHECK(config.kind == PreprocessorKind::kBinarizer);
+  }
+
+  const PreprocessorConfig& config() const override { return config_; }
+  void Fit(const Matrix& data) override { (void)data; }
+  Matrix Transform(const Matrix& data) const override;
+  std::unique_ptr<Preprocessor> Clone() const override {
+    return std::make_unique<Binarizer>(config_);
+  }
+
+ private:
+  PreprocessorConfig config_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_PREPROCESS_BINARIZER_H_

@@ -1,0 +1,36 @@
+#include "preprocess/maxabs_scaler.h"
+
+#include <cmath>
+
+namespace autofp {
+
+void MaxAbsScaler::Fit(const Matrix& data) {
+  scales_.assign(data.cols(), 0.0);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* row = data.RowPtr(r);
+    for (size_t c = 0; c < data.cols(); ++c) {
+      double abs_value = std::abs(row[c]);
+      if (abs_value > scales_[c]) scales_[c] = abs_value;
+    }
+  }
+  for (double& scale : scales_) {
+    if (scale == 0.0) scale = 1.0;
+  }
+  fitted_ = true;
+}
+
+Matrix MaxAbsScaler::Transform(const Matrix& data) const {
+  AUTOFP_CHECK(fitted_) << "MaxAbsScaler::Transform before Fit";
+  AUTOFP_CHECK_EQ(data.cols(), scales_.size());
+  Matrix out(data.rows(), data.cols());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* in_row = data.RowPtr(r);
+    double* out_row = out.RowPtr(r);
+    for (size_t c = 0; c < data.cols(); ++c) {
+      out_row[c] = in_row[c] / scales_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace autofp

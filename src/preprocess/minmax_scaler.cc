@@ -1,0 +1,41 @@
+#include "preprocess/minmax_scaler.h"
+
+#include <limits>
+
+namespace autofp {
+
+void MinMaxScaler::Fit(const Matrix& data) {
+  AUTOFP_CHECK_GT(data.rows(), 0u);
+  mins_.assign(data.cols(), std::numeric_limits<double>::infinity());
+  std::vector<double> maxs(data.cols(),
+                           -std::numeric_limits<double>::infinity());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* row = data.RowPtr(r);
+    for (size_t c = 0; c < data.cols(); ++c) {
+      if (row[c] < mins_[c]) mins_[c] = row[c];
+      if (row[c] > maxs[c]) maxs[c] = row[c];
+    }
+  }
+  ranges_.resize(data.cols());
+  for (size_t c = 0; c < data.cols(); ++c) {
+    double range = maxs[c] - mins_[c];
+    ranges_[c] = range == 0.0 ? 1.0 : range;
+  }
+  fitted_ = true;
+}
+
+Matrix MinMaxScaler::Transform(const Matrix& data) const {
+  AUTOFP_CHECK(fitted_) << "MinMaxScaler::Transform before Fit";
+  AUTOFP_CHECK_EQ(data.cols(), mins_.size());
+  Matrix out(data.rows(), data.cols());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* in_row = data.RowPtr(r);
+    double* out_row = out.RowPtr(r);
+    for (size_t c = 0; c < data.cols(); ++c) {
+      out_row[c] = (in_row[c] - mins_[c]) / ranges_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace autofp

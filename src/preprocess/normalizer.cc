@@ -1,0 +1,35 @@
+#include "preprocess/normalizer.h"
+
+#include <cmath>
+
+namespace autofp {
+
+Matrix Normalizer::Transform(const Matrix& data) const {
+  Matrix out(data.rows(), data.cols());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* in_row = data.RowPtr(r);
+    double* out_row = out.RowPtr(r);
+    double norm = 0.0;
+    switch (config_.norm) {
+      case NormKind::kL1:
+        for (size_t c = 0; c < data.cols(); ++c) norm += std::abs(in_row[c]);
+        break;
+      case NormKind::kL2:
+        for (size_t c = 0; c < data.cols(); ++c)
+          norm += in_row[c] * in_row[c];
+        norm = std::sqrt(norm);
+        break;
+      case NormKind::kMax:
+        for (size_t c = 0; c < data.cols(); ++c) {
+          double abs_value = std::abs(in_row[c]);
+          if (abs_value > norm) norm = abs_value;
+        }
+        break;
+    }
+    if (norm == 0.0) norm = 1.0;
+    for (size_t c = 0; c < data.cols(); ++c) out_row[c] = in_row[c] / norm;
+  }
+  return out;
+}
+
+}  // namespace autofp

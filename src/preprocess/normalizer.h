@@ -1,0 +1,31 @@
+#ifndef AUTOFP_PREPROCESS_NORMALIZER_H_
+#define AUTOFP_PREPROCESS_NORMALIZER_H_
+
+#include <memory>
+
+#include "preprocess/preprocessor.h"
+
+namespace autofp {
+
+/// Scales each *row* (sample) to unit norm (l1, l2 or max, per config).
+/// Stateless; zero rows are left unchanged, matching scikit-learn.
+class Normalizer : public Preprocessor {
+ public:
+  explicit Normalizer(const PreprocessorConfig& config) : config_(config) {
+    AUTOFP_CHECK(config.kind == PreprocessorKind::kNormalizer);
+  }
+
+  const PreprocessorConfig& config() const override { return config_; }
+  void Fit(const Matrix& data) override { (void)data; }
+  Matrix Transform(const Matrix& data) const override;
+  std::unique_ptr<Preprocessor> Clone() const override {
+    return std::make_unique<Normalizer>(config_);
+  }
+
+ private:
+  PreprocessorConfig config_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_PREPROCESS_NORMALIZER_H_

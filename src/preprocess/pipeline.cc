@@ -1,0 +1,72 @@
+#include "preprocess/pipeline.h"
+
+#include <sstream>
+
+namespace autofp {
+
+std::string PipelineSpec::ToString() const {
+  if (steps.empty()) return "<no-FP>";
+  std::ostringstream out;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << steps[i].ToString();
+  }
+  return out.str();
+}
+
+PipelineSpec PipelineSpec::FromKinds(
+    const std::vector<PreprocessorKind>& kinds) {
+  PipelineSpec spec;
+  spec.steps.reserve(kinds.size());
+  for (PreprocessorKind kind : kinds) {
+    spec.steps.push_back(PreprocessorConfig::Defaults(kind));
+  }
+  return spec;
+}
+
+FittedPipeline FittedPipeline::Fit(const PipelineSpec& spec,
+                                   const Matrix& train) {
+  FittedPipeline pipeline;
+  pipeline.spec_ = spec;
+  Matrix current = train;
+  for (const PreprocessorConfig& config : spec.steps) {
+    std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
+    step->Fit(current);
+    current = step->Transform(current);
+    pipeline.fitted_steps_.push_back(std::move(step));
+  }
+  return pipeline;
+}
+
+Matrix FittedPipeline::Transform(const Matrix& data) const {
+  Matrix current = data;
+  for (const auto& step : fitted_steps_) {
+    current = step->Transform(current);
+  }
+  return current;
+}
+
+TransformedPair FitTransformPair(const PipelineSpec& spec, const Matrix& train,
+                                 const Matrix& valid) {
+  TransformedPair out;
+  if (spec.empty()) {
+    out.train = train;
+    out.valid = valid;
+    return out;
+  }
+  // Fitting already transforms the training matrix step-by-step; doing the
+  // same for valid in lockstep avoids a second pass over the chain.
+  Matrix current_train = train;
+  Matrix current_valid = valid;
+  for (const PreprocessorConfig& config : spec.steps) {
+    std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
+    step->Fit(current_train);
+    current_train = step->Transform(current_train);
+    current_valid = step->Transform(current_valid);
+  }
+  out.train = std::move(current_train);
+  out.valid = std::move(current_valid);
+  return out;
+}
+
+}  // namespace autofp

@@ -1,0 +1,65 @@
+#ifndef AUTOFP_PREPROCESS_PIPELINE_H_
+#define AUTOFP_PREPROCESS_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "preprocess/preprocessor.h"
+#include "util/matrix.h"
+
+namespace autofp {
+
+/// An (unfitted) feature-preprocessing pipeline: an ordered sequence of
+/// preprocessor configurations (Definition 2 in the paper). The empty
+/// pipeline is the identity (the paper's "no-FP" baseline).
+struct PipelineSpec {
+  std::vector<PreprocessorConfig> steps;
+
+  size_t size() const { return steps.size(); }
+  bool empty() const { return steps.empty(); }
+
+  /// "StandardScaler -> Binarizer"-style description; "<no-FP>" if empty.
+  std::string ToString() const;
+
+  bool operator==(const PipelineSpec& other) const {
+    return steps == other.steps;
+  }
+
+  /// Stable string key for memoization / dedup.
+  std::string Key() const { return ToString(); }
+
+  /// Builds a spec from default-parameter preprocessor kinds.
+  static PipelineSpec FromKinds(const std::vector<PreprocessorKind>& kinds);
+};
+
+/// A pipeline whose preprocessors have been fitted sequentially on training
+/// data: step i is fitted on the output of steps 0..i-1 over the training
+/// features, exactly as a scikit-learn Pipeline would.
+class FittedPipeline {
+ public:
+  /// Fits `spec` on `train` and returns the fitted chain.
+  static FittedPipeline Fit(const PipelineSpec& spec, const Matrix& train);
+
+  /// Applies the fitted chain to arbitrary data with matching column count.
+  Matrix Transform(const Matrix& data) const;
+
+  const PipelineSpec& spec() const { return spec_; }
+
+ private:
+  PipelineSpec spec_;
+  std::vector<std::unique_ptr<Preprocessor>> fitted_steps_;
+};
+
+/// Convenience: fits on `train`, returns transformed copies of `train` and
+/// `valid` (the evaluation path of Algorithm 1 Step 4).
+struct TransformedPair {
+  Matrix train;
+  Matrix valid;
+};
+TransformedPair FitTransformPair(const PipelineSpec& spec, const Matrix& train,
+                                 const Matrix& valid);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_PREPROCESS_PIPELINE_H_

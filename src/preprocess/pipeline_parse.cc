@@ -1,0 +1,168 @@
+#include "preprocess/pipeline_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <vector>
+
+namespace autofp {
+
+namespace {
+
+std::string Trim(const std::string& text) {
+  size_t begin = 0, end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return text.substr(begin, end - begin);
+}
+
+std::vector<std::string> SplitOn(const std::string& text,
+                                 const std::string& separator) {
+  std::vector<std::string> parts;
+  size_t position = 0;
+  while (true) {
+    size_t next = text.find(separator, position);
+    if (next == std::string::npos) {
+      parts.push_back(text.substr(position));
+      return parts;
+    }
+    parts.push_back(text.substr(position, next - position));
+    position = next + separator.size();
+  }
+}
+
+Result<PreprocessorKind> ParseKind(const std::string& name) {
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    if (KindName(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown preprocessor '" + name + "'");
+}
+
+Status ParseBool(const std::string& value, bool* out) {
+  if (value == "true" || value == "True") {
+    *out = true;
+    return Status::OK();
+  }
+  if (value == "false" || value == "False") {
+    *out = false;
+    return Status::OK();
+  }
+  return Status::InvalidArgument("expected true/false, got '" + value + "'");
+}
+
+Status ParseDouble(const std::string& value, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    return Status::InvalidArgument("expected a number, got '" + value + "'");
+  }
+  return Status::OK();
+}
+
+Status ApplyParameter(const std::string& key, const std::string& value,
+                      PreprocessorConfig* config) {
+  switch (config->kind) {
+    case PreprocessorKind::kBinarizer:
+      if (key == "threshold") return ParseDouble(value, &config->threshold);
+      break;
+    case PreprocessorKind::kNormalizer:
+      if (key == "norm") {
+        if (value == "l1") {
+          config->norm = NormKind::kL1;
+        } else if (value == "l2") {
+          config->norm = NormKind::kL2;
+        } else if (value == "max") {
+          config->norm = NormKind::kMax;
+        } else {
+          return Status::InvalidArgument("unknown norm '" + value + "'");
+        }
+        return Status::OK();
+      }
+      break;
+    case PreprocessorKind::kStandardScaler:
+      if (key == "with_mean") return ParseBool(value, &config->with_mean);
+      break;
+    case PreprocessorKind::kPowerTransformer:
+      if (key == "standardize") return ParseBool(value, &config->standardize);
+      break;
+    case PreprocessorKind::kQuantileTransformer:
+      if (key == "n_quantiles") {
+        double parsed = 0.0;
+        Status status = ParseDouble(value, &parsed);
+        if (!status.ok()) return status;
+        if (parsed < 2.0) {
+          return Status::InvalidArgument("n_quantiles must be >= 2");
+        }
+        config->n_quantiles = static_cast<int>(parsed);
+        return Status::OK();
+      }
+      if (key == "output_distribution") {
+        if (value == "uniform") {
+          config->output_distribution = OutputDistribution::kUniform;
+        } else if (value == "normal") {
+          config->output_distribution = OutputDistribution::kNormal;
+        } else {
+          return Status::InvalidArgument("unknown output_distribution '" +
+                                         value + "'");
+        }
+        return Status::OK();
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::InvalidArgument("parameter '" + key +
+                                 "' is not valid for " +
+                                 KindName(config->kind));
+}
+
+Result<PreprocessorConfig> ParseStep(const std::string& raw) {
+  std::string step = Trim(raw);
+  if (step.empty()) {
+    return Status::InvalidArgument("empty pipeline step");
+  }
+  size_t paren = step.find('(');
+  std::string name = Trim(paren == std::string::npos
+                              ? step
+                              : step.substr(0, paren));
+  Result<PreprocessorKind> kind = ParseKind(name);
+  if (!kind.ok()) return kind.status();
+  PreprocessorConfig config = PreprocessorConfig::Defaults(kind.value());
+  if (paren == std::string::npos) return config;
+  if (step.back() != ')') {
+    return Status::InvalidArgument("missing ')' in '" + step + "'");
+  }
+  std::string params = step.substr(paren + 1, step.size() - paren - 2);
+  if (Trim(params).empty()) return config;
+  for (const std::string& assignment : SplitOn(params, ",")) {
+    size_t equals = assignment.find('=');
+    if (equals == std::string::npos) {
+      return Status::InvalidArgument("expected key=value, got '" +
+                                     Trim(assignment) + "'");
+    }
+    std::string key = Trim(assignment.substr(0, equals));
+    std::string value = Trim(assignment.substr(equals + 1));
+    Status status = ApplyParameter(key, value, &config);
+    if (!status.ok()) return status;
+  }
+  return config;
+}
+
+}  // namespace
+
+Result<PipelineSpec> ParsePipelineSpec(const std::string& text) {
+  PipelineSpec pipeline;
+  std::string trimmed = Trim(text);
+  if (trimmed.empty() || trimmed == "<no-FP>") return pipeline;
+  for (const std::string& raw_step : SplitOn(trimmed, "->")) {
+    Result<PreprocessorConfig> step = ParseStep(raw_step);
+    if (!step.ok()) return step.status();
+    pipeline.steps.push_back(step.value());
+  }
+  return pipeline;
+}
+
+}  // namespace autofp

@@ -1,0 +1,25 @@
+#ifndef AUTOFP_PREPROCESS_PIPELINE_PARSE_H_
+#define AUTOFP_PREPROCESS_PIPELINE_PARSE_H_
+
+#include <string>
+
+#include "preprocess/pipeline.h"
+#include "util/status.h"
+
+namespace autofp {
+
+/// Parses the textual pipeline syntax produced by PipelineSpec::ToString():
+///
+///   "StandardScaler -> Binarizer(threshold=0.2) -> Normalizer(norm=l1)"
+///
+/// Steps are separated by "->"; parameters are an optional parenthesized
+/// key=value list. "<no-FP>" (or an empty/whitespace string) parses to the
+/// empty pipeline. Round-trip guarantee:
+/// ParsePipelineSpec(spec.ToString()) == spec for every representable spec.
+/// Returns InvalidArgument on unknown preprocessor names, unknown keys for
+/// a kind, or malformed values.
+Result<PipelineSpec> ParsePipelineSpec(const std::string& text);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_PREPROCESS_PIPELINE_PARSE_H_

@@ -1,0 +1,154 @@
+#include "preprocess/power_transformer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/stats.h"
+
+namespace autofp {
+
+namespace {
+
+constexpr double kLambdaEps = 1e-8;
+constexpr double kValueClamp = 1e100;
+
+double ClampFinite(double value) {
+  if (std::isnan(value)) return 0.0;
+  return std::clamp(value, -kValueClamp, kValueClamp);
+}
+
+/// Golden-section maximization of f over [lo, hi].
+template <typename F>
+double GoldenSectionMaximize(F f, double lo, double hi, int iterations) {
+  const double inv_phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double x1 = b - inv_phi * (b - a);
+  double x2 = a + inv_phi * (b - a);
+  double f1 = f(x1), f2 = f(x2);
+  for (int i = 0; i < iterations; ++i) {
+    if (f1 < f2) {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + inv_phi * (b - a);
+      f2 = f(x2);
+    } else {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - inv_phi * (b - a);
+      f1 = f(x1);
+    }
+  }
+  return (a + b) / 2.0;
+}
+
+}  // namespace
+
+double PowerTransformer::YeoJohnson(double x, double lambda) {
+  if (x >= 0.0) {
+    if (std::abs(lambda) < kLambdaEps) {
+      return std::log1p(x);
+    }
+    // ((x+1)^lambda - 1) / lambda, computed via expm1 for stability.
+    return ClampFinite(std::expm1(lambda * std::log1p(x)) / lambda);
+  }
+  double two_minus = 2.0 - lambda;
+  if (std::abs(two_minus) < kLambdaEps) {
+    return -std::log1p(-x);
+  }
+  // -(((1-x)^(2-lambda)) - 1) / (2-lambda).
+  return ClampFinite(-std::expm1(two_minus * std::log1p(-x)) / two_minus);
+}
+
+namespace {
+
+/// Log-likelihood given the precomputed (lambda-independent) Jacobian sum
+/// of sign(x) * log(|x|+1) over the column.
+double LogLikelihoodWithJacobian(const std::vector<double>& column,
+                                 double lambda, double jacobian) {
+  const double n = static_cast<double>(column.size());
+  if (column.empty()) return 0.0;
+  // Single-pass variance of the transformed column.
+  double sum = 0.0, sum_sq = 0.0;
+  for (double x : column) {
+    double t = PowerTransformer::YeoJohnson(x, lambda);
+    sum += t;
+    sum_sq += t * t;
+  }
+  double variance = sum_sq / n - (sum / n) * (sum / n);
+  if (!(variance > 0.0) || !std::isfinite(variance)) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return -0.5 * n * std::log(variance) + (lambda - 1.0) * jacobian;
+}
+
+double JacobianSum(const std::vector<double>& column) {
+  double jacobian = 0.0;
+  for (double x : column) {
+    jacobian += std::copysign(std::log1p(std::abs(x)), x);
+  }
+  return jacobian;
+}
+
+}  // namespace
+
+double PowerTransformer::LogLikelihood(const std::vector<double>& column,
+                                       double lambda) {
+  return LogLikelihoodWithJacobian(column, lambda, JacobianSum(column));
+}
+
+void PowerTransformer::Fit(const Matrix& data) {
+  AUTOFP_CHECK_GT(data.rows(), 0u);
+  const size_t cols = data.cols();
+  lambdas_.assign(cols, 1.0);
+  means_.assign(cols, 0.0);
+  stddevs_.assign(cols, 1.0);
+  for (size_t c = 0; c < cols; ++c) {
+    std::vector<double> column = data.Column(c);
+    // Constant columns: identity lambda, no standardization scaling.
+    double variance = Variance(column);
+    if (!(variance > 0.0)) {
+      lambdas_[c] = 1.0;
+      means_[c] = config_.standardize ? YeoJohnson(column[0], 1.0) : 0.0;
+      stddevs_[c] = 1.0;
+      continue;
+    }
+    const double jacobian = JacobianSum(column);
+    auto objective = [&column, jacobian](double lambda) {
+      return LogLikelihoodWithJacobian(column, lambda, jacobian);
+    };
+    lambdas_[c] = GoldenSectionMaximize(objective, -4.0, 6.0, 30);
+    if (config_.standardize) {
+      std::vector<double> transformed(column.size());
+      for (size_t i = 0; i < column.size(); ++i) {
+        transformed[i] = YeoJohnson(column[i], lambdas_[c]);
+      }
+      MeanStd stats = ComputeMeanStd(transformed);
+      means_[c] = stats.mean;
+      stddevs_[c] = stats.stddev > 0.0 ? stats.stddev : 1.0;
+    }
+  }
+  fitted_ = true;
+}
+
+Matrix PowerTransformer::Transform(const Matrix& data) const {
+  AUTOFP_CHECK(fitted_) << "PowerTransformer::Transform before Fit";
+  AUTOFP_CHECK_EQ(data.cols(), lambdas_.size());
+  Matrix out(data.rows(), data.cols());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* in_row = data.RowPtr(r);
+    double* out_row = out.RowPtr(r);
+    for (size_t c = 0; c < data.cols(); ++c) {
+      double value = YeoJohnson(in_row[c], lambdas_[c]);
+      if (config_.standardize) {
+        value = (value - means_[c]) / stddevs_[c];
+      }
+      out_row[c] = ClampFinite(value);
+    }
+  }
+  return out;
+}
+
+}  // namespace autofp

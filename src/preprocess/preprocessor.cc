@@ -1,0 +1,164 @@
+#include "preprocess/preprocessor.h"
+
+#include <sstream>
+
+#include "preprocess/binarizer.h"
+#include "preprocess/maxabs_scaler.h"
+#include "preprocess/minmax_scaler.h"
+#include "preprocess/normalizer.h"
+#include "preprocess/power_transformer.h"
+#include "preprocess/quantile_transformer.h"
+#include "preprocess/standard_scaler.h"
+#include "util/logging.h"
+
+namespace autofp {
+
+const std::vector<PreprocessorKind>& AllPreprocessorKinds() {
+  static const std::vector<PreprocessorKind>* kinds =
+      new std::vector<PreprocessorKind>{
+          PreprocessorKind::kBinarizer,
+          PreprocessorKind::kMaxAbsScaler,
+          PreprocessorKind::kMinMaxScaler,
+          PreprocessorKind::kNormalizer,
+          PreprocessorKind::kPowerTransformer,
+          PreprocessorKind::kQuantileTransformer,
+          PreprocessorKind::kStandardScaler,
+      };
+  return *kinds;
+}
+
+std::string KindName(PreprocessorKind kind) {
+  switch (kind) {
+    case PreprocessorKind::kBinarizer:
+      return "Binarizer";
+    case PreprocessorKind::kMaxAbsScaler:
+      return "MaxAbsScaler";
+    case PreprocessorKind::kMinMaxScaler:
+      return "MinMaxScaler";
+    case PreprocessorKind::kNormalizer:
+      return "Normalizer";
+    case PreprocessorKind::kPowerTransformer:
+      return "PowerTransformer";
+    case PreprocessorKind::kQuantileTransformer:
+      return "QuantileTransformer";
+    case PreprocessorKind::kStandardScaler:
+      return "StandardScaler";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+std::string NormName(NormKind norm) {
+  switch (norm) {
+    case NormKind::kL1:
+      return "l1";
+    case NormKind::kL2:
+      return "l2";
+    case NormKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string PreprocessorConfig::ToString() const {
+  PreprocessorConfig defaults = Defaults(kind);
+  std::ostringstream out;
+  out << KindName(kind);
+  std::vector<std::string> params;
+  switch (kind) {
+    case PreprocessorKind::kBinarizer:
+      if (threshold != defaults.threshold) {
+        std::ostringstream p;
+        p << "threshold=" << threshold;
+        params.push_back(p.str());
+      }
+      break;
+    case PreprocessorKind::kNormalizer:
+      if (norm != defaults.norm) params.push_back("norm=" + NormName(norm));
+      break;
+    case PreprocessorKind::kStandardScaler:
+      if (with_mean != defaults.with_mean) {
+        params.push_back(std::string("with_mean=") +
+                         (with_mean ? "true" : "false"));
+      }
+      break;
+    case PreprocessorKind::kPowerTransformer:
+      if (standardize != defaults.standardize) {
+        params.push_back(std::string("standardize=") +
+                         (standardize ? "true" : "false"));
+      }
+      break;
+    case PreprocessorKind::kQuantileTransformer:
+      if (n_quantiles != defaults.n_quantiles) {
+        params.push_back("n_quantiles=" + std::to_string(n_quantiles));
+      }
+      if (output_distribution != defaults.output_distribution) {
+        params.push_back(
+            std::string("output_distribution=") +
+            (output_distribution == OutputDistribution::kUniform ? "uniform"
+                                                                 : "normal"));
+      }
+      break;
+    default:
+      break;
+  }
+  if (!params.empty()) {
+    out << '(';
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (i > 0) out << ", ";
+      out << params[i];
+    }
+    out << ')';
+  }
+  return out.str();
+}
+
+bool PreprocessorConfig::operator==(const PreprocessorConfig& other) const {
+  if (kind != other.kind) return false;
+  switch (kind) {
+    case PreprocessorKind::kBinarizer:
+      return threshold == other.threshold;
+    case PreprocessorKind::kNormalizer:
+      return norm == other.norm;
+    case PreprocessorKind::kStandardScaler:
+      return with_mean == other.with_mean;
+    case PreprocessorKind::kPowerTransformer:
+      return standardize == other.standardize;
+    case PreprocessorKind::kQuantileTransformer:
+      return n_quantiles == other.n_quantiles &&
+             output_distribution == other.output_distribution;
+    default:
+      return true;  // MaxAbs/MinMax have no searched parameters.
+  }
+}
+
+std::unique_ptr<Preprocessor> MakePreprocessor(
+    const PreprocessorConfig& config) {
+  switch (config.kind) {
+    case PreprocessorKind::kBinarizer:
+      return std::make_unique<Binarizer>(config);
+    case PreprocessorKind::kMaxAbsScaler:
+      return std::make_unique<MaxAbsScaler>(config);
+    case PreprocessorKind::kMinMaxScaler:
+      return std::make_unique<MinMaxScaler>(config);
+    case PreprocessorKind::kNormalizer:
+      return std::make_unique<Normalizer>(config);
+    case PreprocessorKind::kPowerTransformer:
+      return std::make_unique<PowerTransformer>(config);
+    case PreprocessorKind::kQuantileTransformer:
+      return std::make_unique<QuantileTransformer>(config);
+    case PreprocessorKind::kStandardScaler:
+      return std::make_unique<StandardScaler>(config);
+  }
+  AUTOFP_CHECK(false) << "unknown preprocessor kind";
+  return nullptr;
+}
+
+std::unique_ptr<Preprocessor> MakePreprocessor(PreprocessorKind kind) {
+  return MakePreprocessor(PreprocessorConfig::Defaults(kind));
+}
+
+}  // namespace autofp

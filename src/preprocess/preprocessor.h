@@ -1,0 +1,103 @@
+#ifndef AUTOFP_PREPROCESS_PREPROCESSOR_H_
+#define AUTOFP_PREPROCESS_PREPROCESSOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace autofp {
+
+/// The seven feature preprocessors studied by the paper (Section 2.1),
+/// in a fixed canonical order used by pipeline encodings everywhere.
+enum class PreprocessorKind : int {
+  kBinarizer = 0,
+  kMaxAbsScaler = 1,
+  kMinMaxScaler = 2,
+  kNormalizer = 3,
+  kPowerTransformer = 4,
+  kQuantileTransformer = 5,
+  kStandardScaler = 6,
+};
+
+/// Number of distinct preprocessor kinds.
+inline constexpr int kNumPreprocessorKinds = 7;
+
+/// All kinds in canonical order.
+const std::vector<PreprocessorKind>& AllPreprocessorKinds();
+
+/// Human-readable name ("StandardScaler" etc.).
+std::string KindName(PreprocessorKind kind);
+
+/// Row-normalization norms for Normalizer.
+enum class NormKind : int { kL1 = 0, kL2 = 1, kMax = 2 };
+
+/// Output distribution for QuantileTransformer.
+enum class OutputDistribution : int { kUniform = 0, kNormal = 1 };
+
+/// A preprocessor plus its (possibly non-default) parameters. This is the
+/// unit the extended search spaces of Section 6 enumerate. Fields are only
+/// meaningful for the kinds that use them; defaults match scikit-learn.
+struct PreprocessorConfig {
+  PreprocessorKind kind = PreprocessorKind::kStandardScaler;
+  double threshold = 0.0;        ///< Binarizer.
+  NormKind norm = NormKind::kL2; ///< Normalizer.
+  bool with_mean = true;         ///< StandardScaler.
+  bool standardize = true;       ///< PowerTransformer.
+  int n_quantiles = 1000;        ///< QuantileTransformer.
+  OutputDistribution output_distribution =
+      OutputDistribution::kUniform;  ///< QuantileTransformer.
+
+  /// Default-parameter config for a kind.
+  static PreprocessorConfig Defaults(PreprocessorKind kind) {
+    PreprocessorConfig config;
+    config.kind = kind;
+    return config;
+  }
+
+  /// "Binarizer(threshold=0.2)"-style description. Default-parameter
+  /// configs print as just the kind name.
+  std::string ToString() const;
+
+  bool operator==(const PreprocessorConfig& other) const;
+};
+
+/// A fitted or fittable feature preprocessor: maps a feature matrix to a
+/// transformed feature matrix (Definition 1 in the paper). Fit() learns any
+/// data-dependent state from training features; Transform() applies it.
+class Preprocessor {
+ public:
+  virtual ~Preprocessor() = default;
+
+  /// The configuration this instance was built from.
+  virtual const PreprocessorConfig& config() const = 0;
+
+  /// Learns column statistics from `data`. Must be called before
+  /// Transform() (stateless preprocessors accept it as a no-op).
+  virtual void Fit(const Matrix& data) = 0;
+
+  /// Applies the learned transformation. `data` must have the same column
+  /// count as the fit data.
+  virtual Matrix Transform(const Matrix& data) const = 0;
+
+  /// Fresh unfitted copy with the same configuration.
+  virtual std::unique_ptr<Preprocessor> Clone() const = 0;
+
+  std::string name() const { return KindName(config().kind); }
+
+  Matrix FitTransform(const Matrix& data) {
+    Fit(data);
+    return Transform(data);
+  }
+};
+
+/// Instantiates the preprocessor described by `config`.
+std::unique_ptr<Preprocessor> MakePreprocessor(const PreprocessorConfig& config);
+
+/// Convenience: default-parameter instance of a kind.
+std::unique_ptr<Preprocessor> MakePreprocessor(PreprocessorKind kind);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_PREPROCESS_PREPROCESSOR_H_

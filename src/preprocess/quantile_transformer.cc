@@ -1,0 +1,69 @@
+#include "preprocess/quantile_transformer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.h"
+
+namespace autofp {
+
+void QuantileTransformer::Fit(const Matrix& data) {
+  AUTOFP_CHECK_GT(data.rows(), 0u);
+  effective_quantiles_ = std::min<int>(config_.n_quantiles,
+                                       static_cast<int>(data.rows()));
+  effective_quantiles_ = std::max(effective_quantiles_, 2);
+  references_.assign(data.cols(), {});
+  for (size_t c = 0; c < data.cols(); ++c) {
+    std::vector<double> column = data.Column(c);
+    std::sort(column.begin(), column.end());
+    std::vector<double>& refs = references_[c];
+    refs.resize(effective_quantiles_);
+    for (int q = 0; q < effective_quantiles_; ++q) {
+      double p = static_cast<double>(q) /
+                 static_cast<double>(effective_quantiles_ - 1);
+      refs[q] = QuantileSorted(column, p);
+    }
+  }
+  fitted_ = true;
+}
+
+Matrix QuantileTransformer::Transform(const Matrix& data) const {
+  AUTOFP_CHECK(fitted_) << "QuantileTransformer::Transform before Fit";
+  AUTOFP_CHECK_EQ(data.cols(), references_.size());
+  const bool to_normal =
+      config_.output_distribution == OutputDistribution::kNormal;
+  // Clip CDF values away from {0,1} before the normal inverse, matching
+  // scikit-learn's bounded output (~±5.2 sigma).
+  const double cdf_eps = 1e-7;
+  Matrix out(data.rows(), data.cols());
+  const double denom = static_cast<double>(effective_quantiles_ - 1);
+  for (size_t c = 0; c < data.cols(); ++c) {
+    const std::vector<double>& refs = references_[c];
+    for (size_t r = 0; r < data.rows(); ++r) {
+      double value = data(r, c);
+      double cdf;
+      if (value <= refs.front()) {
+        cdf = 0.0;
+      } else if (value >= refs.back()) {
+        cdf = 1.0;
+      } else {
+        // Binary search for the bracketing references, then interpolate.
+        auto it = std::upper_bound(refs.begin(), refs.end(), value);
+        size_t hi = static_cast<size_t>(it - refs.begin());
+        size_t lo = hi - 1;
+        double gap = refs[hi] - refs[lo];
+        double fraction = gap > 0.0 ? (value - refs[lo]) / gap : 0.0;
+        cdf = (static_cast<double>(lo) + fraction) / denom;
+      }
+      if (to_normal) {
+        cdf = std::clamp(cdf, cdf_eps, 1.0 - cdf_eps);
+        out(r, c) = NormalInverseCdf(cdf);
+      } else {
+        out(r, c) = cdf;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace autofp

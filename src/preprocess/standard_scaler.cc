@@ -1,0 +1,48 @@
+#include "preprocess/standard_scaler.h"
+
+#include <cmath>
+
+namespace autofp {
+
+void StandardScaler::Fit(const Matrix& data) {
+  AUTOFP_CHECK_GT(data.rows(), 0u);
+  const size_t cols = data.cols();
+  means_.assign(cols, 0.0);
+  stddevs_.assign(cols, 0.0);
+  const double n = static_cast<double>(data.rows());
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* row = data.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) means_[c] += row[c];
+  }
+  for (size_t c = 0; c < cols; ++c) means_[c] /= n;
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* row = data.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) {
+      double d = row[c] - means_[c];
+      stddevs_[c] += d * d;
+    }
+  }
+  for (size_t c = 0; c < cols; ++c) {
+    stddevs_[c] = std::sqrt(stddevs_[c] / n);
+    if (stddevs_[c] == 0.0) stddevs_[c] = 1.0;
+  }
+  fitted_ = true;
+}
+
+Matrix StandardScaler::Transform(const Matrix& data) const {
+  AUTOFP_CHECK(fitted_) << "StandardScaler::Transform before Fit";
+  AUTOFP_CHECK_EQ(data.cols(), means_.size());
+  Matrix out(data.rows(), data.cols());
+  const bool with_mean = config_.with_mean;
+  for (size_t r = 0; r < data.rows(); ++r) {
+    const double* in_row = data.RowPtr(r);
+    double* out_row = out.RowPtr(r);
+    for (size_t c = 0; c < data.cols(); ++c) {
+      double centered = with_mean ? in_row[c] - means_[c] : in_row[c];
+      out_row[c] = centered / stddevs_[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace autofp

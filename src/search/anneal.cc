@@ -1,0 +1,31 @@
+#include "search/anneal.h"
+
+#include <cmath>
+
+namespace autofp {
+
+void Anneal::Initialize(SearchContext* context) {
+  temperature_ = config_.initial_temperature;
+  current_ = context->space().SampleUniform(context->rng());
+  std::optional<double> accuracy = context->Evaluate(current_);
+  current_accuracy_ = accuracy.value_or(-1.0);
+}
+
+void Anneal::Iterate(SearchContext* context) {
+  PipelineSpec candidate = context->space().Mutate(current_, context->rng());
+  std::optional<double> accuracy = context->Evaluate(candidate);
+  if (!accuracy.has_value()) return;
+  double delta = *accuracy - current_accuracy_;
+  bool accept = delta >= 0.0;
+  if (!accept && temperature_ > 0.0) {
+    accept = context->rng()->Bernoulli(std::exp(delta / temperature_));
+  }
+  if (accept) {
+    current_ = candidate;
+    current_accuracy_ = *accuracy;
+  }
+  temperature_ = std::max(temperature_ * config_.cooling,
+                          config_.min_temperature);
+}
+
+}  // namespace autofp

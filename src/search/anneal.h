@@ -1,0 +1,39 @@
+#ifndef AUTOFP_SEARCH_ANNEAL_H_
+#define AUTOFP_SEARCH_ANNEAL_H_
+
+#include <string>
+
+#include "core/search_framework.h"
+#include "preprocess/pipeline.h"
+
+namespace autofp {
+
+/// Simulated annealing (Kirkpatrick et al., 1983; the HyperOpt "anneal"
+/// strategy): proposes a neighbour of the current state by mutating one
+/// pipeline position, accepts improvements always and regressions with a
+/// temperature-controlled probability that decays geometrically.
+class Anneal : public SearchAlgorithm {
+ public:
+  struct Config {
+    double initial_temperature = 0.05;
+    double cooling = 0.97;       ///< T <- cooling * T per iteration.
+    double min_temperature = 1e-4;
+  };
+
+  explicit Anneal(const Config& config) : config_(config) {}
+  Anneal() : Anneal(Config{}) {}
+
+  std::string name() const override { return "Anneal"; }
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+ private:
+  Config config_;
+  PipelineSpec current_;
+  double current_accuracy_ = -1.0;
+  double temperature_ = 0.0;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_ANNEAL_H_

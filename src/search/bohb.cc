@@ -1,0 +1,68 @@
+#include "search/bohb.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "search/tpe.h"
+
+namespace autofp {
+
+PipelineSpec Bohb::SampleConfiguration(SearchContext* context) {
+  if (context->rng()->Bernoulli(config_.random_fraction)) {
+    return Hyperband::SampleConfiguration(context);
+  }
+  // Observations grouped by budget fraction; model the largest budget with
+  // enough observations (BOHB's "highest budget" rule).
+  std::map<double, std::vector<const Evaluation*>> by_budget;
+  for (const Evaluation& evaluation : context->history()) {
+    if (!evaluation.pipeline.empty()) {
+      by_budget[evaluation.budget_fraction].push_back(&evaluation);
+    }
+  }
+  const std::vector<const Evaluation*>* observations = nullptr;
+  for (auto it = by_budget.rbegin(); it != by_budget.rend(); ++it) {
+    if (it->second.size() >= config_.min_observations) {
+      observations = &it->second;
+      break;
+    }
+  }
+  if (observations == nullptr) {
+    return Hyperband::SampleConfiguration(context);
+  }
+  std::vector<const Evaluation*> sorted = *observations;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Evaluation* a, const Evaluation* b) {
+              return a->accuracy > b->accuracy;
+            });
+  size_t good_count = std::max<size_t>(
+      2, static_cast<size_t>(config_.gamma *
+                             static_cast<double>(sorted.size())));
+  good_count = std::min(good_count, sorted.size() - 1);
+  const SearchSpace& space = context->space();
+  std::vector<std::vector<int>> good, bad;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    std::vector<int> encoding = space.Encode(sorted[i]->pipeline);
+    (i < good_count ? good : bad).push_back(std::move(encoding));
+  }
+  PipelineDensity good_density(space.num_operators(),
+                               space.max_pipeline_length());
+  PipelineDensity bad_density(space.num_operators(),
+                              space.max_pipeline_length());
+  good_density.Fit(good);
+  bad_density.Fit(bad);
+  std::vector<int> best_encoding;
+  double best_score = -1e300;
+  for (size_t c = 0; c < config_.num_candidates; ++c) {
+    std::vector<int> candidate = good_density.Sample(context->rng());
+    double score = good_density.LogProbability(candidate) -
+                   bad_density.LogProbability(candidate);
+    if (score > best_score) {
+      best_score = score;
+      best_encoding = std::move(candidate);
+    }
+  }
+  return space.Decode(best_encoding);
+}
+
+}  // namespace autofp

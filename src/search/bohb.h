@@ -1,0 +1,39 @@
+#ifndef AUTOFP_SEARCH_BOHB_H_
+#define AUTOFP_SEARCH_BOHB_H_
+
+#include <string>
+
+#include "search/hyperband.h"
+
+namespace autofp {
+
+/// BOHB (Falkner et al., 2018): Hyperband's bracket schedule, but new
+/// configurations are drawn from a TPE-style good/bad density fitted on
+/// the observations at the highest budget level with enough data; a fixed
+/// fraction stays uniformly random to preserve exploration.
+class Bohb : public Hyperband {
+ public:
+  struct Config {
+    Hyperband::Config hyperband;
+    double random_fraction = 1.0 / 3.0;
+    size_t min_observations = 8;
+    double gamma = 0.25;
+    size_t num_candidates = 24;
+  };
+
+  explicit Bohb(const Config& config)
+      : Hyperband(config.hyperband), config_(config) {}
+  Bohb() : Bohb(Config{}) {}
+
+  std::string name() const override { return "BOHB"; }
+
+ protected:
+  PipelineSpec SampleConfiguration(SearchContext* context) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_BOHB_H_

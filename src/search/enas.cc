@@ -1,0 +1,109 @@
+#include "search/enas.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+namespace {
+
+std::vector<double> Softmax(const std::vector<double>& logits) {
+  double max_logit = *std::max_element(logits.begin(), logits.end());
+  std::vector<double> probabilities(logits.size());
+  double total = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    probabilities[i] = std::exp(logits[i] - max_logit);
+    total += probabilities[i];
+  }
+  for (double& p : probabilities) p /= total;
+  return probabilities;
+}
+
+}  // namespace
+
+void Enas::Initialize(SearchContext* context) {
+  num_operators_ = context->space().num_operators();
+  LstmNetConfig net_config;
+  // Input vocabulary: operators + START + STOP (START is only ever input,
+  // STOP only ever output, but one table keeps indexing simple).
+  net_config.vocab_size = num_operators_ + 2;
+  net_config.embed_dim = config_.embed_dim;
+  net_config.hidden_dim = config_.hidden_dim;
+  net_config.output_dim = num_operators_ + 1;  // operators + STOP.
+  Rng rng(config_.controller_seed);
+  controller_ = std::make_unique<LstmNet>(net_config, &rng);
+  baseline_set_ = false;
+}
+
+void Enas::Iterate(SearchContext* context) {
+  AUTOFP_CHECK(controller_ != nullptr);
+  const SearchSpace& space = context->space();
+  const int start_token = static_cast<int>(num_operators_);
+  const size_t stop_decision = num_operators_;
+  const size_t max_length = space.max_pipeline_length();
+
+  // Autoregressive sampling: re-run the controller on the growing prefix
+  // (sequences are tiny, so the O(L^2) forward cost is negligible).
+  std::vector<int> inputs = {start_token};
+  std::vector<size_t> decisions;
+  bool stopped = false;
+  while (decisions.size() < max_length) {
+    std::vector<std::vector<double>> outputs = controller_->Forward(inputs);
+    std::vector<double> probabilities = Softmax(outputs.back());
+    if (decisions.empty()) probabilities[stop_decision] = 0.0;
+    size_t decision = context->rng()->Categorical(probabilities);
+    decisions.push_back(decision);
+    if (decision == stop_decision) {
+      stopped = true;
+      break;
+    }
+    inputs.push_back(static_cast<int>(decision));
+  }
+  std::vector<int> operators;
+  for (size_t decision : decisions) {
+    if (decision == stop_decision) break;
+    operators.push_back(static_cast<int>(decision));
+  }
+  PipelineSpec pipeline = space.Decode(operators);
+
+  std::optional<double> accuracy = context->Evaluate(pipeline);
+  if (!accuracy.has_value()) return;
+
+  if (!baseline_set_) {
+    baseline_ = *accuracy;
+    baseline_set_ = true;
+  } else {
+    baseline_ = config_.baseline_decay * baseline_ +
+                (1.0 - config_.baseline_decay) * *accuracy;
+  }
+  double advantage = *accuracy - baseline_;
+  if (advantage == 0.0) return;
+
+  // REINFORCE gradient through the controller: one forward over the full
+  // decision sequence, then dLoss/dlogits = advantage * (p - onehot).
+  std::vector<int> train_inputs = {start_token};
+  for (size_t i = 0; i + 1 < decisions.size(); ++i) {
+    AUTOFP_CHECK_LT(decisions[i], stop_decision);
+    train_inputs.push_back(static_cast<int>(decisions[i]));
+  }
+  (void)stopped;
+  std::vector<std::vector<double>> outputs =
+      controller_->Forward(train_inputs);
+  AUTOFP_CHECK_EQ(outputs.size(), decisions.size());
+  std::vector<std::vector<double>> grads(outputs.size());
+  for (size_t t = 0; t < outputs.size(); ++t) {
+    std::vector<double> probabilities = Softmax(outputs[t]);
+    grads[t].resize(probabilities.size());
+    for (size_t token = 0; token < probabilities.size(); ++token) {
+      double indicator = token == decisions[t] ? 1.0 : 0.0;
+      grads[t][token] = advantage * (probabilities[token] - indicator);
+    }
+  }
+  AdamConfig adam;
+  adam.learning_rate = config_.learning_rate;
+  controller_->ZeroGrads();
+  controller_->Backward(train_inputs, grads);
+  controller_->Step(adam);
+}
+
+}  // namespace autofp

@@ -1,0 +1,44 @@
+#ifndef AUTOFP_SEARCH_ENAS_H_
+#define AUTOFP_SEARCH_ENAS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/search_framework.h"
+#include "nn/lstm.h"
+
+namespace autofp {
+
+/// ENAS (Pham et al., 2018) adapted to pipeline search: an LSTM controller
+/// autoregressively emits operator tokens (or STOP) to build a chain
+/// architecture; the sampled pipeline is evaluated and the controller is
+/// updated with the REINFORCE gradient against a moving-average baseline.
+class Enas : public SearchAlgorithm {
+ public:
+  struct Config {
+    size_t embed_dim = 8;
+    size_t hidden_dim = 24;
+    double learning_rate = 5e-3;
+    double baseline_decay = 0.8;
+    uint64_t controller_seed = 31;
+  };
+
+  explicit Enas(const Config& config) : config_(config) {}
+  Enas() : Enas(Config{}) {}
+
+  std::string name() const override { return "ENAS"; }
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+ private:
+  Config config_;
+  std::unique_ptr<LstmNet> controller_;
+  size_t num_operators_ = 0;
+  double baseline_ = 0.0;
+  bool baseline_set_ = false;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_ENAS_H_

@@ -1,0 +1,52 @@
+#include "search/evolution.h"
+
+#include <algorithm>
+
+namespace autofp {
+
+void TournamentEvolution::Initialize(SearchContext* context) {
+  population_.clear();
+  for (size_t i = 0; i < config_.population_size; ++i) {
+    PipelineSpec pipeline = context->space().SampleUniform(context->rng());
+    std::optional<double> accuracy = context->Evaluate(pipeline);
+    if (!accuracy.has_value()) return;
+    population_.push_back({pipeline, *accuracy});
+  }
+}
+
+void TournamentEvolution::Iterate(SearchContext* context) {
+  if (population_.empty()) {
+    Initialize(context);
+    if (population_.empty()) return;
+  }
+  // Tournament: sample S members, mutate the fittest.
+  size_t sample_size =
+      std::min(config_.tournament_size, population_.size());
+  std::vector<size_t> contenders = context->rng()->SampleWithoutReplacement(
+      population_.size(), sample_size);
+  size_t best = contenders[0];
+  for (size_t index : contenders) {
+    if (population_[index].accuracy > population_[best].accuracy) {
+      best = index;
+    }
+  }
+  PipelineSpec child =
+      context->space().Mutate(population_[best].pipeline, context->rng());
+  std::optional<double> accuracy = context->Evaluate(child);
+  if (!accuracy.has_value()) return;
+  population_.push_back({child, *accuracy});
+  if (population_.size() > config_.population_size) {
+    if (config_.kill == KillPolicy::kOldest) {
+      population_.pop_front();
+    } else {
+      auto worst = std::min_element(
+          population_.begin(), population_.end(),
+          [](const Member& a, const Member& b) {
+            return a.accuracy < b.accuracy;
+          });
+      population_.erase(worst);
+    }
+  }
+}
+
+}  // namespace autofp

@@ -1,0 +1,52 @@
+#ifndef AUTOFP_SEARCH_EVOLUTION_H_
+#define AUTOFP_SEARCH_EVOLUTION_H_
+
+#include <deque>
+#include <string>
+
+#include "core/search_framework.h"
+#include "preprocess/pipeline.h"
+
+namespace autofp {
+
+/// Tournament (regularized) evolution, Real et al. 2018. A population is
+/// seeded by random search; each step samples S individuals, mutates the
+/// fittest into a child, evaluates it, and kills either the oldest member
+/// (TEVO_Y, the "regularized"/aging variant) or the worst member (TEVO_H).
+class TournamentEvolution : public SearchAlgorithm {
+ public:
+  enum class KillPolicy {
+    kOldest,  ///< TEVO_Y: kill the oldest ("younger population" survives).
+    kWorst,   ///< TEVO_H: kill the lowest-accuracy member.
+  };
+
+  struct Config {
+    size_t population_size = 20;
+    size_t tournament_size = 5;
+    KillPolicy kill = KillPolicy::kWorst;
+  };
+
+  explicit TournamentEvolution(const Config& config) : config_(config) {
+    AUTOFP_CHECK_GE(config.population_size, 2u);
+    AUTOFP_CHECK_GE(config.tournament_size, 1u);
+  }
+
+  std::string name() const override {
+    return config_.kill == KillPolicy::kWorst ? "TEVO_H" : "TEVO_Y";
+  }
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+ private:
+  struct Member {
+    PipelineSpec pipeline;
+    double accuracy = 0.0;
+  };
+
+  Config config_;
+  std::deque<Member> population_;  ///< front = oldest.
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_EVOLUTION_H_

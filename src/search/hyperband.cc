@@ -1,0 +1,68 @@
+#include "search/hyperband.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+Hyperband::Hyperband(const Config& config) : config_(config) {
+  AUTOFP_CHECK_GT(config.eta, 1.0);
+  AUTOFP_CHECK_GT(config.min_fraction, 0.0);
+  AUTOFP_CHECK_LE(config.min_fraction, 1.0);
+}
+
+void Hyperband::Initialize(SearchContext* context) {
+  (void)context;
+  s_max_ = static_cast<int>(
+      std::floor(std::log(1.0 / config_.min_fraction) /
+                 std::log(config_.eta)));
+  s_max_ = std::max(s_max_, 0);
+  current_s_ = s_max_;
+}
+
+PipelineSpec Hyperband::SampleConfiguration(SearchContext* context) {
+  return context->space().SampleUniform(context->rng());
+}
+
+void Hyperband::Iterate(SearchContext* context) {
+  // One Successive-Halving bracket at aggressiveness s.
+  const int s = current_s_;
+  current_s_ = current_s_ > 0 ? current_s_ - 1 : s_max_;
+  const double eta = config_.eta;
+  // n = ceil((s_max+1)/(s+1) * eta^s) configurations at initial resource
+  // r = eta^{-s} (full budget R = 1).
+  int n = static_cast<int>(std::ceil(
+      static_cast<double>(s_max_ + 1) / static_cast<double>(s + 1) *
+      std::pow(eta, s)));
+  double r = std::pow(eta, -s);
+
+  struct Entry {
+    PipelineSpec pipeline;
+    double accuracy = 0.0;
+  };
+  std::vector<Entry> rung;
+  for (int i = 0; i < n; ++i) {
+    rung.push_back({SampleConfiguration(context), 0.0});
+  }
+  for (int round = 0; round <= s; ++round) {
+    double fraction =
+        std::clamp(r * std::pow(eta, round), config_.min_fraction, 1.0);
+    for (Entry& entry : rung) {
+      std::optional<double> accuracy =
+          context->Evaluate(entry.pipeline, fraction);
+      if (!accuracy.has_value()) return;
+      entry.accuracy = *accuracy;
+    }
+    // Keep the top 1/eta for the next rung.
+    size_t keep = std::max<size_t>(
+        1, static_cast<size_t>(std::floor(
+               static_cast<double>(rung.size()) / eta)));
+    if (round == s) break;
+    std::sort(rung.begin(), rung.end(), [](const Entry& a, const Entry& b) {
+      return a.accuracy > b.accuracy;
+    });
+    rung.resize(keep);
+  }
+}
+
+}  // namespace autofp

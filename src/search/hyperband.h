@@ -1,0 +1,44 @@
+#ifndef AUTOFP_SEARCH_HYPERBAND_H_
+#define AUTOFP_SEARCH_HYPERBAND_H_
+
+#include <string>
+#include <vector>
+
+#include "core/search_framework.h"
+#include "preprocess/pipeline.h"
+
+namespace autofp {
+
+/// Hyperband (Li et al., 2017). The resource axis is the fraction of
+/// training rows used by the evaluator (partial training, as in the
+/// paper's adaptation). Each Iterate() runs one Successive-Halving bracket;
+/// brackets cycle through s = s_max .. 0. `eta` and `min_fraction`
+/// (min_budget) are the two knobs the paper sweeps in Figure 6.
+class Hyperband : public SearchAlgorithm {
+ public:
+  struct Config {
+    double eta = 3.0;
+    double min_fraction = 1.0 / 27.0;  ///< smallest training fraction.
+  };
+
+  explicit Hyperband(const Config& config);
+  Hyperband() : Hyperband(Config{}) {}
+
+  std::string name() const override { return "HYPERBAND"; }
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+ protected:
+  /// Sampling hook: Hyperband samples uniformly; BOHB overrides this with
+  /// model-based sampling.
+  virtual PipelineSpec SampleConfiguration(SearchContext* context);
+
+ private:
+  Config config_;
+  int s_max_ = 0;
+  int current_s_ = 0;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_HYPERBAND_H_

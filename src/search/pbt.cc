@@ -1,0 +1,59 @@
+#include "search/pbt.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+void Pbt::Initialize(SearchContext* context) {
+  population_.clear();
+  for (size_t i = 0; i < config_.population_size; ++i) {
+    PipelineSpec pipeline =
+        i < config_.initial_population.size()
+            ? config_.initial_population[i]
+            : context->space().SampleUniform(context->rng());
+    std::optional<double> accuracy = context->Evaluate(pipeline);
+    if (!accuracy.has_value()) return;
+    population_.push_back({pipeline, *accuracy});
+  }
+}
+
+void Pbt::Iterate(SearchContext* context) {
+  if (population_.empty()) {
+    Initialize(context);
+    if (population_.empty()) return;
+  }
+  // Rank descending by accuracy.
+  std::vector<size_t> order(population_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return population_[a].accuracy > population_[b].accuracy;
+  });
+  size_t replace_count = std::max<size_t>(
+      1, static_cast<size_t>(std::floor(config_.replace_fraction *
+                                        static_cast<double>(order.size()))));
+  size_t top_count = std::max<size_t>(1, order.size() - replace_count);
+  size_t exploit_pool =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(
+                              0.25 * static_cast<double>(order.size()))));
+  exploit_pool = std::min(exploit_pool, top_count);
+
+  for (size_t i = 0; i < replace_count; ++i) {
+    size_t victim = order[order.size() - 1 - i];
+    PipelineSpec candidate;
+    if (context->rng()->Bernoulli(config_.random_probability)) {
+      // Pure exploration: fresh random pipeline.
+      candidate = context->space().SampleUniform(context->rng());
+    } else {
+      // Exploit a top member, then explore by mutation.
+      size_t parent = order[context->rng()->UniformIndex(exploit_pool)];
+      candidate = context->space().Mutate(population_[parent].pipeline,
+                                          context->rng());
+    }
+    std::optional<double> accuracy = context->Evaluate(candidate);
+    if (!accuracy.has_value()) return;
+    population_[victim] = {candidate, *accuracy};
+  }
+}
+
+}  // namespace autofp

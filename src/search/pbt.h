@@ -1,0 +1,50 @@
+#ifndef AUTOFP_SEARCH_PBT_H_
+#define AUTOFP_SEARCH_PBT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/search_framework.h"
+#include "preprocess/pipeline.h"
+
+namespace autofp {
+
+/// Population-based training (Jaderberg et al., 2017) adapted to pipeline
+/// search as in the paper: each round ranks the population, replaces the
+/// bottom fraction by *exploit* (copy a top member) + *explore* (mutate the
+/// copy), and injects extra exploration by occasionally replacing with an
+/// entirely random pipeline. The paper's overall top-ranked algorithm.
+class Pbt : public SearchAlgorithm {
+ public:
+  struct Config {
+    size_t population_size = 10;
+    double replace_fraction = 0.3;   ///< bottom fraction replaced per round.
+    double random_probability = 0.15;  ///< fresh-random instead of mutate.
+    /// Warm start (the paper's research opportunity 1): if non-empty,
+    /// these pipelines seed the initial population instead of random
+    /// samples (padded with random samples if fewer than population_size).
+    std::vector<PipelineSpec> initial_population;
+  };
+
+  explicit Pbt(const Config& config) : config_(config) {
+    AUTOFP_CHECK_GE(config.population_size, 2u);
+  }
+  Pbt() : Pbt(Config{}) {}
+
+  std::string name() const override { return "PBT"; }
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+ private:
+  struct Member {
+    PipelineSpec pipeline;
+    double accuracy = 0.0;
+  };
+
+  Config config_;
+  std::vector<Member> population_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_PBT_H_

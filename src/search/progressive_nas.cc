@@ -1,0 +1,261 @@
+#include "search/progressive_nas.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+namespace {
+
+/// Normalized fixed-length encoding for the MLP surrogate: slot value is
+/// (operator index + 1) / num_operators, 0 for padding.
+std::vector<double> MlpEncoding(const SearchSpace& space,
+                                const PipelineSpec& pipeline) {
+  std::vector<int> encoding = space.Encode(pipeline);
+  std::vector<double> input(space.max_pipeline_length(), 0.0);
+  for (size_t i = 0; i < encoding.size(); ++i) {
+    input[i] = static_cast<double>(encoding[i] + 1) /
+               static_cast<double>(space.num_operators());
+  }
+  return input;
+}
+
+}  // namespace
+
+ProgressiveNas::ProgressiveNas(const Config& config) : config_(config) {
+  AUTOFP_CHECK_GE(config.beam_width, 1u);
+}
+
+std::string ProgressiveNas::name() const {
+  if (config_.surrogate == SurrogateKind::kMlp) {
+    return config_.ensemble ? "PME" : "PMNE";
+  }
+  return config_.ensemble ? "PLE" : "PLNE";
+}
+
+void ProgressiveNas::Initialize(SearchContext* context) {
+  beam_.clear();
+  evaluated_keys_.clear();
+  current_length_ = 1;
+  const SearchSpace& space = context->space();
+  // Evaluate singleton pipelines (all of them, or a random subset when the
+  // One-step alphabet is too large).
+  std::vector<size_t> singleton_ops;
+  if (space.num_operators() <= config_.max_singleton_init) {
+    singleton_ops.resize(space.num_operators());
+    for (size_t i = 0; i < singleton_ops.size(); ++i) singleton_ops[i] = i;
+  } else {
+    singleton_ops = context->rng()->SampleWithoutReplacement(
+        space.num_operators(), config_.max_singleton_init);
+  }
+  std::vector<BeamEntry> singles;
+  for (size_t op : singleton_ops) {
+    PipelineSpec pipeline;
+    pipeline.steps.push_back(space.operator_at(op));
+    std::optional<double> accuracy = context->Evaluate(pipeline);
+    if (!accuracy.has_value()) break;
+    evaluated_keys_.insert(pipeline.Key());
+    singles.push_back({pipeline, *accuracy});
+  }
+  std::sort(singles.begin(), singles.end(),
+            [](const BeamEntry& a, const BeamEntry& b) {
+              return a.accuracy > b.accuracy;
+            });
+  if (singles.size() > config_.beam_width) {
+    singles.resize(config_.beam_width);
+  }
+  beam_ = std::move(singles);
+}
+
+void ProgressiveNas::FitSurrogates(SearchContext* context) {
+  const SearchSpace& space = context->space();
+  // Most recent full-budget observations, capped.
+  std::vector<const Evaluation*> observations;
+  for (const Evaluation& evaluation : context->history()) {
+    if (evaluation.budget_fraction >= 1.0 && !evaluation.pipeline.empty()) {
+      observations.push_back(&evaluation);
+    }
+  }
+  if (observations.size() > config_.max_history) {
+    observations.erase(observations.begin(),
+                       observations.end() - config_.max_history);
+  }
+  if (observations.empty()) return;
+  const size_t num_models = config_.ensemble ? 3 : 1;
+
+  if (config_.surrogate == SurrogateKind::kMlp) {
+    mlp_surrogates_.clear();
+    Matrix inputs(observations.size(), space.max_pipeline_length());
+    Matrix targets(observations.size(), 1);
+    for (size_t i = 0; i < observations.size(); ++i) {
+      std::vector<double> encoding =
+          MlpEncoding(space, observations[i]->pipeline);
+      for (size_t j = 0; j < encoding.size(); ++j) {
+        inputs(i, j) = encoding[j];
+      }
+      targets(i, 0) = observations[i]->accuracy;
+    }
+    AdamConfig adam;
+    adam.learning_rate = 1e-2;
+    for (size_t m = 0; m < num_models; ++m) {
+      MlpNetConfig net_config;
+      net_config.input_dim = space.max_pipeline_length();
+      net_config.hidden_dims = {config_.mlp_hidden};
+      net_config.output_dim = 1;
+      Rng seed_rng(1000 + m * 7);
+      MlpNet net(net_config, &seed_rng);
+      for (int epoch = 0; epoch < config_.mlp_epochs; ++epoch) {
+        Matrix outputs = net.Forward(inputs);
+        Matrix grad(outputs.rows(), 1);
+        double inv_n = 1.0 / static_cast<double>(outputs.rows());
+        for (size_t r = 0; r < outputs.rows(); ++r) {
+          grad(r, 0) = 2.0 * (outputs(r, 0) - targets(r, 0)) * inv_n;
+        }
+        net.ZeroGrads();
+        net.Backward(grad);
+        net.Step(adam);
+      }
+      mlp_surrogates_.push_back(std::move(net));
+    }
+  } else {
+    lstm_surrogates_.clear();
+    AdamConfig adam;
+    adam.learning_rate = 5e-3;
+    for (size_t m = 0; m < num_models; ++m) {
+      LstmNetConfig net_config;
+      net_config.vocab_size = space.num_operators();
+      net_config.embed_dim = 8;
+      net_config.hidden_dim = 24;
+      net_config.output_dim = 1;
+      Rng seed_rng(2000 + m * 7);
+      LstmNet net(net_config, &seed_rng);
+      for (int epoch = 0; epoch < config_.lstm_epochs; ++epoch) {
+        for (const Evaluation* observation : observations) {
+          std::vector<int> tokens = space.Encode(observation->pipeline);
+          std::vector<std::vector<double>> outputs = net.Forward(tokens);
+          std::vector<std::vector<double>> grads(
+              tokens.size(), std::vector<double>(1, 0.0));
+          grads.back()[0] =
+              2.0 * (outputs.back()[0] - observation->accuracy);
+          net.ZeroGrads();
+          net.Backward(tokens, grads);
+          net.Step(adam);
+        }
+      }
+      lstm_surrogates_.push_back(std::move(net));
+    }
+  }
+}
+
+double ProgressiveNas::Predict(const SearchContext& context,
+                               const PipelineSpec& pipeline) const {
+  const SearchSpace& space = context.space();
+  double total = 0.0;
+  size_t count = 0;
+  if (config_.surrogate == SurrogateKind::kMlp) {
+    std::vector<double> encoding = MlpEncoding(space, pipeline);
+    Matrix input(1, encoding.size());
+    for (size_t j = 0; j < encoding.size(); ++j) input(0, j) = encoding[j];
+    for (const MlpNet& net : mlp_surrogates_) {
+      total += net.Infer(input)(0, 0);
+      ++count;
+    }
+  } else {
+    std::vector<int> tokens = space.Encode(pipeline);
+    for (const LstmNet& net : lstm_surrogates_) {
+      // Forward mutates internal caches; copy (nets are small).
+      LstmNet scratch = net;
+      total += scratch.Forward(tokens).back()[0];
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+void ProgressiveNas::Iterate(SearchContext* context) {
+  const SearchSpace& space = context->space();
+  if (beam_.empty()) {
+    Initialize(context);
+    if (beam_.empty()) return;
+  }
+  // Restart a fresh progressive sweep when the beam reached max length.
+  if (current_length_ >= space.max_pipeline_length()) {
+    current_length_ = 1;
+    // Rebuild the beam from the best singleton evaluations in the history.
+    std::vector<BeamEntry> singles;
+    for (const Evaluation& evaluation : context->history()) {
+      if (evaluation.pipeline.size() == 1 &&
+          evaluation.budget_fraction >= 1.0) {
+        singles.push_back({evaluation.pipeline, evaluation.accuracy});
+      }
+    }
+    std::sort(singles.begin(), singles.end(),
+              [](const BeamEntry& a, const BeamEntry& b) {
+                return a.accuracy > b.accuracy;
+              });
+    if (singles.size() > config_.beam_width) {
+      singles.resize(config_.beam_width);
+    }
+    if (!singles.empty()) beam_ = std::move(singles);
+  }
+
+  // Step 2: refit surrogate(s).
+  FitSurrogates(context);
+
+  // Step 3: expand the beam by one operator; score children.
+  struct Scored {
+    PipelineSpec pipeline;
+    double predicted;
+  };
+  std::vector<Scored> children;
+  size_t total_children = beam_.size() * space.num_operators();
+  if (total_children <= config_.max_children) {
+    for (const BeamEntry& entry : beam_) {
+      for (size_t op = 0; op < space.num_operators(); ++op) {
+        PipelineSpec child = entry.pipeline;
+        child.steps.push_back(space.operator_at(op));
+        if (evaluated_keys_.count(child.Key())) continue;
+        children.push_back({std::move(child), 0.0});
+      }
+    }
+  } else {
+    for (size_t i = 0; i < config_.max_children; ++i) {
+      const BeamEntry& entry =
+          beam_[context->rng()->UniformIndex(beam_.size())];
+      PipelineSpec child = entry.pipeline;
+      child.steps.push_back(
+          space.operator_at(context->rng()->UniformIndex(
+              space.num_operators())));
+      if (evaluated_keys_.count(child.Key())) continue;
+      children.push_back({std::move(child), 0.0});
+    }
+  }
+  if (children.empty()) {
+    // All children seen — fall back to a random pipeline to keep moving.
+    context->Evaluate(space.SampleUniform(context->rng()));
+    return;
+  }
+  for (Scored& child : children) {
+    child.predicted = Predict(*context, child.pipeline);
+  }
+  std::sort(children.begin(), children.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.predicted > b.predicted;
+            });
+
+  // Step 4: evaluate the predicted top-k; they become the next beam.
+  std::vector<BeamEntry> next_beam;
+  for (size_t i = 0; i < children.size() && next_beam.size() < config_.beam_width;
+       ++i) {
+    std::optional<double> accuracy = context->Evaluate(children[i].pipeline);
+    if (!accuracy.has_value()) break;
+    evaluated_keys_.insert(children[i].pipeline.Key());
+    next_beam.push_back({children[i].pipeline, *accuracy});
+  }
+  if (!next_beam.empty()) {
+    beam_ = std::move(next_beam);
+    ++current_length_;
+  }
+}
+
+}  // namespace autofp

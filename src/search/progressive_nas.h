@@ -1,0 +1,76 @@
+#ifndef AUTOFP_SEARCH_PROGRESSIVE_NAS_H_
+#define AUTOFP_SEARCH_PROGRESSIVE_NAS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "core/search_framework.h"
+#include "nn/lstm.h"
+#include "nn/mlp_net.h"
+#include "preprocess/pipeline.h"
+
+namespace autofp {
+
+/// Progressive NAS (Liu et al., 2018) adapted to pipelines: start from all
+/// single-preprocessor pipelines, then repeatedly expand a beam of the best
+/// pipelines by one operator, using a learned surrogate (MLP or LSTM over
+/// the operator sequence, optionally a 3-model ensemble) to pick which
+/// children to actually evaluate. The paper's four variants:
+/// PMNE (MLP, no ensemble), PME (MLP ensemble), PLNE (LSTM, no ensemble),
+/// PLE (LSTM ensemble).
+class ProgressiveNas : public SearchAlgorithm {
+ public:
+  enum class SurrogateKind { kMlp, kLstm };
+
+  struct Config {
+    SurrogateKind surrogate = SurrogateKind::kMlp;
+    bool ensemble = false;
+    size_t beam_width = 8;
+    /// Initialization cap: in very large (One-step) alphabets only this
+    /// many random singleton pipelines are evaluated.
+    size_t max_singleton_init = 50;
+    /// Cap on children scored per expansion (sampled if exceeded).
+    size_t max_children = 256;
+    /// Surrogate training passes per update. The MLP surrogate is kept
+    /// deliberately cheap (the paper: "the overhead of the fitting process
+    /// of MLP is very small, approximate to RS"), while the LSTM variants
+    /// pay the heavy sequential fitting cost the paper observes.
+    int mlp_epochs = 15;
+    int lstm_epochs = 8;
+    size_t mlp_hidden = 16;
+    /// History cap for surrogate fitting (most recent observations).
+    size_t max_history = 256;
+  };
+
+  explicit ProgressiveNas(const Config& config);
+
+  std::string name() const override;
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+ private:
+  struct BeamEntry {
+    PipelineSpec pipeline;
+    double accuracy = 0.0;
+  };
+
+  /// Refits the surrogate(s) on the evaluation history.
+  void FitSurrogates(SearchContext* context);
+
+  /// Ensemble-averaged predicted accuracy for a candidate pipeline.
+  double Predict(const SearchContext& context,
+                 const PipelineSpec& pipeline) const;
+
+  Config config_;
+  std::vector<BeamEntry> beam_;
+  size_t current_length_ = 1;
+  std::unordered_set<std::string> evaluated_keys_;
+  std::vector<MlpNet> mlp_surrogates_;
+  std::vector<LstmNet> lstm_surrogates_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_PROGRESSIVE_NAS_H_

@@ -1,0 +1,22 @@
+#ifndef AUTOFP_SEARCH_RANDOM_SEARCH_H_
+#define AUTOFP_SEARCH_RANDOM_SEARCH_H_
+
+#include <string>
+
+#include "core/search_framework.h"
+
+namespace autofp {
+
+/// Random search (Bergstra & Bengio, 2012): one uniformly sampled pipeline
+/// per iteration, no state. The paper's strong baseline.
+class RandomSearch : public SearchAlgorithm {
+ public:
+  std::string name() const override { return "RS"; }
+  void Iterate(SearchContext* context) override {
+    context->Evaluate(context->space().SampleUniform(context->rng()));
+  }
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_RANDOM_SEARCH_H_

@@ -1,0 +1,71 @@
+#include "search/registry.h"
+
+#include "search/anneal.h"
+#include "search/bohb.h"
+#include "search/enas.h"
+#include "search/evolution.h"
+#include "search/hyperband.h"
+#include "search/pbt.h"
+#include "search/progressive_nas.h"
+#include "search/random_search.h"
+#include "search/reinforce.h"
+#include "search/smac.h"
+#include "search/tpe.h"
+
+namespace autofp {
+
+const std::vector<std::string>& AllSearchAlgorithmNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "RS",     "Anneal", "SMAC",      "TPE",  "PMNE",
+      "PME",    "PLNE",   "PLE",       "PBT",  "TEVO_H",
+      "TEVO_Y", "REINFORCE", "ENAS",   "HYPERBAND", "BOHB"};
+  return *names;
+}
+
+Result<std::unique_ptr<SearchAlgorithm>> MakeSearchAlgorithm(
+    const std::string& name) {
+  if (name == "RS") {
+    return std::unique_ptr<SearchAlgorithm>(new RandomSearch());
+  }
+  if (name == "Anneal") {
+    return std::unique_ptr<SearchAlgorithm>(new Anneal());
+  }
+  if (name == "SMAC") {
+    return std::unique_ptr<SearchAlgorithm>(new Smac());
+  }
+  if (name == "TPE") {
+    return std::unique_ptr<SearchAlgorithm>(new Tpe());
+  }
+  if (name == "PMNE" || name == "PME" || name == "PLNE" || name == "PLE") {
+    ProgressiveNas::Config config;
+    config.surrogate = (name[1] == 'M') ? ProgressiveNas::SurrogateKind::kMlp
+                                        : ProgressiveNas::SurrogateKind::kLstm;
+    config.ensemble = (name == "PME" || name == "PLE");
+    return std::unique_ptr<SearchAlgorithm>(new ProgressiveNas(config));
+  }
+  if (name == "PBT") {
+    return std::unique_ptr<SearchAlgorithm>(new Pbt());
+  }
+  if (name == "TEVO_H" || name == "TEVO_Y") {
+    TournamentEvolution::Config config;
+    config.kill = name == "TEVO_H"
+                      ? TournamentEvolution::KillPolicy::kWorst
+                      : TournamentEvolution::KillPolicy::kOldest;
+    return std::unique_ptr<SearchAlgorithm>(new TournamentEvolution(config));
+  }
+  if (name == "REINFORCE") {
+    return std::unique_ptr<SearchAlgorithm>(new Reinforce());
+  }
+  if (name == "ENAS") {
+    return std::unique_ptr<SearchAlgorithm>(new Enas());
+  }
+  if (name == "HYPERBAND") {
+    return std::unique_ptr<SearchAlgorithm>(new Hyperband());
+  }
+  if (name == "BOHB") {
+    return std::unique_ptr<SearchAlgorithm>(new Bohb());
+  }
+  return Status::NotFound("no search algorithm named '" + name + "'");
+}
+
+}  // namespace autofp

@@ -1,0 +1,27 @@
+#ifndef AUTOFP_SEARCH_REGISTRY_H_
+#define AUTOFP_SEARCH_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/search_framework.h"
+#include "util/status.h"
+
+namespace autofp {
+
+/// The 15 algorithm names of the paper's Table 3, in its category order:
+/// RS, Anneal (traditional); SMAC, TPE, PMNE, PME, PLNE, PLE
+/// (surrogate-model-based); PBT, TEVO_H, TEVO_Y (evolution-based);
+/// REINFORCE, ENAS (RL-based); HYPERBAND, BOHB (bandit-based).
+const std::vector<std::string>& AllSearchAlgorithmNames();
+
+/// Instantiates a search algorithm by its Table 3 name with the default
+/// configuration used throughout the benchmarks. Returns NotFound for
+/// unknown names.
+Result<std::unique_ptr<SearchAlgorithm>> MakeSearchAlgorithm(
+    const std::string& name);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_REGISTRY_H_

@@ -1,0 +1,99 @@
+#include "search/reinforce.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+namespace {
+
+std::vector<double> Softmax(const double* logits, size_t n) {
+  double max_logit = *std::max_element(logits, logits + n);
+  std::vector<double> probabilities(n);
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    probabilities[i] = std::exp(logits[i] - max_logit);
+    total += probabilities[i];
+  }
+  for (double& p : probabilities) p /= total;
+  return probabilities;
+}
+
+}  // namespace
+
+void Reinforce::Initialize(SearchContext* context) {
+  max_length_ = context->space().max_pipeline_length();
+  num_tokens_ = context->space().num_operators() + 1;  // + STOP.
+  logits_.assign(max_length_ * num_tokens_, 0.0);
+  baseline_set_ = false;
+}
+
+std::vector<double> Reinforce::PolicyProbabilities(size_t position) const {
+  AUTOFP_CHECK_LT(position, max_length_);
+  return Softmax(logits_.data() + position * num_tokens_, num_tokens_);
+}
+
+void Reinforce::Iterate(SearchContext* context) {
+  const SearchSpace& space = context->space();
+  const size_t stop_token = num_tokens_ - 1;
+
+  // Sample a pipeline from the current policy.
+  std::vector<int> encoding;
+  std::vector<std::vector<double>> step_probabilities;
+  for (size_t position = 0; position < max_length_; ++position) {
+    std::vector<double> probabilities = PolicyProbabilities(position);
+    if (position == 0) {
+      // STOP is not allowed before the first operator.
+      probabilities[stop_token] = 0.0;
+    }
+    size_t token = context->rng()->Categorical(probabilities);
+    step_probabilities.push_back(Softmax(
+        logits_.data() + position * num_tokens_, num_tokens_));
+    if (token == stop_token) {
+      encoding.push_back(-1);  // marker: STOP chosen at this position.
+      break;
+    }
+    encoding.push_back(static_cast<int>(token));
+  }
+  std::vector<int> operators;
+  bool stopped = false;
+  for (int token : encoding) {
+    if (token < 0) {
+      stopped = true;
+      break;
+    }
+    operators.push_back(token);
+  }
+  PipelineSpec pipeline = space.Decode(operators);
+
+  std::optional<double> accuracy = context->Evaluate(pipeline);
+  if (!accuracy.has_value()) return;
+
+  // Baseline update and advantage.
+  if (!baseline_set_) {
+    baseline_ = *accuracy;
+    baseline_set_ = true;
+  } else {
+    baseline_ = config_.baseline_decay * baseline_ +
+                (1.0 - config_.baseline_decay) * *accuracy;
+  }
+  double advantage = *accuracy - baseline_;
+  if (advantage == 0.0) return;
+
+  // Policy gradient ascent: d log pi(token) / d logit_j = 1{j==token} - p_j.
+  size_t steps = operators.size() + (stopped ? 1 : 0);
+  for (size_t position = 0; position < steps; ++position) {
+    size_t chosen = position < operators.size()
+                        ? static_cast<size_t>(operators[position])
+                        : stop_token;
+    const std::vector<double>& probabilities = step_probabilities[position];
+    double* row = logits_.data() + position * num_tokens_;
+    for (size_t token = 0; token < num_tokens_; ++token) {
+      double indicator = token == chosen ? 1.0 : 0.0;
+      row[token] += config_.learning_rate * advantage *
+                    (indicator - probabilities[token]);
+    }
+  }
+}
+
+}  // namespace autofp

@@ -1,0 +1,44 @@
+#ifndef AUTOFP_SEARCH_REINFORCE_H_
+#define AUTOFP_SEARCH_REINFORCE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/search_framework.h"
+
+namespace autofp {
+
+/// REINFORCE (Williams, 1992) with a positional softmax policy: a logit
+/// matrix theta[position][token] where tokens are the operators plus a
+/// STOP token (allowed after the first position). One pipeline is sampled
+/// and evaluated per iteration; the policy follows the Monte-Carlo policy
+/// gradient with an exponential-moving-average reward baseline.
+class Reinforce : public SearchAlgorithm {
+ public:
+  struct Config {
+    double learning_rate = 0.5;
+    double baseline_decay = 0.8;
+  };
+
+  explicit Reinforce(const Config& config) : config_(config) {}
+  Reinforce() : Reinforce(Config{}) {}
+
+  std::string name() const override { return "REINFORCE"; }
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+  /// Current policy probabilities at a position (exposed for tests).
+  std::vector<double> PolicyProbabilities(size_t position) const;
+
+ private:
+  Config config_;
+  size_t num_tokens_ = 0;     ///< operators + STOP.
+  size_t max_length_ = 0;
+  std::vector<double> logits_;  ///< [position * num_tokens_ + token].
+  double baseline_ = 0.0;
+  bool baseline_set_ = false;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_REINFORCE_H_

@@ -1,0 +1,40 @@
+#ifndef AUTOFP_SEARCH_SMAC_H_
+#define AUTOFP_SEARCH_SMAC_H_
+
+#include <string>
+#include <vector>
+
+#include "core/search_framework.h"
+#include "ml/random_forest.h"
+
+namespace autofp {
+
+/// SMAC (Hutter et al., 2011): sequential model-based optimization with a
+/// random-forest surrogate over padded pipeline encodings. Each iteration
+/// refits the forest on (encoding -> validation error), scores a candidate
+/// pool (random samples + neighbours of the incumbent) by expected
+/// improvement using the per-tree prediction variance, and evaluates the
+/// best candidate.
+class Smac : public SearchAlgorithm {
+ public:
+  struct Config {
+    size_t num_initial = 20;
+    size_t num_random_candidates = 32;
+    size_t num_local_candidates = 32;
+    RandomForestRegressor::Config forest;
+  };
+
+  explicit Smac(const Config& config) : config_(config) {}
+  Smac() : Smac(Config{}) {}
+
+  std::string name() const override { return "SMAC"; }
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_SMAC_H_

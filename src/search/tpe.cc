@@ -1,0 +1,122 @@
+#include "search/tpe.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace autofp {
+
+PipelineDensity::PipelineDensity(size_t num_operators, size_t max_length,
+                                 double smoothing)
+    : num_operators_(num_operators),
+      max_length_(max_length),
+      smoothing_(smoothing),
+      length_weights_(max_length, smoothing),
+      position_weights_(max_length,
+                        std::vector<double>(num_operators, smoothing)) {}
+
+void PipelineDensity::Fit(const std::vector<std::vector<int>>& encodings) {
+  length_weights_.assign(max_length_, smoothing_);
+  position_weights_.assign(max_length_,
+                           std::vector<double>(num_operators_, smoothing_));
+  for (const std::vector<int>& encoding : encodings) {
+    if (encoding.empty() || encoding.size() > max_length_) continue;
+    length_weights_[encoding.size() - 1] += 1.0;
+    for (size_t p = 0; p < encoding.size(); ++p) {
+      AUTOFP_CHECK_GE(encoding[p], 0);
+      AUTOFP_CHECK_LT(static_cast<size_t>(encoding[p]), num_operators_);
+      position_weights_[p][encoding[p]] += 1.0;
+    }
+  }
+}
+
+double PipelineDensity::LogProbability(
+    const std::vector<int>& encoding) const {
+  AUTOFP_CHECK(!encoding.empty());
+  AUTOFP_CHECK_LE(encoding.size(), max_length_);
+  double length_total = 0.0;
+  for (double w : length_weights_) length_total += w;
+  double log_probability =
+      std::log(length_weights_[encoding.size() - 1] / length_total);
+  for (size_t p = 0; p < encoding.size(); ++p) {
+    double position_total = 0.0;
+    for (double w : position_weights_[p]) position_total += w;
+    log_probability +=
+        std::log(position_weights_[p][encoding[p]] / position_total);
+  }
+  return log_probability;
+}
+
+std::vector<int> PipelineDensity::Sample(Rng* rng) const {
+  size_t length = rng->Categorical(length_weights_) + 1;
+  std::vector<int> encoding(length);
+  for (size_t p = 0; p < length; ++p) {
+    encoding[p] = static_cast<int>(rng->Categorical(position_weights_[p]));
+  }
+  return encoding;
+}
+
+void Tpe::Initialize(SearchContext* context) {
+  for (size_t i = 0; i < config_.num_initial; ++i) {
+    if (!context
+             ->Evaluate(context->space().SampleUniform(context->rng()))
+             .has_value()) {
+      return;
+    }
+  }
+}
+
+void Tpe::Iterate(SearchContext* context) {
+  const SearchSpace& space = context->space();
+  // Full-budget history sorted descending by accuracy.
+  std::vector<const Evaluation*> observations;
+  for (const Evaluation& evaluation : context->history()) {
+    if (evaluation.budget_fraction >= 1.0 && !evaluation.pipeline.empty()) {
+      observations.push_back(&evaluation);
+    }
+  }
+  if (observations.size() < 4) {
+    context->Evaluate(space.SampleUniform(context->rng()));
+    return;
+  }
+  std::sort(observations.begin(), observations.end(),
+            [](const Evaluation* a, const Evaluation* b) {
+              return a->accuracy > b->accuracy;
+            });
+  size_t good_count = std::max<size_t>(
+      2, static_cast<size_t>(config_.gamma *
+                             static_cast<double>(observations.size())));
+  good_count = std::min(good_count, observations.size() - 1);
+
+  std::vector<std::vector<int>> good, bad;
+  for (size_t i = 0; i < observations.size(); ++i) {
+    std::vector<int> encoding = space.Encode(observations[i]->pipeline);
+    if (i < good_count) {
+      good.push_back(std::move(encoding));
+    } else {
+      bad.push_back(std::move(encoding));
+    }
+  }
+  PipelineDensity good_density(space.num_operators(),
+                               space.max_pipeline_length(),
+                               config_.smoothing);
+  PipelineDensity bad_density(space.num_operators(),
+                              space.max_pipeline_length(), config_.smoothing);
+  good_density.Fit(good);
+  bad_density.Fit(bad);
+
+  // Sample candidates from l(x), keep the best l/g ratio.
+  std::vector<int> best_encoding;
+  double best_score = -1e300;
+  for (size_t c = 0; c < config_.num_candidates; ++c) {
+    std::vector<int> candidate = good_density.Sample(context->rng());
+    double score = good_density.LogProbability(candidate) -
+                   bad_density.LogProbability(candidate);
+    if (score > best_score) {
+      best_score = score;
+      best_encoding = std::move(candidate);
+    }
+  }
+  context->Evaluate(space.Decode(best_encoding));
+}
+
+}  // namespace autofp

@@ -1,0 +1,68 @@
+#ifndef AUTOFP_SEARCH_TPE_H_
+#define AUTOFP_SEARCH_TPE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/search_framework.h"
+#include "core/search_space.h"
+#include "preprocess/pipeline.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// Categorical kernel-density model over pipelines: a smoothed pmf over
+/// pipeline lengths plus a smoothed per-position pmf over operators.
+/// This is the structured-space analogue of TPE's per-dimension KDEs
+/// (Bergstra et al., 2011) and is shared by TPE and BOHB.
+class PipelineDensity {
+ public:
+  PipelineDensity(size_t num_operators, size_t max_length,
+                  double smoothing = 1.0);
+
+  /// Rebuilds the density from a set of pipeline encodings.
+  void Fit(const std::vector<std::vector<int>>& encodings);
+
+  /// Log probability of an encoding under the density.
+  double LogProbability(const std::vector<int>& encoding) const;
+
+  /// Samples an encoding (length from the length pmf, operators from the
+  /// per-position pmfs).
+  std::vector<int> Sample(Rng* rng) const;
+
+ private:
+  size_t num_operators_;
+  size_t max_length_;
+  double smoothing_;
+  std::vector<double> length_weights_;                 ///< index 0 = length 1.
+  std::vector<std::vector<double>> position_weights_;  ///< [pos][op].
+};
+
+/// Tree-structured Parzen Estimator. After random initialization, each
+/// iteration splits the history into good/bad by the gamma-quantile of
+/// accuracy, fits one PipelineDensity to each side, samples candidates
+/// from the good density and evaluates the candidate maximizing
+/// log l(x) - log g(x) (equivalently the EI proxy l/g).
+class Tpe : public SearchAlgorithm {
+ public:
+  struct Config {
+    size_t num_initial = 20;
+    double gamma = 0.25;
+    size_t num_candidates = 24;
+    double smoothing = 1.0;
+  };
+
+  explicit Tpe(const Config& config) : config_(config) {}
+  Tpe() : Tpe(Config{}) {}
+
+  std::string name() const override { return "TPE"; }
+  void Initialize(SearchContext* context) override;
+  void Iterate(SearchContext* context) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_TPE_H_

@@ -1,0 +1,40 @@
+#ifndef AUTOFP_SEARCH_TWO_STEP_H_
+#define AUTOFP_SEARCH_TWO_STEP_H_
+
+#include <string>
+
+#include "core/budget.h"
+#include "core/evaluator.h"
+#include "core/search_framework.h"
+#include "core/search_space.h"
+
+namespace autofp {
+
+/// The Two-step extension of Section 6.2: repeatedly (1) sample one
+/// concrete parameter value per preprocessor, (2) run a pipeline search
+/// over that fixed 7-operator alphabet for a short inner budget; the best
+/// pipeline over all rounds wins. Composes with any registered algorithm
+/// (the paper uses PBT).
+struct TwoStepConfig {
+  std::string algorithm = "PBT";
+  /// Budget per inner pipeline search (the paper uses 60 s rounds).
+  Budget inner_budget = Budget::Evaluations(30);
+  size_t max_pipeline_length = 7;
+};
+
+SearchResult RunTwoStep(const TwoStepConfig& config,
+                        EvaluatorInterface* evaluator,
+                        const ParameterSpace& parameters,
+                        const Budget& total_budget, uint64_t seed);
+
+/// The One-step extension: a single search over the flattened
+/// (preprocessor x parameter) alphabet.
+SearchResult RunOneStep(const std::string& algorithm,
+                        EvaluatorInterface* evaluator,
+                        const ParameterSpace& parameters,
+                        const Budget& total_budget, uint64_t seed,
+                        size_t max_pipeline_length = 7);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SEARCH_TWO_STEP_H_

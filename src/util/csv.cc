@@ -1,0 +1,102 @@
+#include "util/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace autofp {
+
+namespace {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::stringstream ss(line);
+  while (std::getline(ss, cell, ',')) cells.push_back(cell);
+  if (!line.empty() && line.back() == ',') cells.push_back("");
+  return cells;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& content, bool has_header) {
+  CsvTable table;
+  std::stringstream stream(content);
+  std::string line;
+  std::vector<std::vector<double>> rows;
+  size_t line_number = 0;
+  size_t expected_cols = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> cells = SplitLine(line);
+    if (line_number == 1 && has_header) {
+      table.header = cells;
+      expected_cols = cells.size();
+      continue;
+    }
+    if (expected_cols == 0) expected_cols = cells.size();
+    if (cells.size() != expected_cols) {
+      return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                     ": expected " +
+                                     std::to_string(expected_cols) +
+                                     " cells, got " +
+                                     std::to_string(cells.size()));
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const std::string& cell : cells) {
+      char* end = nullptr;
+      double value = std::strtod(cell.c_str(), &end);
+      if (end == cell.c_str() || *end != '\0') {
+        return Status::InvalidArgument("line " + std::to_string(line_number) +
+                                       ": non-numeric cell '" + cell + "'");
+      }
+      row.push_back(value);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    table.values = Matrix();
+    return table;
+  }
+  Matrix values(rows.size(), rows[0].size());
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) values(r, c) = rows[r][c];
+  }
+  table.values = std::move(values);
+  return table;
+}
+
+Result<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "'");
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return ParseCsv(buffer.str(), has_header);
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header, const Matrix& values) {
+  std::ofstream file(path);
+  if (!file) return Status::IoError("cannot open '" + path + "' for writing");
+  if (!header.empty()) {
+    for (size_t i = 0; i < header.size(); ++i) {
+      if (i > 0) file << ',';
+      file << header[i];
+    }
+    file << '\n';
+  }
+  for (size_t r = 0; r < values.rows(); ++r) {
+    for (size_t c = 0; c < values.cols(); ++c) {
+      if (c > 0) file << ',';
+      file << values(r, c);
+    }
+    file << '\n';
+  }
+  if (!file) return Status::IoError("write failed for '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace autofp

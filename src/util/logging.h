@@ -1,0 +1,63 @@
+#ifndef AUTOFP_UTIL_LOGGING_H_
+#define AUTOFP_UTIL_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace autofp {
+
+/// Internal helper that aborts the process with a formatted message.
+/// Used by the CHECK family of macros; not intended for direct use.
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr,
+                                     const std::string& message) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+namespace internal {
+
+/// Stream collector so CHECK(x) << "context" works.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace autofp
+
+/// Aborts with a diagnostic if `condition` is false. Active in all builds:
+/// these guard programmer errors (API misuse), not recoverable conditions.
+#define AUTOFP_CHECK(condition)                                             \
+  if (condition) {                                                          \
+  } else                                                                    \
+    ::autofp::internal::CheckMessageBuilder(__FILE__, __LINE__, #condition)
+
+#define AUTOFP_CHECK_EQ(a, b) AUTOFP_CHECK((a) == (b))
+#define AUTOFP_CHECK_NE(a, b) AUTOFP_CHECK((a) != (b))
+#define AUTOFP_CHECK_LT(a, b) AUTOFP_CHECK((a) < (b))
+#define AUTOFP_CHECK_LE(a, b) AUTOFP_CHECK((a) <= (b))
+#define AUTOFP_CHECK_GT(a, b) AUTOFP_CHECK((a) > (b))
+#define AUTOFP_CHECK_GE(a, b) AUTOFP_CHECK((a) >= (b))
+
+#endif  // AUTOFP_UTIL_LOGGING_H_

@@ -1,0 +1,51 @@
+#include "util/matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace autofp {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+    : rows_(rows.size()), cols_(0) {
+  if (rows_ == 0) return;
+  cols_ = rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    AUTOFP_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+std::vector<double> Matrix::Column(size_t c) const {
+  AUTOFP_CHECK_LT(c, cols_);
+  std::vector<double> out(rows_);
+  for (size_t r = 0; r < rows_; ++r) out[r] = data_[r * cols_ + c];
+  return out;
+}
+
+void Matrix::SetColumn(size_t c, const std::vector<double>& values) {
+  AUTOFP_CHECK_LT(c, cols_);
+  AUTOFP_CHECK_EQ(values.size(), rows_);
+  for (size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] = values[r];
+}
+
+Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    AUTOFP_CHECK_LT(indices[i], rows_);
+    std::memcpy(out.RowPtr(i), RowPtr(indices[i]), cols_ * sizeof(double));
+  }
+  return out;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  if (empty() && rows_ == 0) {
+    *this = other;
+    return;
+  }
+  AUTOFP_CHECK_EQ(cols_, other.cols_) << "column count mismatch";
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+}  // namespace autofp

@@ -1,0 +1,73 @@
+#ifndef AUTOFP_UTIL_MATRIX_H_
+#define AUTOFP_UTIL_MATRIX_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace autofp {
+
+/// Dense row-major matrix of doubles. The workhorse container for feature
+/// tables: rows are samples, columns are features. Deliberately minimal —
+/// models and preprocessors implement their own math on top of raw access.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds a matrix from nested initializer lists; all rows must have the
+  /// same length. Intended for tests and small literals.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    AUTOFP_CHECK_LT(r, rows_);
+    AUTOFP_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    AUTOFP_CHECK_LT(r, rows_);
+    AUTOFP_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked raw access for hot loops.
+  double* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const double* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+  /// Returns a copy of column c.
+  std::vector<double> Column(size_t c) const;
+
+  /// Overwrites column c with `values` (must have rows() entries).
+  void SetColumn(size_t c, const std::vector<double>& values);
+
+  /// Returns the sub-matrix consisting of the given row indices, in order.
+  Matrix SelectRows(const std::vector<size_t>& indices) const;
+
+  /// Appends the rows of `other` (must have identical column count,
+  /// unless this matrix is empty).
+  void AppendRows(const Matrix& other);
+
+  bool operator==(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_ &&
+           data_ == other.data_;
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_UTIL_MATRIX_H_

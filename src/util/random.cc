@@ -1,0 +1,44 @@
+#include "util/random.h"
+
+#include <numeric>
+
+namespace autofp {
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  AUTOFP_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    AUTOFP_CHECK_GE(w, 0.0) << "Categorical weights must be non-negative";
+    total += w;
+  }
+  if (total <= 0.0) return UniformIndex(weights.size());
+  double draw = Uniform(0.0, total);
+  double cumulative = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (draw < cumulative) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<size_t> Rng::Permutation(size_t n) {
+  std::vector<size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), size_t{0});
+  Shuffle(&perm);
+  return perm;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  AUTOFP_CHECK_LE(k, n);
+  // Partial Fisher-Yates: only the first k draws are materialized.
+  std::vector<size_t> pool(n);
+  std::iota(pool.begin(), pool.end(), size_t{0});
+  for (size_t i = 0; i < k; ++i) {
+    size_t j = i + UniformIndex(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+}  // namespace autofp

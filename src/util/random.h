@@ -1,0 +1,77 @@
+#ifndef AUTOFP_UTIL_RANDOM_H_
+#define AUTOFP_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace autofp {
+
+/// Deterministic random number generator used throughout the library.
+/// Every stochastic component takes an explicit seed so that experiments
+/// are reproducible run-to-run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int UniformInt(int lo, int hi) {
+    AUTOFP_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform size_t index in [0, n). Requires n > 0.
+  size_t UniformIndex(size_t n) {
+    AUTOFP_CHECK_GT(n, 0u);
+    return std::uniform_int_distribution<size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal deviate scaled to (mean, stddev).
+  double Gaussian(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Samples an index proportionally to non-negative `weights`.
+  /// If all weights are zero, samples uniformly.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Returns a uniformly random permutation of {0, ..., n-1}.
+  std::vector<size_t> Permutation(size_t n);
+
+  /// Samples k distinct indices from [0, n) without replacement (k <= n).
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Fisher-Yates shuffle of an arbitrary vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = UniformIndex(i);
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Derives a child generator; used to give sub-components independent
+  /// yet reproducible streams.
+  Rng Fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_UTIL_RANDOM_H_

@@ -1,0 +1,120 @@
+#ifndef AUTOFP_UTIL_STATUS_H_
+#define AUTOFP_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/logging.h"
+
+namespace autofp {
+
+/// Error category for recoverable failures (I/O, parsing, bad user input).
+/// Programmer errors use AUTOFP_CHECK instead.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Lightweight success-or-error value, in the style of arrow::Status.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return CodeName(code_) + ": " + message_;
+  }
+
+ private:
+  static std::string CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk:
+        return "OK";
+      case StatusCode::kInvalidArgument:
+        return "InvalidArgument";
+      case StatusCode::kNotFound:
+        return "NotFound";
+      case StatusCode::kIoError:
+        return "IoError";
+      case StatusCode::kOutOfRange:
+        return "OutOfRange";
+      case StatusCode::kInternal:
+        return "Internal";
+    }
+    return "Unknown";
+  }
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type T or an error Status. Accessing the value of an errored
+/// Result is a programmer error and aborts.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : payload_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {    // NOLINT(runtime/explicit)
+    AUTOFP_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status without a value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    AUTOFP_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    AUTOFP_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    AUTOFP_CHECK(ok()) << status().ToString();
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_UTIL_STATUS_H_

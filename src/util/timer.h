@@ -1,0 +1,27 @@
+#ifndef AUTOFP_UTIL_TIMER_H_
+#define AUTOFP_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace autofp {
+
+/// Monotonic stopwatch. Starts on construction; Elapsed() returns seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void Reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_UTIL_TIMER_H_

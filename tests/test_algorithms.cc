@@ -1,0 +1,220 @@
+#include "search/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "search/anneal.h"
+#include "search/evolution.h"
+#include "search/hyperband.h"
+#include "search/pbt.h"
+#include "search/reinforce.h"
+#include "search/tpe.h"
+
+namespace autofp {
+namespace {
+
+/// A dataset where scaling clearly helps LR: heterogeneous feature scales.
+Dataset ScaleSensitiveData(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "alg";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 240;
+  spec.cols = 6;
+  spec.num_classes = 2;
+  spec.seed = seed;
+  spec.separation = 2.0;
+  spec.label_noise = 0.05;
+  return GenerateSynthetic(spec);
+}
+
+PipelineEvaluator MakeEvaluator(uint64_t seed) {
+  Dataset data = ScaleSensitiveData(seed);
+  Rng rng(seed);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 30;  // keep tests fast.
+  return PipelineEvaluator(split.train, split.valid, model);
+}
+
+TEST(Registry, HasAllFifteenAlgorithms) {
+  const std::vector<std::string>& names = AllSearchAlgorithmNames();
+  EXPECT_EQ(names.size(), 15u);
+  for (const std::string& name : names) {
+    Result<std::unique_ptr<SearchAlgorithm>> algorithm =
+        MakeSearchAlgorithm(name);
+    ASSERT_TRUE(algorithm.ok()) << name;
+    EXPECT_EQ(algorithm.value()->name(), name);
+  }
+}
+
+TEST(Registry, UnknownNameFails) {
+  EXPECT_FALSE(MakeSearchAlgorithm("NOPE").ok());
+}
+
+class EveryAlgorithm : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(EveryAlgorithm, RunsWithinBudgetAndImproves) {
+  PipelineEvaluator evaluator = MakeEvaluator(61);
+  SearchSpace space = SearchSpace::Default(4);
+  Result<std::unique_ptr<SearchAlgorithm>> algorithm =
+      MakeSearchAlgorithm(GetParam());
+  ASSERT_TRUE(algorithm.ok());
+  SearchResult result = RunSearch(algorithm.value().get(), &evaluator, space,
+                                  Budget::Evaluations(40), 123);
+  EXPECT_GT(result.num_evaluations, 0) << GetParam();
+  // Bandit algorithms run many cheap partial evaluations; what is bounded
+  // is the *cost* (full-training equivalents), with one overshoot allowed
+  // for the evaluation in flight when the budget ran out.
+  EXPECT_LE(result.evaluation_cost, 41.0) << GetParam();
+  EXPECT_GE(result.best_accuracy, 0.3) << GetParam();
+  // On a scale-sensitive dataset every algorithm should at least match the
+  // no-FP baseline after 40 evaluations of a tiny space.
+  EXPECT_GE(result.best_accuracy, result.baseline_accuracy - 0.02)
+      << GetParam();
+}
+
+TEST_P(EveryAlgorithm, DeterministicForSeed) {
+  SearchSpace space = SearchSpace::Default(4);
+  PipelineEvaluator evaluator_a = MakeEvaluator(62);
+  PipelineEvaluator evaluator_b = MakeEvaluator(62);
+  Result<std::unique_ptr<SearchAlgorithm>> algorithm_a =
+      MakeSearchAlgorithm(GetParam());
+  Result<std::unique_ptr<SearchAlgorithm>> algorithm_b =
+      MakeSearchAlgorithm(GetParam());
+  SearchResult a = RunSearch(algorithm_a.value().get(), &evaluator_a, space,
+                             Budget::Evaluations(25), 9);
+  SearchResult b = RunSearch(algorithm_b.value().get(), &evaluator_b, space,
+                             Budget::Evaluations(25), 9);
+  EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy) << GetParam();
+  EXPECT_TRUE(a.best_pipeline == b.best_pipeline) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(All, EveryAlgorithm,
+                         ::testing::ValuesIn(AllSearchAlgorithmNames()),
+                         [](const ::testing::TestParamInfo<std::string>& i) {
+                           return i.param;
+                         });
+
+TEST(RandomSearchBehavior, BeatsBaselineOnScaleSensitiveData) {
+  PipelineEvaluator evaluator = MakeEvaluator(63);
+  SearchSpace space = SearchSpace::Default();
+  Result<std::unique_ptr<SearchAlgorithm>> rs = MakeSearchAlgorithm("RS");
+  SearchResult result = RunSearch(rs.value().get(), &evaluator, space,
+                                  Budget::Evaluations(60), 5);
+  EXPECT_GT(result.best_accuracy, result.baseline_accuracy + 0.02);
+}
+
+TEST(AnnealBehavior, AcceptsImprovementsGreedily) {
+  // With temperature ~0, Anneal is pure hill climbing: its trajectory of
+  // current states must be non-decreasing in accuracy.
+  Anneal::Config config;
+  config.initial_temperature = 1e-9;
+  config.min_temperature = 1e-12;
+  Anneal anneal(config);
+  PipelineEvaluator evaluator = MakeEvaluator(64);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchResult result = RunSearch(&anneal, &evaluator, space,
+                                  Budget::Evaluations(30), 11);
+  EXPECT_GE(result.best_accuracy, result.baseline_accuracy - 0.05);
+}
+
+TEST(EvolutionBehavior, PopulationBoundedAndKillPoliciesDiffer) {
+  TournamentEvolution::Config config;
+  config.population_size = 6;
+  config.tournament_size = 3;
+  config.kill = TournamentEvolution::KillPolicy::kWorst;
+  TournamentEvolution tevo_h(config);
+  EXPECT_EQ(tevo_h.name(), "TEVO_H");
+  config.kill = TournamentEvolution::KillPolicy::kOldest;
+  TournamentEvolution tevo_y(config);
+  EXPECT_EQ(tevo_y.name(), "TEVO_Y");
+  PipelineEvaluator evaluator = MakeEvaluator(65);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchResult result = RunSearch(&tevo_h, &evaluator, space,
+                                  Budget::Evaluations(30), 13);
+  EXPECT_EQ(result.num_evaluations, 30);
+}
+
+TEST(PbtBehavior, ImprovesOverItsInitialPopulation) {
+  Pbt::Config config;
+  config.population_size = 6;
+  Pbt pbt(config);
+  PipelineEvaluator evaluator = MakeEvaluator(66);
+  SearchSpace space = SearchSpace::Default();
+  SearchResult result =
+      RunSearch(&pbt, &evaluator, space, Budget::Evaluations(60), 17);
+  EXPECT_GT(result.best_accuracy, result.baseline_accuracy);
+}
+
+TEST(ReinforceBehavior, PolicyShiftsTowardRewardedTokens) {
+  PipelineEvaluator evaluator = MakeEvaluator(67);
+  SearchSpace space = SearchSpace::Default(3);
+  Reinforce reinforce;
+  SearchContext context(&space, &evaluator, Budget::Evaluations(60), 19);
+  reinforce.Initialize(&context);
+  std::vector<double> initial = reinforce.PolicyProbabilities(0);
+  while (!context.BudgetExhausted()) {
+    reinforce.Iterate(&context);
+  }
+  std::vector<double> trained = reinforce.PolicyProbabilities(0);
+  // The policy must have moved away from uniform.
+  double drift = 0.0;
+  for (size_t i = 0; i < trained.size(); ++i) {
+    drift += std::abs(trained[i] - initial[i]);
+  }
+  EXPECT_GT(drift, 0.01);
+}
+
+TEST(HyperbandBehavior, UsesPartialBudgets) {
+  Hyperband::Config config;
+  config.eta = 3.0;
+  config.min_fraction = 1.0 / 9.0;
+  Hyperband hyperband(config);
+  PipelineEvaluator evaluator = MakeEvaluator(68);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchContext context(&space, &evaluator, Budget::Evaluations(30), 23);
+  hyperband.Initialize(&context);
+  hyperband.Iterate(&context);
+  bool has_partial = false, has_full = false;
+  for (const Evaluation& evaluation : context.history()) {
+    if (evaluation.budget_fraction < 1.0) has_partial = true;
+    if (evaluation.budget_fraction >= 1.0) has_full = true;
+  }
+  EXPECT_TRUE(has_partial);
+  EXPECT_TRUE(has_full);
+  // The final answer must come from a full-budget evaluation.
+  EXPECT_DOUBLE_EQ(context.best().budget_fraction, 1.0);
+}
+
+TEST(TpeBehavior, DensityFitAndSampling) {
+  PipelineDensity density(3, 4);
+  density.Fit({{0, 1}, {0, 1}, {0, 1, 2}});
+  Rng rng(25);
+  // Length-2 pipelines starting with operator 0 dominate the fit data.
+  int start_zero = 0;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<int> sample = density.Sample(&rng);
+    EXPECT_GE(sample.size(), 1u);
+    EXPECT_LE(sample.size(), 4u);
+    if (sample[0] == 0) ++start_zero;
+  }
+  EXPECT_GT(start_zero, 100);
+  // Log-probability favours what it saw.
+  EXPECT_GT(density.LogProbability({0, 1}),
+            density.LogProbability({2, 2}));
+}
+
+TEST(TpeBehavior, RunsAfterInitialization) {
+  Tpe::Config config;
+  config.num_initial = 8;
+  Tpe tpe(config);
+  PipelineEvaluator evaluator = MakeEvaluator(69);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchResult result =
+      RunSearch(&tpe, &evaluator, space, Budget::Evaluations(25), 27);
+  EXPECT_EQ(result.num_evaluations, 25);
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,107 @@
+#include "automl/hpo.h"
+#include "automl/tpot_fp.h"
+
+#include <gtest/gtest.h>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+
+namespace autofp {
+namespace {
+
+TrainValidSplit MakeSplit(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "automl";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 240;
+  spec.cols = 6;
+  spec.num_classes = 2;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(seed);
+  return SplitTrainValid(data, 0.8, &rng);
+}
+
+TEST(TpotFp, SpaceHasFivePreprocessorsWithoutPowerOrQuantile) {
+  SearchSpace space = TpotFpSpace();
+  EXPECT_EQ(space.num_operators(), 5u);
+  for (const PreprocessorConfig& op : space.operators()) {
+    EXPECT_NE(op.kind, PreprocessorKind::kPowerTransformer);
+    EXPECT_NE(op.kind, PreprocessorKind::kQuantileTransformer);
+  }
+}
+
+TEST(TpotFp, RunsWithinBudget) {
+  TrainValidSplit split = MakeSplit(81);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 30;
+  PipelineEvaluator evaluator(split.train, split.valid, model);
+  SearchResult result =
+      RunTpotFp(TpotFpConfig{}, &evaluator, Budget::Evaluations(40), 1);
+  EXPECT_EQ(result.algorithm, "TPOT-FP");
+  EXPECT_EQ(result.num_evaluations, 40);
+  // Every step of the winner must come from the restricted alphabet.
+  for (const PreprocessorConfig& step : result.best_pipeline.steps) {
+    EXPECT_NE(step.kind, PreprocessorKind::kPowerTransformer);
+    EXPECT_NE(step.kind, PreprocessorKind::kQuantileTransformer);
+  }
+}
+
+TEST(TpotFp, Deterministic) {
+  TrainValidSplit split = MakeSplit(82);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kXgboost);
+  model.xgb_rounds = 10;
+  PipelineEvaluator evaluator_a(split.train, split.valid, model);
+  PipelineEvaluator evaluator_b(split.train, split.valid, model);
+  SearchResult a =
+      RunTpotFp(TpotFpConfig{}, &evaluator_a, Budget::Evaluations(25), 4);
+  SearchResult b =
+      RunTpotFp(TpotFpConfig{}, &evaluator_b, Budget::Evaluations(25), 4);
+  EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy);
+}
+
+class HpoModels : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(HpoModels, SearchNeverWorseThanDefault) {
+  TrainValidSplit split = MakeSplit(83);
+  HpoResult result = RunHpoSearch(GetParam(), split.train, split.valid,
+                                  Budget::Evaluations(12), 2);
+  EXPECT_GE(result.best_accuracy, result.default_accuracy);
+  EXPECT_EQ(result.num_evaluations, 12);
+  EXPECT_EQ(result.best_config.kind, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, HpoModels,
+                         ::testing::Values(ModelKind::kLogisticRegression,
+                                           ModelKind::kXgboost,
+                                           ModelKind::kMlp),
+                         [](const ::testing::TestParamInfo<ModelKind>& info) {
+                           return ModelKindName(info.param);
+                         });
+
+TEST(Hpo, SampledConfigsWithinBounds) {
+  Rng rng(84);
+  for (int i = 0; i < 100; ++i) {
+    ModelConfig config = SampleModelConfig(ModelKind::kXgboost, &rng);
+    EXPECT_GE(config.xgb_rounds, 10);
+    EXPECT_LE(config.xgb_rounds, 80);
+    EXPECT_GE(config.xgb_max_depth, 2);
+    EXPECT_LE(config.xgb_max_depth, 8);
+    EXPECT_GE(config.xgb_eta, 0.05);
+    EXPECT_LE(config.xgb_eta, 0.5);
+  }
+}
+
+TEST(Hpo, MutationKeepsKindAndBounds) {
+  Rng rng(85);
+  ModelConfig config = SampleModelConfig(ModelKind::kMlp, &rng);
+  for (int i = 0; i < 100; ++i) {
+    config = MutateModelConfig(config, &rng);
+    EXPECT_EQ(config.kind, ModelKind::kMlp);
+    EXPECT_GE(config.mlp_hidden, 8);
+    EXPECT_LE(config.mlp_hidden, 96);
+  }
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,180 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "search/bohb.h"
+#include "search/hyperband.h"
+
+namespace autofp {
+namespace {
+
+PipelineEvaluator MakeEvaluator(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "bandit";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 260;
+  spec.cols = 5;
+  spec.num_classes = 2;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(seed);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 20;
+  return PipelineEvaluator(split.train, split.valid, model);
+}
+
+/// Runs exactly one bracket and returns the per-fraction evaluation counts.
+std::map<double, int> BracketProfile(Hyperband* algorithm, uint64_t seed) {
+  PipelineEvaluator evaluator = MakeEvaluator(seed);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchContext context(&space, &evaluator, Budget::Evaluations(500), seed);
+  algorithm->Initialize(&context);
+  algorithm->Iterate(&context);
+  std::map<double, int> counts;
+  for (const Evaluation& evaluation : context.history()) {
+    counts[evaluation.budget_fraction] += 1;
+  }
+  return counts;
+}
+
+TEST(Hyperband, FirstBracketIsMostAggressive) {
+  // eta=3, min_fraction=1/9 -> s_max=2; the first bracket starts 9
+  // configurations at fraction 1/9, keeps 3 at 1/3, keeps 1 at 1.0.
+  Hyperband::Config config;
+  config.eta = 3.0;
+  config.min_fraction = 1.0 / 9.0;
+  Hyperband hyperband(config);
+  std::map<double, int> counts = BracketProfile(&hyperband, 11);
+  ASSERT_EQ(counts.size(), 3u);
+  auto it = counts.begin();
+  EXPECT_NEAR(it->first, 1.0 / 9.0, 1e-9);
+  EXPECT_EQ(it->second, 9);
+  ++it;
+  EXPECT_NEAR(it->first, 1.0 / 3.0, 1e-9);
+  EXPECT_EQ(it->second, 3);
+  ++it;
+  EXPECT_NEAR(it->first, 1.0, 1e-9);
+  EXPECT_EQ(it->second, 1);
+}
+
+TEST(Hyperband, SuccessiveHalvingKeepsTheBest) {
+  Hyperband::Config config;
+  config.eta = 3.0;
+  config.min_fraction = 1.0 / 3.0;
+  Hyperband hyperband(config);
+  PipelineEvaluator evaluator = MakeEvaluator(12);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchContext context(&space, &evaluator, Budget::Evaluations(100), 12);
+  hyperband.Initialize(&context);
+  hyperband.Iterate(&context);  // bracket s=1: 2*3=6 configs? n=ceil(2/2*3)=3.
+  // The configurations promoted to full budget must be among the best of
+  // the first rung (by their partial-budget score).
+  std::vector<const Evaluation*> partial, full;
+  for (const Evaluation& evaluation : context.history()) {
+    if (evaluation.budget_fraction < 1.0) {
+      partial.push_back(&evaluation);
+    } else {
+      full.push_back(&evaluation);
+    }
+  }
+  ASSERT_FALSE(partial.empty());
+  ASSERT_FALSE(full.empty());
+  double best_partial = 0.0;
+  for (const Evaluation* evaluation : partial) {
+    best_partial = std::max(best_partial, evaluation->accuracy);
+  }
+  // The promoted pipeline is the partial-rung winner.
+  bool promoted_winner = false;
+  for (const Evaluation* evaluation : full) {
+    for (const Evaluation* p : partial) {
+      if (p->accuracy == best_partial &&
+          p->pipeline == evaluation->pipeline) {
+        promoted_winner = true;
+      }
+    }
+  }
+  EXPECT_TRUE(promoted_winner);
+}
+
+TEST(Hyperband, BracketsCycleThroughS) {
+  Hyperband::Config config;
+  config.eta = 3.0;
+  config.min_fraction = 1.0 / 9.0;
+  Hyperband hyperband(config);
+  PipelineEvaluator evaluator = MakeEvaluator(13);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchContext context(&space, &evaluator, Budget::Evaluations(1000), 13);
+  hyperband.Initialize(&context);
+  // Three brackets: s=2 (min fraction 1/9), s=1 (1/3), s=0 (only 1.0).
+  hyperband.Iterate(&context);
+  size_t after_first = context.history().size();
+  hyperband.Iterate(&context);
+  size_t after_second = context.history().size();
+  hyperband.Iterate(&context);
+  std::set<double> fractions_third;
+  for (size_t i = after_second; i < context.history().size(); ++i) {
+    fractions_third.insert(context.history()[i].budget_fraction);
+  }
+  // Bracket s=0 runs everything at full budget.
+  EXPECT_EQ(fractions_third.size(), 1u);
+  EXPECT_DOUBLE_EQ(*fractions_third.begin(), 1.0);
+  std::set<double> fractions_second;
+  for (size_t i = after_first; i < after_second; ++i) {
+    fractions_second.insert(context.history()[i].budget_fraction);
+  }
+  EXPECT_EQ(fractions_second.size(), 2u);  // 1/3 and 1.0.
+}
+
+TEST(Hyperband, MinFractionRespected) {
+  Hyperband::Config config;
+  config.eta = 3.0;
+  config.min_fraction = 0.2;
+  Hyperband hyperband(config);
+  PipelineEvaluator evaluator = MakeEvaluator(14);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchContext context(&space, &evaluator, Budget::Evaluations(60), 14);
+  hyperband.Initialize(&context);
+  for (int i = 0; i < 4 && !context.BudgetExhausted(); ++i) {
+    hyperband.Iterate(&context);
+  }
+  for (const Evaluation& evaluation : context.history()) {
+    EXPECT_GE(evaluation.budget_fraction, 0.2 - 1e-12);
+  }
+}
+
+TEST(Bohb, FallsBackToRandomWithoutObservations) {
+  // With an empty history BOHB must not crash and must sample uniformly.
+  Bohb bohb;
+  PipelineEvaluator evaluator = MakeEvaluator(15);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchContext context(&space, &evaluator, Budget::Evaluations(40), 15);
+  bohb.Initialize(&context);
+  bohb.Iterate(&context);
+  EXPECT_GT(context.history().size(), 0u);
+}
+
+TEST(Bohb, RunsManyBracketsUnderBudget) {
+  Bohb::Config config;
+  config.hyperband.eta = 3.0;
+  config.hyperband.min_fraction = 1.0 / 9.0;
+  config.min_observations = 4;
+  Bohb bohb(config);
+  PipelineEvaluator evaluator = MakeEvaluator(16);
+  SearchSpace space = SearchSpace::Default(4);
+  SearchContext context(&space, &evaluator, Budget::Evaluations(30), 16);
+  bohb.Initialize(&context);
+  while (!context.BudgetExhausted()) {
+    bohb.Iterate(&context);
+  }
+  // Budget accounting: cost is bounded by the (fractional) budget.
+  EXPECT_LE(context.evaluation_cost(), 31.0);
+  EXPECT_GT(context.num_evaluations(), 30);  // partials are cheap.
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,213 @@
+/// Edge-case and robustness tests across modules: tiny datasets, extreme
+/// values, degenerate configurations, and budget corner cases.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/auto_fp.h"
+#include "data/synthetic.h"
+#include "ml/cross_validation.h"
+#include "ml/knn.h"
+#include "search/registry.h"
+#include "search/two_step.h"
+
+namespace autofp {
+namespace {
+
+TEST(EdgePreprocess, PipelineOnTwoRowDataset) {
+  Matrix train = {{1.0, -5.0}, {2.0, 5.0}};
+  Matrix valid = {{1.5, 0.0}};
+  PipelineSpec spec = PipelineSpec::FromKinds(
+      {PreprocessorKind::kPowerTransformer,
+       PreprocessorKind::kQuantileTransformer,
+       PreprocessorKind::kStandardScaler});
+  TransformedPair pair = FitTransformPair(spec, train, valid);
+  for (size_t c = 0; c < 2; ++c) {
+    EXPECT_TRUE(std::isfinite(pair.valid(0, c)));
+  }
+}
+
+TEST(EdgePreprocess, AllConstantDataset) {
+  Matrix train(10, 3, 4.2);
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    auto preprocessor = MakePreprocessor(kind);
+    Matrix out = preprocessor->FitTransform(train);
+    for (size_t r = 0; r < out.rows(); ++r) {
+      for (size_t c = 0; c < out.cols(); ++c) {
+        EXPECT_TRUE(std::isfinite(out(r, c))) << KindName(kind);
+      }
+    }
+  }
+}
+
+TEST(EdgePreprocess, ExtremeMagnitudes) {
+  Matrix train = {{1e300, 1e-300}, {-1e300, 2e-300}, {5e299, 3e-300}};
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    auto preprocessor = MakePreprocessor(kind);
+    Matrix out = preprocessor->FitTransform(train);
+    for (size_t r = 0; r < out.rows(); ++r) {
+      for (size_t c = 0; c < out.cols(); ++c) {
+        EXPECT_TRUE(std::isfinite(out(r, c)))
+            << KindName(kind) << " (" << r << "," << c << ")";
+      }
+    }
+  }
+}
+
+TEST(EdgeModels, TrainingWithOneFeature) {
+  Matrix features = {{0.0}, {1.0}, {2.0}, {10.0}, {11.0}, {12.0}};
+  std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  for (ModelKind kind : {ModelKind::kLogisticRegression,
+                         ModelKind::kXgboost, ModelKind::kMlp}) {
+    auto model = MakeClassifier(ModelConfig::Defaults(kind));
+    model->Train(features, labels, 2);
+    EXPECT_EQ(model->PredictBatch(features).size(), 6u)
+        << ModelKindName(kind);
+  }
+}
+
+TEST(EdgeModels, AllSameLabelStillPredicts) {
+  Matrix features = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  std::vector<int> labels = {1, 1, 1};
+  for (ModelKind kind : {ModelKind::kLogisticRegression,
+                         ModelKind::kXgboost, ModelKind::kMlp}) {
+    auto model = MakeClassifier(ModelConfig::Defaults(kind));
+    model->Train(features, labels, 2);
+    for (int prediction : model->PredictBatch(features)) {
+      EXPECT_EQ(prediction, 1) << ModelKindName(kind);
+    }
+  }
+}
+
+TEST(EdgeModels, KnnWithKLargerThanData) {
+  Matrix features = {{0.0}, {1.0}};
+  std::vector<int> labels = {0, 1};
+  KnnClassifier knn(25);  // k > n clamps to n.
+  knn.Train(features, labels, 2);
+  double q = 0.1;
+  EXPECT_GE(knn.Predict(&q, 1), 0);
+}
+
+TEST(EdgeSearch, BudgetOfOneEvaluation) {
+  SyntheticSpec spec;
+  spec.name = "edge";
+  spec.rows = 60;
+  spec.cols = 3;
+  spec.num_classes = 2;
+  spec.seed = 81;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(81);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 10;
+  for (const std::string& name : AllSearchAlgorithmNames()) {
+    PipelineEvaluator evaluator(split.train, split.valid, model);
+    auto algorithm = MakeSearchAlgorithm(name).value();
+    SearchResult result = RunSearch(algorithm.get(), &evaluator,
+                                    SearchSpace::Default(),
+                                    Budget::Evaluations(1), 81);
+    EXPECT_GE(result.num_evaluations, 1) << name;
+    EXPECT_GE(result.best_accuracy, 0.0) << name;
+  }
+}
+
+TEST(EdgeSearch, SingleOperatorAlphabet) {
+  // A space with exactly one operator: everything still works, and every
+  // pipeline is some repetition of it.
+  SearchSpace space(
+      {PreprocessorConfig::Defaults(PreprocessorKind::kStandardScaler)}, 3);
+  Rng rng(82);
+  for (int i = 0; i < 20; ++i) {
+    PipelineSpec pipeline = space.SampleUniform(&rng);
+    for (const PreprocessorConfig& step : pipeline.steps) {
+      EXPECT_EQ(step.kind, PreprocessorKind::kStandardScaler);
+    }
+    pipeline = space.Mutate(pipeline, &rng);
+    EXPECT_GE(pipeline.size(), 1u);
+    EXPECT_LE(pipeline.size(), 3u);
+  }
+}
+
+TEST(EdgeSearch, MaxLengthOnePipelines) {
+  SearchSpace space = SearchSpace::Default(1);
+  Rng rng(83);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(space.SampleUniform(&rng).size(), 1u);
+    PipelineSpec mutated =
+        space.Mutate(space.SampleUniform(&rng), &rng);
+    EXPECT_EQ(mutated.size(), 1u);
+  }
+}
+
+TEST(EdgeSearch, TwoStepWithSecondsBudgetTerminates) {
+  SyntheticSpec spec;
+  spec.name = "edge2";
+  spec.rows = 80;
+  spec.cols = 4;
+  spec.num_classes = 2;
+  spec.seed = 84;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(84);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 10;
+  PipelineEvaluator evaluator(split.train, split.valid, model);
+  TwoStepConfig config;
+  config.algorithm = "RS";
+  config.inner_budget = Budget::Seconds(0.05);
+  SearchResult result =
+      RunTwoStep(config, &evaluator, ParameterSpace::LowCardinality(),
+                 Budget::Seconds(0.2), 84);
+  EXPECT_GT(result.num_evaluations, 0);
+  EXPECT_LT(result.elapsed_seconds, 3.0);
+}
+
+TEST(EdgeCv, MinimumFoldsAndRows) {
+  Dataset data;
+  data.name = "cv";
+  data.num_classes = 2;
+  data.features = {{0.0}, {1.0}, {10.0}, {11.0}};
+  data.labels = {0, 0, 1, 1};
+  double accuracy = CrossValidationAccuracy(KnnClassifier(1), data, 2, 1);
+  EXPECT_GE(accuracy, 0.0);
+  EXPECT_LE(accuracy, 1.0);
+}
+
+TEST(EdgeSuite, EveryFullSuiteEntryGeneratesAndValidates) {
+  for (const SyntheticSpec& spec : BenchmarkSuiteSpecs()) {
+    Dataset data = GenerateSynthetic(spec);
+    Status status = data.Validate();
+    EXPECT_TRUE(status.ok()) << spec.name << ": " << status.ToString();
+    EXPECT_EQ(data.num_rows(), spec.rows) << spec.name;
+    EXPECT_EQ(data.num_cols(), spec.cols) << spec.name;
+  }
+}
+
+TEST(EdgeEvaluator, LongestPipelineOnWideData) {
+  SyntheticSpec spec;
+  spec.name = "wide";
+  spec.family = SyntheticFamily::kSparseHighDim;
+  spec.rows = 60;
+  spec.cols = 200;
+  spec.num_classes = 2;
+  spec.seed = 85;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(85);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 5;
+  PipelineEvaluator evaluator(split.train, split.valid, model);
+  PipelineSpec all_seven = PipelineSpec::FromKinds(
+      {PreprocessorKind::kBinarizer, PreprocessorKind::kMaxAbsScaler,
+       PreprocessorKind::kMinMaxScaler, PreprocessorKind::kNormalizer,
+       PreprocessorKind::kPowerTransformer,
+       PreprocessorKind::kQuantileTransformer,
+       PreprocessorKind::kStandardScaler});
+  Evaluation evaluation = evaluator.Evaluate(all_seven);
+  EXPECT_GE(evaluation.accuracy, 0.0);
+  EXPECT_LE(evaluation.accuracy, 1.0);
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "search/pbt.h"
+
+namespace autofp {
+namespace {
+
+TrainValidSplit MakeSplit(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "ext2";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 300;
+  spec.cols = 5;
+  spec.num_classes = 2;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(seed);
+  return SplitTrainValid(data, 0.8, &rng);
+}
+
+ModelConfig FastLr() {
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 25;
+  return model;
+}
+
+TEST(WarmStart, SeededPipelinesAreEvaluatedFirst) {
+  TrainValidSplit split = MakeSplit(101);
+  PipelineEvaluator evaluator(split.train, split.valid, FastLr());
+  SearchSpace space = SearchSpace::Default();
+  Pbt::Config config;
+  config.population_size = 4;
+  config.initial_population = {
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}),
+      PipelineSpec::FromKinds({PreprocessorKind::kBinarizer}),
+  };
+  Pbt pbt(config);
+  SearchContext context(&space, &evaluator, Budget::Evaluations(10), 1);
+  pbt.Initialize(&context);
+  ASSERT_GE(context.history().size(), 2u);
+  EXPECT_TRUE(context.history()[0].pipeline ==
+              config.initial_population[0]);
+  EXPECT_TRUE(context.history()[1].pipeline ==
+              config.initial_population[1]);
+  // Remaining members padded with random samples.
+  EXPECT_EQ(context.history().size(), 4u);
+}
+
+TEST(WarmStart, MatchesColdStartBudgetConsumption) {
+  TrainValidSplit split = MakeSplit(102);
+  SearchSpace space = SearchSpace::Default();
+  Pbt::Config config;
+  config.initial_population = {
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler})};
+  PipelineEvaluator warm_eval(split.train, split.valid, FastLr());
+  Pbt warm(config);
+  SearchResult warm_result = RunSearch(&warm, &warm_eval, space,
+                                       Budget::Evaluations(30), 5);
+  EXPECT_EQ(warm_result.num_evaluations, 30);
+  EXPECT_GE(warm_result.best_accuracy, warm_result.baseline_accuracy - 0.05);
+}
+
+TEST(GlobalTrainFraction, ReducesEffectiveTrainingData) {
+  TrainValidSplit split = MakeSplit(103);
+  PipelineEvaluator evaluator(split.train, split.valid, FastLr());
+  evaluator.set_global_train_fraction(0.3);
+  EXPECT_DOUBLE_EQ(evaluator.global_train_fraction(), 0.3);
+  Evaluation evaluation = evaluator.Evaluate(PipelineSpec{});
+  // Accuracy remains valid; the search still functions end to end.
+  EXPECT_GE(evaluation.accuracy, 0.0);
+  EXPECT_LE(evaluation.accuracy, 1.0);
+}
+
+TEST(GlobalTrainFraction, ComposesWithBanditFraction) {
+  TrainValidSplit split = MakeSplit(104);
+  PipelineEvaluator evaluator(split.train, split.valid, FastLr());
+  evaluator.set_global_train_fraction(0.5);
+  // 0.5 global x 0.5 bandit = 25% of training rows; must still train.
+  Evaluation evaluation = evaluator.Evaluate(PipelineSpec{}, 0.5);
+  EXPECT_GE(evaluation.accuracy, 0.0);
+  EXPECT_LE(evaluation.accuracy, 1.0);
+}
+
+TEST(GlobalTrainFraction, FullFractionIdenticalToDefault) {
+  TrainValidSplit split = MakeSplit(105);
+  PipelineEvaluator with_knob(split.train, split.valid, FastLr());
+  with_knob.set_global_train_fraction(1.0);
+  PipelineEvaluator plain(split.train, split.valid, FastLr());
+  PipelineSpec pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kMinMaxScaler});
+  EXPECT_DOUBLE_EQ(with_knob.Evaluate(pipeline).accuracy,
+                   plain.Evaluate(pipeline).accuracy);
+}
+
+TEST(GlobalTrainFractionDeath, RejectsOutOfRange) {
+  TrainValidSplit split = MakeSplit(106);
+  PipelineEvaluator evaluator(split.train, split.valid, FastLr());
+  EXPECT_DEATH(evaluator.set_global_train_fraction(0.0), "CHECK failed");
+  EXPECT_DEATH(evaluator.set_global_train_fraction(1.5), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace autofp

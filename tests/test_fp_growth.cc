@@ -1,0 +1,113 @@
+#include "core/fp_growth.h"
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace autofp {
+namespace {
+
+size_t SupportOf(const std::vector<FrequentItemset>& itemsets,
+                 const std::vector<int>& items) {
+  std::vector<int> sorted = items;
+  std::sort(sorted.begin(), sorted.end());
+  for (const FrequentItemset& itemset : itemsets) {
+    if (itemset.items == sorted) return itemset.support;
+  }
+  return 0;
+}
+
+TEST(FpGrowth, ClassicExample) {
+  // Transactions from the textbook FP-growth example shape.
+  std::vector<std::vector<int>> transactions = {
+      {1, 2, 5}, {2, 4}, {2, 3}, {1, 2, 4}, {1, 3}, {2, 3}, {1, 3},
+      {1, 2, 3, 5}, {1, 2, 3}};
+  std::vector<FrequentItemset> itemsets = FpGrowth(transactions, 2);
+  EXPECT_EQ(SupportOf(itemsets, {1}), 6u);
+  EXPECT_EQ(SupportOf(itemsets, {2}), 7u);
+  EXPECT_EQ(SupportOf(itemsets, {1, 2}), 4u);
+  EXPECT_EQ(SupportOf(itemsets, {1, 3}), 4u);
+  EXPECT_EQ(SupportOf(itemsets, {1, 2, 5}), 2u);
+  EXPECT_EQ(SupportOf(itemsets, {2, 5}), 2u);
+  // {4} has support 2; {3,4} support 0 (below min support, absent).
+  EXPECT_EQ(SupportOf(itemsets, {4}), 2u);
+  EXPECT_EQ(SupportOf(itemsets, {3, 4}), 0u);
+}
+
+TEST(FpGrowth, MinSupportFilters) {
+  std::vector<std::vector<int>> transactions = {{1, 2}, {1, 2}, {1, 3}};
+  std::vector<FrequentItemset> at_two = FpGrowth(transactions, 2);
+  EXPECT_EQ(SupportOf(at_two, {1, 2}), 2u);
+  EXPECT_EQ(SupportOf(at_two, {3}), 0u);
+  std::vector<FrequentItemset> at_three = FpGrowth(transactions, 3);
+  EXPECT_EQ(SupportOf(at_three, {1}), 3u);
+  EXPECT_EQ(SupportOf(at_three, {1, 2}), 0u);
+}
+
+TEST(FpGrowth, DuplicatesWithinTransactionIgnored) {
+  std::vector<std::vector<int>> transactions = {{1, 1, 1}, {1}};
+  std::vector<FrequentItemset> itemsets = FpGrowth(transactions, 2);
+  EXPECT_EQ(SupportOf(itemsets, {1}), 2u);
+}
+
+TEST(FpGrowth, EmptyTransactionsYieldNothing) {
+  EXPECT_TRUE(FpGrowth({}, 1).empty());
+  EXPECT_TRUE(FpGrowth({{}, {}}, 1).empty());
+}
+
+TEST(FpGrowth, SortedBySupportDescending) {
+  std::vector<std::vector<int>> transactions = {
+      {1}, {1}, {1}, {2}, {2}, {1, 2}};
+  std::vector<FrequentItemset> itemsets = FpGrowth(transactions, 1);
+  for (size_t i = 1; i < itemsets.size(); ++i) {
+    EXPECT_GE(itemsets[i - 1].support, itemsets[i].support);
+  }
+}
+
+TEST(FpGrowth, ExhaustiveAgainstBruteForce) {
+  // Randomized cross-check against a brute-force counter.
+  std::vector<std::vector<int>> transactions;
+  unsigned state = 12345;
+  auto next = [&state]() {
+    state = state * 1103515245 + 12345;
+    return (state >> 16) & 0x7fff;
+  };
+  for (int t = 0; t < 40; ++t) {
+    std::vector<int> transaction;
+    for (int item = 0; item < 5; ++item) {
+      if (next() % 2 == 0) transaction.push_back(item);
+    }
+    transactions.push_back(transaction);
+  }
+  const size_t min_support = 8;
+  std::vector<FrequentItemset> itemsets = FpGrowth(transactions, min_support);
+  // Brute force over all 31 non-empty subsets of {0..4}.
+  for (int mask = 1; mask < 32; ++mask) {
+    std::vector<int> items;
+    for (int item = 0; item < 5; ++item) {
+      if (mask & (1 << item)) items.push_back(item);
+    }
+    size_t support = 0;
+    for (const std::vector<int>& transaction : transactions) {
+      bool contains_all = true;
+      for (int item : items) {
+        if (std::find(transaction.begin(), transaction.end(), item) ==
+            transaction.end()) {
+          contains_all = false;
+          break;
+        }
+      }
+      support += contains_all;
+    }
+    size_t mined = SupportOf(itemsets, items);
+    if (support >= min_support) {
+      EXPECT_EQ(mined, support) << "mask " << mask;
+    } else {
+      EXPECT_EQ(mined, 0u) << "mask " << mask;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,205 @@
+#include "core/search_framework.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluator.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "search/random_search.h"
+
+namespace autofp {
+namespace {
+
+PipelineEvaluator MakeEvaluator(ModelKind kind = ModelKind::kXgboost,
+                                uint64_t seed = 50) {
+  SyntheticSpec spec;
+  spec.name = "fw";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 200;
+  spec.cols = 5;
+  spec.num_classes = 2;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(seed);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  return PipelineEvaluator(split.train, split.valid,
+                           ModelConfig::Defaults(kind));
+}
+
+TEST(Evaluator, AccuracyInRangeAndTimed) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  PipelineSpec pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler});
+  Evaluation evaluation = evaluator.Evaluate(pipeline);
+  EXPECT_GE(evaluation.accuracy, 0.0);
+  EXPECT_LE(evaluation.accuracy, 1.0);
+  EXPECT_GT(evaluation.timing.prep_seconds, 0.0);
+  EXPECT_GT(evaluation.timing.train_seconds, 0.0);
+  EXPECT_EQ(evaluator.num_evaluations(), 1);
+}
+
+TEST(Evaluator, EmptyPipelineHasNoPrepWork) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  Evaluation evaluation = evaluator.Evaluate(PipelineSpec{});
+  // Identity pipeline: prep should be (near) free relative to training.
+  EXPECT_LT(evaluation.timing.prep_seconds,
+            evaluation.timing.train_seconds);
+}
+
+TEST(Evaluator, DeterministicForSamePipeline) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  PipelineSpec pipeline = PipelineSpec::FromKinds(
+      {PreprocessorKind::kMinMaxScaler, PreprocessorKind::kBinarizer});
+  double a = evaluator.Evaluate(pipeline).accuracy;
+  double b = evaluator.Evaluate(pipeline).accuracy;
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Evaluator, BaselineCachedAndDoesNotConsumeBudget) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  double baseline = evaluator.BaselineAccuracy();
+  EXPECT_DOUBLE_EQ(baseline, evaluator.BaselineAccuracy());
+  EXPECT_EQ(evaluator.num_evaluations(), 0);
+}
+
+TEST(Evaluator, PartialBudgetUsesFewerRows) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  // A partial-budget evaluation must still work and produce valid accuracy.
+  Evaluation evaluation =
+      evaluator.Evaluate(PipelineSpec{}, /*budget_fraction=*/0.2);
+  EXPECT_GE(evaluation.accuracy, 0.0);
+  EXPECT_LE(evaluation.accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(evaluation.budget_fraction, 0.2);
+}
+
+TEST(Context, EvaluationBudgetStops) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  SearchSpace space = SearchSpace::Default();
+  SearchContext context(&space, &evaluator, Budget::Evaluations(5), 1);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    context.Evaluate(space.SampleUniform(context.rng()));
+  }
+  EXPECT_EQ(context.num_evaluations(), 5);
+  EXPECT_TRUE(context.BudgetExhausted());
+  EXPECT_FALSE(context.Evaluate(space.SampleUniform(&rng)).has_value());
+}
+
+TEST(Context, PartialEvaluationsCostTheirFraction) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  SearchSpace space = SearchSpace::Default();
+  SearchContext context(&space, &evaluator, Budget::Evaluations(2), 1);
+  for (int i = 0; i < 6; ++i) {
+    context.Evaluate(space.SampleUniform(context.rng()), 0.25);
+  }
+  // 6 quarter-cost evaluations = 1.5 units < 2: all succeed.
+  EXPECT_EQ(context.num_evaluations(), 6);
+  EXPECT_FALSE(context.BudgetExhausted());
+  context.Evaluate(space.SampleUniform(context.rng()), 0.5);
+  EXPECT_TRUE(context.BudgetExhausted());
+}
+
+TEST(Context, BestPrefersFullBudgetEvaluations) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  SearchSpace space = SearchSpace::Default();
+  SearchContext context(&space, &evaluator, Budget::Evaluations(50), 1);
+  PipelineSpec scaler =
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler});
+  context.Evaluate(scaler, 0.3);  // partial.
+  ASSERT_TRUE(context.has_best());
+  EXPECT_DOUBLE_EQ(context.best().budget_fraction, 0.3);
+  context.Evaluate(scaler, 1.0);  // full replaces partial regardless.
+  EXPECT_DOUBLE_EQ(context.best().budget_fraction, 1.0);
+}
+
+TEST(RunSearch, FindsResultWithinBudget) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  SearchSpace space = SearchSpace::Default();
+  RandomSearch rs;
+  SearchResult result =
+      RunSearch(&rs, &evaluator, space, Budget::Evaluations(20), 7);
+  EXPECT_EQ(result.algorithm, "RS");
+  EXPECT_EQ(result.num_evaluations, 20);
+  EXPECT_GE(result.best_accuracy, 0.0);
+  EXPECT_FALSE(result.best_pipeline.empty());
+  EXPECT_GT(result.prep_seconds + result.train_seconds, 0.0);
+  EXPECT_GE(result.pick_seconds, 0.0);
+}
+
+TEST(RunSearch, TimeBudgetTerminates) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  SearchSpace space = SearchSpace::Default();
+  RandomSearch rs;
+  SearchResult result =
+      RunSearch(&rs, &evaluator, space, Budget::Seconds(0.3), 7);
+  EXPECT_GT(result.num_evaluations, 0);
+  EXPECT_LT(result.elapsed_seconds, 5.0);
+}
+
+TEST(RunSearch, DeterministicForSeed) {
+  SearchSpace space = SearchSpace::Default();
+  PipelineEvaluator evaluator_a = MakeEvaluator();
+  PipelineEvaluator evaluator_b = MakeEvaluator();
+  RandomSearch rs_a, rs_b;
+  SearchResult a =
+      RunSearch(&rs_a, &evaluator_a, space, Budget::Evaluations(15), 3);
+  SearchResult b =
+      RunSearch(&rs_b, &evaluator_b, space, Budget::Evaluations(15), 3);
+  EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy);
+  EXPECT_TRUE(a.best_pipeline == b.best_pipeline);
+}
+
+TEST(RunSearch, BestAccuracyIsMaxOfHistory) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  SearchSpace space = SearchSpace::Default();
+  // An adversarial algorithm that records nothing itself.
+  class FixedSequence : public SearchAlgorithm {
+   public:
+    std::string name() const override { return "fixed"; }
+    void Iterate(SearchContext* context) override {
+      context->Evaluate(
+          PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}));
+      context->Evaluate(
+          PipelineSpec::FromKinds({PreprocessorKind::kBinarizer}));
+    }
+  };
+  FixedSequence algorithm;
+  SearchResult result =
+      RunSearch(&algorithm, &evaluator, space, Budget::Evaluations(4), 1);
+  double best = 0.0;
+  PipelineEvaluator check = MakeEvaluator();
+  best = std::max(
+      check
+          .Evaluate(PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}))
+          .accuracy,
+      check.Evaluate(PipelineSpec::FromKinds({PreprocessorKind::kBinarizer}))
+          .accuracy);
+  EXPECT_DOUBLE_EQ(result.best_accuracy, best);
+}
+
+TEST(RunSearch, StalledAlgorithmTerminates) {
+  PipelineEvaluator evaluator = MakeEvaluator();
+  SearchSpace space = SearchSpace::Default();
+  class Stalled : public SearchAlgorithm {
+   public:
+    std::string name() const override { return "stalled"; }
+    void Iterate(SearchContext* context) override { (void)context; }
+  };
+  Stalled algorithm;
+  SearchResult result =
+      RunSearch(&algorithm, &evaluator, space, Budget::Evaluations(100), 1);
+  EXPECT_EQ(result.num_evaluations, 0);
+  // Falls back to baseline accuracy with an empty pipeline.
+  EXPECT_DOUBLE_EQ(result.best_accuracy, result.baseline_accuracy);
+}
+
+TEST(Budget, FactoryHelpers) {
+  EXPECT_EQ(Budget::Evaluations(10).max_evaluations, 10);
+  EXPECT_LT(Budget::Evaluations(10).max_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(Budget::Seconds(2.5).max_seconds, 2.5);
+  EXPECT_TRUE(Budget::Seconds(1).limited());
+  EXPECT_FALSE(Budget{}.limited());
+}
+
+}  // namespace
+}  // namespace autofp

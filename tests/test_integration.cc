@@ -1,0 +1,193 @@
+/// End-to-end integration tests: the full Auto-FP flow (dataset -> split ->
+/// evaluator -> search -> pipeline) across models, spaces and data paths.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "automl/tpot_fp.h"
+#include "core/auto_fp.h"
+#include "search/registry.h"
+#include "search/two_step.h"
+#include "util/csv.h"
+
+namespace autofp {
+namespace {
+
+Dataset ScaleSensitive(uint64_t seed, size_t rows = 300) {
+  SyntheticSpec spec;
+  spec.name = "integ";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = rows;
+  spec.cols = 6;
+  spec.num_classes = 2;
+  spec.seed = seed;
+  spec.separation = 2.5;
+  return GenerateSynthetic(spec);
+}
+
+class EndToEnd : public ::testing::TestWithParam<ModelKind> {};
+
+TEST_P(EndToEnd, SearchImprovesScaleSensitiveModels) {
+  Dataset data = ScaleSensitive(31);
+  Rng rng(31);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(GetParam());
+  model.lr_epochs = 30;
+  model.xgb_rounds = 15;
+  model.mlp_epochs = 10;
+  PipelineEvaluator evaluator(split.train, split.valid, model);
+  auto tevo = MakeSearchAlgorithm("TEVO_H").value();
+  SearchResult result = RunSearch(tevo.get(), &evaluator,
+                                  SearchSpace::Default(),
+                                  Budget::Evaluations(60), 31);
+  // Scaling-sensitive models (LR, MLP) must gain clearly; trees must at
+  // least not lose.
+  if (GetParam() == ModelKind::kXgboost) {
+    EXPECT_GE(result.best_accuracy, result.baseline_accuracy - 0.01);
+  } else {
+    EXPECT_GT(result.best_accuracy, result.baseline_accuracy + 0.03)
+        << ModelKindName(GetParam());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, EndToEnd,
+                         ::testing::Values(ModelKind::kLogisticRegression,
+                                           ModelKind::kXgboost,
+                                           ModelKind::kMlp),
+                         [](const ::testing::TestParamInfo<ModelKind>& info) {
+                           return ModelKindName(info.param);
+                         });
+
+TEST(EndToEndFlow, CsvRoundTripSearch) {
+  // Write -> load -> search, the external-data path.
+  Dataset data = ScaleSensitive(32, 200);
+  std::string path = ::testing::TempDir() + "/autofp_integration.csv";
+  Matrix table(data.num_rows(), data.num_cols() + 1);
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    for (size_t c = 0; c < data.num_cols(); ++c) {
+      table(r, c) = data.features(r, c);
+    }
+    table(r, data.num_cols()) = data.labels[r];
+  }
+  ASSERT_TRUE(WriteCsv(path, {}, table).ok());
+  Result<Dataset> loaded = LoadCsvDataset(path, /*has_header=*/false, "rt");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_rows(), data.num_rows());
+  EXPECT_EQ(loaded.value().num_classes, 2);
+
+  Rng rng(32);
+  TrainValidSplit split = SplitTrainValid(loaded.value(), 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 25;
+  PipelineEvaluator evaluator(split.train, split.valid, model);
+  auto rs = MakeSearchAlgorithm("RS").value();
+  SearchResult result = RunSearch(rs.get(), &evaluator,
+                                  SearchSpace::Default(4),
+                                  Budget::Evaluations(30), 32);
+  EXPECT_EQ(result.num_evaluations, 30);
+  std::remove(path.c_str());
+}
+
+TEST(EndToEndFlow, BestPipelineReproducesReportedAccuracy) {
+  // The contract users depend on: re-running the returned pipeline on the
+  // same evaluator setup gives exactly the reported accuracy.
+  Dataset data = ScaleSensitive(33);
+  Rng rng(33);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 25;
+  PipelineEvaluator search_eval(split.train, split.valid, model);
+  auto pbt = MakeSearchAlgorithm("PBT").value();
+  SearchResult result = RunSearch(pbt.get(), &search_eval,
+                                  SearchSpace::Default(),
+                                  Budget::Evaluations(40), 33);
+  PipelineEvaluator check_eval(split.train, split.valid, model);
+  EXPECT_DOUBLE_EQ(check_eval.Evaluate(result.best_pipeline).accuracy,
+                   result.best_accuracy);
+}
+
+TEST(EndToEndFlow, AllAlgorithmsShareTheSameEvaluationSemantics) {
+  // Any two algorithms evaluating the same pipeline through their contexts
+  // must observe the same accuracy (the evaluator is deterministic).
+  Dataset data = ScaleSensitive(34);
+  Rng rng(34);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 25;
+  PipelineSpec probe =
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler,
+                               PreprocessorKind::kMinMaxScaler});
+  PipelineEvaluator eval_a(split.train, split.valid, model);
+  PipelineEvaluator eval_b(split.train, split.valid, model);
+  EXPECT_DOUBLE_EQ(eval_a.Evaluate(probe).accuracy,
+                   eval_b.Evaluate(probe).accuracy);
+}
+
+TEST(EndToEndFlow, TwoStepAndOneStepSearchTheSameParameterUniverse) {
+  Dataset data = ScaleSensitive(35);
+  Rng rng(35);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 20;
+  ParameterSpace parameters = ParameterSpace::LowCardinality();
+  PipelineEvaluator one_eval(split.train, split.valid, model);
+  SearchResult one = RunOneStep("RS", &one_eval, parameters,
+                                Budget::Evaluations(25), 35, 4);
+  TwoStepConfig config;
+  config.algorithm = "RS";
+  config.inner_budget = Budget::Evaluations(10);
+  config.max_pipeline_length = 4;
+  PipelineEvaluator two_eval(split.train, split.valid, model);
+  SearchResult two = RunTwoStep(config, &two_eval, parameters,
+                                Budget::Evaluations(25), 35);
+  // Both produce valid pipelines whose steps obey the Table 6 values.
+  SearchSpace flattened = OneStepSpace(parameters, 4);
+  for (const SearchResult* result : {&one, &two}) {
+    for (const PreprocessorConfig& step : result->best_pipeline.steps) {
+      bool found = false;
+      for (const PreprocessorConfig& op : flattened.operators()) {
+        if (op == step) found = true;
+      }
+      EXPECT_TRUE(found) << step.ToString();
+    }
+  }
+}
+
+TEST(EndToEndFlow, TpotFpRestrictedSpaceIsSubsetOfAutoFp) {
+  SearchSpace tpot = TpotFpSpace();
+  SearchSpace full = SearchSpace::Default();
+  for (const PreprocessorConfig& op : tpot.operators()) {
+    bool found = false;
+    for (const PreprocessorConfig& full_op : full.operators()) {
+      if (full_op == op) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+  EXPECT_LT(tpot.TotalPipelines(), full.TotalPipelines());
+}
+
+TEST(EndToEndFlow, SuiteScenarioIsFullyDeterministic) {
+  // The exact scenario benches run: suite dataset + capped rows + split +
+  // search. Two complete executions must agree bit-for-bit.
+  auto run_once = [] {
+    Dataset data = GetSuiteDataset("vehicle_syn").value();
+    Rng rng(5);
+    Dataset capped = SubsampleRows(data, 400.0 / data.num_rows(), &rng);
+    TrainValidSplit split = SplitTrainValid(capped, 0.8, &rng);
+    ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+    model.lr_epochs = 20;
+    PipelineEvaluator evaluator(split.train, split.valid, model);
+    auto algorithm = MakeSearchAlgorithm("PBT").value();
+    return RunSearch(algorithm.get(), &evaluator, SearchSpace::Default(),
+                     Budget::Evaluations(30), 77);
+  };
+  SearchResult a = run_once();
+  SearchResult b = run_once();
+  EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy);
+  EXPECT_DOUBLE_EQ(a.baseline_accuracy, b.baseline_accuracy);
+  EXPECT_TRUE(a.best_pipeline == b.best_pipeline);
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,114 @@
+#include "util/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace autofp {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(Matrix, ConstructWithFill) {
+  Matrix m(3, 4, 2.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m(r, c), 2.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m = {{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, ReadWrite) {
+  Matrix m(2, 2);
+  m(0, 1) = 7.0;
+  m(1, 0) = -3.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -3.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowPtrMatchesIndexing) {
+  Matrix m = {{1, 2, 3}, {4, 5, 6}};
+  const double* row = m.RowPtr(1);
+  EXPECT_DOUBLE_EQ(row[0], 4.0);
+  EXPECT_DOUBLE_EQ(row[2], 6.0);
+}
+
+TEST(Matrix, Column) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  std::vector<double> col = m.Column(1);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_DOUBLE_EQ(col[0], 2.0);
+  EXPECT_DOUBLE_EQ(col[2], 6.0);
+}
+
+TEST(Matrix, SetColumn) {
+  Matrix m(2, 2, 0.0);
+  m.SetColumn(0, {9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 0), 9.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 8.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Matrix, SelectRows) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix selected = m.SelectRows({2, 0});
+  ASSERT_EQ(selected.rows(), 2u);
+  EXPECT_DOUBLE_EQ(selected(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(selected(1, 1), 2.0);
+}
+
+TEST(Matrix, SelectRowsAllowsDuplicates) {
+  Matrix m = {{1, 2}, {3, 4}};
+  Matrix selected = m.SelectRows({1, 1, 1});
+  ASSERT_EQ(selected.rows(), 3u);
+  EXPECT_DOUBLE_EQ(selected(2, 0), 3.0);
+}
+
+TEST(Matrix, AppendRows) {
+  Matrix a = {{1, 2}};
+  Matrix b = {{3, 4}, {5, 6}};
+  a.AppendRows(b);
+  ASSERT_EQ(a.rows(), 3u);
+  EXPECT_DOUBLE_EQ(a(2, 1), 6.0);
+}
+
+TEST(Matrix, AppendRowsToEmpty) {
+  Matrix a;
+  Matrix b = {{3, 4}};
+  a.AppendRows(b);
+  ASSERT_EQ(a.rows(), 1u);
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+}
+
+TEST(Matrix, Equality) {
+  Matrix a = {{1, 2}};
+  Matrix b = {{1, 2}};
+  Matrix c = {{1, 3}};
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(MatrixDeath, OutOfBoundsAborts) {
+  Matrix m(2, 2);
+  EXPECT_DEATH(m(2, 0), "CHECK failed");
+  EXPECT_DEATH(m(0, 2), "CHECK failed");
+}
+
+TEST(MatrixDeath, RaggedInitializerAborts) {
+  EXPECT_DEATH((Matrix{{1.0, 2.0}, {3.0}}), "ragged");
+}
+
+}  // namespace
+}  // namespace autofp

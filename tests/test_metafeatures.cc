@@ -1,0 +1,175 @@
+#include "metafeatures/metafeatures.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace autofp {
+namespace {
+
+Dataset SmallDataset(uint64_t seed = 91) {
+  SyntheticSpec spec;
+  spec.name = "mf";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 150;
+  spec.cols = 8;
+  spec.num_classes = 3;
+  spec.seed = seed;
+  spec.separation = 3.0;
+  return GenerateSynthetic(spec);
+}
+
+TEST(MetaFeatures, VectorHasFortyEntriesMatchingNames) {
+  MetaFeatures mf;
+  EXPECT_EQ(mf.ToVector().size(), 40u);
+  EXPECT_EQ(MetaFeatures::Names().size(), 40u);
+}
+
+TEST(MetaFeatures, SimpleShapeFeatures) {
+  Dataset d = SmallDataset();
+  MetaFeatures mf = ComputeMetaFeatures(d);
+  EXPECT_DOUBLE_EQ(mf.number_of_features, 8.0);
+  EXPECT_DOUBLE_EQ(mf.number_of_classes, 3.0);
+  EXPECT_NEAR(mf.log_number_of_features, std::log(8.0), 1e-12);
+  EXPECT_NEAR(mf.dataset_ratio, 8.0 / 150.0, 1e-12);
+  EXPECT_NEAR(mf.inverse_dataset_ratio, 150.0 / 8.0, 1e-12);
+  EXPECT_NEAR(mf.log_dataset_ratio, std::log(8.0 / 150.0), 1e-12);
+}
+
+TEST(MetaFeatures, NoMissingValuesInSyntheticData) {
+  MetaFeatures mf = ComputeMetaFeatures(SmallDataset());
+  EXPECT_DOUBLE_EQ(mf.number_of_missing_values, 0.0);
+  EXPECT_DOUBLE_EQ(mf.percentage_of_missing_values, 0.0);
+  EXPECT_DOUBLE_EQ(mf.number_of_instances_with_missing_values, 0.0);
+}
+
+TEST(MetaFeatures, DetectsMissingValues) {
+  Dataset d = SmallDataset();
+  d.features(0, 0) = std::nan("");
+  d.features(0, 1) = std::nan("");
+  d.features(5, 0) = std::nan("");
+  MetaFeatures mf = ComputeMetaFeatures(d);
+  EXPECT_DOUBLE_EQ(mf.number_of_missing_values, 3.0);
+  EXPECT_DOUBLE_EQ(mf.number_of_features_with_missing_values, 2.0);
+  EXPECT_DOUBLE_EQ(mf.number_of_instances_with_missing_values, 2.0);
+}
+
+TEST(MetaFeatures, ClassProbabilitiesSumToOne) {
+  MetaFeatures mf = ComputeMetaFeatures(SmallDataset());
+  EXPECT_NEAR(mf.class_probability_mean * 3.0, 1.0, 1e-12);
+  EXPECT_GE(mf.class_probability_max, mf.class_probability_mean);
+  EXPECT_LE(mf.class_probability_min, mf.class_probability_mean);
+}
+
+TEST(MetaFeatures, ClassEntropyOfBalancedData) {
+  SyntheticSpec spec;
+  spec.name = "balanced";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 400;
+  spec.cols = 4;
+  spec.num_classes = 2;
+  spec.seed = 92;
+  spec.label_noise = 0.0;
+  Dataset d = GenerateSynthetic(spec);
+  MetaFeatures mf = ComputeMetaFeatures(d);
+  EXPECT_NEAR(mf.class_entropy, std::log(2.0), 0.02);
+}
+
+TEST(MetaFeatures, SkewDetectsSkewedFamily) {
+  SyntheticSpec spec;
+  spec.name = "skewed";
+  spec.family = SyntheticFamily::kSkewed;
+  spec.rows = 300;
+  spec.cols = 6;
+  spec.num_classes = 2;
+  spec.seed = 93;
+  MetaFeatures skewed = ComputeMetaFeatures(GenerateSynthetic(spec));
+  MetaFeatures normal = ComputeMetaFeatures(SmallDataset());
+  EXPECT_GT(skewed.skewness_mean, normal.skewness_mean + 0.5);
+}
+
+TEST(MetaFeatures, LandmarkersInUnitRangeAndInformative) {
+  Dataset d = SmallDataset();
+  MetaFeatures mf = ComputeMetaFeatures(d);
+  for (double landmark :
+       {mf.landmark_1nn, mf.landmark_random_node, mf.landmark_decision_node,
+        mf.landmark_decision_tree, mf.landmark_naive_bayes,
+        mf.landmark_lda}) {
+    EXPECT_GE(landmark, 0.0);
+    EXPECT_LE(landmark, 1.0);
+  }
+  // Full decision tree should beat a random single-feature stump on
+  // well-separated blobs.
+  EXPECT_GE(mf.landmark_decision_tree, mf.landmark_random_node);
+}
+
+TEST(MetaFeatures, PcaFractionWithinBounds) {
+  MetaFeatures mf = ComputeMetaFeatures(SmallDataset());
+  EXPECT_GT(mf.pca_fraction_components_95, 0.0);
+  EXPECT_LE(mf.pca_fraction_components_95, 1.0);
+}
+
+TEST(MetaFeatures, PcaConcentratedVarianceNeedsFewComponents) {
+  // One dominant direction: 95% variance in ~1 component.
+  Dataset d;
+  d.name = "concentrated";
+  d.num_classes = 2;
+  Rng rng(94);
+  d.features = Matrix(200, 6);
+  d.labels.resize(200);
+  for (size_t r = 0; r < 200; ++r) {
+    double driver = rng.Gaussian(0.0, 100.0);
+    for (size_t c = 0; c < 6; ++c) {
+      d.features(r, c) = driver + rng.Gaussian(0.0, 0.01);
+    }
+    d.labels[r] = driver > 0 ? 1 : 0;
+  }
+  MetaFeatures mf = ComputeMetaFeatures(d);
+  EXPECT_LE(mf.pca_fraction_components_95, 1.0 / 6.0 + 1e-9);
+}
+
+TEST(MetaFeatures, DeterministicForSeed) {
+  Dataset d = SmallDataset();
+  MetaFeatureOptions options;
+  options.seed = 5;
+  std::vector<double> a = ComputeMetaFeatures(d, options).ToVector();
+  std::vector<double> b = ComputeMetaFeatures(d, options).ToVector();
+  EXPECT_EQ(a, b);
+}
+
+TEST(MetaFeatures, LargeDatasetIsSubsampled) {
+  SyntheticSpec spec;
+  spec.name = "large";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 6000;
+  spec.cols = 5;
+  spec.num_classes = 2;
+  spec.seed = 95;
+  Dataset d = GenerateSynthetic(spec);
+  MetaFeatureOptions options;
+  options.max_rows = 400;  // forces the subsample path.
+  MetaFeatures mf = ComputeMetaFeatures(d, options);
+  EXPECT_GT(mf.landmark_decision_tree, 0.5);
+}
+
+TEST(MetaFeatures, HighDimensionalPcaCapped) {
+  SyntheticSpec spec;
+  spec.name = "highdim";
+  spec.family = SyntheticFamily::kSparseHighDim;
+  spec.rows = 120;
+  spec.cols = 300;
+  spec.num_classes = 2;
+  spec.seed = 96;
+  Dataset d = GenerateSynthetic(spec);
+  MetaFeatureOptions options;
+  options.max_pca_features = 64;  // cap far below 300 columns.
+  MetaFeatures mf = ComputeMetaFeatures(d, options);
+  EXPECT_TRUE(std::isfinite(mf.pca_skewness_first_pc));
+  EXPECT_TRUE(std::isfinite(mf.pca_kurtosis_first_pc));
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,142 @@
+#include "preprocess/pipeline.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace autofp {
+namespace {
+
+Matrix RandomData(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix data(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      data(r, c) = rng.Gaussian(c * 10.0, c + 1.0);
+    }
+  }
+  return data;
+}
+
+TEST(PipelineSpec, ToStringFormats) {
+  PipelineSpec empty;
+  EXPECT_EQ(empty.ToString(), "<no-FP>");
+  PipelineSpec two = PipelineSpec::FromKinds(
+      {PreprocessorKind::kMinMaxScaler, PreprocessorKind::kPowerTransformer});
+  EXPECT_EQ(two.ToString(), "MinMaxScaler -> PowerTransformer");
+}
+
+TEST(PipelineSpec, EqualityAndKey) {
+  PipelineSpec a = PipelineSpec::FromKinds({PreprocessorKind::kBinarizer});
+  PipelineSpec b = PipelineSpec::FromKinds({PreprocessorKind::kBinarizer});
+  PipelineSpec c = PipelineSpec::FromKinds({PreprocessorKind::kNormalizer});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+  EXPECT_EQ(a.Key(), b.Key());
+  EXPECT_NE(a.Key(), c.Key());
+}
+
+TEST(FittedPipeline, SequentialComposition) {
+  // MinMax then Binarizer(0.5): values above the column midpoint -> 1.
+  PipelineSpec spec;
+  spec.steps.push_back(
+      PreprocessorConfig::Defaults(PreprocessorKind::kMinMaxScaler));
+  PreprocessorConfig binarizer =
+      PreprocessorConfig::Defaults(PreprocessorKind::kBinarizer);
+  binarizer.threshold = 0.5;
+  spec.steps.push_back(binarizer);
+
+  Matrix data = {{0.0}, {1.0}, {2.0}, {3.0}, {4.0}};
+  FittedPipeline pipeline = FittedPipeline::Fit(spec, data);
+  Matrix out = pipeline.Transform(data);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(2, 0), 0.0);  // 0.5 is not > 0.5.
+  EXPECT_DOUBLE_EQ(out(3, 0), 1.0);
+  EXPECT_DOUBLE_EQ(out(4, 0), 1.0);
+}
+
+TEST(FittedPipeline, OrderMatters) {
+  // StandardScaler -> Binarizer differs from Binarizer -> StandardScaler.
+  Matrix data = RandomData(50, 2, 11);
+  PipelineSpec ab = PipelineSpec::FromKinds(
+      {PreprocessorKind::kStandardScaler, PreprocessorKind::kBinarizer});
+  PipelineSpec ba = PipelineSpec::FromKinds(
+      {PreprocessorKind::kBinarizer, PreprocessorKind::kStandardScaler});
+  Matrix out_ab = FittedPipeline::Fit(ab, data).Transform(data);
+  Matrix out_ba = FittedPipeline::Fit(ba, data).Transform(data);
+  EXPECT_FALSE(out_ab == out_ba);
+}
+
+TEST(FittedPipeline, EmptyPipelineIsIdentity) {
+  Matrix data = RandomData(10, 3, 12);
+  PipelineSpec empty;
+  Matrix out = FittedPipeline::Fit(empty, data).Transform(data);
+  EXPECT_TRUE(out == data);
+}
+
+TEST(FitTransformPair, MatchesFitThenTransform) {
+  Matrix train = RandomData(60, 3, 13);
+  Matrix valid = RandomData(20, 3, 14);
+  PipelineSpec spec = PipelineSpec::FromKinds(
+      {PreprocessorKind::kPowerTransformer, PreprocessorKind::kMinMaxScaler,
+       PreprocessorKind::kNormalizer});
+  TransformedPair pair = FitTransformPair(spec, train, valid);
+  FittedPipeline fitted = FittedPipeline::Fit(spec, train);
+  EXPECT_TRUE(pair.train == fitted.Transform(train));
+  EXPECT_TRUE(pair.valid == fitted.Transform(valid));
+}
+
+TEST(FitTransformPair, ValidStatisticsComeFromTrain) {
+  // A MinMaxScaler fit on train maps valid values outside the train range
+  // outside [0, 1] — proving no leakage of valid statistics.
+  Matrix train = {{0.0}, {10.0}};
+  Matrix valid = {{20.0}, {-10.0}};
+  PipelineSpec spec =
+      PipelineSpec::FromKinds({PreprocessorKind::kMinMaxScaler});
+  TransformedPair pair = FitTransformPair(spec, train, valid);
+  EXPECT_DOUBLE_EQ(pair.valid(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(pair.valid(1, 0), -1.0);
+}
+
+TEST(FitTransformPair, LongPipelineStaysFinite) {
+  Matrix train = RandomData(80, 4, 15);
+  Matrix valid = RandomData(30, 4, 16);
+  // All 7 preprocessors chained (the maximum default pipeline length).
+  PipelineSpec spec = PipelineSpec::FromKinds(
+      {PreprocessorKind::kPowerTransformer,
+       PreprocessorKind::kQuantileTransformer,
+       PreprocessorKind::kStandardScaler, PreprocessorKind::kNormalizer,
+       PreprocessorKind::kMinMaxScaler, PreprocessorKind::kMaxAbsScaler,
+       PreprocessorKind::kBinarizer});
+  TransformedPair pair = FitTransformPair(spec, train, valid);
+  for (size_t r = 0; r < pair.valid.rows(); ++r) {
+    for (size_t c = 0; c < pair.valid.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(pair.valid(r, c)));
+      // Final Binarizer: outputs are 0/1.
+      EXPECT_TRUE(pair.valid(r, c) == 0.0 || pair.valid(r, c) == 1.0);
+    }
+  }
+}
+
+TEST(FitTransformPair, RepeatedPreprocessorIsLegal) {
+  // The paper's examples include pipelines like Normalizer -> Normalizer.
+  Matrix train = RandomData(30, 3, 17);
+  PipelineSpec spec = PipelineSpec::FromKinds(
+      {PreprocessorKind::kNormalizer, PreprocessorKind::kNormalizer});
+  TransformedPair pair = FitTransformPair(spec, train, train);
+  // Normalizer is idempotent: applying twice equals once.
+  PipelineSpec once = PipelineSpec::FromKinds({PreprocessorKind::kNormalizer});
+  TransformedPair pair_once = FitTransformPair(once, train, train);
+  for (size_t r = 0; r < pair.train.rows(); ++r) {
+    for (size_t c = 0; c < pair.train.cols(); ++c) {
+      EXPECT_NEAR(pair.train(r, c), pair_once.train(r, c), 1e-12);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autofp

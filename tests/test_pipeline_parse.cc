@@ -1,0 +1,101 @@
+#include "preprocess/pipeline_parse.h"
+
+#include <gtest/gtest.h>
+
+#include "core/search_space.h"
+#include "util/random.h"
+
+namespace autofp {
+namespace {
+
+TEST(PipelineParse, EmptyAndNoFp) {
+  EXPECT_TRUE(ParsePipelineSpec("").value().empty());
+  EXPECT_TRUE(ParsePipelineSpec("  ").value().empty());
+  EXPECT_TRUE(ParsePipelineSpec("<no-FP>").value().empty());
+}
+
+TEST(PipelineParse, SingleDefaultStep) {
+  Result<PipelineSpec> parsed = ParsePipelineSpec("StandardScaler");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 1u);
+  EXPECT_EQ(parsed.value().steps[0].kind, PreprocessorKind::kStandardScaler);
+  EXPECT_TRUE(parsed.value().steps[0].with_mean);
+}
+
+TEST(PipelineParse, ChainWithWhitespaceVariants) {
+  Result<PipelineSpec> parsed =
+      ParsePipelineSpec("MinMaxScaler->Normalizer ->  Binarizer");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed.value().size(), 3u);
+  EXPECT_EQ(parsed.value().steps[1].kind, PreprocessorKind::kNormalizer);
+}
+
+TEST(PipelineParse, Parameters) {
+  Result<PipelineSpec> parsed = ParsePipelineSpec(
+      "Binarizer(threshold=0.4) -> Normalizer(norm=l1) -> "
+      "StandardScaler(with_mean=false) -> "
+      "PowerTransformer(standardize=false) -> "
+      "QuantileTransformer(n_quantiles=200, output_distribution=normal)");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::vector<PreprocessorConfig>& steps = parsed.value().steps;
+  ASSERT_EQ(steps.size(), 5u);
+  EXPECT_DOUBLE_EQ(steps[0].threshold, 0.4);
+  EXPECT_EQ(steps[1].norm, NormKind::kL1);
+  EXPECT_FALSE(steps[2].with_mean);
+  EXPECT_FALSE(steps[3].standardize);
+  EXPECT_EQ(steps[4].n_quantiles, 200);
+  EXPECT_EQ(steps[4].output_distribution, OutputDistribution::kNormal);
+}
+
+TEST(PipelineParse, Errors) {
+  EXPECT_FALSE(ParsePipelineSpec("RobustScaler").ok());
+  EXPECT_FALSE(ParsePipelineSpec("Binarizer(foo=1)").ok());
+  EXPECT_FALSE(ParsePipelineSpec("Binarizer(threshold=abc)").ok());
+  EXPECT_FALSE(ParsePipelineSpec("Binarizer(threshold=0.2").ok());
+  EXPECT_FALSE(ParsePipelineSpec("Normalizer(norm=l3)").ok());
+  EXPECT_FALSE(ParsePipelineSpec("QuantileTransformer(n_quantiles=1)").ok());
+  EXPECT_FALSE(ParsePipelineSpec("StandardScaler -> -> Binarizer").ok());
+  EXPECT_FALSE(ParsePipelineSpec("MaxAbsScaler(threshold=1)").ok());
+}
+
+TEST(PipelineParse, RoundTripDefaultSpace) {
+  SearchSpace space = SearchSpace::Default();
+  Rng rng(61);
+  for (int i = 0; i < 200; ++i) {
+    PipelineSpec pipeline = space.SampleUniform(&rng);
+    Result<PipelineSpec> parsed = ParsePipelineSpec(pipeline.ToString());
+    ASSERT_TRUE(parsed.ok()) << pipeline.ToString();
+    EXPECT_TRUE(parsed.value() == pipeline) << pipeline.ToString();
+  }
+}
+
+TEST(PipelineParse, RoundTripExtendedSpaces) {
+  for (const ParameterSpace& parameters :
+       {ParameterSpace::LowCardinality(), ParameterSpace::HighCardinality()}) {
+    SearchSpace space = OneStepSpace(parameters, 5);
+    Rng rng(62);
+    for (int i = 0; i < 100; ++i) {
+      PipelineSpec pipeline = space.SampleUniform(&rng);
+      Result<PipelineSpec> parsed = ParsePipelineSpec(pipeline.ToString());
+      ASSERT_TRUE(parsed.ok()) << pipeline.ToString();
+      EXPECT_TRUE(parsed.value() == pipeline) << pipeline.ToString();
+    }
+  }
+}
+
+TEST(PipelineParse, ParsedPipelineIsRunnable) {
+  Result<PipelineSpec> parsed = ParsePipelineSpec(
+      "PowerTransformer -> MinMaxScaler -> Binarizer(threshold=0.5)");
+  ASSERT_TRUE(parsed.ok());
+  Matrix data = {{1.0, -2.0}, {3.0, 0.5}, {-1.0, 4.0}, {2.0, 2.0}};
+  FittedPipeline fitted = FittedPipeline::Fit(parsed.value(), data);
+  Matrix out = fitted.Transform(data);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      EXPECT_TRUE(out(r, c) == 0.0 || out(r, c) == 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,359 @@
+#include "preprocess/preprocessor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "preprocess/power_transformer.h"
+#include "preprocess/quantile_transformer.h"
+#include "util/random.h"
+#include "util/stats.h"
+
+namespace autofp {
+namespace {
+
+/// The worked example of the paper's Figure 1: a single feature column
+/// [-1.5, 1, 1.5, 2.5, 3, 4, 5].
+Matrix Figure1Column() {
+  return Matrix{{-1.5}, {1.0}, {1.5}, {2.5}, {3.0}, {4.0}, {5.0}};
+}
+
+TEST(StandardScaler, MatchesFigure1) {
+  auto scaler = MakePreprocessor(PreprocessorKind::kStandardScaler);
+  Matrix out = scaler->FitTransform(Figure1Column());
+  // Paper: mu = 2.21, sigma = 1.98; -1.5 -> -1.87.
+  EXPECT_NEAR(out(0, 0), -1.87, 0.01);
+  EXPECT_NEAR(out(1, 0), -0.61, 0.01);
+  EXPECT_NEAR(out(6, 0), 1.41, 0.01);
+  // Standardized output: zero mean, unit variance.
+  std::vector<double> column = out.Column(0);
+  EXPECT_NEAR(Mean(column), 0.0, 1e-12);
+  EXPECT_NEAR(StdDev(column), 1.0, 1e-12);
+}
+
+TEST(StandardScaler, ConstantColumnCenteredOnly) {
+  auto scaler = MakePreprocessor(PreprocessorKind::kStandardScaler);
+  Matrix constant = {{3.0}, {3.0}, {3.0}};
+  Matrix out = scaler->FitTransform(constant);
+  for (size_t r = 0; r < 3; ++r) EXPECT_DOUBLE_EQ(out(r, 0), 0.0);
+}
+
+TEST(StandardScaler, WithMeanFalseOnlyScales) {
+  PreprocessorConfig config =
+      PreprocessorConfig::Defaults(PreprocessorKind::kStandardScaler);
+  config.with_mean = false;
+  auto scaler = MakePreprocessor(config);
+  Matrix out = scaler->FitTransform(Figure1Column());
+  // Same scale as the centered version but shifted by mu/sigma.
+  EXPECT_NEAR(out(0, 0), -1.5 / 1.9794, 0.001);
+}
+
+TEST(StandardScaler, TransformUsesTrainStatistics) {
+  auto scaler = MakePreprocessor(PreprocessorKind::kStandardScaler);
+  scaler->Fit(Figure1Column());
+  Matrix other = {{2.2142857142857144}};
+  Matrix out = scaler->Transform(other);
+  EXPECT_NEAR(out(0, 0), 0.0, 1e-9);  // train mean maps to 0.
+}
+
+TEST(MaxAbsScaler, MatchesFigure1) {
+  auto scaler = MakePreprocessor(PreprocessorKind::kMaxAbsScaler);
+  Matrix out = scaler->FitTransform(Figure1Column());
+  EXPECT_DOUBLE_EQ(out(0, 0), -0.3);
+  EXPECT_DOUBLE_EQ(out(1, 0), 0.2);
+  EXPECT_DOUBLE_EQ(out(2, 0), 0.3);
+  EXPECT_DOUBLE_EQ(out(6, 0), 1.0);
+}
+
+TEST(MaxAbsScaler, ZeroColumnUnchanged) {
+  auto scaler = MakePreprocessor(PreprocessorKind::kMaxAbsScaler);
+  Matrix zeros(4, 1, 0.0);
+  Matrix out = scaler->FitTransform(zeros);
+  for (size_t r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(out(r, 0), 0.0);
+}
+
+TEST(MinMaxScaler, MatchesFigure1) {
+  auto scaler = MakePreprocessor(PreprocessorKind::kMinMaxScaler);
+  Matrix out = scaler->FitTransform(Figure1Column());
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_NEAR(out(1, 0), 2.5 / 6.5, 1e-9);
+  EXPECT_NEAR(out(2, 0), 3.0 / 6.5, 1e-9);
+  EXPECT_NEAR(out(3, 0), 4.0 / 6.5, 1e-9);
+  EXPECT_DOUBLE_EQ(out(6, 0), 1.0);
+}
+
+TEST(MinMaxScaler, ConstantColumnMapsToZero) {
+  auto scaler = MakePreprocessor(PreprocessorKind::kMinMaxScaler);
+  Matrix constant = {{5.0}, {5.0}};
+  Matrix out = scaler->FitTransform(constant);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+}
+
+TEST(Normalizer, MatchesFigure1SingleColumn) {
+  auto normalizer = MakePreprocessor(PreprocessorKind::kNormalizer);
+  Matrix out = normalizer->FitTransform(Figure1Column());
+  EXPECT_DOUBLE_EQ(out(0, 0), -1.0);
+  for (size_t r = 1; r < 7; ++r) EXPECT_DOUBLE_EQ(out(r, 0), 1.0);
+}
+
+TEST(Normalizer, L2RowsHaveUnitNorm) {
+  auto normalizer = MakePreprocessor(PreprocessorKind::kNormalizer);
+  Matrix data = {{3.0, 4.0}, {1.0, 1.0}, {-2.0, 0.0}};
+  Matrix out = normalizer->FitTransform(data);
+  for (size_t r = 0; r < 3; ++r) {
+    double norm = std::hypot(out(r, 0), out(r, 1));
+    EXPECT_NEAR(norm, 1.0, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.6);
+  EXPECT_DOUBLE_EQ(out(0, 1), 0.8);
+}
+
+TEST(Normalizer, L1AndMaxNorms) {
+  PreprocessorConfig l1 =
+      PreprocessorConfig::Defaults(PreprocessorKind::kNormalizer);
+  l1.norm = NormKind::kL1;
+  Matrix data = {{2.0, -2.0}};
+  Matrix out = MakePreprocessor(l1)->FitTransform(data);
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(out(0, 1), -0.5);
+
+  PreprocessorConfig max_norm = l1;
+  max_norm.norm = NormKind::kMax;
+  Matrix out_max = MakePreprocessor(max_norm)->FitTransform({{2.0, -4.0}});
+  EXPECT_DOUBLE_EQ(out_max(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(out_max(0, 1), -1.0);
+}
+
+TEST(Normalizer, ZeroRowUnchanged) {
+  auto normalizer = MakePreprocessor(PreprocessorKind::kNormalizer);
+  Matrix out = normalizer->FitTransform({{0.0, 0.0}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+}
+
+TEST(Binarizer, MatchesFigure1) {
+  auto binarizer = MakePreprocessor(PreprocessorKind::kBinarizer);
+  Matrix out = binarizer->FitTransform(Figure1Column());
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  for (size_t r = 1; r < 7; ++r) EXPECT_DOUBLE_EQ(out(r, 0), 1.0);
+}
+
+TEST(Binarizer, CustomThreshold) {
+  PreprocessorConfig config =
+      PreprocessorConfig::Defaults(PreprocessorKind::kBinarizer);
+  config.threshold = 2.5;
+  Matrix out = MakePreprocessor(config)->FitTransform(Figure1Column());
+  // 2.5 itself maps to 0 (scikit-learn: strictly greater).
+  EXPECT_DOUBLE_EQ(out(3, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(4, 0), 1.0);
+}
+
+TEST(QuantileTransformer, MatchesFigure1) {
+  auto transformer = MakePreprocessor(PreprocessorKind::kQuantileTransformer);
+  Matrix out = transformer->FitTransform(Figure1Column());
+  // 7 training rows cap n_quantiles at 7: value i maps to i/6.
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_NEAR(out(i, 0), i / 6.0, 1e-9);
+  }
+}
+
+TEST(QuantileTransformer, ClipsOutOfRange) {
+  auto transformer = MakePreprocessor(PreprocessorKind::kQuantileTransformer);
+  transformer->Fit(Figure1Column());
+  Matrix out = transformer->Transform({{-100.0}, {100.0}, {2.75}});
+  EXPECT_DOUBLE_EQ(out(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(out(1, 0), 1.0);
+  EXPECT_GT(out(2, 0), 0.5);
+  EXPECT_LT(out(2, 0), 0.67);
+}
+
+TEST(QuantileTransformer, NormalOutputIsCenteredAndBounded) {
+  PreprocessorConfig config =
+      PreprocessorConfig::Defaults(PreprocessorKind::kQuantileTransformer);
+  config.output_distribution = OutputDistribution::kNormal;
+  Rng rng(3);
+  Matrix data(500, 1);
+  for (size_t r = 0; r < 500; ++r) data(r, 0) = std::exp(rng.Gaussian());
+  Matrix out = MakePreprocessor(config)->FitTransform(data);
+  std::vector<double> column = out.Column(0);
+  EXPECT_NEAR(Mean(column), 0.0, 0.1);
+  EXPECT_NEAR(StdDev(column), 1.0, 0.15);
+  EXPECT_LT(std::abs(Skewness(column)), 0.2);
+  for (double v : column) EXPECT_LT(std::abs(v), 6.0);
+}
+
+TEST(QuantileTransformer, MonotonicOnTrainData) {
+  PreprocessorConfig config =
+      PreprocessorConfig::Defaults(PreprocessorKind::kQuantileTransformer);
+  config.n_quantiles = 10;
+  Rng rng(4);
+  Matrix data(200, 1);
+  for (size_t r = 0; r < 200; ++r) data(r, 0) = rng.Gaussian(0.0, 5.0);
+  auto transformer = MakePreprocessor(config);
+  Matrix out = transformer->FitTransform(data);
+  for (size_t a = 0; a < 200; ++a) {
+    for (size_t b = a + 1; b < 200; ++b) {
+      if (data(a, 0) < data(b, 0)) {
+        EXPECT_LE(out(a, 0), out(b, 0));
+      }
+    }
+  }
+}
+
+TEST(PowerTransformer, Figure1LambdaNearPaper) {
+  PreprocessorConfig config =
+      PreprocessorConfig::Defaults(PreprocessorKind::kPowerTransformer);
+  config.standardize = false;
+  PowerTransformer transformer(config);
+  transformer.Fit(Figure1Column());
+  // Paper reports lambda = 1.22 for this column (scipy MLE).
+  EXPECT_NEAR(transformer.lambdas()[0], 1.22, 0.15);
+}
+
+TEST(PowerTransformer, YeoJohnsonBranches) {
+  // x >= 0, lambda = 0: log1p.
+  EXPECT_NEAR(PowerTransformer::YeoJohnson(1.0, 0.0), std::log(2.0), 1e-12);
+  // x >= 0, lambda = 2: ((x+1)^2 - 1)/2.
+  EXPECT_NEAR(PowerTransformer::YeoJohnson(1.0, 2.0), 1.5, 1e-12);
+  // x < 0, lambda = 2: -log(1-x).
+  EXPECT_NEAR(PowerTransformer::YeoJohnson(-1.0, 2.0), -std::log(2.0), 1e-12);
+  // x < 0, lambda = 0: -((1-x)^2 - 1)/2.
+  EXPECT_NEAR(PowerTransformer::YeoJohnson(-1.0, 0.0), -1.5, 1e-12);
+  // Identity at lambda = 1 for x >= 0.
+  EXPECT_NEAR(PowerTransformer::YeoJohnson(3.0, 1.0), 3.0, 1e-12);
+}
+
+TEST(PowerTransformer, YeoJohnsonIsMonotone) {
+  for (double lambda : {-2.0, 0.0, 0.5, 1.0, 2.0, 3.0}) {
+    double previous = PowerTransformer::YeoJohnson(-5.0, lambda);
+    for (double x = -4.5; x <= 5.0; x += 0.5) {
+      double value = PowerTransformer::YeoJohnson(x, lambda);
+      EXPECT_GT(value, previous) << "lambda=" << lambda << " x=" << x;
+      previous = value;
+    }
+  }
+}
+
+TEST(PowerTransformer, ReducesSkewOfLogNormal) {
+  Rng rng(5);
+  Matrix data(400, 1);
+  for (size_t r = 0; r < 400; ++r) data(r, 0) = std::exp(rng.Gaussian());
+  double raw_skew = Skewness(data.Column(0));
+  auto transformer = MakePreprocessor(PreprocessorKind::kPowerTransformer);
+  Matrix out = transformer->FitTransform(data);
+  double transformed_skew = Skewness(out.Column(0));
+  EXPECT_GT(raw_skew, 2.0);
+  EXPECT_LT(std::abs(transformed_skew), 0.5);
+}
+
+TEST(PowerTransformer, StandardizedOutput) {
+  Rng rng(6);
+  Matrix data(300, 2);
+  for (size_t r = 0; r < 300; ++r) {
+    data(r, 0) = std::exp(rng.Gaussian());
+    data(r, 1) = rng.Gaussian(5.0, 2.0);
+  }
+  auto transformer = MakePreprocessor(PreprocessorKind::kPowerTransformer);
+  Matrix out = transformer->FitTransform(data);
+  for (size_t c = 0; c < 2; ++c) {
+    std::vector<double> column = out.Column(c);
+    EXPECT_NEAR(Mean(column), 0.0, 1e-9);
+    EXPECT_NEAR(StdDev(column), 1.0, 1e-9);
+  }
+}
+
+TEST(PowerTransformer, ConstantColumnSafe) {
+  auto transformer = MakePreprocessor(PreprocessorKind::kPowerTransformer);
+  Matrix constant = {{2.0}, {2.0}, {2.0}};
+  Matrix out = transformer->FitTransform(constant);
+  for (size_t r = 0; r < 3; ++r) EXPECT_TRUE(std::isfinite(out(r, 0)));
+}
+
+// --- Generic properties over all preprocessors -----------------------------
+
+class AllPreprocessors : public ::testing::TestWithParam<PreprocessorKind> {};
+
+TEST_P(AllPreprocessors, PreservesShape) {
+  auto preprocessor = MakePreprocessor(GetParam());
+  Rng rng(7);
+  Matrix data(40, 5);
+  for (size_t r = 0; r < 40; ++r) {
+    for (size_t c = 0; c < 5; ++c) data(r, c) = rng.Gaussian(0, 3);
+  }
+  Matrix out = preprocessor->FitTransform(data);
+  EXPECT_EQ(out.rows(), data.rows());
+  EXPECT_EQ(out.cols(), data.cols());
+}
+
+TEST_P(AllPreprocessors, OutputsAreFinite) {
+  auto preprocessor = MakePreprocessor(GetParam());
+  Rng rng(8);
+  Matrix data(60, 3);
+  for (size_t r = 0; r < 60; ++r) {
+    data(r, 0) = rng.Gaussian() * 1e6;          // huge scale.
+    data(r, 1) = rng.Gaussian() * 1e-8;         // tiny scale.
+    data(r, 2) = std::exp(rng.Gaussian() * 3);  // extreme skew.
+  }
+  Matrix out = preprocessor->FitTransform(data);
+  for (size_t r = 0; r < out.rows(); ++r) {
+    for (size_t c = 0; c < out.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(out(r, c)))
+          << KindName(GetParam()) << " at (" << r << "," << c << ")";
+    }
+  }
+}
+
+TEST_P(AllPreprocessors, DeterministicTransform) {
+  auto a = MakePreprocessor(GetParam());
+  auto b = MakePreprocessor(GetParam());
+  Rng rng(9);
+  Matrix data(30, 4);
+  for (size_t r = 0; r < 30; ++r) {
+    for (size_t c = 0; c < 4; ++c) data(r, c) = rng.Gaussian();
+  }
+  EXPECT_TRUE(a->FitTransform(data) == b->FitTransform(data));
+}
+
+TEST_P(AllPreprocessors, CloneIsUnfittedSameConfig) {
+  auto preprocessor = MakePreprocessor(GetParam());
+  auto clone = preprocessor->Clone();
+  EXPECT_TRUE(clone->config() == preprocessor->config());
+}
+
+TEST_P(AllPreprocessors, HandlesSingleRow) {
+  auto preprocessor = MakePreprocessor(GetParam());
+  Matrix single = {{1.5, -2.0, 0.0}};
+  Matrix out = preprocessor->FitTransform(single);
+  EXPECT_EQ(out.rows(), 1u);
+  for (size_t c = 0; c < 3; ++c) EXPECT_TRUE(std::isfinite(out(0, c)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, AllPreprocessors,
+    ::testing::ValuesIn(AllPreprocessorKinds()),
+    [](const ::testing::TestParamInfo<PreprocessorKind>& info) {
+      return KindName(info.param);
+    });
+
+TEST(PreprocessorConfig, ToStringShowsNonDefaults) {
+  PreprocessorConfig config =
+      PreprocessorConfig::Defaults(PreprocessorKind::kBinarizer);
+  EXPECT_EQ(config.ToString(), "Binarizer");
+  config.threshold = 0.4;
+  EXPECT_EQ(config.ToString(), "Binarizer(threshold=0.4)");
+}
+
+TEST(PreprocessorConfig, EqualityIgnoresIrrelevantFields) {
+  PreprocessorConfig a =
+      PreprocessorConfig::Defaults(PreprocessorKind::kMaxAbsScaler);
+  PreprocessorConfig b = a;
+  b.threshold = 0.9;  // irrelevant for MaxAbsScaler.
+  EXPECT_TRUE(a == b);
+  PreprocessorConfig c =
+      PreprocessorConfig::Defaults(PreprocessorKind::kBinarizer);
+  PreprocessorConfig d = c;
+  d.threshold = 0.9;
+  EXPECT_FALSE(c == d);
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,74 @@
+#include "core/ranking.h"
+
+#include <gtest/gtest.h>
+
+namespace autofp {
+namespace {
+
+TEST(Ranks, SimpleOrdering) {
+  // accuracies 0.9, 0.7, 0.8 -> ranks 1, 3, 2.
+  std::vector<double> ranks = RanksWithTies({0.9, 0.7, 0.8});
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 3.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+}
+
+TEST(Ranks, TiesShareMinimumRank) {
+  std::vector<double> ranks = RanksWithTies({0.8, 0.9, 0.8, 0.7});
+  EXPECT_DOUBLE_EQ(ranks[1], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.0);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);  // competition rank skips.
+}
+
+TEST(Ranks, AllTied) {
+  std::vector<double> ranks = RanksWithTies({0.5, 0.5, 0.5});
+  for (double r : ranks) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Ranks, SingleEntry) {
+  std::vector<double> ranks = RanksWithTies({0.4});
+  ASSERT_EQ(ranks.size(), 1u);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+}
+
+TEST(AverageRanks, FiltersByImprovement) {
+  std::vector<ScenarioScores> scenarios = {
+      // Qualifies: best (0.9) beats baseline 0.5 by 0.4.
+      {"s1", 0.5, {0.9, 0.8}},
+      // Does not qualify: best improvement is 0.005 < 0.015.
+      {"s2", 0.9, {0.905, 0.7}},
+  };
+  size_t qualified = 0;
+  std::vector<double> ranks = AverageRanks(scenarios, 0.015, &qualified);
+  EXPECT_EQ(qualified, 1u);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.0);
+}
+
+TEST(AverageRanks, AveragesAcrossScenarios) {
+  std::vector<ScenarioScores> scenarios = {
+      {"s1", 0.0, {0.9, 0.8}},  // algorithm 0 wins.
+      {"s2", 0.0, {0.6, 0.7}},  // algorithm 1 wins.
+  };
+  std::vector<double> ranks = AverageRanks(scenarios, 0.0);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.5);
+  EXPECT_DOUBLE_EQ(ranks[1], 1.5);
+}
+
+TEST(AverageRanks, NoQualifiedScenariosYieldsZeros) {
+  std::vector<ScenarioScores> scenarios = {{"s", 0.99, {0.5, 0.4}}};
+  size_t qualified = 7;
+  std::vector<double> ranks = AverageRanks(scenarios, 0.015, &qualified);
+  EXPECT_EQ(qualified, 0u);
+  EXPECT_DOUBLE_EQ(ranks[0], 0.0);
+}
+
+TEST(AverageRanksDeath, InconsistentWidthsAbort) {
+  std::vector<ScenarioScores> scenarios = {{"a", 0.0, {0.5, 0.4}},
+                                           {"b", 0.0, {0.5}}};
+  EXPECT_DEATH(AverageRanks(scenarios, 0.0), "inconsistent");
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,187 @@
+#include "core/search_space.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace autofp {
+namespace {
+
+TEST(SearchSpace, DefaultShape) {
+  SearchSpace space = SearchSpace::Default();
+  EXPECT_EQ(space.num_operators(), 7u);
+  EXPECT_EQ(space.max_pipeline_length(), 7u);
+}
+
+TEST(SearchSpace, DefaultTotalPipelinesIsAboutOneMillion) {
+  // The paper: the default Auto-FP space contains ~1M pipelines
+  // (sum_{i=1..7} 7^i = 960,799).
+  SearchSpace space = SearchSpace::Default();
+  EXPECT_DOUBLE_EQ(space.TotalPipelines(), 960799.0);
+}
+
+TEST(SearchSpace, SampleUniformWithinBounds) {
+  SearchSpace space = SearchSpace::Default(4);
+  Rng rng(1);
+  std::set<size_t> lengths;
+  for (int i = 0; i < 500; ++i) {
+    PipelineSpec pipeline = space.SampleUniform(&rng);
+    EXPECT_GE(pipeline.size(), 1u);
+    EXPECT_LE(pipeline.size(), 4u);
+    lengths.insert(pipeline.size());
+  }
+  EXPECT_EQ(lengths.size(), 4u);  // all lengths appear.
+}
+
+TEST(SearchSpace, MutatePreservesBounds) {
+  SearchSpace space = SearchSpace::Default(3);
+  Rng rng(2);
+  PipelineSpec pipeline = space.SampleUniform(&rng);
+  for (int i = 0; i < 300; ++i) {
+    pipeline = space.Mutate(pipeline, &rng);
+    EXPECT_GE(pipeline.size(), 1u);
+    EXPECT_LE(pipeline.size(), 3u);
+  }
+}
+
+TEST(SearchSpace, MutateChangesSomething) {
+  SearchSpace space = SearchSpace::Default();
+  Rng rng(3);
+  PipelineSpec pipeline = space.SampleUniform(&rng);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    PipelineSpec child = space.Mutate(pipeline, &rng);
+    if (!(child == pipeline)) ++changed;
+  }
+  // Replacement can re-pick the same operator, but most mutations differ.
+  EXPECT_GT(changed, 35);
+}
+
+TEST(SearchSpace, EncodeDecodeRoundTrip) {
+  SearchSpace space = SearchSpace::Default();
+  Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    PipelineSpec pipeline = space.SampleUniform(&rng);
+    EXPECT_TRUE(space.Decode(space.Encode(pipeline)) == pipeline);
+  }
+}
+
+TEST(SearchSpace, EncodePadded) {
+  SearchSpace space = SearchSpace::Default(5);
+  PipelineSpec pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kBinarizer,
+                               PreprocessorKind::kStandardScaler});
+  std::vector<double> padded = space.EncodePadded(pipeline);
+  ASSERT_EQ(padded.size(), 5u);
+  EXPECT_DOUBLE_EQ(padded[0], 0.0);   // Binarizer is operator 0.
+  EXPECT_DOUBLE_EQ(padded[1], 6.0);   // StandardScaler is operator 6.
+  EXPECT_DOUBLE_EQ(padded[2], -1.0);  // padding.
+}
+
+TEST(ParameterSpace, LowCardinalityCountsMatchTable6) {
+  ParameterSpace space = ParameterSpace::LowCardinality();
+  EXPECT_EQ(space.binarizer_thresholds.size(), 6u);
+  EXPECT_EQ(space.norms.size(), 3u);
+  EXPECT_EQ(space.standard_with_mean.size(), 2u);
+  EXPECT_EQ(space.power_standardize.size(), 2u);
+  EXPECT_EQ(space.quantile_n_quantiles.size(), 8u);
+  // Paper: 6+1+1+3+2+2+16 = 31 One-step operators.
+  EXPECT_EQ(space.OneStepOperatorCount(), 31u);
+}
+
+TEST(ParameterSpace, HighCardinalityCountsMatchTable7) {
+  ParameterSpace space = ParameterSpace::HighCardinality();
+  EXPECT_EQ(space.binarizer_thresholds.size(), 21u);    // 0..1 step 0.05.
+  EXPECT_EQ(space.quantile_n_quantiles.size(), 1991u);  // 10..2000 step 1.
+  size_t total = space.OneStepOperatorCount();
+  // QuantileTransformer variants dominate the flattened space (~99%),
+  // the mechanism behind the paper's One-step failure in Figure 9.
+  double quantile_fraction = 1991.0 * 2.0 / static_cast<double>(total);
+  EXPECT_GT(quantile_fraction, 0.99);
+}
+
+TEST(ParameterSpace, SampleAssignmentCoversAllKinds) {
+  ParameterSpace space = ParameterSpace::LowCardinality();
+  Rng rng(5);
+  std::vector<PreprocessorConfig> assignment = space.SampleAssignment(&rng);
+  ASSERT_EQ(assignment.size(), 7u);
+  std::set<PreprocessorKind> kinds;
+  for (const PreprocessorConfig& config : assignment) {
+    kinds.insert(config.kind);
+  }
+  EXPECT_EQ(kinds.size(), 7u);
+}
+
+TEST(ParameterSpace, SampleAssignmentUsesAllowedValues) {
+  ParameterSpace space = ParameterSpace::LowCardinality();
+  Rng rng(6);
+  for (int i = 0; i < 50; ++i) {
+    for (const PreprocessorConfig& config : space.SampleAssignment(&rng)) {
+      if (config.kind == PreprocessorKind::kBinarizer) {
+        bool allowed = false;
+        for (double t : space.binarizer_thresholds) {
+          if (t == config.threshold) allowed = true;
+        }
+        EXPECT_TRUE(allowed) << config.threshold;
+      }
+      if (config.kind == PreprocessorKind::kQuantileTransformer) {
+        bool allowed = false;
+        for (int q : space.quantile_n_quantiles) {
+          if (q == config.n_quantiles) allowed = true;
+        }
+        EXPECT_TRUE(allowed);
+      }
+    }
+  }
+}
+
+TEST(OneStepSpace, FlattensLowCardinality) {
+  SearchSpace space = OneStepSpace(ParameterSpace::LowCardinality());
+  EXPECT_EQ(space.num_operators(), 31u);
+  // Operator descriptions must be unique (distinct parameterizations).
+  std::set<std::string> descriptions;
+  for (const PreprocessorConfig& op : space.operators()) {
+    descriptions.insert(op.ToString());
+  }
+  EXPECT_EQ(descriptions.size(), 31u);
+}
+
+TEST(OneStepSpace, HighCardinalityIsQuantileDominated) {
+  SearchSpace space = OneStepSpace(ParameterSpace::HighCardinality());
+  size_t quantiles = 0;
+  for (const PreprocessorConfig& op : space.operators()) {
+    if (op.kind == PreprocessorKind::kQuantileTransformer) ++quantiles;
+  }
+  EXPECT_EQ(quantiles, 2u * 1991u);
+  Rng rng(7);
+  // A uniform sample is overwhelmingly QuantileTransformer-only.
+  int all_quantile = 0;
+  for (int i = 0; i < 100; ++i) {
+    PipelineSpec pipeline = space.SampleUniform(&rng);
+    bool all = true;
+    for (const PreprocessorConfig& step : pipeline.steps) {
+      if (step.kind != PreprocessorKind::kQuantileTransformer) all = false;
+    }
+    all_quantile += all;
+  }
+  EXPECT_GT(all_quantile, 90);
+}
+
+TEST(FixedAssignmentSpace, UsesGivenConfigs) {
+  ParameterSpace parameters = ParameterSpace::LowCardinality();
+  Rng rng(8);
+  std::vector<PreprocessorConfig> assignment =
+      parameters.SampleAssignment(&rng);
+  SearchSpace space = FixedAssignmentSpace(assignment, 4);
+  EXPECT_EQ(space.num_operators(), 7u);
+  EXPECT_EQ(space.max_pipeline_length(), 4u);
+  EXPECT_TRUE(space.operator_at(0) == assignment[0]);
+}
+
+TEST(SearchSpaceDeath, DecodeOutOfRangeAborts) {
+  SearchSpace space = SearchSpace::Default();
+  EXPECT_DEATH(space.Decode({99}), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace autofp

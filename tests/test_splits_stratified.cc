@@ -1,0 +1,99 @@
+#include "data/splits.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace autofp {
+namespace {
+
+Dataset ImbalancedData(uint64_t seed) {
+  SyntheticSpec spec;
+  spec.name = "strat";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = 400;
+  spec.cols = 4;
+  spec.num_classes = 4;
+  spec.seed = seed;
+  spec.imbalance = 0.25;  // heavy geometric decay of class priors.
+  spec.label_noise = 0.0;
+  return GenerateSynthetic(spec);
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  Dataset data = ImbalancedData(71);
+  Rng rng(71);
+  TrainValidSplit split = StratifiedSplitTrainValid(data, 0.8, &rng);
+  std::vector<double> total = data.ClassCounts();
+  std::vector<double> train = split.train.ClassCounts();
+  for (int k = 0; k < data.num_classes; ++k) {
+    if (total[k] < 5) continue;  // tiny classes can't hold the ratio.
+    double ratio = train[k] / total[k];
+    EXPECT_NEAR(ratio, 0.8, 0.15) << "class " << k;
+  }
+}
+
+TEST(StratifiedSplit, EveryMultiRowClassOnBothSides) {
+  Dataset data = ImbalancedData(72);
+  Rng rng(72);
+  TrainValidSplit split = StratifiedSplitTrainValid(data, 0.8, &rng);
+  std::vector<double> total = data.ClassCounts();
+  std::vector<double> train = split.train.ClassCounts();
+  std::vector<double> valid = split.valid.ClassCounts();
+  for (int k = 0; k < data.num_classes; ++k) {
+    if (total[k] >= 2) {
+      EXPECT_GT(train[k], 0.0) << "class " << k;
+      EXPECT_GT(valid[k], 0.0) << "class " << k;
+    }
+  }
+}
+
+TEST(StratifiedSplit, CoversAllRowsExactlyOnce) {
+  Dataset data = ImbalancedData(73);
+  Rng rng(73);
+  TrainValidSplit split = StratifiedSplitTrainValid(data, 0.75, &rng);
+  EXPECT_EQ(split.train.num_rows() + split.valid.num_rows(),
+            data.num_rows());
+}
+
+TEST(StratifiedSplit, DeterministicForSeed) {
+  Dataset data = ImbalancedData(74);
+  Rng rng_a(74), rng_b(74);
+  TrainValidSplit a = StratifiedSplitTrainValid(data, 0.8, &rng_a);
+  TrainValidSplit b = StratifiedSplitTrainValid(data, 0.8, &rng_b);
+  EXPECT_TRUE(a.train.features == b.train.features);
+  EXPECT_EQ(a.valid.labels, b.valid.labels);
+}
+
+TEST(StratifiedSplit, SingletonClassGoesToTrain) {
+  Dataset data;
+  data.name = "singleton";
+  data.num_classes = 3;
+  data.features = {{0.0}, {1.0}, {2.0}, {3.0}, {4.0}};
+  data.labels = {0, 0, 1, 1, 2};  // class 2 has one row.
+  Rng rng(75);
+  TrainValidSplit split = StratifiedSplitTrainValid(data, 0.5, &rng);
+  std::vector<double> train = split.train.ClassCounts();
+  EXPECT_DOUBLE_EQ(train[2], 1.0);
+}
+
+TEST(StratifiedSplit, PlainSplitCanMissAClassButStratifiedCannot) {
+  // Construct data where one class has 3 rows among 100: a plain 80:20
+  // split has a real chance of missing it in valid, the stratified split
+  // never does.
+  Dataset data;
+  data.name = "rare";
+  data.num_classes = 2;
+  data.features = Matrix(100, 1);
+  data.labels.assign(100, 0);
+  for (size_t r = 0; r < 100; ++r) data.features(r, 0) = r;
+  data.labels[10] = data.labels[50] = data.labels[90] = 1;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    TrainValidSplit split = StratifiedSplitTrainValid(data, 0.8, &rng);
+    EXPECT_GT(split.valid.ClassCounts()[1], 0.0) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,165 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_suite.h"
+#include "util/stats.h"
+
+namespace autofp {
+namespace {
+
+SyntheticSpec BaseSpec(SyntheticFamily family) {
+  SyntheticSpec spec;
+  spec.name = "test";
+  spec.family = family;
+  spec.rows = 400;
+  spec.cols = 8;
+  spec.num_classes = 3;
+  spec.seed = 123;
+  return spec;
+}
+
+class FamilySweep : public ::testing::TestWithParam<SyntheticFamily> {};
+
+TEST_P(FamilySweep, ShapeAndLabelsValid) {
+  SyntheticSpec spec = BaseSpec(GetParam());
+  Dataset d = GenerateSynthetic(spec);
+  EXPECT_EQ(d.num_rows(), 400u);
+  EXPECT_EQ(d.num_cols(), 8u);
+  EXPECT_EQ(d.num_classes, 3);
+  EXPECT_TRUE(d.Validate().ok()) << d.Validate().ToString();
+  // Every class represented.
+  for (double count : d.ClassCounts()) EXPECT_GT(count, 0.0);
+  // All values finite.
+  for (size_t r = 0; r < d.num_rows(); ++r) {
+    for (size_t c = 0; c < d.num_cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(d.features(r, c)));
+    }
+  }
+}
+
+TEST_P(FamilySweep, DeterministicForSeed) {
+  SyntheticSpec spec = BaseSpec(GetParam());
+  Dataset a = GenerateSynthetic(spec);
+  Dataset b = GenerateSynthetic(spec);
+  EXPECT_TRUE(a.features == b.features);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST_P(FamilySweep, DifferentSeedsDiffer) {
+  SyntheticSpec spec = BaseSpec(GetParam());
+  Dataset a = GenerateSynthetic(spec);
+  spec.seed = 999;
+  Dataset b = GenerateSynthetic(spec);
+  EXPECT_FALSE(a.features == b.features);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFamilies, FamilySweep,
+    ::testing::Values(SyntheticFamily::kScaledBlobs, SyntheticFamily::kSkewed,
+                      SyntheticFamily::kHeavyTailed,
+                      SyntheticFamily::kDirectional,
+                      SyntheticFamily::kThresholdCoded,
+                      SyntheticFamily::kNonlinearRings,
+                      SyntheticFamily::kSparseHighDim),
+    [](const ::testing::TestParamInfo<SyntheticFamily>& info) {
+      return FamilyName(info.param);
+    });
+
+TEST(Synthetic, ScaledBlobsHaveHeterogeneousScales) {
+  SyntheticSpec spec = BaseSpec(SyntheticFamily::kScaledBlobs);
+  spec.cols = 12;
+  Dataset d = GenerateSynthetic(spec);
+  double min_std = 1e300, max_std = 0.0;
+  for (size_t c = 0; c < d.num_cols(); ++c) {
+    double s = StdDev(d.features.Column(c));
+    min_std = std::min(min_std, s);
+    max_std = std::max(max_std, s);
+  }
+  EXPECT_GT(max_std / min_std, 100.0);
+}
+
+TEST(Synthetic, SkewedFamilyIsRightSkewedAndPositive) {
+  SyntheticSpec spec = BaseSpec(SyntheticFamily::kSkewed);
+  Dataset d = GenerateSynthetic(spec);
+  double mean_skew = 0.0;
+  for (size_t c = 0; c < d.num_cols(); ++c) {
+    std::vector<double> column = d.features.Column(c);
+    for (double v : column) EXPECT_GT(v, 0.0);
+    mean_skew += Skewness(column);
+  }
+  mean_skew /= static_cast<double>(d.num_cols());
+  EXPECT_GT(mean_skew, 1.0);
+}
+
+TEST(Synthetic, ImbalanceSkewsClassPriors) {
+  SyntheticSpec spec = BaseSpec(SyntheticFamily::kScaledBlobs);
+  spec.imbalance = 0.3;
+  spec.label_noise = 0.0;
+  Dataset d = GenerateSynthetic(spec);
+  std::vector<double> counts = d.ClassCounts();
+  EXPECT_GT(counts[0], counts[1]);
+  EXPECT_GT(counts[1], counts[2]);
+}
+
+TEST(Synthetic, NonlinearRingsRadiusEncodesClass) {
+  SyntheticSpec spec = BaseSpec(SyntheticFamily::kNonlinearRings);
+  spec.label_noise = 0.0;
+  spec.separation = 5.0;
+  Dataset d = GenerateSynthetic(spec);
+  // Mean radius should be increasing in class id.
+  std::vector<double> radius_sum(3, 0.0), count(3, 0.0);
+  for (size_t r = 0; r < d.num_rows(); ++r) {
+    double radius = std::hypot(d.features(r, 0), d.features(r, 1));
+    radius_sum[d.labels[r]] += radius;
+    count[d.labels[r]] += 1.0;
+  }
+  EXPECT_LT(radius_sum[0] / count[0], radius_sum[1] / count[1]);
+  EXPECT_LT(radius_sum[1] / count[1], radius_sum[2] / count[2]);
+}
+
+TEST(Suite, AllSpecsGenerateValidDatasets) {
+  for (const SyntheticSpec& spec : MiniSuiteSpecs()) {
+    Dataset d = GenerateSynthetic(spec);
+    EXPECT_TRUE(d.Validate().ok()) << spec.name;
+    EXPECT_EQ(d.name, spec.name);
+  }
+}
+
+TEST(Suite, FullSuiteHasDiverseShapes) {
+  std::vector<SyntheticSpec> specs = BenchmarkSuiteSpecs();
+  EXPECT_GE(specs.size(), 20u);
+  size_t binary = 0, multi = 0, high_dim = 0;
+  for (const SyntheticSpec& spec : specs) {
+    if (spec.num_classes == 2) {
+      ++binary;
+    } else {
+      ++multi;
+    }
+    if (spec.cols > 100) ++high_dim;
+  }
+  EXPECT_GT(binary, 0u);
+  EXPECT_GT(multi, 0u);
+  EXPECT_GE(high_dim, 3u);
+}
+
+TEST(Suite, NamesAreUnique) {
+  std::vector<SyntheticSpec> specs = BenchmarkSuiteSpecs();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    for (size_t j = i + 1; j < specs.size(); ++j) {
+      EXPECT_NE(specs[i].name, specs[j].name);
+    }
+  }
+}
+
+TEST(Suite, LookupByName) {
+  Result<Dataset> d = GetSuiteDataset("heart_syn");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d.value().num_rows(), 242u);
+  EXPECT_FALSE(GetSuiteDataset("nope").ok());
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,0 +1,292 @@
+/// autofp — command-line pipeline search.
+///
+/// Searches for the best feature-preprocessing pipeline for a dataset,
+/// with any of the paper's 15 algorithms, and prints the result.
+///
+/// Usage:
+///   autofp --data <file.csv | suite:NAME> [--model LR|XGB|MLP]
+///          [--algorithm NAME] [--budget N] [--seconds S] [--seed N]
+///          [--max-length N] [--space default|low|high] [--two-step]
+///          [--train-fraction F] [--list]
+///   autofp --data <file.csv> --apply "<pipeline>" --out <file.csv>
+///
+/// The CSV's last column is the class label; pass suite:NAME to use a
+/// built-in benchmark dataset (see --list). With --apply, no search runs:
+/// the given pipeline (PipelineSpec::ToString syntax, e.g.
+/// "StandardScaler -> Binarizer(threshold=0.2)") is fitted to the data and
+/// the transformed table (plus the label column) is written to --out.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/auto_fp.h"
+#include "preprocess/pipeline_parse.h"
+#include "util/csv.h"
+#include "search/registry.h"
+#include "search/two_step.h"
+
+namespace {
+
+using namespace autofp;
+
+struct Options {
+  std::string data;
+  std::string model = "LR";
+  std::string algorithm = "PBT";
+  long budget = 200;
+  double seconds = -1.0;
+  uint64_t seed = 42;
+  size_t max_length = 7;
+  std::string space = "default";
+  bool two_step = false;
+  double train_fraction = 1.0;
+  bool list = false;
+  std::string apply;  ///< pipeline to apply instead of searching.
+  std::string out;    ///< output CSV for --apply.
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: autofp --data <file.csv | suite:NAME> [options]\n"
+      "  --model LR|XGB|MLP       downstream classifier (default LR)\n"
+      "  --algorithm NAME         one of the 15 algorithms (default PBT)\n"
+      "  --budget N               evaluation budget (default 200)\n"
+      "  --seconds S              wall-clock budget (overrides --budget)\n"
+      "  --seed N                 RNG seed (default 42)\n"
+      "  --max-length N           max pipeline length (default 7)\n"
+      "  --space default|low|high search space (Table 6/7 extensions)\n"
+      "  --two-step               use the Two-step extension (Section 6.2)\n"
+      "  --train-fraction F       subsample training rows to F (0,1]\n"
+      "  --list                   list built-in datasets and algorithms\n"
+      "  --apply \"<pipeline>\"     fit+apply a pipeline instead of searching\n"
+      "  --out FILE               output CSV for --apply\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--data") {
+      const char* v = next("--data");
+      if (!v) return false;
+      options->data = v;
+    } else if (arg == "--model") {
+      const char* v = next("--model");
+      if (!v) return false;
+      options->model = v;
+    } else if (arg == "--algorithm") {
+      const char* v = next("--algorithm");
+      if (!v) return false;
+      options->algorithm = v;
+    } else if (arg == "--budget") {
+      const char* v = next("--budget");
+      if (!v) return false;
+      options->budget = std::atol(v);
+    } else if (arg == "--seconds") {
+      const char* v = next("--seconds");
+      if (!v) return false;
+      options->seconds = std::atof(v);
+    } else if (arg == "--seed") {
+      const char* v = next("--seed");
+      if (!v) return false;
+      options->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-length") {
+      const char* v = next("--max-length");
+      if (!v) return false;
+      options->max_length = std::strtoul(v, nullptr, 10);
+    } else if (arg == "--space") {
+      const char* v = next("--space");
+      if (!v) return false;
+      options->space = v;
+    } else if (arg == "--two-step") {
+      options->two_step = true;
+    } else if (arg == "--train-fraction") {
+      const char* v = next("--train-fraction");
+      if (!v) return false;
+      options->train_fraction = std::atof(v);
+    } else if (arg == "--apply") {
+      const char* v = next("--apply");
+      if (!v) return false;
+      options->apply = v;
+    } else if (arg == "--out") {
+      const char* v = next("--out");
+      if (!v) return false;
+      options->out = v;
+    } else if (arg == "--list") {
+      options->list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+  if (options.list) {
+    std::printf("built-in datasets (use --data suite:NAME):\n");
+    for (const SyntheticSpec& spec : BenchmarkSuiteSpecs()) {
+      std::printf("  %-20s %zux%zu, %d classes\n", spec.name.c_str(),
+                  spec.rows, spec.cols, spec.num_classes);
+    }
+    std::printf("algorithms:");
+    for (const std::string& name : AllSearchAlgorithmNames()) {
+      std::printf(" %s", name.c_str());
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (options.data.empty()) {
+    PrintUsage();
+    return 2;
+  }
+
+  // Load the dataset.
+  Result<Dataset> dataset = [&]() -> Result<Dataset> {
+    const std::string prefix = "suite:";
+    if (options.data.rfind(prefix, 0) == 0) {
+      return GetSuiteDataset(options.data.substr(prefix.size()));
+    }
+    return LoadCsvDataset(options.data, /*has_header=*/true, options.data);
+  }();
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error loading data: %s\n",
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+
+  // Apply mode: fit the given pipeline on the whole dataset and write the
+  // transformed features (+ label column) to --out.
+  if (!options.apply.empty()) {
+    if (options.out.empty()) {
+      std::fprintf(stderr, "error: --apply requires --out\n");
+      return 2;
+    }
+    Result<PipelineSpec> pipeline = ParsePipelineSpec(options.apply);
+    if (!pipeline.ok()) {
+      std::fprintf(stderr, "error parsing pipeline: %s\n",
+                   pipeline.status().ToString().c_str());
+      return 2;
+    }
+    const Dataset& data = dataset.value();
+    FittedPipeline fitted =
+        FittedPipeline::Fit(pipeline.value(), data.features);
+    Matrix transformed = fitted.Transform(data.features);
+    Matrix table(transformed.rows(), transformed.cols() + 1);
+    std::vector<std::string> header;
+    for (size_t c = 0; c < transformed.cols(); ++c) {
+      header.push_back("f" + std::to_string(c));
+      for (size_t r = 0; r < transformed.rows(); ++r) {
+        table(r, c) = transformed(r, c);
+      }
+    }
+    header.push_back("label");
+    for (size_t r = 0; r < transformed.rows(); ++r) {
+      table(r, transformed.cols()) = data.labels[r];
+    }
+    Status written = WriteCsv(options.out, header, table);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("applied '%s'\nwrote %zu rows x %zu cols to %s\n",
+                pipeline.value().ToString().c_str(), table.rows(),
+                table.cols(), options.out.c_str());
+    return 0;
+  }
+
+  ModelKind model_kind = ModelKind::kLogisticRegression;
+  if (options.model == "XGB") {
+    model_kind = ModelKind::kXgboost;
+  } else if (options.model == "MLP") {
+    model_kind = ModelKind::kMlp;
+  } else if (options.model != "LR") {
+    std::fprintf(stderr, "error: unknown model '%s'\n",
+                 options.model.c_str());
+    return 2;
+  }
+
+  Rng rng(options.seed);
+  TrainValidSplit split = SplitTrainValid(dataset.value(), 0.8, &rng);
+  PipelineEvaluator evaluator(split.train, split.valid,
+                              ModelConfig::Defaults(model_kind));
+  if (options.train_fraction < 1.0) {
+    evaluator.set_global_train_fraction(options.train_fraction);
+  }
+  Budget budget = options.seconds > 0.0 ? Budget::Seconds(options.seconds)
+                                        : Budget::Evaluations(options.budget);
+
+  std::printf("dataset: %s (%zu rows x %zu cols, %d classes)\n",
+              dataset.value().name.c_str(), dataset.value().num_rows(),
+              dataset.value().num_cols(), dataset.value().num_classes);
+  std::printf("model: %s | algorithm: %s%s | space: %s\n",
+              options.model.c_str(), options.algorithm.c_str(),
+              options.two_step ? " (Two-step)" : "", options.space.c_str());
+
+  SearchResult result;
+  if (options.space == "default") {
+    if (options.two_step) {
+      std::fprintf(stderr,
+                   "error: --two-step requires --space low or high\n");
+      return 2;
+    }
+    Result<std::unique_ptr<SearchAlgorithm>> algorithm =
+        MakeSearchAlgorithm(options.algorithm);
+    if (!algorithm.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   algorithm.status().ToString().c_str());
+      return 2;
+    }
+    SearchSpace space = SearchSpace::Default(options.max_length);
+    result = RunSearch(algorithm.value().get(), &evaluator, space, budget,
+                       options.seed);
+  } else {
+    ParameterSpace parameters = options.space == "low"
+                                    ? ParameterSpace::LowCardinality()
+                                    : ParameterSpace::HighCardinality();
+    if (options.space != "low" && options.space != "high") {
+      std::fprintf(stderr, "error: unknown space '%s'\n",
+                   options.space.c_str());
+      return 2;
+    }
+    if (options.two_step) {
+      TwoStepConfig config;
+      config.algorithm = options.algorithm;
+      config.max_pipeline_length = options.max_length;
+      result = RunTwoStep(config, &evaluator, parameters, budget,
+                          options.seed);
+    } else {
+      result = RunOneStep(options.algorithm, &evaluator, parameters, budget,
+                          options.seed, options.max_length);
+    }
+  }
+
+  std::printf("\nno-FP baseline : %.4f\n", result.baseline_accuracy);
+  std::printf("best accuracy  : %.4f (%+.2f%%)\n", result.best_accuracy,
+              100.0 * (result.best_accuracy - result.baseline_accuracy));
+  std::printf("best pipeline  : %s\n",
+              result.best_pipeline.ToString().c_str());
+  std::printf("evaluations    : %ld (cost %.1f) in %.2fs | pick %.2fs, "
+              "prep %.2fs, train %.2fs\n",
+              result.num_evaluations, result.evaluation_cost,
+              result.elapsed_seconds, result.pick_seconds,
+              result.prep_seconds, result.train_seconds);
+  return 0;
+}
