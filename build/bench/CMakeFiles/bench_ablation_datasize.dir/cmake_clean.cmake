@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_datasize.dir/bench_ablation_datasize.cc.o"
+  "CMakeFiles/bench_ablation_datasize.dir/bench_ablation_datasize.cc.o.d"
+  "bench_ablation_datasize"
+  "bench_ablation_datasize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_datasize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

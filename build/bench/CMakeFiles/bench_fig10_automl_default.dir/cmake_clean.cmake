@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_automl_default.dir/bench_fig10_automl_default.cc.o"
+  "CMakeFiles/bench_fig10_automl_default.dir/bench_fig10_automl_default.cc.o.d"
+  "bench_fig10_automl_default"
+  "bench_fig10_automl_default.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_automl_default.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_accuracy_trend.dir/bench_fig17_accuracy_trend.cc.o"
+  "CMakeFiles/bench_fig17_accuracy_trend.dir/bench_fig17_accuracy_trend.cc.o.d"
+  "bench_fig17_accuracy_trend"
+  "bench_fig17_accuracy_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_accuracy_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

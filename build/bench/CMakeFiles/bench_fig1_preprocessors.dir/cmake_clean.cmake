@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_preprocessors.dir/bench_fig1_preprocessors.cc.o"
+  "CMakeFiles/bench_fig1_preprocessors.dir/bench_fig1_preprocessors.cc.o.d"
+  "bench_fig1_preprocessors"
+  "bench_fig1_preprocessors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_preprocessors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_low_cardinality.dir/bench_fig8_low_cardinality.cc.o"
+  "CMakeFiles/bench_fig8_low_cardinality.dir/bench_fig8_low_cardinality.cc.o.d"
+  "bench_fig8_low_cardinality"
+  "bench_fig8_low_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_low_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_preprocessors.cc" "bench/CMakeFiles/bench_micro_preprocessors.dir/bench_micro_preprocessors.cc.o" "gcc" "bench/CMakeFiles/bench_micro_preprocessors.dir/bench_micro_preprocessors.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autofp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autofp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/autofp_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autofp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autofp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autofp_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_preprocessors.dir/bench_micro_preprocessors.cc.o"
+  "CMakeFiles/bench_micro_preprocessors.dir/bench_micro_preprocessors.cc.o.d"
+  "bench_micro_preprocessors"
+  "bench_micro_preprocessors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_preprocessors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

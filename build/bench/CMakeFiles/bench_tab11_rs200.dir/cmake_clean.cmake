@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab11_rs200.dir/bench_tab11_rs200.cc.o"
+  "CMakeFiles/bench_tab11_rs200.dir/bench_tab11_rs200.cc.o.d"
+  "bench_tab11_rs200"
+  "bench_tab11_rs200.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab11_rs200.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

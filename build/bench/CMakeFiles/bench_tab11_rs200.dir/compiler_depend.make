@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_tab11_rs200.
+# This may be replaced when dependencies are built.

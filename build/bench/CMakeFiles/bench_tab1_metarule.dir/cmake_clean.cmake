@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_metarule.dir/bench_tab1_metarule.cc.o"
+  "CMakeFiles/bench_tab1_metarule.dir/bench_tab1_metarule.cc.o.d"
+  "bench_tab1_metarule"
+  "bench_tab1_metarule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_metarule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

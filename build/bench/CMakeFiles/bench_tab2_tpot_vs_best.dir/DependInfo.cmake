@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab2_tpot_vs_best.cc" "bench/CMakeFiles/bench_tab2_tpot_vs_best.dir/bench_tab2_tpot_vs_best.cc.o" "gcc" "bench/CMakeFiles/bench_tab2_tpot_vs_best.dir/bench_tab2_tpot_vs_best.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automl/CMakeFiles/autofp_automl.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/autofp_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/autofp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metafeatures/CMakeFiles/autofp_metafeatures.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autofp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autofp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/autofp_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autofp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autofp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_tpot_vs_best.dir/bench_tab2_tpot_vs_best.cc.o"
+  "CMakeFiles/bench_tab2_tpot_vs_best.dir/bench_tab2_tpot_vs_best.cc.o.d"
+  "bench_tab2_tpot_vs_best"
+  "bench_tab2_tpot_vs_best.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_tpot_vs_best.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_ranking.dir/bench_tab4_ranking.cc.o"
+  "CMakeFiles/bench_tab4_ranking.dir/bench_tab4_ranking.cc.o.d"
+  "bench_tab4_ranking"
+  "bench_tab4_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_bottleneck.dir/bench_tab5_bottleneck.cc.o"
+  "CMakeFiles/bench_tab5_bottleneck.dir/bench_tab5_bottleneck.cc.o.d"
+  "bench_tab5_bottleneck"
+  "bench_tab5_bottleneck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_bottleneck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

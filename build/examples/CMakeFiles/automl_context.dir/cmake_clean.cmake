@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automl_context.dir/automl_context.cpp.o"
+  "CMakeFiles/automl_context.dir/automl_context.cpp.o.d"
+  "automl_context"
+  "automl_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automl_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parameter_search.dir/parameter_search.cpp.o"
+  "CMakeFiles/parameter_search.dir/parameter_search.cpp.o.d"
+  "parameter_search"
+  "parameter_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parameter_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/search_comparison.dir/search_comparison.cpp.o"
+  "CMakeFiles/search_comparison.dir/search_comparison.cpp.o.d"
+  "search_comparison"
+  "search_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/search_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

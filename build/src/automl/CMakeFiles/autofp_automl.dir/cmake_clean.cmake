@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_automl.dir/hpo.cc.o"
+  "CMakeFiles/autofp_automl.dir/hpo.cc.o.d"
+  "CMakeFiles/autofp_automl.dir/tpot_fp.cc.o"
+  "CMakeFiles/autofp_automl.dir/tpot_fp.cc.o.d"
+  "libautofp_automl.a"
+  "libautofp_automl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_automl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/evaluator.cc" "src/core/CMakeFiles/autofp_core.dir/evaluator.cc.o" "gcc" "src/core/CMakeFiles/autofp_core.dir/evaluator.cc.o.d"
+  "/root/repo/src/core/fp_growth.cc" "src/core/CMakeFiles/autofp_core.dir/fp_growth.cc.o" "gcc" "src/core/CMakeFiles/autofp_core.dir/fp_growth.cc.o.d"
+  "/root/repo/src/core/ranking.cc" "src/core/CMakeFiles/autofp_core.dir/ranking.cc.o" "gcc" "src/core/CMakeFiles/autofp_core.dir/ranking.cc.o.d"
+  "/root/repo/src/core/search_framework.cc" "src/core/CMakeFiles/autofp_core.dir/search_framework.cc.o" "gcc" "src/core/CMakeFiles/autofp_core.dir/search_framework.cc.o.d"
+  "/root/repo/src/core/search_space.cc" "src/core/CMakeFiles/autofp_core.dir/search_space.cc.o" "gcc" "src/core/CMakeFiles/autofp_core.dir/search_space.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/autofp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/autofp_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autofp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autofp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autofp_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_core.dir/evaluator.cc.o"
+  "CMakeFiles/autofp_core.dir/evaluator.cc.o.d"
+  "CMakeFiles/autofp_core.dir/fp_growth.cc.o"
+  "CMakeFiles/autofp_core.dir/fp_growth.cc.o.d"
+  "CMakeFiles/autofp_core.dir/ranking.cc.o"
+  "CMakeFiles/autofp_core.dir/ranking.cc.o.d"
+  "CMakeFiles/autofp_core.dir/search_framework.cc.o"
+  "CMakeFiles/autofp_core.dir/search_framework.cc.o.d"
+  "CMakeFiles/autofp_core.dir/search_space.cc.o"
+  "CMakeFiles/autofp_core.dir/search_space.cc.o.d"
+  "libautofp_core.a"
+  "libautofp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_data.dir/benchmark_suite.cc.o"
+  "CMakeFiles/autofp_data.dir/benchmark_suite.cc.o.d"
+  "CMakeFiles/autofp_data.dir/dataset.cc.o"
+  "CMakeFiles/autofp_data.dir/dataset.cc.o.d"
+  "CMakeFiles/autofp_data.dir/splits.cc.o"
+  "CMakeFiles/autofp_data.dir/splits.cc.o.d"
+  "CMakeFiles/autofp_data.dir/synthetic.cc.o"
+  "CMakeFiles/autofp_data.dir/synthetic.cc.o.d"
+  "libautofp_data.a"
+  "libautofp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

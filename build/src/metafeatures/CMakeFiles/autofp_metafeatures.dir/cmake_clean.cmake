@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_metafeatures.dir/metafeatures.cc.o"
+  "CMakeFiles/autofp_metafeatures.dir/metafeatures.cc.o.d"
+  "libautofp_metafeatures.a"
+  "libautofp_metafeatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_metafeatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/autofp_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/autofp_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/gbdt.cc.o"
+  "CMakeFiles/autofp_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/knn.cc.o"
+  "CMakeFiles/autofp_ml.dir/knn.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/lda.cc.o"
+  "CMakeFiles/autofp_ml.dir/lda.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/logistic_regression.cc.o"
+  "CMakeFiles/autofp_ml.dir/logistic_regression.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/metrics.cc.o"
+  "CMakeFiles/autofp_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/mlp_classifier.cc.o"
+  "CMakeFiles/autofp_ml.dir/mlp_classifier.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/model.cc.o"
+  "CMakeFiles/autofp_ml.dir/model.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/autofp_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/autofp_ml.dir/random_forest.cc.o"
+  "CMakeFiles/autofp_ml.dir/random_forest.cc.o.d"
+  "libautofp_ml.a"
+  "libautofp_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_nn.dir/lstm.cc.o"
+  "CMakeFiles/autofp_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/autofp_nn.dir/mlp_net.cc.o"
+  "CMakeFiles/autofp_nn.dir/mlp_net.cc.o.d"
+  "libautofp_nn.a"
+  "libautofp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

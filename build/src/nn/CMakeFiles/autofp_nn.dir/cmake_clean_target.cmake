@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libautofp_nn.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/preprocess/binarizer.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/binarizer.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/binarizer.cc.o.d"
+  "/root/repo/src/preprocess/maxabs_scaler.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/maxabs_scaler.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/maxabs_scaler.cc.o.d"
+  "/root/repo/src/preprocess/minmax_scaler.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/minmax_scaler.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/minmax_scaler.cc.o.d"
+  "/root/repo/src/preprocess/normalizer.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/normalizer.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/normalizer.cc.o.d"
+  "/root/repo/src/preprocess/pipeline.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/pipeline.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/pipeline.cc.o.d"
+  "/root/repo/src/preprocess/pipeline_parse.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/pipeline_parse.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/pipeline_parse.cc.o.d"
+  "/root/repo/src/preprocess/power_transformer.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/power_transformer.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/power_transformer.cc.o.d"
+  "/root/repo/src/preprocess/preprocessor.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/preprocessor.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/preprocessor.cc.o.d"
+  "/root/repo/src/preprocess/quantile_transformer.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/quantile_transformer.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/quantile_transformer.cc.o.d"
+  "/root/repo/src/preprocess/standard_scaler.cc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/standard_scaler.cc.o" "gcc" "src/preprocess/CMakeFiles/autofp_preprocess.dir/standard_scaler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/autofp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_preprocess.dir/binarizer.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/binarizer.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/maxabs_scaler.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/maxabs_scaler.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/minmax_scaler.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/minmax_scaler.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/normalizer.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/normalizer.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/pipeline.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/pipeline.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/pipeline_parse.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/pipeline_parse.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/power_transformer.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/power_transformer.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/preprocessor.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/preprocessor.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/quantile_transformer.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/quantile_transformer.cc.o.d"
+  "CMakeFiles/autofp_preprocess.dir/standard_scaler.cc.o"
+  "CMakeFiles/autofp_preprocess.dir/standard_scaler.cc.o.d"
+  "libautofp_preprocess.a"
+  "libautofp_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

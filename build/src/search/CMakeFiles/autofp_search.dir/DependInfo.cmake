@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/search/anneal.cc" "src/search/CMakeFiles/autofp_search.dir/anneal.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/anneal.cc.o.d"
+  "/root/repo/src/search/bohb.cc" "src/search/CMakeFiles/autofp_search.dir/bohb.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/bohb.cc.o.d"
+  "/root/repo/src/search/enas.cc" "src/search/CMakeFiles/autofp_search.dir/enas.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/enas.cc.o.d"
+  "/root/repo/src/search/evolution.cc" "src/search/CMakeFiles/autofp_search.dir/evolution.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/evolution.cc.o.d"
+  "/root/repo/src/search/hyperband.cc" "src/search/CMakeFiles/autofp_search.dir/hyperband.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/hyperband.cc.o.d"
+  "/root/repo/src/search/pbt.cc" "src/search/CMakeFiles/autofp_search.dir/pbt.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/pbt.cc.o.d"
+  "/root/repo/src/search/progressive_nas.cc" "src/search/CMakeFiles/autofp_search.dir/progressive_nas.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/progressive_nas.cc.o.d"
+  "/root/repo/src/search/registry.cc" "src/search/CMakeFiles/autofp_search.dir/registry.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/registry.cc.o.d"
+  "/root/repo/src/search/reinforce.cc" "src/search/CMakeFiles/autofp_search.dir/reinforce.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/reinforce.cc.o.d"
+  "/root/repo/src/search/smac.cc" "src/search/CMakeFiles/autofp_search.dir/smac.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/smac.cc.o.d"
+  "/root/repo/src/search/tpe.cc" "src/search/CMakeFiles/autofp_search.dir/tpe.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/tpe.cc.o.d"
+  "/root/repo/src/search/two_step.cc" "src/search/CMakeFiles/autofp_search.dir/two_step.cc.o" "gcc" "src/search/CMakeFiles/autofp_search.dir/two_step.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/autofp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/autofp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/autofp_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/autofp_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/autofp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/autofp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

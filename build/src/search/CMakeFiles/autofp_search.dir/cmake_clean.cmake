@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_search.dir/anneal.cc.o"
+  "CMakeFiles/autofp_search.dir/anneal.cc.o.d"
+  "CMakeFiles/autofp_search.dir/bohb.cc.o"
+  "CMakeFiles/autofp_search.dir/bohb.cc.o.d"
+  "CMakeFiles/autofp_search.dir/enas.cc.o"
+  "CMakeFiles/autofp_search.dir/enas.cc.o.d"
+  "CMakeFiles/autofp_search.dir/evolution.cc.o"
+  "CMakeFiles/autofp_search.dir/evolution.cc.o.d"
+  "CMakeFiles/autofp_search.dir/hyperband.cc.o"
+  "CMakeFiles/autofp_search.dir/hyperband.cc.o.d"
+  "CMakeFiles/autofp_search.dir/pbt.cc.o"
+  "CMakeFiles/autofp_search.dir/pbt.cc.o.d"
+  "CMakeFiles/autofp_search.dir/progressive_nas.cc.o"
+  "CMakeFiles/autofp_search.dir/progressive_nas.cc.o.d"
+  "CMakeFiles/autofp_search.dir/registry.cc.o"
+  "CMakeFiles/autofp_search.dir/registry.cc.o.d"
+  "CMakeFiles/autofp_search.dir/reinforce.cc.o"
+  "CMakeFiles/autofp_search.dir/reinforce.cc.o.d"
+  "CMakeFiles/autofp_search.dir/smac.cc.o"
+  "CMakeFiles/autofp_search.dir/smac.cc.o.d"
+  "CMakeFiles/autofp_search.dir/tpe.cc.o"
+  "CMakeFiles/autofp_search.dir/tpe.cc.o.d"
+  "CMakeFiles/autofp_search.dir/two_step.cc.o"
+  "CMakeFiles/autofp_search.dir/two_step.cc.o.d"
+  "libautofp_search.a"
+  "libautofp_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

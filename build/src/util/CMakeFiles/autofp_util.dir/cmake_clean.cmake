@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp_util.dir/csv.cc.o"
+  "CMakeFiles/autofp_util.dir/csv.cc.o.d"
+  "CMakeFiles/autofp_util.dir/matrix.cc.o"
+  "CMakeFiles/autofp_util.dir/matrix.cc.o.d"
+  "CMakeFiles/autofp_util.dir/random.cc.o"
+  "CMakeFiles/autofp_util.dir/random.cc.o.d"
+  "CMakeFiles/autofp_util.dir/stats.cc.o"
+  "CMakeFiles/autofp_util.dir/stats.cc.o.d"
+  "libautofp_util.a"
+  "libautofp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_automl.dir/test_automl.cc.o"
+  "CMakeFiles/test_automl.dir/test_automl.cc.o.d"
+  "test_automl"
+  "test_automl.pdb"
+  "test_automl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_automl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bandits.dir/test_bandits.cc.o"
+  "CMakeFiles/test_bandits.dir/test_bandits.cc.o.d"
+  "test_bandits"
+  "test_bandits.pdb"
+  "test_bandits[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bandits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fp_growth.dir/test_fp_growth.cc.o"
+  "CMakeFiles/test_fp_growth.dir/test_fp_growth.cc.o.d"
+  "test_fp_growth"
+  "test_fp_growth.pdb"
+  "test_fp_growth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fp_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gbdt_details.dir/test_gbdt_details.cc.o"
+  "CMakeFiles/test_gbdt_details.dir/test_gbdt_details.cc.o.d"
+  "test_gbdt_details"
+  "test_gbdt_details.pdb"
+  "test_gbdt_details[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gbdt_details.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

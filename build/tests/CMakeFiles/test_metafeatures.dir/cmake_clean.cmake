@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metafeatures.dir/test_metafeatures.cc.o"
+  "CMakeFiles/test_metafeatures.dir/test_metafeatures.cc.o.d"
+  "test_metafeatures"
+  "test_metafeatures.pdb"
+  "test_metafeatures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metafeatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

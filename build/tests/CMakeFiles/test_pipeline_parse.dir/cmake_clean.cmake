@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline_parse.dir/test_pipeline_parse.cc.o"
+  "CMakeFiles/test_pipeline_parse.dir/test_pipeline_parse.cc.o.d"
+  "test_pipeline_parse"
+  "test_pipeline_parse.pdb"
+  "test_pipeline_parse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preprocessors.dir/test_preprocessors.cc.o"
+  "CMakeFiles/test_preprocessors.dir/test_preprocessors.cc.o.d"
+  "test_preprocessors"
+  "test_preprocessors.pdb"
+  "test_preprocessors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preprocessors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_rigged_search.
+# This may be replaced when dependencies are built.

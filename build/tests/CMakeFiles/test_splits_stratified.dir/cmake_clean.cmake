@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_splits_stratified.dir/test_splits_stratified.cc.o"
+  "CMakeFiles/test_splits_stratified.dir/test_splits_stratified.cc.o.d"
+  "test_splits_stratified"
+  "test_splits_stratified.pdb"
+  "test_splits_stratified[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_splits_stratified.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_splits_stratified.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_surrogates.dir/test_surrogates.cc.o"
+  "CMakeFiles/test_surrogates.dir/test_surrogates.cc.o.d"
+  "test_surrogates"
+  "test_surrogates.pdb"
+  "test_surrogates[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_random[1]_include.cmake")
+include("/root/repo/build/tests/test_csv[1]_include.cmake")
+include("/root/repo/build/tests/test_dataset[1]_include.cmake")
+include("/root/repo/build/tests/test_synthetic[1]_include.cmake")
+include("/root/repo/build/tests/test_preprocessors[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_models[1]_include.cmake")
+include("/root/repo/build/tests/test_metafeatures[1]_include.cmake")
+include("/root/repo/build/tests/test_search_space[1]_include.cmake")
+include("/root/repo/build/tests/test_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_algorithms[1]_include.cmake")
+include("/root/repo/build/tests/test_ranking[1]_include.cmake")
+include("/root/repo/build/tests/test_fp_growth[1]_include.cmake")
+include("/root/repo/build/tests/test_extended_search[1]_include.cmake")
+include("/root/repo/build/tests/test_automl[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_gbdt_details[1]_include.cmake")
+include("/root/repo/build/tests/test_bandits[1]_include.cmake")
+include("/root/repo/build/tests/test_surrogates[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_rigged_search[1]_include.cmake")
+include("/root/repo/build/tests/test_pipeline_parse[1]_include.cmake")
+include("/root/repo/build/tests/test_splits_stratified[1]_include.cmake")
+include("/root/repo/build/tests/test_edge_cases[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autofp.dir/autofp_cli.cc.o"
+  "CMakeFiles/autofp.dir/autofp_cli.cc.o.d"
+  "autofp"
+  "autofp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autofp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

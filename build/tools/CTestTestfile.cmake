@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(autofp_cli_smoke "/root/repo/build/tools/autofp" "--data" "suite:blood_syn" "--budget" "20" "--algorithm" "RS")
+set_tests_properties(autofp_cli_smoke PROPERTIES  LABELS "cli" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autofp_cli_list "/root/repo/build/tools/autofp" "--list")
+set_tests_properties(autofp_cli_list PROPERTIES  LABELS "cli" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autofp_cli_two_step "/root/repo/build/tools/autofp" "--data" "suite:heart_syn" "--space" "low" "--two-step" "--budget" "20")
+set_tests_properties(autofp_cli_two_step PROPERTIES  LABELS "cli" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(autofp_cli_apply "/root/repo/build/tools/autofp" "--data" "suite:blood_syn" "--apply" "StandardScaler -> Binarizer(threshold=0.5)" "--out" "/root/repo/build/apply_out.csv")
+set_tests_properties(autofp_cli_apply PROPERTIES  LABELS "cli" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
