@@ -10,6 +10,10 @@ namespace autofp {
 struct Budget {
   long max_evaluations = -1;
   double max_seconds = -1.0;
+  /// Per-evaluation deadline (seconds). A single evaluation that exceeds
+  /// it is recorded as failed (EvalFailure::kDeadlineExceeded) with the
+  /// penalty score, and the search continues. Negative = no deadline.
+  double max_eval_seconds = -1.0;
 
   static Budget Evaluations(long count) {
     Budget budget;
@@ -19,6 +23,13 @@ struct Budget {
   static Budget Seconds(double seconds) {
     Budget budget;
     budget.max_seconds = seconds;
+    return budget;
+  }
+
+  /// Builder-style: same budget with a per-evaluation deadline attached.
+  Budget WithEvalDeadline(double seconds) const {
+    Budget budget = *this;
+    budget.max_eval_seconds = seconds;
     return budget;
   }
 

@@ -1,5 +1,6 @@
 #include "core/evaluator.h"
 
+#include <cmath>
 #include <utility>
 
 #include "data/splits.h"
@@ -7,6 +8,22 @@
 #include "util/timer.h"
 
 namespace autofp {
+
+namespace {
+
+Evaluation FailedEvaluation(const PipelineSpec& pipeline,
+                            double budget_fraction, EvalFailure failure,
+                            Status status) {
+  Evaluation result;
+  result.pipeline = pipeline;
+  result.budget_fraction = budget_fraction;
+  result.failure = failure;
+  result.status = std::move(status);
+  result.accuracy = kPenaltyAccuracy;
+  return result;
+}
+
+}  // namespace
 
 PipelineEvaluator::PipelineEvaluator(Dataset train, Dataset valid,
                                      ModelConfig model)
@@ -20,11 +37,34 @@ PipelineEvaluator::PipelineEvaluator(Dataset train, Dataset valid,
   AUTOFP_CHECK_EQ(train_.num_classes, valid_.num_classes);
 }
 
+void PipelineEvaluator::AttachFaultInjector(const FaultInjectorConfig& config) {
+  fault_injector_ = std::make_unique<FaultInjector>(config);
+}
+
 Evaluation PipelineEvaluator::Evaluate(const PipelineSpec& pipeline,
                                        double budget_fraction) {
   AUTOFP_CHECK_GT(budget_fraction, 0.0);
   AUTOFP_CHECK_LE(budget_fraction, 1.0);
   ++num_evaluations_;
+  Stopwatch eval_watch;
+
+  // Injected faults and slowdowns are decided up front; a slowdown is
+  // simulated (no real sleep) by counting against the deadline.
+  double injected_delay = 0.0;
+  if (fault_injector_ != nullptr) {
+    InjectionDecision decision = fault_injector_->Next();
+    if (decision.failure != EvalFailure::kNone) {
+      return FailedEvaluation(pipeline, budget_fraction, decision.failure,
+                              Status::Internal("injected fault"));
+    }
+    injected_delay = decision.delay_seconds;
+  }
+  const double deadline = eval_deadline_seconds_;
+  auto past_deadline = [&]() {
+    return deadline > 0.0 &&
+           eval_watch.ElapsedSeconds() + injected_delay > deadline;
+  };
+
   Evaluation result;
   result.pipeline = pipeline;
   result.budget_fraction = budget_fraction;
@@ -33,31 +73,98 @@ Evaluation PipelineEvaluator::Evaluate(const PipelineSpec& pipeline,
   Dataset subsampled;
   double effective_fraction = budget_fraction * global_train_fraction_;
   if (effective_fraction < 1.0) {
-    subsampled = SubsampleRows(train_, effective_fraction, &subsample_rng_);
+    subsampled =
+        SubsampleRowsStratified(train_, effective_fraction, &subsample_rng_);
     train_view = &subsampled;
   }
 
   Stopwatch prep_watch;
-  TransformedPair transformed =
-      FitTransformPair(pipeline, train_view->features, valid_.features);
-  result.timing.prep_seconds = prep_watch.ElapsedSeconds();
+  Result<TransformedPair> transformed =
+      CheckedFitTransformPair(pipeline, train_view->features, valid_.features);
+  result.timing.prep_seconds = prep_watch.ElapsedSeconds() + injected_delay;
+  if (!transformed.ok()) {
+    Status status = transformed.status();
+    EvalFailure failure = FailureFromStatus(status);
+    return FailedEvaluation(pipeline, budget_fraction, failure,
+                            std::move(status));
+  }
+  if (past_deadline()) {
+    return FailedEvaluation(
+        pipeline, budget_fraction, EvalFailure::kDeadlineExceeded,
+        Status::Internal("deadline exceeded after preprocessing"));
+  }
 
   Stopwatch train_watch;
   std::unique_ptr<Classifier> model = MakeClassifier(model_);
-  model->Train(transformed.train, train_view->labels, train_.num_classes);
-  result.accuracy =
-      EvaluateAccuracy(*model, transformed.valid, valid_.labels);
+  model->Train(transformed.value().train, train_view->labels,
+               train_.num_classes);
+  double accuracy =
+      EvaluateAccuracy(*model, transformed.value().valid, valid_.labels);
   result.timing.train_seconds = train_watch.ElapsedSeconds();
+  if (!std::isfinite(accuracy)) {
+    return FailedEvaluation(pipeline, budget_fraction,
+                            EvalFailure::kModelDiverged,
+                            Status::Internal("non-finite validation score"));
+  }
+  if (past_deadline()) {
+    return FailedEvaluation(
+        pipeline, budget_fraction, EvalFailure::kDeadlineExceeded,
+        Status::Internal("deadline exceeded during training"));
+  }
+  result.accuracy = accuracy;
   return result;
 }
 
 double PipelineEvaluator::BaselineAccuracy() {
   if (baseline_accuracy_ < 0.0) {
-    long saved = num_evaluations_;
+    // The baseline is infrastructure, not a search decision: compute it
+    // without injection, deadlines, or budget accounting.
+    long saved_evaluations = num_evaluations_;
+    double saved_deadline = eval_deadline_seconds_;
+    std::unique_ptr<FaultInjector> saved_injector = std::move(fault_injector_);
+    eval_deadline_seconds_ = -1.0;
     baseline_accuracy_ = Evaluate(PipelineSpec{}, 1.0).accuracy;
-    num_evaluations_ = saved;  // the baseline does not consume budget.
+    fault_injector_ = std::move(saved_injector);
+    eval_deadline_seconds_ = saved_deadline;
+    num_evaluations_ = saved_evaluations;
   }
   return baseline_accuracy_;
+}
+
+FaultInjectingEvaluator::FaultInjectingEvaluator(
+    EvaluatorInterface* inner, const FaultInjectorConfig& config)
+    : inner_(inner), injector_(config) {
+  AUTOFP_CHECK(inner != nullptr);
+}
+
+void FaultInjectingEvaluator::SetEvalDeadline(double seconds) {
+  eval_deadline_seconds_ = seconds;
+  inner_->SetEvalDeadline(seconds);
+}
+
+Evaluation FaultInjectingEvaluator::Evaluate(const PipelineSpec& pipeline,
+                                             double budget_fraction) {
+  InjectionDecision decision = injector_.Next();
+  if (decision.failure != EvalFailure::kNone) {
+    Evaluation result;
+    result.pipeline = pipeline;
+    result.budget_fraction = budget_fraction;
+    result.failure = decision.failure;
+    result.status = Status::Internal("injected fault");
+    result.accuracy = kPenaltyAccuracy;
+    return result;
+  }
+  Evaluation result = inner_->Evaluate(pipeline, budget_fraction);
+  if (decision.delay_seconds > 0.0) {
+    result.timing.prep_seconds += decision.delay_seconds;
+    if (eval_deadline_seconds_ > 0.0 &&
+        decision.delay_seconds > eval_deadline_seconds_ && !result.failed()) {
+      result.failure = EvalFailure::kDeadlineExceeded;
+      result.status = Status::Internal("injected slowdown past deadline");
+      result.accuracy = kPenaltyAccuracy;
+    }
+  }
+  return result;
 }
 
 }  // namespace autofp

@@ -1,8 +1,10 @@
 #ifndef AUTOFP_CORE_EVALUATOR_H_
 #define AUTOFP_CORE_EVALUATOR_H_
 
+#include <memory>
 #include <vector>
 
+#include "core/fault.h"
 #include "data/dataset.h"
 #include "ml/model.h"
 #include "preprocess/pipeline.h"
@@ -19,6 +21,8 @@ struct EvalTiming {
 };
 
 /// One evaluated pipeline: the record type of Algorithm 1's history.
+/// A failed evaluation carries its typed failure, a Status with detail,
+/// and the penalty score (kPenaltyAccuracy) instead of silent garbage.
 struct Evaluation {
   PipelineSpec pipeline;
   double accuracy = 0.0;
@@ -26,6 +30,15 @@ struct Evaluation {
   /// 1.0 = full training data.
   double budget_fraction = 1.0;
   EvalTiming timing;
+  /// Typed outcome: kNone on success, otherwise why this evaluation failed
+  /// (then `accuracy` holds kPenaltyAccuracy).
+  EvalFailure failure = EvalFailure::kNone;
+  /// Failure detail (OK on success).
+  Status status;
+  /// Evaluator attempts this record absorbed (> 1 after retries).
+  int attempts = 1;
+
+  bool failed() const { return failure != EvalFailure::kNone; }
 };
 
 /// Abstract pipeline evaluator: what the search framework needs from an
@@ -35,18 +48,30 @@ class EvaluatorInterface {
  public:
   virtual ~EvaluatorInterface() = default;
 
-  /// Evaluates a pipeline at the given training-budget fraction.
+  /// Evaluates a pipeline at the given training-budget fraction. Must not
+  /// throw or abort on degenerate pipelines: failures are reported through
+  /// Evaluation::failure with the penalty score.
   virtual Evaluation Evaluate(const PipelineSpec& pipeline,
                               double budget_fraction) = 0;
 
   /// Accuracy of the empty (no-FP) pipeline.
   virtual double BaselineAccuracy() = 0;
+
+  /// Per-evaluation deadline in seconds (negative disables). Backends
+  /// without a notion of wall-clock may ignore it.
+  virtual void SetEvalDeadline(double seconds) { (void)seconds; }
 };
 
 /// Evaluates pipelines per the paper's pipeline-error definition (Eq. 2):
 /// fit the pipeline on the training features, transform train and valid,
 /// train the downstream classifier on the transformed training set and
 /// score accuracy on the transformed validation set.
+///
+/// Fault tolerance: non-finite or degenerate transform output and diverged
+/// models are reported as typed failures (never NaN scores, never aborts);
+/// an attached FaultInjector can additionally fail or slow down attempts;
+/// a per-evaluation deadline turns slow evaluations into
+/// kDeadlineExceeded failures.
 class PipelineEvaluator : public EvaluatorInterface {
  public:
   PipelineEvaluator(Dataset train, Dataset valid, ModelConfig model);
@@ -61,9 +86,21 @@ class PipelineEvaluator : public EvaluatorInterface {
   }
   double global_train_fraction() const { return global_train_fraction_; }
 
+  /// Attaches a deterministic fault injector; every subsequent Evaluate()
+  /// attempt draws one decision from it. Replaces any previous injector.
+  void AttachFaultInjector(const FaultInjectorConfig& config);
+  /// The attached injector, or nullptr.
+  FaultInjector* fault_injector() { return fault_injector_.get(); }
+
+  void SetEvalDeadline(double seconds) override {
+    eval_deadline_seconds_ = seconds;
+  }
+  double eval_deadline_seconds() const { return eval_deadline_seconds_; }
+
   /// Evaluates a pipeline. `budget_fraction` in (0, 1] subsamples training
   /// rows before fitting (the resource axis for Hyperband/BOHB);
-  /// subsampling is seeded deterministically per call count.
+  /// subsampling is seeded deterministically per call count and keeps at
+  /// least one row per class.
   Evaluation Evaluate(const PipelineSpec& pipeline,
                       double budget_fraction) override;
   Evaluation Evaluate(const PipelineSpec& pipeline) {
@@ -71,7 +108,7 @@ class PipelineEvaluator : public EvaluatorInterface {
   }
 
   /// Validation accuracy with no preprocessing (the paper's no-FP line).
-  /// Computed once and cached.
+  /// Computed once and cached; immune to fault injection and deadlines.
   double BaselineAccuracy() override;
 
   const Dataset& train() const { return train_; }
@@ -87,6 +124,30 @@ class PipelineEvaluator : public EvaluatorInterface {
   long num_evaluations_ = 0;
   double baseline_accuracy_ = -1.0;
   double global_train_fraction_ = 1.0;
+  double eval_deadline_seconds_ = -1.0;
+  std::unique_ptr<FaultInjector> fault_injector_;
+};
+
+/// Decorator that applies fault injection (and simulated-slowdown deadline
+/// accounting) to *any* EvaluatorInterface — used to exercise search
+/// algorithms under faults on synthetic reward landscapes where no real
+/// pipeline evaluation happens.
+class FaultInjectingEvaluator : public EvaluatorInterface {
+ public:
+  FaultInjectingEvaluator(EvaluatorInterface* inner,
+                          const FaultInjectorConfig& config);
+
+  Evaluation Evaluate(const PipelineSpec& pipeline,
+                      double budget_fraction) override;
+  double BaselineAccuracy() override { return inner_->BaselineAccuracy(); }
+  void SetEvalDeadline(double seconds) override;
+
+  FaultInjector* injector() { return &injector_; }
+
+ private:
+  EvaluatorInterface* inner_;
+  FaultInjector injector_;
+  double eval_deadline_seconds_ = -1.0;
 };
 
 }  // namespace autofp

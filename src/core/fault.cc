@@ -1,0 +1,80 @@
+#include "core/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace autofp {
+
+const char* EvalFailureName(EvalFailure failure) {
+  switch (failure) {
+    case EvalFailure::kNone:
+      return "OK";
+    case EvalFailure::kNonFiniteOutput:
+      return "NonFiniteOutput";
+    case EvalFailure::kDegenerateTransform:
+      return "DegenerateTransform";
+    case EvalFailure::kModelDiverged:
+      return "ModelDiverged";
+    case EvalFailure::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case EvalFailure::kInjected:
+      return "Injected";
+  }
+  return "Unknown";
+}
+
+EvalFailure FailureFromStatus(const Status& status) {
+  if (status.ok()) return EvalFailure::kNone;
+  switch (status.code()) {
+    case StatusCode::kOutOfRange:
+      return EvalFailure::kNonFiniteOutput;
+    case StatusCode::kInvalidArgument:
+      return EvalFailure::kDegenerateTransform;
+    default:
+      return EvalFailure::kModelDiverged;
+  }
+}
+
+FaultInjector::FaultInjector(const FaultInjectorConfig& config)
+    : config_(config), rng_(config.seed) {
+  AUTOFP_CHECK_GE(config.fault_rate, 0.0);
+  AUTOFP_CHECK_LE(config.fault_rate, 1.0);
+  AUTOFP_CHECK_GE(config.slowdown_rate, 0.0);
+  AUTOFP_CHECK_LE(config.slowdown_rate, 1.0);
+  AUTOFP_CHECK_GE(config.slowdown_seconds, 0.0);
+}
+
+InjectionDecision FaultInjector::Next() {
+  ++num_decisions_;
+  InjectionDecision decision;
+  // Both draws always happen so the stream position is a pure function of
+  // the call index, independent of which branches fire.
+  bool fault = rng_.Bernoulli(config_.fault_rate);
+  bool slow = rng_.Bernoulli(config_.slowdown_rate);
+  if (fault) {
+    ++num_injected_faults_;
+    decision.failure = EvalFailure::kInjected;
+    return decision;
+  }
+  if (slow) {
+    ++num_injected_slowdowns_;
+    decision.delay_seconds = config_.slowdown_seconds;
+  }
+  return decision;
+}
+
+double FaultPolicy::BackoffSeconds(int retry_index) const {
+  if (initial_backoff_seconds <= 0.0 || retry_index <= 0) return 0.0;
+  double backoff = initial_backoff_seconds;
+  for (int i = 1; i < retry_index; ++i) backoff *= backoff_multiplier;
+  return std::min(backoff, max_backoff_seconds);
+}
+
+void BackoffSleep(const FaultPolicy& policy, int retry_index) {
+  double seconds = policy.BackoffSeconds(retry_index);
+  if (seconds <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+}  // namespace autofp

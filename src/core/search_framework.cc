@@ -1,16 +1,25 @@
 #include "core/search_framework.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace autofp {
 
 SearchContext::SearchContext(const SearchSpace* space,
                              EvaluatorInterface* evaluator,
-                             const Budget& budget, uint64_t seed)
-    : space_(space), evaluator_(evaluator), budget_(budget), rng_(seed) {
+                             const Budget& budget, uint64_t seed,
+                             const FaultPolicy& policy)
+    : space_(space),
+      evaluator_(evaluator),
+      budget_(budget),
+      rng_(seed),
+      policy_(policy) {
   AUTOFP_CHECK(space != nullptr);
   AUTOFP_CHECK(evaluator != nullptr);
   AUTOFP_CHECK(budget.limited()) << "unlimited budget would never terminate";
+  if (budget.max_eval_seconds > 0.0) {
+    evaluator_->SetEvalDeadline(budget.max_eval_seconds);
+  }
 }
 
 bool SearchContext::BudgetExhausted() const {
@@ -28,27 +37,76 @@ bool SearchContext::BudgetExhausted() const {
 std::optional<double> SearchContext::Evaluate(const PipelineSpec& pipeline,
                                               double budget_fraction) {
   if (BudgetExhausted()) return std::nullopt;
+
+  // Quarantined pipelines failed permanently before: short-circuit with
+  // the penalty score instead of wasting evaluator work. The budget is
+  // still charged so algorithms that keep re-proposing a quarantined
+  // pipeline cannot loop forever.
+  auto quarantined = quarantine_.find(pipeline.Key());
+  if (quarantined != quarantine_.end()) {
+    ++num_quarantine_hits_;
+    evaluation_cost_ += budget_fraction;
+    Evaluation evaluation;
+    evaluation.pipeline = pipeline;
+    evaluation.budget_fraction = budget_fraction;
+    evaluation.failure = quarantined->second;
+    evaluation.status = Status::Internal("pipeline quarantined");
+    evaluation.accuracy = kPenaltyAccuracy;
+    evaluation.attempts = 0;
+    history_.push_back(std::move(evaluation));
+    return kPenaltyAccuracy;
+  }
+
   Stopwatch watch;
   Evaluation evaluation = evaluator_->Evaluate(pipeline, budget_fraction);
-  eval_seconds_ += watch.ElapsedSeconds();
-  evaluation_cost_ += budget_fraction;
-  history_.push_back(evaluation);
-  // Prefer full-budget evaluations as final answers; a partial-budget
-  // result is only kept while no full-budget result exists.
-  bool is_full = evaluation.budget_fraction >= 1.0;
-  bool best_is_full =
-      best_index_ >= 0 && history_[best_index_].budget_fraction >= 1.0;
-  bool better;
-  if (best_index_ < 0) {
-    better = true;
-  } else if (is_full != best_is_full) {
-    better = is_full;
-  } else {
-    better = evaluation.accuracy > best_key_;
+  int attempts = 1;
+  // Transient failures (injected faults, deadline flakes) are retried with
+  // bounded backoff; permanent ones (non-finite output, degenerate
+  // transform, diverged model) are deterministic and retried never.
+  while (evaluation.failed() && IsTransientFailure(evaluation.failure) &&
+         attempts <= policy_.max_retries && !BudgetExhausted()) {
+    ++num_failures_;
+    ++num_retries_;
+    BackoffSleep(policy_, attempts);
+    evaluation = evaluator_->Evaluate(pipeline, budget_fraction);
+    ++attempts;
   }
-  if (better) {
-    best_index_ = static_cast<int>(history_.size() - 1);
-    best_key_ = evaluation.accuracy;
+  eval_seconds_ += watch.ElapsedSeconds();
+  evaluation_cost_ += budget_fraction;  // one logical evaluation, charged once.
+  evaluation.attempts = attempts;
+
+  if (evaluation.failed()) {
+    ++num_failures_;
+    evaluation.accuracy = kPenaltyAccuracy;  // never record garbage scores.
+    if (policy_.quarantine && !IsTransientFailure(evaluation.failure)) {
+      quarantine_.emplace(pipeline.Key(), evaluation.failure);
+    }
+  }
+  history_.push_back(evaluation);
+
+  // Best-tracking considers only successful, finite scores: a failed or
+  // NaN accuracy must never compare its way past best_key_ (NaN poisons
+  // every subsequent comparison).
+  bool eligible =
+      !evaluation.failed() && std::isfinite(evaluation.accuracy);
+  if (eligible) {
+    // Prefer full-budget evaluations as final answers; a partial-budget
+    // result is only kept while no full-budget result exists.
+    bool is_full = evaluation.budget_fraction >= 1.0;
+    bool best_is_full =
+        best_index_ >= 0 && history_[best_index_].budget_fraction >= 1.0;
+    bool better;
+    if (best_index_ < 0) {
+      better = true;
+    } else if (is_full != best_is_full) {
+      better = is_full;
+    } else {
+      better = evaluation.accuracy > best_key_;
+    }
+    if (better) {
+      best_index_ = static_cast<int>(history_.size() - 1);
+      best_key_ = evaluation.accuracy;
+    }
   }
   return evaluation.accuracy;
 }
@@ -61,9 +119,9 @@ const Evaluation& SearchContext::best() const {
 SearchResult RunSearch(SearchAlgorithm* algorithm,
                        EvaluatorInterface* evaluator,
                        const SearchSpace& space, const Budget& budget,
-                       uint64_t seed) {
+                       uint64_t seed, const FaultPolicy& policy) {
   AUTOFP_CHECK(algorithm != nullptr);
-  SearchContext context(&space, evaluator, budget, seed);
+  SearchContext context(&space, evaluator, budget, seed, policy);
   algorithm->Initialize(&context);
   // Guard against algorithms that stop making progress before the budget
   // is exhausted (would otherwise spin forever under time budgets).
@@ -82,6 +140,10 @@ SearchResult RunSearch(SearchAlgorithm* algorithm,
   result.num_evaluations = context.num_evaluations();
   result.evaluation_cost = context.evaluation_cost();
   result.baseline_accuracy = evaluator->BaselineAccuracy();
+  result.num_failures = context.num_failures();
+  result.num_retries = context.num_retries();
+  result.num_quarantined = context.num_quarantined();
+  result.num_quarantine_hits = context.num_quarantine_hits();
   if (context.has_best()) {
     result.best_pipeline = context.best().pipeline;
     result.best_accuracy = context.best().accuracy;

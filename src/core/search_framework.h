@@ -3,10 +3,12 @@
 
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/budget.h"
 #include "core/evaluator.h"
+#include "core/fault.h"
 #include "core/search_space.h"
 #include "util/random.h"
 #include "util/timer.h"
@@ -16,10 +18,17 @@ namespace autofp {
 /// Services the unified framework (Algorithm 1) offers an algorithm:
 /// the search space, a seeded RNG, budget-aware evaluation, and the
 /// shared evaluation history. Owned by RunSearch.
+///
+/// Fault tolerance (see DESIGN.md "Failure semantics"): evaluations that
+/// fail transiently are retried with bounded backoff; pipelines that fail
+/// permanently are quarantined and never re-evaluated; every failed
+/// evaluation enters the history with the penalty score flagged as failed,
+/// and the search continues.
 class SearchContext {
  public:
   SearchContext(const SearchSpace* space, EvaluatorInterface* evaluator,
-                const Budget& budget, uint64_t seed);
+                const Budget& budget, uint64_t seed,
+                const FaultPolicy& policy = FaultPolicy{});
 
   const SearchSpace& space() const { return *space_; }
   Rng* rng() { return &rng_; }
@@ -53,16 +62,38 @@ class SearchContext {
   double eval_seconds() const { return eval_seconds_; }
   double elapsed_seconds() const { return total_watch_.ElapsedSeconds(); }
 
+  /// Fault bookkeeping. num_failures counts evaluator attempts that
+  /// returned a failure (including ones later recovered by a retry);
+  /// num_retries counts retry attempts; num_quarantined counts distinct
+  /// quarantined pipelines; num_quarantine_hits counts evaluations
+  /// short-circuited because the pipeline was already quarantined.
+  long num_failures() const { return num_failures_; }
+  long num_retries() const { return num_retries_; }
+  long num_quarantined() const {
+    return static_cast<long>(quarantine_.size());
+  }
+  long num_quarantine_hits() const { return num_quarantine_hits_; }
+  bool IsQuarantined(const PipelineSpec& pipeline) const {
+    return quarantine_.count(pipeline.Key()) > 0;
+  }
+  const FaultPolicy& fault_policy() const { return policy_; }
+
  private:
   const SearchSpace* space_;
   EvaluatorInterface* evaluator_;
   Budget budget_;
   Rng rng_;
+  FaultPolicy policy_;
   std::vector<Evaluation> history_;
+  /// Pipeline key -> the permanent failure that quarantined it.
+  std::unordered_map<std::string, EvalFailure> quarantine_;
   double evaluation_cost_ = 0.0;
   int best_index_ = -1;
   double best_key_ = -1.0;
   double eval_seconds_ = 0.0;
+  long num_failures_ = 0;
+  long num_retries_ = 0;
+  long num_quarantine_hits_ = 0;
   Stopwatch total_watch_;
 };
 
@@ -99,15 +130,24 @@ struct SearchResult {
   double pick_seconds = 0.0;
   double prep_seconds = 0.0;
   double train_seconds = 0.0;
+  /// Fault report (see SearchContext accessors for exact semantics):
+  /// failed evaluator attempts, retries performed, distinct pipelines
+  /// quarantined, and evaluations short-circuited by the quarantine.
+  long num_failures = 0;
+  long num_retries = 0;
+  long num_quarantined = 0;
+  long num_quarantine_hits = 0;
 };
 
 /// Drives Algorithm 1: Initialize once, then Iterate until the budget is
 /// exhausted. Returns the best pipeline found (empty pipeline if the
-/// algorithm never completed an evaluation).
+/// algorithm never completed a successful evaluation). `policy` governs
+/// retry/quarantine behaviour for failed evaluations.
 SearchResult RunSearch(SearchAlgorithm* algorithm,
                        EvaluatorInterface* evaluator,
                        const SearchSpace& space, const Budget& budget,
-                       uint64_t seed);
+                       uint64_t seed,
+                       const FaultPolicy& policy = FaultPolicy{});
 
 }  // namespace autofp
 

@@ -81,4 +81,27 @@ Dataset SubsampleRows(const Dataset& dataset, double fraction, Rng* rng) {
   return dataset.SelectRows(indices);
 }
 
+Dataset SubsampleRowsStratified(const Dataset& dataset, double fraction,
+                                Rng* rng) {
+  AUTOFP_CHECK_GT(fraction, 0.0);
+  AUTOFP_CHECK_LE(fraction, 1.0);
+  if (fraction >= 1.0) return dataset;
+  std::vector<std::vector<size_t>> by_class(dataset.num_classes);
+  for (size_t r = 0; r < dataset.num_rows(); ++r) {
+    by_class[dataset.labels[r]].push_back(r);
+  }
+  std::vector<size_t> indices;
+  for (std::vector<size_t>& rows : by_class) {
+    if (rows.empty()) continue;
+    size_t target = static_cast<size_t>(
+        fraction * static_cast<double>(rows.size()));
+    target = std::clamp(target, size_t{1}, rows.size());
+    rng->Shuffle(&rows);
+    indices.insert(indices.end(), rows.begin(), rows.begin() + target);
+  }
+  // Shuffle the merged sample so row order carries no class signal.
+  rng->Shuffle(&indices);
+  return dataset.SelectRows(indices);
+}
+
 }  // namespace autofp

@@ -34,6 +34,12 @@ std::vector<std::vector<size_t>> KFoldIndices(size_t num_rows, size_t k,
 /// map Hyperband/BOHB resource budgets to partial training data.
 Dataset SubsampleRows(const Dataset& dataset, double fraction, Rng* rng);
 
+/// Stratified variant of SubsampleRows: keeps at least one row of every
+/// class present in `dataset`, so tiny budget fractions on small datasets
+/// can never yield an empty or single-class training subsample.
+Dataset SubsampleRowsStratified(const Dataset& dataset, double fraction,
+                                Rng* rng);
+
 }  // namespace autofp
 
 #endif  // AUTOFP_DATA_SPLITS_H_

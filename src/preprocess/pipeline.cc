@@ -1,8 +1,31 @@
 #include "preprocess/pipeline.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace autofp {
+
+namespace {
+
+bool AllFinite(const Matrix& matrix) {
+  for (double value : matrix.data()) {
+    if (!std::isfinite(value)) return false;
+  }
+  return true;
+}
+
+/// True when every entry of the matrix is identical (including the empty
+/// matrix): no feature carries any information.
+bool IsCollapsed(const Matrix& matrix) {
+  if (matrix.empty()) return true;
+  const double first = matrix.data().front();
+  for (double value : matrix.data()) {
+    if (value != first) return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 std::string PipelineSpec::ToString() const {
   if (steps.empty()) return "<no-FP>";
@@ -67,6 +90,24 @@ TransformedPair FitTransformPair(const PipelineSpec& spec, const Matrix& train,
   out.train = std::move(current_train);
   out.valid = std::move(current_valid);
   return out;
+}
+
+Result<TransformedPair> CheckedFitTransformPair(const PipelineSpec& spec,
+                                                const Matrix& train,
+                                                const Matrix& valid) {
+  TransformedPair pair = FitTransformPair(spec, train, valid);
+  if (!AllFinite(pair.train) || !AllFinite(pair.valid)) {
+    return Status::OutOfRange("pipeline '" + spec.ToString() +
+                              "' produced non-finite output");
+  }
+  // Only non-empty pipelines can be blamed for collapsing the data; the
+  // no-FP pass-through reports whatever the raw features are.
+  if (!spec.empty() && IsCollapsed(pair.train)) {
+    return Status::InvalidArgument("pipeline '" + spec.ToString() +
+                                   "' produced a degenerate (constant) "
+                                   "training matrix");
+  }
+  return pair;
 }
 
 }  // namespace autofp

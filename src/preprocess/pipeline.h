@@ -7,6 +7,7 @@
 
 #include "preprocess/preprocessor.h"
 #include "util/matrix.h"
+#include "util/status.h"
 
 namespace autofp {
 
@@ -59,6 +60,19 @@ struct TransformedPair {
 };
 TransformedPair FitTransformPair(const PipelineSpec& spec, const Matrix& train,
                                  const Matrix& valid);
+
+/// Status-carrying variant of FitTransformPair: instead of silently
+/// propagating broken output into model training, it reports
+///  - OutOfRange  when the transformed train/valid matrices contain
+///    NaN/Inf values (non-finite output), and
+///  - InvalidArgument when the transformed training matrix is degenerate
+///    (empty, or every entry identical — the transform destroyed all
+///    information the downstream model could use).
+/// The empty spec (no-FP) passes the inputs through; only the non-finite
+/// check applies to it (raw features are not the pipeline's fault).
+Result<TransformedPair> CheckedFitTransformPair(const PipelineSpec& spec,
+                                                const Matrix& train,
+                                                const Matrix& valid);
 
 }  // namespace autofp
 

@@ -55,6 +55,102 @@ TEST(EdgePreprocess, ExtremeMagnitudes) {
   }
 }
 
+// Every preprocessor, fit on three degenerate shapes — a constant column
+// among varying ones, a single row, and all-identical rows — must either
+// succeed with fully finite output or surface a typed failure through the
+// checked pipeline path. No aborts, no NaN output.
+void ExpectFiniteFitTransform(const Matrix& train, const char* shape) {
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    auto preprocessor = MakePreprocessor(kind);
+    Matrix out = preprocessor->FitTransform(train);
+    ASSERT_EQ(out.rows(), train.rows()) << KindName(kind) << " on " << shape;
+    for (size_t r = 0; r < out.rows(); ++r) {
+      for (size_t c = 0; c < out.cols(); ++c) {
+        EXPECT_TRUE(std::isfinite(out(r, c)))
+            << KindName(kind) << " on " << shape << " (" << r << "," << c
+            << ")";
+      }
+    }
+  }
+}
+
+TEST(EdgePreprocess, ConstantColumnEveryPreprocessor) {
+  Matrix train = {{1.0, 5.0, -2.0},
+                  {2.0, 5.0, 0.5},
+                  {3.0, 5.0, 1.5},
+                  {4.0, 5.0, -0.5}};  // column 1 constant.
+  ExpectFiniteFitTransform(train, "constant-column");
+}
+
+TEST(EdgePreprocess, SingleRowEveryPreprocessor) {
+  Matrix train = {{1.5, -2.0, 0.0, 7.0}};
+  ExpectFiniteFitTransform(train, "single-row");
+}
+
+TEST(EdgePreprocess, AllIdenticalRowsEveryPreprocessor) {
+  Matrix row = {{2.5, -1.0, 0.0}};
+  Matrix train(6, 3);
+  for (size_t r = 0; r < 6; ++r) {
+    for (size_t c = 0; c < 3; ++c) train(r, c) = row(0, c);
+  }
+  ExpectFiniteFitTransform(train, "identical-rows");
+}
+
+TEST(EdgePreprocess, CheckedPipelineReportsNonFiniteInput) {
+  // NaN in the input propagates through scale-only transforms; the checked
+  // pipeline path must report it as a typed OutOfRange failure instead of
+  // handing NaN features to a model.
+  Matrix train = {{1.0, std::nan("")}, {2.0, 3.0}, {3.0, 4.0}};
+  Matrix valid = {{1.5, 2.0}};
+  PipelineSpec spec =
+      PipelineSpec::FromKinds({PreprocessorKind::kMaxAbsScaler});
+  Result<TransformedPair> out = CheckedFitTransformPair(spec, train, valid);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(EdgePreprocess, CheckedPipelineReportsDegenerateTransform) {
+  // Binarizer with a threshold above every value collapses the matrix to
+  // all zeros: a degenerate transform, reported as InvalidArgument.
+  Matrix train = {{1.0, 2.0}, {3.0, 4.0}, {0.5, 1.5}};
+  Matrix valid = {{2.0, 2.0}};
+  PreprocessorConfig binarizer =
+      PreprocessorConfig::Defaults(PreprocessorKind::kBinarizer);
+  binarizer.threshold = 100.0;
+  PipelineSpec spec;
+  spec.steps.push_back(binarizer);
+  Result<TransformedPair> out = CheckedFitTransformPair(spec, train, valid);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeEvaluator, TinyBudgetFractionKeepsOneRowPerClass) {
+  // budget_fraction far below 1/rows: the stratified subsample must still
+  // contain at least one row of each class, so training cannot see an
+  // empty or single-class sample.
+  SyntheticSpec spec;
+  spec.name = "tinyfrac";
+  spec.rows = 50;
+  spec.cols = 3;
+  spec.num_classes = 4;
+  spec.seed = 86;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(86);
+  TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 5;
+  PipelineEvaluator evaluator(split.train, split.valid, model);
+  for (double fraction : {0.01, 0.02, 0.05}) {
+    Evaluation evaluation = evaluator.Evaluate(
+        PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}),
+        fraction);
+    EXPECT_FALSE(evaluation.failed()) << "fraction " << fraction << ": "
+                                      << evaluation.status.ToString();
+    EXPECT_GE(evaluation.accuracy, 0.0);
+    EXPECT_LE(evaluation.accuracy, 1.0);
+  }
+}
+
 TEST(EdgeModels, TrainingWithOneFeature) {
   Matrix features = {{0.0}, {1.0}, {2.0}, {10.0}, {11.0}, {12.0}};
   std::vector<int> labels = {0, 0, 0, 1, 1, 1};

@@ -7,7 +7,9 @@
 ///   autofp --data <file.csv | suite:NAME> [--model LR|XGB|MLP]
 ///          [--algorithm NAME] [--budget N] [--seconds S] [--seed N]
 ///          [--max-length N] [--space default|low|high] [--two-step]
-///          [--train-fraction F] [--list]
+///          [--train-fraction F] [--fault-rate F] [--slowdown-rate F]
+///          [--slowdown-seconds S] [--eval-deadline S] [--max-retries N]
+///          [--list]
 ///   autofp --data <file.csv> --apply "<pipeline>" --out <file.csv>
 ///
 /// The CSV's last column is the class label; pass suite:NAME to use a
@@ -41,6 +43,11 @@ struct Options {
   std::string space = "default";
   bool two_step = false;
   double train_fraction = 1.0;
+  double fault_rate = 0.0;
+  double slowdown_rate = 0.0;
+  double slowdown_seconds = 0.05;
+  double eval_deadline = -1.0;
+  int max_retries = 2;
   bool list = false;
   std::string apply;  ///< pipeline to apply instead of searching.
   std::string out;    ///< output CSV for --apply.
@@ -58,6 +65,11 @@ void PrintUsage() {
       "  --space default|low|high search space (Table 6/7 extensions)\n"
       "  --two-step               use the Two-step extension (Section 6.2)\n"
       "  --train-fraction F       subsample training rows to F (0,1]\n"
+      "  --fault-rate F           inject evaluation faults with prob. F\n"
+      "  --slowdown-rate F        inject evaluation slowdowns with prob. F\n"
+      "  --slowdown-seconds S     simulated slowdown length (default 0.05)\n"
+      "  --eval-deadline S        per-evaluation deadline in seconds\n"
+      "  --max-retries N          retries for transient faults (default 2)\n"
       "  --list                   list built-in datasets and algorithms\n"
       "  --apply \"<pipeline>\"     fit+apply a pipeline instead of searching\n"
       "  --out FILE               output CSV for --apply\n");
@@ -111,6 +123,26 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       const char* v = next("--train-fraction");
       if (!v) return false;
       options->train_fraction = std::atof(v);
+    } else if (arg == "--fault-rate") {
+      const char* v = next("--fault-rate");
+      if (!v) return false;
+      options->fault_rate = std::atof(v);
+    } else if (arg == "--slowdown-rate") {
+      const char* v = next("--slowdown-rate");
+      if (!v) return false;
+      options->slowdown_rate = std::atof(v);
+    } else if (arg == "--slowdown-seconds") {
+      const char* v = next("--slowdown-seconds");
+      if (!v) return false;
+      options->slowdown_seconds = std::atof(v);
+    } else if (arg == "--eval-deadline") {
+      const char* v = next("--eval-deadline");
+      if (!v) return false;
+      options->eval_deadline = std::atof(v);
+    } else if (arg == "--max-retries") {
+      const char* v = next("--max-retries");
+      if (!v) return false;
+      options->max_retries = std::atoi(v);
     } else if (arg == "--apply") {
       const char* v = next("--apply");
       if (!v) return false;
@@ -230,8 +262,21 @@ int main(int argc, char** argv) {
   if (options.train_fraction < 1.0) {
     evaluator.set_global_train_fraction(options.train_fraction);
   }
+  if (options.fault_rate > 0.0 || options.slowdown_rate > 0.0) {
+    FaultInjectorConfig injector;
+    injector.fault_rate = options.fault_rate;
+    injector.slowdown_rate = options.slowdown_rate;
+    injector.slowdown_seconds = options.slowdown_seconds;
+    injector.seed = options.seed ^ 0x5EEDFA17;
+    evaluator.AttachFaultInjector(injector);
+  }
   Budget budget = options.seconds > 0.0 ? Budget::Seconds(options.seconds)
                                         : Budget::Evaluations(options.budget);
+  if (options.eval_deadline > 0.0) {
+    budget = budget.WithEvalDeadline(options.eval_deadline);
+  }
+  FaultPolicy policy;
+  policy.max_retries = options.max_retries;
 
   std::printf("dataset: %s (%zu rows x %zu cols, %d classes)\n",
               dataset.value().name.c_str(), dataset.value().num_rows(),
@@ -256,7 +301,7 @@ int main(int argc, char** argv) {
     }
     SearchSpace space = SearchSpace::Default(options.max_length);
     result = RunSearch(algorithm.value().get(), &evaluator, space, budget,
-                       options.seed);
+                       options.seed, policy);
   } else {
     ParameterSpace parameters = options.space == "low"
                                     ? ParameterSpace::LowCardinality()
@@ -288,5 +333,9 @@ int main(int argc, char** argv) {
               result.num_evaluations, result.evaluation_cost,
               result.elapsed_seconds, result.pick_seconds,
               result.prep_seconds, result.train_seconds);
+  std::printf("failures       : %ld failed attempts, %ld retries, "
+              "%ld quarantined, %ld quarantine hits\n",
+              result.num_failures, result.num_retries,
+              result.num_quarantined, result.num_quarantine_hits);
   return 0;
 }
