@@ -31,11 +31,12 @@ int main() {
       PipelineEvaluator evaluator(split.train, split.valid, model);
       evaluator.set_global_train_fraction(fraction);
       Pbt pbt;
-      SearchResult result = RunSearch(&pbt, &evaluator, SearchSpace::Default(),
-                                      Budget::Seconds(0.4), 29);
+      SearchResult result = RunSearch(&pbt, &evaluator, SearchSpace::Default(), {Budget::Seconds(0.4), 29});
       // Re-score the winner with full training data.
       PipelineEvaluator full(split.train, split.valid, model);
-      double full_accuracy = full.Evaluate(result.best_pipeline).accuracy;
+      EvalRequest rescore;
+      rescore.pipeline = result.best_pipeline;
+      double full_accuracy = full.Evaluate(rescore).accuracy;
       std::printf("%-18s %-9.2f %-10ld %-12.4f %.4f\n", dataset.c_str(),
                   fraction, result.num_evaluations, result.best_accuracy,
                   full_accuracy);

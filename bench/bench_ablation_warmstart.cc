@@ -48,8 +48,7 @@ int main() {
         {
           PipelineEvaluator evaluator(split.train, split.valid, model);
           Pbt cold;
-          cold_total += RunSearch(&cold, &evaluator, SearchSpace::Default(),
-                                  Budget::Evaluations(budget), seed)
+          cold_total += RunSearch(&cold, &evaluator, SearchSpace::Default(), {Budget::Evaluations(budget), seed})
                             .best_accuracy;
         }
         {
@@ -58,8 +57,7 @@ int main() {
           config.initial_population = warm;
           Pbt warm_pbt(config);
           warm_total +=
-              RunSearch(&warm_pbt, &evaluator, SearchSpace::Default(),
-                        Budget::Evaluations(budget), seed)
+              RunSearch(&warm_pbt, &evaluator, SearchSpace::Default(), {Budget::Evaluations(budget), seed})
                   .best_accuracy;
         }
       }

@@ -38,8 +38,7 @@ int main() {
       PipelineEvaluator autofp_eval(split.train, split.valid, model);
       auto pbt = MakeSearchAlgorithm("PBT");
       SearchResult auto_fp =
-          RunSearch(pbt.value().get(), &autofp_eval, SearchSpace::Default(),
-                    Budget::Evaluations(kBudget), 12);
+          RunSearch(pbt.value().get(), &autofp_eval, SearchSpace::Default(), {Budget::Evaluations(kBudget), 12});
 
       PipelineEvaluator tpot_eval(split.train, split.valid, model);
       SearchResult tpot = RunTpotFp(TpotFpConfig{}, &tpot_eval,

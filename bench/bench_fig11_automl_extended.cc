@@ -37,8 +37,7 @@ int main() {
       ModelConfig model = ModelConfig::Defaults(model_kind);
 
       PipelineEvaluator autofp_eval(split.train, split.valid, model);
-      SearchResult auto_fp = RunOneStep("PBT", &autofp_eval, parameters,
-                                        Budget::Evaluations(kBudget), 14);
+      SearchResult auto_fp = RunOneStep("PBT", &autofp_eval, parameters, {Budget::Evaluations(kBudget), 14});
 
       PipelineEvaluator tpot_eval(split.train, split.valid, model);
       SearchResult tpot = RunTpotFp(TpotFpConfig{}, &tpot_eval,

@@ -39,8 +39,7 @@ int main() {
         PipelineEvaluator evaluator(split.train, split.valid, model);
         auto algorithm = MakeSearchAlgorithm(name).value();
         double accuracy =
-            RunSearch(algorithm.get(), &evaluator, SearchSpace::Default(),
-                      Budget::Evaluations(budget), 93)
+            RunSearch(algorithm.get(), &evaluator, SearchSpace::Default(), {Budget::Evaluations(budget), 93})
                 .best_accuracy;
         // Same seed + larger budget explores a superset for deterministic
         // prefix-stable algorithms; print regardless and let the reader

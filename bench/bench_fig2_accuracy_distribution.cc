@@ -60,7 +60,9 @@ int main() {
     PipelineSpec best_pipeline, worst_pipeline;
     double best = -1.0, worst = 2.0;
     for (const PipelineSpec& pipeline : pipelines) {
-      double accuracy = evaluator.Evaluate(pipeline).accuracy;
+      EvalRequest request;
+      request.pipeline = pipeline;
+      double accuracy = evaluator.Evaluate(request).accuracy;
       accuracies.push_back(accuracy);
       if (accuracy > best) {
         best = accuracy;

@@ -34,8 +34,7 @@ int main() {
     for (uint64_t seed : {55u, 56u, 57u}) {
       PipelineEvaluator evaluator(split.train, split.valid, model);
       std::unique_ptr<SearchAlgorithm> algorithm = make_algorithm();
-      total += RunSearch(algorithm.get(), &evaluator, space,
-                         Budget::Seconds(budget), seed)
+      total += RunSearch(algorithm.get(), &evaluator, space, {Budget::Seconds(budget), seed})
                    .best_accuracy;
     }
     return total / 3.0;

@@ -40,8 +40,7 @@ int main() {
                                     bench::HeavyModel(model_kind));
         auto algorithm = MakeSearchAlgorithm(name);
         SearchResult result =
-            RunSearch(algorithm.value().get(), &evaluator, space,
-                      Budget::Seconds(kSecondsPerRun), 66);
+            RunSearch(algorithm.value().get(), &evaluator, space, {Budget::Seconds(kSecondsPerRun), 66});
         double total = result.pick_seconds + result.prep_seconds +
                        result.train_seconds;
         if (total <= 0.0) total = 1.0;

@@ -33,8 +33,7 @@ int main() {
       double one_total = 0.0, two_total = 0.0;
       for (uint64_t seed : seeds) {
         PipelineEvaluator one_eval(split.train, split.valid, model);
-        one_total += RunOneStep("PBT", &one_eval, parameters,
-                                Budget::Evaluations(budget), seed)
+        one_total += RunOneStep("PBT", &one_eval, parameters, {Budget::Evaluations(budget), seed})
                          .best_accuracy;
         TwoStepConfig config;
         config.algorithm = "PBT";
@@ -42,8 +41,7 @@ int main() {
         // one parameter group per 60s round".
         config.inner_budget = Budget::Evaluations(40);
         PipelineEvaluator two_eval(split.train, split.valid, model);
-        two_total += RunTwoStep(config, &two_eval, parameters,
-                                Budget::Evaluations(budget), seed)
+        two_total += RunTwoStep(config, &two_eval, parameters, {Budget::Evaluations(budget), seed})
                          .best_accuracy;
       }
       double one = one_total / seeds.size();

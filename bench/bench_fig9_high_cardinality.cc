@@ -35,8 +35,7 @@ int main() {
       double one_total = 0.0, two_total = 0.0;
       for (uint64_t seed : seeds) {
         PipelineEvaluator one_eval(split.train, split.valid, model);
-        SearchResult one = RunOneStep("PBT", &one_eval, parameters,
-                                      Budget::Evaluations(budget), seed);
+        SearchResult one = RunOneStep("PBT", &one_eval, parameters, {Budget::Evaluations(budget), seed});
         one_total += one.best_accuracy;
         for (const PreprocessorConfig& step : one.best_pipeline.steps) {
           ++one_step_total_steps;
@@ -50,8 +49,7 @@ int main() {
         // one parameter group per 60s round".
         config.inner_budget = Budget::Evaluations(40);
         PipelineEvaluator two_eval(split.train, split.valid, model);
-        two_total += RunTwoStep(config, &two_eval, parameters,
-                                Budget::Evaluations(budget), seed)
+        two_total += RunTwoStep(config, &two_eval, parameters, {Budget::Evaluations(budget), seed})
                          .best_accuracy;
       }
       double one = one_total / seeds.size();

@@ -30,8 +30,7 @@ int main() {
         split.train, split.valid,
         bench::BenchModel(ModelKind::kLogisticRegression));
     auto pbt = MakeSearchAlgorithm("PBT");
-    SearchResult result = RunSearch(pbt.value().get(), &evaluator, space,
-                                    Budget::Evaluations(80), 17 + i);
+    SearchResult result = RunSearch(pbt.value().get(), &evaluator, space, {Budget::Evaluations(80), 17 + i});
     std::printf("%-18s %s\n", names[i].c_str(),
                 result.best_pipeline.ToString().c_str());
     std::vector<int> transaction;

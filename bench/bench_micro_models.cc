@@ -57,10 +57,11 @@ void BM_FullEvaluation(benchmark::State& state) {
   auto kind = static_cast<ModelKind>(state.range(0));
   PipelineEvaluator evaluator(split.train, split.valid,
                               ModelConfig::Defaults(kind));
-  PipelineSpec pipeline = PipelineSpec::FromKinds(
+  EvalRequest request;
+  request.pipeline = PipelineSpec::FromKinds(
       {PreprocessorKind::kPowerTransformer, PreprocessorKind::kMinMaxScaler});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(evaluator.Evaluate(pipeline));
+    benchmark::DoNotOptimize(evaluator.Evaluate(request));
   }
   state.SetLabel(ModelKindName(kind));
 }

@@ -39,8 +39,7 @@ SearchResult RunAtRate(const std::string& algorithm_name, double fault_rate,
   FaultPolicy policy;
   policy.max_retries = 2;
   auto algorithm = MakeSearchAlgorithm(algorithm_name).value();
-  return RunSearch(algorithm.get(), &evaluator, SearchSpace::Default(),
-                   budget, kSeed, policy);
+  return RunSearch(algorithm.get(), &evaluator, SearchSpace::Default(), {budget, kSeed, policy});
 }
 
 }  // namespace

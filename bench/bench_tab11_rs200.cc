@@ -38,8 +38,7 @@ int main() {
       PipelineEvaluator evaluator(split.train, split.valid,
                                   bench::BenchModel(kind));
       RandomSearch rs;
-      SearchResult result = RunSearch(&rs, &evaluator, space,
-                                      Budget::Evaluations(200), 88);
+      SearchResult result = RunSearch(&rs, &evaluator, space, {Budget::Evaluations(200), 88});
       std::printf(" |    %.4f     %.4f", result.baseline_accuracy,
                   result.best_accuracy);
       ++total;

@@ -57,8 +57,9 @@ int main() {
       Rng rng(1000 + i);
       double best = 0.0;
       for (int p = 0; p < kRandomPipelines; ++p) {
-        double accuracy =
-            evaluator.Evaluate(space.SampleUniform(&rng)).accuracy;
+        EvalRequest request;
+        request.pipeline = space.SampleUniform(&rng);
+        double accuracy = evaluator.Evaluate(request).accuracy;
         if (accuracy > best) best = accuracy;
       }
       labels[i] = best - baseline >= 0.015 ? 1 : 0;

@@ -17,8 +17,10 @@ void Enumerate(const SearchSpace& space, std::vector<int>* prefix,
                size_t max_length, PipelineEvaluator* evaluator, double* best,
                PipelineSpec* best_pipeline) {
   if (!prefix->empty()) {
-    PipelineSpec pipeline = space.Decode(*prefix);
-    double accuracy = evaluator->Evaluate(pipeline).accuracy;
+    EvalRequest request;
+    request.pipeline = space.Decode(*prefix);
+    const PipelineSpec& pipeline = request.pipeline;
+    double accuracy = evaluator->Evaluate(request).accuracy;
     if (accuracy > *best) {
       *best = accuracy;
       *best_pipeline = pipeline;

@@ -47,8 +47,7 @@ int main() {
                                       bench::BenchModel(model_kind));
           auto algorithm = MakeSearchAlgorithm(name);
           SearchResult result =
-              RunSearch(algorithm.value().get(), &evaluator, space,
-                        Budget::Seconds(budget), 77);
+              RunSearch(algorithm.value().get(), &evaluator, space, {Budget::Seconds(budget), 77});
           scenario.baseline = result.baseline_accuracy;
           scenario.accuracies.push_back(result.best_accuracy);
         }

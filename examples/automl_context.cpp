@@ -42,9 +42,7 @@ int main(int argc, char** argv) {
   // Auto-FP: PBT over the full default space.
   PipelineEvaluator autofp_eval(split.train, split.valid, model);
   auto pbt = MakeSearchAlgorithm("PBT");
-  SearchResult auto_fp = RunSearch(pbt.value().get(), &autofp_eval,
-                                   SearchSpace::Default(),
-                                   Budget::Evaluations(budget), 21);
+  SearchResult auto_fp = RunSearch(pbt.value().get(), &autofp_eval, SearchSpace::Default(), {Budget::Evaluations(budget), 21});
 
   // TPOT-FP: genetic programming over the 5-preprocessor module.
   PipelineEvaluator tpot_eval(split.train, split.valid, model);

@@ -63,9 +63,7 @@ int main(int argc, char** argv) {
       split.train, split.valid,
       ModelConfig::Defaults(ModelKind::kLogisticRegression));
   auto tevo = MakeSearchAlgorithm("TEVO_H").value();
-  SearchResult result = RunSearch(tevo.get(), &evaluator,
-                                  SearchSpace::Default(),
-                                  Budget::Evaluations(150), 9);
+  SearchResult result = RunSearch(tevo.get(), &evaluator, SearchSpace::Default(), {Budget::Evaluations(150), 9});
   std::printf("\nno-FP baseline : %.4f\n", result.baseline_accuracy);
   std::printf("best accuracy  : %.4f\n", result.best_accuracy);
   std::printf("best pipeline  : %s\n",

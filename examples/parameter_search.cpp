@@ -37,14 +37,12 @@ int main(int argc, char** argv) {
     std::printf("\n=== %s: %zu One-step operators ===\n", c.label,
                 c.parameters.OneStepOperatorCount());
     PipelineEvaluator one_eval(split.train, split.valid, model);
-    SearchResult one = RunOneStep("PBT", &one_eval, c.parameters,
-                                  Budget::Evaluations(budget), 11);
+    SearchResult one = RunOneStep("PBT", &one_eval, c.parameters, {Budget::Evaluations(budget), 11});
     TwoStepConfig two_config;
     two_config.algorithm = "PBT";
     two_config.inner_budget = Budget::Evaluations(budget / 5);
     PipelineEvaluator two_eval(split.train, split.valid, model);
-    SearchResult two = RunTwoStep(two_config, &two_eval, c.parameters,
-                                  Budget::Evaluations(budget), 11);
+    SearchResult two = RunTwoStep(two_config, &two_eval, c.parameters, {Budget::Evaluations(budget), 11});
     std::printf("no-FP baseline : %.4f\n", one.baseline_accuracy);
     std::printf("One-step (PBT) : %.4f  %s\n", one.best_accuracy,
                 one.best_pipeline.ToString().c_str());

@@ -45,8 +45,7 @@ int main(int argc, char** argv) {
               space.TotalPipelines());
 
   Result<std::unique_ptr<SearchAlgorithm>> pbt = MakeSearchAlgorithm("PBT");
-  SearchResult result = RunSearch(pbt.value().get(), &evaluator, space,
-                                  Budget::Evaluations(budget), /*seed=*/42);
+  SearchResult result = RunSearch(pbt.value().get(), &evaluator, space, {Budget::Evaluations(budget), /*seed=*/42});
 
   std::printf("\nno-FP baseline accuracy : %.4f\n", result.baseline_accuracy);
   std::printf("best pipeline accuracy  : %.4f (%+.2f%%)\n",

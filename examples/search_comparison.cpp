@@ -52,8 +52,7 @@ int main(int argc, char** argv) {
     PipelineEvaluator evaluator(split.train, split.valid,
                                 ModelConfig::Defaults(model_kind));
     auto algorithm = MakeSearchAlgorithm(name);
-    SearchResult result = RunSearch(algorithm.value().get(), &evaluator,
-                                    space, Budget::Evaluations(budget), 99);
+    SearchResult result = RunSearch(algorithm.value().get(), &evaluator, space, {Budget::Evaluations(budget), 99});
     baseline = result.baseline_accuracy;
     rows.push_back({name, result.best_accuracy, result.num_evaluations,
                     result.best_pipeline.ToString()});

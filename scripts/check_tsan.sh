@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Builds with -fsanitize=thread and runs the concurrency-sensitive tests:
+# the parallel evaluation engine (ParallelEvaluator, TransformCache,
+# CachingEvaluator, EvaluateBatch) plus the fault-injection suite that
+# shares its retry/quarantine paths.
+#
+# Usage: scripts/check_tsan.sh [ctest-regex]
+#   ctest-regex  optional test-name filter; defaults to the concurrency
+#                suites. Pass '.' to run everything under TSan.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-tsan"
+filter="${1:-TransformCache|PrefixCache|CachingEvaluator|ParallelEvaluator|EvaluateBatch|ThreadInvariance|ParallelFaults|FaultInjector|Quarantine|Retry}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAUTOFP_SANITIZE=thread
+cmake --build "${build_dir}" -j \
+  --target test_parallel_eval test_fault_injection
+
+cd "${build_dir}"
+TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "${filter}"
+echo "TSan check passed."

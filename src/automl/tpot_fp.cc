@@ -105,7 +105,7 @@ SearchResult RunTpotFp(const TpotFpConfig& config,
                        uint64_t seed) {
   SearchSpace space = TpotFpSpace(config.max_pipeline_length);
   TpotGp algorithm(config);
-  return RunSearch(&algorithm, evaluator, space, budget, seed);
+  return RunSearch(&algorithm, evaluator, space, SearchOptions{budget, seed});
 }
 
 }  // namespace autofp

@@ -14,7 +14,8 @@
 ///   SearchSpace space = SearchSpace::Default();
 ///   auto algorithm = MakeSearchAlgorithm("PBT");
 ///   SearchResult result = RunSearch(algorithm.get(), &evaluator, space,
-///                                   Budget::Evaluations(200), /*seed=*/42);
+///                                   SearchOptions{Budget::Evaluations(200),
+///                                                 /*seed=*/42});
 ///
 /// See examples/quickstart.cc for a runnable version.
 

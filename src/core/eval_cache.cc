@@ -1,0 +1,52 @@
+#include "core/eval_cache.h"
+
+#include <cstdio>
+
+namespace autofp {
+
+CachingEvaluator::CachingEvaluator(EvaluatorInterface* inner)
+    : inner_(inner) {
+  AUTOFP_CHECK(inner != nullptr);
+}
+
+std::string CachingEvaluator::KeyFor(const EvalRequest& request) {
+  char suffix[96];
+  std::snprintf(suffix, sizeof(suffix), "|f%.17g|s%llu|d%.17g",
+                request.budget_fraction,
+                static_cast<unsigned long long>(request.seed),
+                request.deadline_seconds);
+  return request.pipeline.Key() + suffix;
+}
+
+Evaluation CachingEvaluator::Evaluate(const EvalRequest& request) {
+  std::string key = KeyFor(request);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto found = cache_.find(key);
+    if (found != cache_.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return found->second;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  Evaluation evaluation = inner_->Evaluate(request);
+  // Wall-clock-dependent outcomes are the only non-pure ones: a deadline
+  // flake must be allowed to succeed next time.
+  if (evaluation.failure != EvalFailure::kDeadlineExceeded) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.emplace(std::move(key), evaluation);
+  }
+  return evaluation;
+}
+
+size_t CachingEvaluator::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+void CachingEvaluator::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.clear();
+}
+
+}  // namespace autofp

@@ -1,0 +1,61 @@
+#ifndef AUTOFP_CORE_EVAL_CACHE_H_
+#define AUTOFP_CORE_EVAL_CACHE_H_
+
+/// Full-result evaluation cache: search algorithms (evolutionary
+/// populations especially) re-propose identical pipelines constantly, and
+/// with request-pure evaluators the whole Evaluation is a function of the
+/// request — so it can be served from memory instead of re-fitted.
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/evaluator.h"
+
+namespace autofp {
+
+/// Decorator memoizing complete Evaluations by request identity
+/// (pipeline key, budget fraction, seed, deadline). Sound because request
+/// seeds make evaluation a pure function of the request: two identical
+/// requests produce identical Evaluations regardless of call order or
+/// thread interleaving.
+///
+/// Deadline failures are never cached (they depend on wall-clock, not on
+/// the request); every other outcome — success, injected fault, permanent
+/// failure — is deterministic and cacheable. A cache hit returns the
+/// original record verbatim, including its timing, so histories stay
+/// byte-identical whether or not the work was re-done.
+///
+/// Thread-safe: concurrent misses on the same key may compute the result
+/// twice, but both computations are identical and the second insert is a
+/// no-op, so correctness never depends on winning the race.
+class CachingEvaluator : public EvaluatorInterface {
+ public:
+  explicit CachingEvaluator(EvaluatorInterface* inner);
+
+  using EvaluatorInterface::Evaluate;
+
+  Evaluation Evaluate(const EvalRequest& request) override;
+  double BaselineAccuracy() override { return inner_->BaselineAccuracy(); }
+
+  long hits() const { return hits_.load(std::memory_order_relaxed); }
+  long misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t size() const;
+  void Clear();
+
+  EvaluatorInterface* inner() { return inner_; }
+
+ private:
+  static std::string KeyFor(const EvalRequest& request);
+
+  EvaluatorInterface* inner_;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, Evaluation> cache_;
+  std::atomic<long> hits_{0};
+  std::atomic<long> misses_{0};
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_CORE_EVAL_CACHE_H_

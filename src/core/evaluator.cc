@@ -1,6 +1,8 @@
 #include "core/evaluator.h"
 
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <utility>
 
 #include "data/splits.h"
@@ -23,14 +25,66 @@ Evaluation FailedEvaluation(const PipelineSpec& pipeline,
   return result;
 }
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 0xCBF29CE484222325ull;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 0x100000001B3ull;
+  }
+  return hash;
+}
+
+/// Key fragment identifying the exact training matrix a prefix was fitted
+/// on: the full data for effective fraction >= 1, otherwise the
+/// (fraction, seed) pair that reproduces the subsample.
+std::string SubsampleKey(double effective_fraction, uint64_t seed) {
+  if (effective_fraction >= 1.0) return "full";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "f%.17g|s%llu", effective_fraction,
+                static_cast<unsigned long long>(seed));
+  return buffer;
+}
+
 }  // namespace
+
+uint64_t EvalRequest::DeriveSeed(uint64_t root, const PipelineSpec& pipeline,
+                                 double budget_fraction, int attempt) {
+  uint64_t fraction_bits = 0;
+  std::memcpy(&fraction_bits, &budget_fraction, sizeof(fraction_bits));
+  uint64_t mixed = SplitMix64(root);
+  mixed = SplitMix64(mixed ^ Fnv1a(pipeline.Key()));
+  mixed = SplitMix64(mixed ^ fraction_bits);
+  mixed = SplitMix64(mixed ^ static_cast<uint64_t>(attempt));
+  return mixed;
+}
+
+// The deprecated positional surface, implemented on top of the request
+// API. Seeded like a first-attempt request so shim behaviour matches the
+// framework's for the same pipeline and fraction.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+Evaluation EvaluatorInterface::Evaluate(const PipelineSpec& pipeline,
+                                        double budget_fraction) {
+  EvalRequest request;
+  request.pipeline = pipeline;
+  request.budget_fraction = budget_fraction;
+  request.deadline_seconds = deprecated_deadline_seconds_;
+  request.seed =
+      EvalRequest::DeriveSeed(0x51191517, pipeline, budget_fraction, 1);
+  return Evaluate(request);
+}
+#pragma GCC diagnostic pop
 
 PipelineEvaluator::PipelineEvaluator(Dataset train, Dataset valid,
                                      ModelConfig model)
-    : train_(std::move(train)),
-      valid_(std::move(valid)),
-      model_(model),
-      subsample_rng_(0xFEEDFACE) {
+    : train_(std::move(train)), valid_(std::move(valid)), model_(model) {
   AUTOFP_CHECK_GT(train_.num_rows(), 0u);
   AUTOFP_CHECK_GT(valid_.num_rows(), 0u);
   AUTOFP_CHECK_EQ(train_.num_cols(), valid_.num_cols());
@@ -41,25 +95,32 @@ void PipelineEvaluator::AttachFaultInjector(const FaultInjectorConfig& config) {
   fault_injector_ = std::make_unique<FaultInjector>(config);
 }
 
-Evaluation PipelineEvaluator::Evaluate(const PipelineSpec& pipeline,
-                                       double budget_fraction) {
+Evaluation PipelineEvaluator::Evaluate(const EvalRequest& request) {
+  num_evaluations_.fetch_add(1, std::memory_order_relaxed);
+  return EvaluateImpl(request, /*use_injector=*/true);
+}
+
+Evaluation PipelineEvaluator::EvaluateImpl(const EvalRequest& request,
+                                           bool use_injector) {
+  const PipelineSpec& pipeline = request.pipeline;
+  const double budget_fraction = request.budget_fraction;
   AUTOFP_CHECK_GT(budget_fraction, 0.0);
   AUTOFP_CHECK_LE(budget_fraction, 1.0);
-  ++num_evaluations_;
   Stopwatch eval_watch;
 
-  // Injected faults and slowdowns are decided up front; a slowdown is
-  // simulated (no real sleep) by counting against the deadline.
+  // Injected faults and slowdowns are decided up front from the request
+  // seed; a slowdown is simulated (no real sleep) by counting against the
+  // deadline.
   double injected_delay = 0.0;
-  if (fault_injector_ != nullptr) {
-    InjectionDecision decision = fault_injector_->Next();
+  if (use_injector && fault_injector_ != nullptr) {
+    InjectionDecision decision = fault_injector_->DecisionFor(request.seed);
     if (decision.failure != EvalFailure::kNone) {
       return FailedEvaluation(pipeline, budget_fraction, decision.failure,
                               Status::Internal("injected fault"));
     }
     injected_delay = decision.delay_seconds;
   }
-  const double deadline = eval_deadline_seconds_;
+  const double deadline = request.deadline_seconds;
   auto past_deadline = [&]() {
     return deadline > 0.0 &&
            eval_watch.ElapsedSeconds() + injected_delay > deadline;
@@ -73,14 +134,23 @@ Evaluation PipelineEvaluator::Evaluate(const PipelineSpec& pipeline,
   Dataset subsampled;
   double effective_fraction = budget_fraction * global_train_fraction_;
   if (effective_fraction < 1.0) {
+    // Seeded by the request, not by call count: concurrent and repeated
+    // evaluations of the same request subsample identically.
+    Rng subsample_rng(request.seed);
     subsampled =
-        SubsampleRowsStratified(train_, effective_fraction, &subsample_rng_);
+        SubsampleRowsStratified(train_, effective_fraction, &subsample_rng);
     train_view = &subsampled;
   }
 
   Stopwatch prep_watch;
   Result<TransformedPair> transformed =
-      CheckedFitTransformPair(pipeline, train_view->features, valid_.features);
+      transform_cache_ != nullptr
+          ? CheckedFitTransformPairCached(
+                pipeline, train_view->features, valid_.features,
+                transform_cache_.get(),
+                SubsampleKey(effective_fraction, request.seed))
+          : CheckedFitTransformPair(pipeline, train_view->features,
+                                    valid_.features);
   result.timing.prep_seconds = prep_watch.ElapsedSeconds() + injected_delay;
   if (!transformed.ok()) {
     Status status = transformed.status();
@@ -116,17 +186,13 @@ Evaluation PipelineEvaluator::Evaluate(const PipelineSpec& pipeline,
 }
 
 double PipelineEvaluator::BaselineAccuracy() {
+  std::lock_guard<std::mutex> lock(baseline_mutex_);
   if (baseline_accuracy_ < 0.0) {
     // The baseline is infrastructure, not a search decision: compute it
-    // without injection, deadlines, or budget accounting.
-    long saved_evaluations = num_evaluations_;
-    double saved_deadline = eval_deadline_seconds_;
-    std::unique_ptr<FaultInjector> saved_injector = std::move(fault_injector_);
-    eval_deadline_seconds_ = -1.0;
-    baseline_accuracy_ = Evaluate(PipelineSpec{}, 1.0).accuracy;
-    fault_injector_ = std::move(saved_injector);
-    eval_deadline_seconds_ = saved_deadline;
-    num_evaluations_ = saved_evaluations;
+    // without injection, deadlines, or budget accounting (the evaluation
+    // counter is not bumped).
+    EvalRequest request;
+    baseline_accuracy_ = EvaluateImpl(request, /*use_injector=*/false).accuracy;
   }
   return baseline_accuracy_;
 }
@@ -137,28 +203,23 @@ FaultInjectingEvaluator::FaultInjectingEvaluator(
   AUTOFP_CHECK(inner != nullptr);
 }
 
-void FaultInjectingEvaluator::SetEvalDeadline(double seconds) {
-  eval_deadline_seconds_ = seconds;
-  inner_->SetEvalDeadline(seconds);
-}
-
-Evaluation FaultInjectingEvaluator::Evaluate(const PipelineSpec& pipeline,
-                                             double budget_fraction) {
-  InjectionDecision decision = injector_.Next();
+Evaluation FaultInjectingEvaluator::Evaluate(const EvalRequest& request) {
+  InjectionDecision decision = injector_.DecisionFor(request.seed);
   if (decision.failure != EvalFailure::kNone) {
     Evaluation result;
-    result.pipeline = pipeline;
-    result.budget_fraction = budget_fraction;
+    result.pipeline = request.pipeline;
+    result.budget_fraction = request.budget_fraction;
     result.failure = decision.failure;
     result.status = Status::Internal("injected fault");
     result.accuracy = kPenaltyAccuracy;
     return result;
   }
-  Evaluation result = inner_->Evaluate(pipeline, budget_fraction);
+  Evaluation result = inner_->Evaluate(request);
   if (decision.delay_seconds > 0.0) {
     result.timing.prep_seconds += decision.delay_seconds;
-    if (eval_deadline_seconds_ > 0.0 &&
-        decision.delay_seconds > eval_deadline_seconds_ && !result.failed()) {
+    if (request.deadline_seconds > 0.0 &&
+        decision.delay_seconds > request.deadline_seconds &&
+        !result.failed()) {
       result.failure = EvalFailure::kDeadlineExceeded;
       result.status = Status::Internal("injected slowdown past deadline");
       result.accuracy = kPenaltyAccuracy;

@@ -1,13 +1,17 @@
 #ifndef AUTOFP_CORE_EVALUATOR_H_
 #define AUTOFP_CORE_EVALUATOR_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/fault.h"
 #include "data/dataset.h"
 #include "ml/model.h"
 #include "preprocess/pipeline.h"
+#include "preprocess/transform_cache.h"
 #include "util/random.h"
 
 namespace autofp {
@@ -18,6 +22,31 @@ namespace autofp {
 struct EvalTiming {
   double prep_seconds = 0.0;   ///< pipeline fit + transform of train/valid.
   double train_seconds = 0.0;  ///< classifier training + validation scoring.
+};
+
+/// One evaluation request: everything an evaluator needs to score a
+/// pipeline, carried per call so evaluators hold no mutable evaluation
+/// state and decorators (fault injection, caching, thread pools) compose
+/// without hidden knobs.
+struct EvalRequest {
+  PipelineSpec pipeline;
+  /// Fraction of training rows used (bandit partial-training budgets);
+  /// 1.0 = full training data.
+  double budget_fraction = 1.0;
+  /// Per-evaluation wall-clock deadline in seconds; <= 0 disables. An
+  /// evaluation that exceeds it reports EvalFailure::kDeadlineExceeded.
+  double deadline_seconds = -1.0;
+  /// Seed for all evaluation-local randomness (training subsampling, fault
+  /// injection). Two evaluations of identical requests produce identical
+  /// results regardless of thread interleaving or call order.
+  uint64_t seed = 0;
+
+  /// Canonical seed derivation: a pure function of (root, pipeline,
+  /// fraction, attempt). The search framework uses it so an evaluation's
+  /// outcome depends only on what is evaluated, never on when — the basis
+  /// of the multi-thread determinism guarantee and of full-result caching.
+  static uint64_t DeriveSeed(uint64_t root, const PipelineSpec& pipeline,
+                             double budget_fraction, int attempt);
 };
 
 /// One evaluated pipeline: the record type of Algorithm 1's history.
@@ -44,22 +73,40 @@ struct Evaluation {
 /// Abstract pipeline evaluator: what the search framework needs from an
 /// evaluation backend. The production implementation is PipelineEvaluator;
 /// tests substitute synthetic reward landscapes.
+///
+/// Thread-safety contract: implementations used under a ParallelEvaluator
+/// must tolerate concurrent Evaluate() calls. Because every request
+/// carries its own fraction, deadline and seed, a correct implementation
+/// needs no per-call mutable state.
 class EvaluatorInterface {
  public:
   virtual ~EvaluatorInterface() = default;
 
-  /// Evaluates a pipeline at the given training-budget fraction. Must not
-  /// throw or abort on degenerate pipelines: failures are reported through
-  /// Evaluation::failure with the penalty score.
-  virtual Evaluation Evaluate(const PipelineSpec& pipeline,
-                              double budget_fraction) = 0;
+  /// Evaluates one request. Must not throw or abort on degenerate
+  /// pipelines: failures are reported through Evaluation::failure with the
+  /// penalty score.
+  virtual Evaluation Evaluate(const EvalRequest& request) = 0;
 
   /// Accuracy of the empty (no-FP) pipeline.
   virtual double BaselineAccuracy() = 0;
 
-  /// Per-evaluation deadline in seconds (negative disables). Backends
-  /// without a notion of wall-clock may ignore it.
-  virtual void SetEvalDeadline(double seconds) { (void)seconds; }
+  /// Deprecated shim (kept for one release): builds an EvalRequest from
+  /// the positional arguments plus the deadline stored by the deprecated
+  /// SetEvalDeadline. New code passes an EvalRequest directly.
+  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
+  Evaluation Evaluate(const PipelineSpec& pipeline,
+                      double budget_fraction = 1.0);
+
+  /// Deprecated shim: stores a deadline applied only by the deprecated
+  /// Evaluate(pipeline, fraction) overload above. New code sets
+  /// EvalRequest::deadline_seconds per call.
+  [[deprecated("set EvalRequest::deadline_seconds per call")]]
+  void SetEvalDeadline(double seconds) {
+    deprecated_deadline_seconds_ = seconds;
+  }
+
+ private:
+  double deprecated_deadline_seconds_ = -1.0;  ///< shim-only state.
 };
 
 /// Evaluates pipelines per the paper's pipeline-error definition (Eq. 2):
@@ -70,11 +117,19 @@ class EvaluatorInterface {
 /// Fault tolerance: non-finite or degenerate transform output and diverged
 /// models are reported as typed failures (never NaN scores, never aborts);
 /// an attached FaultInjector can additionally fail or slow down attempts;
-/// a per-evaluation deadline turns slow evaluations into
-/// kDeadlineExceeded failures.
+/// the per-request deadline turns slow evaluations into kDeadlineExceeded
+/// failures.
+///
+/// Thread-safety: safe for concurrent Evaluate() calls. The datasets and
+/// model config are immutable after construction; subsampling and fault
+/// injection are pure functions of the request seed; counters are atomic.
+/// Configuration setters (global train fraction, injector, cache) must be
+/// called before concurrent use begins.
 class PipelineEvaluator : public EvaluatorInterface {
  public:
   PipelineEvaluator(Dataset train, Dataset valid, ModelConfig model);
+
+  using EvaluatorInterface::Evaluate;
 
   /// Data-size reduction (the paper's research opportunity 2): scale every
   /// evaluation's training subsample by `fraction` in (0, 1]. The search
@@ -87,25 +142,25 @@ class PipelineEvaluator : public EvaluatorInterface {
   double global_train_fraction() const { return global_train_fraction_; }
 
   /// Attaches a deterministic fault injector; every subsequent Evaluate()
-  /// attempt draws one decision from it. Replaces any previous injector.
+  /// attempt draws one decision from it, keyed by the request seed.
+  /// Replaces any previous injector.
   void AttachFaultInjector(const FaultInjectorConfig& config);
   /// The attached injector, or nullptr.
   FaultInjector* fault_injector() { return fault_injector_.get(); }
 
-  void SetEvalDeadline(double seconds) override {
-    eval_deadline_seconds_ = seconds;
+  /// Attaches a prefix-transform cache: fitted-pipeline-prefix outputs are
+  /// memoized so evaluating "A -> B -> C" after "A -> B" only fits C. The
+  /// cache may be shared between evaluators over the same dataset.
+  void AttachTransformCache(std::shared_ptr<TransformCache> cache) {
+    transform_cache_ = std::move(cache);
   }
-  double eval_deadline_seconds() const { return eval_deadline_seconds_; }
+  TransformCache* transform_cache() { return transform_cache_.get(); }
 
-  /// Evaluates a pipeline. `budget_fraction` in (0, 1] subsamples training
-  /// rows before fitting (the resource axis for Hyperband/BOHB);
-  /// subsampling is seeded deterministically per call count and keeps at
-  /// least one row per class.
-  Evaluation Evaluate(const PipelineSpec& pipeline,
-                      double budget_fraction) override;
-  Evaluation Evaluate(const PipelineSpec& pipeline) {
-    return Evaluate(pipeline, 1.0);
-  }
+  /// Evaluates one request. `budget_fraction` in (0, 1] subsamples
+  /// training rows before fitting (the resource axis for Hyperband/BOHB);
+  /// subsampling is seeded by the request seed and keeps at least one row
+  /// per class.
+  Evaluation Evaluate(const EvalRequest& request) override;
 
   /// Validation accuracy with no preprocessing (the paper's no-FP line).
   /// Computed once and cached; immune to fault injection and deadlines.
@@ -114,40 +169,46 @@ class PipelineEvaluator : public EvaluatorInterface {
   const Dataset& train() const { return train_; }
   const Dataset& valid() const { return valid_; }
   const ModelConfig& model() const { return model_; }
-  long num_evaluations() const { return num_evaluations_; }
+  long num_evaluations() const {
+    return num_evaluations_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// The evaluation body; `use_injector` is false for the baseline.
+  Evaluation EvaluateImpl(const EvalRequest& request, bool use_injector);
+
   Dataset train_;
   Dataset valid_;
   ModelConfig model_;
-  Rng subsample_rng_;
-  long num_evaluations_ = 0;
+  std::atomic<long> num_evaluations_{0};
+  std::mutex baseline_mutex_;
   double baseline_accuracy_ = -1.0;
   double global_train_fraction_ = 1.0;
-  double eval_deadline_seconds_ = -1.0;
   std::unique_ptr<FaultInjector> fault_injector_;
+  std::shared_ptr<TransformCache> transform_cache_;
 };
 
 /// Decorator that applies fault injection (and simulated-slowdown deadline
 /// accounting) to *any* EvaluatorInterface — used to exercise search
 /// algorithms under faults on synthetic reward landscapes where no real
-/// pipeline evaluation happens.
+/// pipeline evaluation happens. Injection decisions are a pure function of
+/// the request seed, so faulty runs reproduce exactly even under
+/// concurrent evaluation.
 class FaultInjectingEvaluator : public EvaluatorInterface {
  public:
   FaultInjectingEvaluator(EvaluatorInterface* inner,
                           const FaultInjectorConfig& config);
 
-  Evaluation Evaluate(const PipelineSpec& pipeline,
-                      double budget_fraction) override;
+  using EvaluatorInterface::Evaluate;
+
+  Evaluation Evaluate(const EvalRequest& request) override;
   double BaselineAccuracy() override { return inner_->BaselineAccuracy(); }
-  void SetEvalDeadline(double seconds) override;
 
   FaultInjector* injector() { return &injector_; }
 
  private:
   EvaluatorInterface* inner_;
   FaultInjector injector_;
-  double eval_deadline_seconds_ = -1.0;
 };
 
 }  // namespace autofp

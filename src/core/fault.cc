@@ -37,7 +37,7 @@ EvalFailure FailureFromStatus(const Status& status) {
 }
 
 FaultInjector::FaultInjector(const FaultInjectorConfig& config)
-    : config_(config), rng_(config.seed) {
+    : config_(config) {
   AUTOFP_CHECK_GE(config.fault_rate, 0.0);
   AUTOFP_CHECK_LE(config.fault_rate, 1.0);
   AUTOFP_CHECK_GE(config.slowdown_rate, 0.0);
@@ -45,20 +45,32 @@ FaultInjector::FaultInjector(const FaultInjectorConfig& config)
   AUTOFP_CHECK_GE(config.slowdown_seconds, 0.0);
 }
 
-InjectionDecision FaultInjector::Next() {
-  ++num_decisions_;
+namespace {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+InjectionDecision FaultInjector::DecisionFor(uint64_t stream) {
+  num_decisions_.fetch_add(1, std::memory_order_relaxed);
   InjectionDecision decision;
-  // Both draws always happen so the stream position is a pure function of
-  // the call index, independent of which branches fire.
-  bool fault = rng_.Bernoulli(config_.fault_rate);
-  bool slow = rng_.Bernoulli(config_.slowdown_rate);
+  // One short seeded generator per decision keeps each decision a pure
+  // function of (config seed, stream key), independent of call order.
+  Rng rng(SplitMix64(config_.seed ^ SplitMix64(stream)));
+  bool fault = rng.Bernoulli(config_.fault_rate);
+  bool slow = rng.Bernoulli(config_.slowdown_rate);
   if (fault) {
-    ++num_injected_faults_;
+    num_injected_faults_.fetch_add(1, std::memory_order_relaxed);
     decision.failure = EvalFailure::kInjected;
     return decision;
   }
   if (slow) {
-    ++num_injected_slowdowns_;
+    num_injected_slowdowns_.fetch_add(1, std::memory_order_relaxed);
     decision.delay_seconds = config_.slowdown_seconds;
   }
   return decision;

@@ -12,6 +12,7 @@
 /// flagged as failed, and the search continues. See DESIGN.md
 /// ("Failure semantics").
 
+#include <atomic>
 #include <string>
 
 #include "util/random.h"
@@ -75,27 +76,44 @@ struct InjectionDecision {
   double delay_seconds = 0.0;                ///< simulated slowdown.
 };
 
-/// Deterministic, seeded fault injector. The decision stream is a pure
-/// function of (config, call index): two injectors with identical configs
-/// produce identical sequences, so faulty runs are exactly reproducible.
+/// Deterministic, seeded fault injector. Every decision is a pure
+/// function of (config, stream key): two injectors with identical configs
+/// produce identical decisions for identical keys, so faulty runs are
+/// exactly reproducible — including under concurrent evaluation, where
+/// call *order* is nondeterministic but stream keys (request seeds) are
+/// not. Thread-safe: the statistics counters are atomic.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultInjectorConfig& config);
 
-  /// Draws the decision for the next evaluation attempt.
-  InjectionDecision Next();
+  /// Decision for the evaluation attempt identified by `stream` (usually
+  /// the EvalRequest seed). Pure in the decision, counting in the stats.
+  InjectionDecision DecisionFor(uint64_t stream);
+
+  /// Draws the decision for the next attempt of a sequential stream: the
+  /// decision for call index 0, 1, 2, ... in order.
+  InjectionDecision Next() {
+    return DecisionFor(static_cast<uint64_t>(
+        next_index_.fetch_add(1, std::memory_order_relaxed)));
+  }
 
   const FaultInjectorConfig& config() const { return config_; }
-  long num_decisions() const { return num_decisions_; }
-  long num_injected_faults() const { return num_injected_faults_; }
-  long num_injected_slowdowns() const { return num_injected_slowdowns_; }
+  long num_decisions() const {
+    return num_decisions_.load(std::memory_order_relaxed);
+  }
+  long num_injected_faults() const {
+    return num_injected_faults_.load(std::memory_order_relaxed);
+  }
+  long num_injected_slowdowns() const {
+    return num_injected_slowdowns_.load(std::memory_order_relaxed);
+  }
 
  private:
   FaultInjectorConfig config_;
-  Rng rng_;
-  long num_decisions_ = 0;
-  long num_injected_faults_ = 0;
-  long num_injected_slowdowns_ = 0;
+  std::atomic<long> next_index_{0};
+  std::atomic<long> num_decisions_{0};
+  std::atomic<long> num_injected_faults_{0};
+  std::atomic<long> num_injected_slowdowns_{0};
 };
 
 /// Retry/quarantine policy applied by SearchContext around every

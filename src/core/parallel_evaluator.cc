@@ -1,0 +1,68 @@
+#include "core/parallel_evaluator.h"
+
+#include <utility>
+
+namespace autofp {
+
+ParallelEvaluator::ParallelEvaluator(EvaluatorInterface* inner,
+                                     int num_threads)
+    : inner_(inner) {
+  AUTOFP_CHECK(inner != nullptr);
+  AUTOFP_CHECK_GE(num_threads, 1);
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelEvaluator::~ParallelEvaluator() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::vector<Evaluation> ParallelEvaluator::EvaluateAll(
+    const std::vector<EvalRequest>& requests) {
+  std::vector<Evaluation> results(requests.size());
+  if (requests.empty()) return results;
+  Batch batch;
+  batch.remaining = requests.size();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      queue_.push_back(Task{&requests[i], &results[i], &batch});
+    }
+  }
+  work_available_.notify_all();
+  std::unique_lock<std::mutex> batch_lock(batch.mutex);
+  batch.done.wait(batch_lock, [&batch] { return batch.remaining == 0; });
+  return results;
+}
+
+void ParallelEvaluator::WorkerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with no work left.
+      task = queue_.front();
+      queue_.pop_front();
+    }
+    *task.result = inner_->Evaluate(*task.request);
+    {
+      // Notify while holding the batch mutex: the submitter's wait can
+      // only observe remaining == 0 (and destroy the Batch) after this
+      // lock is released, so the condition_variable is never touched
+      // after its owner returned.
+      std::lock_guard<std::mutex> lock(task.batch->mutex);
+      if (--task.batch->remaining == 0) task.batch->done.notify_all();
+    }
+  }
+}
+
+}  // namespace autofp

@@ -1,0 +1,80 @@
+#ifndef AUTOFP_CORE_PARALLEL_EVALUATOR_H_
+#define AUTOFP_CORE_PARALLEL_EVALUATOR_H_
+
+/// The parallel evaluation engine: a fixed-size thread pool that fans a
+/// batch of EvalRequests out over any EvaluatorInterface and returns the
+/// results in request order. Pipeline evaluations are embarrassingly
+/// parallel (the paper's Section 5.3 shows Train+Prep dominate every
+/// search algorithm's runtime), so population-based searches that submit a
+/// whole generation at once scale with cores.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/evaluator.h"
+
+namespace autofp {
+
+/// Decorator running batches of evaluations on `num_threads` worker
+/// threads. Determinism contract: EvaluateAll returns results indexed
+/// exactly like its input, and with a request-pure inner evaluator the
+/// result *values* are independent of thread count and scheduling — only
+/// wall-clock changes. The inner evaluator must tolerate concurrent
+/// Evaluate() calls (see EvaluatorInterface's thread-safety contract).
+class ParallelEvaluator : public EvaluatorInterface {
+ public:
+  /// `num_threads` >= 1; 1 still runs batches on the (single) worker.
+  ParallelEvaluator(EvaluatorInterface* inner, int num_threads);
+  ~ParallelEvaluator() override;
+
+  ParallelEvaluator(const ParallelEvaluator&) = delete;
+  ParallelEvaluator& operator=(const ParallelEvaluator&) = delete;
+
+  using EvaluatorInterface::Evaluate;
+
+  /// Single evaluations bypass the pool (no queueing latency).
+  Evaluation Evaluate(const EvalRequest& request) override {
+    return inner_->Evaluate(request);
+  }
+  double BaselineAccuracy() override { return inner_->BaselineAccuracy(); }
+
+  /// Evaluates every request concurrently and returns results in request
+  /// order. Blocks until the whole batch is done. Safe to call from one
+  /// submitting thread at a time per batch; concurrent batches simply
+  /// share the workers.
+  std::vector<Evaluation> EvaluateAll(
+      const std::vector<EvalRequest>& requests);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  EvaluatorInterface* inner() { return inner_; }
+
+ private:
+  /// Per-EvaluateAll completion state, shared by that batch's tasks.
+  struct Batch {
+    std::mutex mutex;
+    std::condition_variable done;
+    size_t remaining = 0;
+  };
+  struct Task {
+    const EvalRequest* request = nullptr;
+    Evaluation* result = nullptr;
+    Batch* batch = nullptr;
+  };
+
+  void WorkerLoop();
+
+  EvaluatorInterface* inner_;
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_CORE_PARALLEL_EVALUATOR_H_

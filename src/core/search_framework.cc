@@ -2,25 +2,46 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 namespace autofp {
 
 SearchContext::SearchContext(const SearchSpace* space,
                              EvaluatorInterface* evaluator,
-                             const Budget& budget, uint64_t seed,
-                             const FaultPolicy& policy)
+                             const SearchOptions& options)
     : space_(space),
       evaluator_(evaluator),
-      budget_(budget),
-      rng_(seed),
-      policy_(policy) {
+      options_(options),
+      budget_(options.budget),
+      rng_(options.seed),
+      policy_(options.fault_policy) {
   AUTOFP_CHECK(space != nullptr);
   AUTOFP_CHECK(evaluator != nullptr);
-  AUTOFP_CHECK(budget.limited()) << "unlimited budget would never terminate";
-  if (budget.max_eval_seconds > 0.0) {
-    evaluator_->SetEvalDeadline(budget.max_eval_seconds);
+  AUTOFP_CHECK(budget_.limited()) << "unlimited budget would never terminate";
+  AUTOFP_CHECK_GE(options.num_threads, 1);
+
+  // Decorator chain: user evaluator -> result cache -> thread pool. The
+  // per-request deadline rides in each EvalRequest, so no decorator needs
+  // mutable configuration.
+  EvaluatorInterface* top = evaluator;
+  if (options.cache_bytes > 0) {
+    transform_cache_ = std::make_shared<TransformCache>(options.cache_bytes);
+    auto* pipeline_evaluator = dynamic_cast<PipelineEvaluator*>(evaluator);
+    if (pipeline_evaluator != nullptr &&
+        pipeline_evaluator->transform_cache() == nullptr) {
+      pipeline_evaluator->AttachTransformCache(transform_cache_);
+    }
+    result_cache_ = std::make_unique<CachingEvaluator>(top);
+    top = result_cache_.get();
   }
+  if (options.num_threads > 1) {
+    pool_ = std::make_unique<ParallelEvaluator>(top, options.num_threads);
+    top = pool_.get();
+  }
+  evaluator_ = top;
 }
+
+SearchContext::~SearchContext() = default;
 
 bool SearchContext::BudgetExhausted() const {
   if (budget_.max_evaluations >= 0 &&
@@ -34,65 +55,93 @@ bool SearchContext::BudgetExhausted() const {
   return false;
 }
 
-std::optional<double> SearchContext::Evaluate(const PipelineSpec& pipeline,
-                                              double budget_fraction) {
-  if (BudgetExhausted()) return std::nullopt;
+EvalRequest SearchContext::MakeRequest(const PipelineSpec& pipeline,
+                                       double budget_fraction,
+                                       int attempt) const {
+  EvalRequest request;
+  request.pipeline = pipeline;
+  request.budget_fraction = budget_fraction;
+  request.deadline_seconds = budget_.max_eval_seconds;
+  request.seed =
+      EvalRequest::DeriveSeed(options_.seed, pipeline, budget_fraction, attempt);
+  return request;
+}
 
-  // Quarantined pipelines failed permanently before: short-circuit with
-  // the penalty score instead of wasting evaluator work. The budget is
-  // still charged so algorithms that keep re-proposing a quarantined
-  // pipeline cannot loop forever.
-  auto quarantined = quarantine_.find(pipeline.Key());
-  if (quarantined != quarantine_.end()) {
-    ++num_quarantine_hits_;
-    evaluation_cost_ += budget_fraction;
-    Evaluation evaluation;
-    evaluation.pipeline = pipeline;
-    evaluation.budget_fraction = budget_fraction;
-    evaluation.failure = quarantined->second;
-    evaluation.status = Status::Internal("pipeline quarantined");
-    evaluation.accuracy = kPenaltyAccuracy;
-    evaluation.attempts = 0;
-    history_.push_back(std::move(evaluation));
-    return kPenaltyAccuracy;
-  }
+void SearchContext::EvaluateWithRetries(std::vector<EvalRequest> requests,
+                                        std::vector<Evaluation>* results,
+                                        std::vector<int>* retries) {
+  const size_t count = requests.size();
+  results->resize(count);
+  retries->assign(count, 0);
+  if (count == 0) return;
 
-  Stopwatch watch;
-  Evaluation evaluation = evaluator_->Evaluate(pipeline, budget_fraction);
-  int attempts = 1;
-  // Transient failures (injected faults, deadline flakes) are retried with
-  // bounded backoff; permanent ones (non-finite output, degenerate
-  // transform, diverged model) are deterministic and retried never.
-  while (evaluation.failed() && IsTransientFailure(evaluation.failure) &&
-         attempts <= policy_.max_retries && !BudgetExhausted()) {
-    ++num_failures_;
-    ++num_retries_;
-    BackoffSleep(policy_, attempts);
-    evaluation = evaluator_->Evaluate(pipeline, budget_fraction);
-    ++attempts;
+  std::vector<size_t> active(count);
+  for (size_t i = 0; i < count; ++i) active[i] = i;
+  int attempt = 1;
+  while (!active.empty()) {
+    std::vector<EvalRequest> round;
+    round.reserve(active.size());
+    for (size_t index : active) round.push_back(requests[index]);
+    std::vector<Evaluation> round_results;
+    if (pool_ != nullptr) {
+      round_results = pool_->EvaluateAll(round);
+    } else {
+      round_results.reserve(round.size());
+      for (const EvalRequest& request : round) {
+        round_results.push_back(evaluator_->Evaluate(request));
+      }
+    }
+
+    // Transient failures (injected faults, deadline flakes) retry with a
+    // re-derived attempt seed; permanent ones are deterministic and final.
+    std::vector<size_t> to_retry;
+    for (size_t k = 0; k < active.size(); ++k) {
+      (*results)[active[k]] = std::move(round_results[k]);
+      const Evaluation& evaluation = (*results)[active[k]];
+      if (evaluation.failed() && IsTransientFailure(evaluation.failure) &&
+          attempt <= policy_.max_retries) {
+        to_retry.push_back(active[k]);
+      }
+    }
+    if (to_retry.empty()) break;
+    BackoffSleep(policy_, attempt);
+    ++attempt;
+    for (size_t index : to_retry) {
+      ++(*retries)[index];
+      requests[index].seed = EvalRequest::DeriveSeed(
+          options_.seed, requests[index].pipeline,
+          requests[index].budget_fraction, attempt);
+    }
+    active = std::move(to_retry);
   }
-  eval_seconds_ += watch.ElapsedSeconds();
-  evaluation_cost_ += budget_fraction;  // one logical evaluation, charged once.
-  evaluation.attempts = attempts;
+}
+
+double SearchContext::RecordEvaluation(Evaluation evaluation, int retries) {
+  // Every retried attempt had failed first; the final attempt adds one
+  // more failure if it also failed.
+  num_failures_ += retries;
+  num_retries_ += retries;
+  evaluation_cost_ += evaluation.budget_fraction;
+  evaluation.attempts = 1 + retries;
 
   if (evaluation.failed()) {
     ++num_failures_;
     evaluation.accuracy = kPenaltyAccuracy;  // never record garbage scores.
     if (policy_.quarantine && !IsTransientFailure(evaluation.failure)) {
-      quarantine_.emplace(pipeline.Key(), evaluation.failure);
+      quarantine_.emplace(evaluation.pipeline.Key(), evaluation.failure);
     }
   }
-  history_.push_back(evaluation);
+  history_.push_back(std::move(evaluation));
+  const Evaluation& recorded = history_.back();
 
   // Best-tracking considers only successful, finite scores: a failed or
   // NaN accuracy must never compare its way past best_key_ (NaN poisons
   // every subsequent comparison).
-  bool eligible =
-      !evaluation.failed() && std::isfinite(evaluation.accuracy);
+  bool eligible = !recorded.failed() && std::isfinite(recorded.accuracy);
   if (eligible) {
     // Prefer full-budget evaluations as final answers; a partial-budget
     // result is only kept while no full-budget result exists.
-    bool is_full = evaluation.budget_fraction >= 1.0;
+    bool is_full = recorded.budget_fraction >= 1.0;
     bool best_is_full =
         best_index_ >= 0 && history_[best_index_].budget_fraction >= 1.0;
     bool better;
@@ -101,14 +150,117 @@ std::optional<double> SearchContext::Evaluate(const PipelineSpec& pipeline,
     } else if (is_full != best_is_full) {
       better = is_full;
     } else {
-      better = evaluation.accuracy > best_key_;
+      better = recorded.accuracy > best_key_;
     }
     if (better) {
       best_index_ = static_cast<int>(history_.size() - 1);
-      best_key_ = evaluation.accuracy;
+      best_key_ = recorded.accuracy;
     }
   }
-  return evaluation.accuracy;
+  return recorded.accuracy;
+}
+
+double SearchContext::RecordQuarantineHit(const PipelineSpec& pipeline,
+                                          double budget_fraction,
+                                          EvalFailure failure) {
+  // Quarantined pipelines failed permanently before: short-circuit with
+  // the penalty score instead of wasting evaluator work. The budget is
+  // still charged so algorithms that keep re-proposing a quarantined
+  // pipeline cannot loop forever.
+  ++num_quarantine_hits_;
+  evaluation_cost_ += budget_fraction;
+  Evaluation evaluation;
+  evaluation.pipeline = pipeline;
+  evaluation.budget_fraction = budget_fraction;
+  evaluation.failure = failure;
+  evaluation.status = Status::Internal("pipeline quarantined");
+  evaluation.accuracy = kPenaltyAccuracy;
+  evaluation.attempts = 0;
+  history_.push_back(std::move(evaluation));
+  return kPenaltyAccuracy;
+}
+
+std::optional<double> SearchContext::Evaluate(const PipelineSpec& pipeline,
+                                              double budget_fraction) {
+  return EvaluateBatch(std::span<const PipelineSpec>(&pipeline, 1),
+                       budget_fraction)
+      .front();
+}
+
+std::vector<std::optional<double>> SearchContext::EvaluateBatch(
+    std::span<const PipelineSpec> pipelines, double budget_fraction) {
+  std::vector<std::optional<double>> out(pipelines.size());
+  if (pipelines.empty()) return out;
+
+  // Phase 1 — admission, replaying the sequential budget check in index
+  // order. Quarantine hits and real evaluations both charge
+  // `budget_fraction`, so admission depends only on how many slots fit.
+  // Distinct keys are evaluated once; duplicates reuse the result (with a
+  // request-pure evaluator a re-run would be byte-identical).
+  enum class Slot { kSkipped, kQuarantineHit, kEvaluate };
+  const size_t count = pipelines.size();
+  std::vector<Slot> slots(count, Slot::kSkipped);
+  std::vector<EvalFailure> hit_failure(count, EvalFailure::kNone);
+  std::vector<size_t> request_index(count, 0);
+  std::unordered_map<std::string, size_t> key_to_request;
+  std::vector<EvalRequest> requests;
+  double projected_cost = evaluation_cost_;
+  for (size_t i = 0; i < count; ++i) {
+    bool cost_exhausted =
+        budget_.max_evaluations >= 0 &&
+        projected_cost >= static_cast<double>(budget_.max_evaluations);
+    bool time_exhausted = budget_.max_seconds >= 0.0 &&
+                          total_watch_.ElapsedSeconds() >= budget_.max_seconds;
+    if (cost_exhausted || time_exhausted) continue;  // stays kSkipped.
+    projected_cost += budget_fraction;
+    auto quarantined = quarantine_.find(pipelines[i].Key());
+    if (quarantined != quarantine_.end()) {
+      slots[i] = Slot::kQuarantineHit;
+      hit_failure[i] = quarantined->second;
+      continue;
+    }
+    slots[i] = Slot::kEvaluate;
+    auto [entry, inserted] =
+        key_to_request.emplace(pipelines[i].Key(), requests.size());
+    if (inserted) requests.push_back(MakeRequest(pipelines[i], budget_fraction, 1));
+    request_index[i] = entry->second;
+  }
+
+  // Phase 2 — evaluate distinct keys concurrently, with retry rounds.
+  Stopwatch watch;
+  std::vector<Evaluation> results;
+  std::vector<int> retries;
+  EvaluateWithRetries(std::move(requests), &results, &retries);
+  eval_seconds_ += watch.ElapsedSeconds();
+
+  // Phase 3 — record in index order, replaying sequential bookkeeping:
+  // the first occurrence of a key records the computed result (and may
+  // quarantine it); later occurrences either hit that fresh quarantine or
+  // record an identical copy with the same retry accounting.
+  std::vector<bool> recorded_before(results.size(), false);
+  for (size_t i = 0; i < count; ++i) {
+    switch (slots[i]) {
+      case Slot::kSkipped:
+        break;
+      case Slot::kQuarantineHit:
+        out[i] =
+            RecordQuarantineHit(pipelines[i], budget_fraction, hit_failure[i]);
+        break;
+      case Slot::kEvaluate: {
+        const size_t r = request_index[i];
+        auto quarantined = quarantine_.find(pipelines[i].Key());
+        if (recorded_before[r] && quarantined != quarantine_.end()) {
+          out[i] = RecordQuarantineHit(pipelines[i], budget_fraction,
+                                       quarantined->second);
+          break;
+        }
+        recorded_before[r] = true;
+        out[i] = RecordEvaluation(results[r], retries[r]);
+        break;
+      }
+    }
+  }
+  return out;
 }
 
 const Evaluation& SearchContext::best() const {
@@ -118,10 +270,10 @@ const Evaluation& SearchContext::best() const {
 
 SearchResult RunSearch(SearchAlgorithm* algorithm,
                        EvaluatorInterface* evaluator,
-                       const SearchSpace& space, const Budget& budget,
-                       uint64_t seed, const FaultPolicy& policy) {
+                       const SearchSpace& space,
+                       const SearchOptions& options) {
   AUTOFP_CHECK(algorithm != nullptr);
-  SearchContext context(&space, evaluator, budget, seed, policy);
+  SearchContext context(&space, evaluator, options);
   algorithm->Initialize(&context);
   // Guard against algorithms that stop making progress before the budget
   // is exhausted (would otherwise spin forever under time budgets).
@@ -144,6 +296,24 @@ SearchResult RunSearch(SearchAlgorithm* algorithm,
   result.num_retries = context.num_retries();
   result.num_quarantined = context.num_quarantined();
   result.num_quarantine_hits = context.num_quarantine_hits();
+  result.num_threads = options.num_threads;
+  if (context.result_cache() != nullptr) {
+    result.result_cache_hits = context.result_cache()->hits();
+    result.result_cache_misses = context.result_cache()->misses();
+  }
+  TransformCache* transform_cache = context.transform_cache();
+  if (transform_cache == nullptr) {
+    // The caller may have attached its own prefix cache to the evaluator.
+    auto* pipeline_evaluator = dynamic_cast<PipelineEvaluator*>(evaluator);
+    if (pipeline_evaluator != nullptr) {
+      transform_cache = pipeline_evaluator->transform_cache();
+    }
+  }
+  if (transform_cache != nullptr) {
+    TransformCache::Stats stats = transform_cache->stats();
+    result.transform_cache_hits = stats.hits;
+    result.transform_cache_misses = stats.misses;
+  }
   if (context.has_best()) {
     result.best_pipeline = context.best().pipeline;
     result.best_accuracy = context.best().accuracy;
@@ -157,6 +327,17 @@ SearchResult RunSearch(SearchAlgorithm* algorithm,
   result.pick_seconds = std::max(
       0.0, result.elapsed_seconds - context.eval_seconds());
   return result;
+}
+
+SearchResult RunSearch(SearchAlgorithm* algorithm,
+                       EvaluatorInterface* evaluator,
+                       const SearchSpace& space, const Budget& budget,
+                       uint64_t seed, const FaultPolicy& policy) {
+  SearchOptions options;
+  options.budget = budget;
+  options.seed = seed;
+  options.fault_policy = policy;
+  return RunSearch(algorithm, evaluator, space, options);
 }
 
 }  // namespace autofp

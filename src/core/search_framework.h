@@ -1,19 +1,44 @@
 #ifndef AUTOFP_CORE_SEARCH_FRAMEWORK_H_
 #define AUTOFP_CORE_SEARCH_FRAMEWORK_H_
 
+#include <cstddef>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/budget.h"
+#include "core/eval_cache.h"
 #include "core/evaluator.h"
 #include "core/fault.h"
+#include "core/parallel_evaluator.h"
 #include "core/search_space.h"
+#include "preprocess/transform_cache.h"
 #include "util/random.h"
 #include "util/timer.h"
 
 namespace autofp {
+
+/// Everything that configures one search run besides the algorithm, the
+/// evaluator and the space. An aggregate, so call sites read
+/// `RunSearch(&alg, &eval, space, {budget, seed})` and grow options
+/// without signature churn.
+struct SearchOptions {
+  Budget budget{};
+  uint64_t seed = 0;
+  /// Retry/quarantine behaviour for failed evaluations.
+  FaultPolicy fault_policy{};
+  /// Worker threads for batch evaluation (EvaluateBatch); 1 = evaluate
+  /// batches inline on the caller. Results are thread-count-invariant.
+  int num_threads = 1;
+  /// Byte budget for the evaluation caches; 0 disables caching. When set,
+  /// a prefix TransformCache of this size is attached to the evaluator (if
+  /// it is a PipelineEvaluator without one) and full Evaluations are
+  /// memoized by request identity.
+  size_t cache_bytes = 0;
+};
 
 /// Services the unified framework (Algorithm 1) offers an algorithm:
 /// the search space, a seeded RNG, budget-aware evaluation, and the
@@ -24,11 +49,15 @@ namespace autofp {
 /// permanently are quarantined and never re-evaluated; every failed
 /// evaluation enters the history with the penalty score flagged as failed,
 /// and the search continues.
+///
+/// Determinism: every evaluation's seed is derived from (run seed,
+/// pipeline, fraction, attempt) — never from call order — so the recorded
+/// history for a given request sequence is identical at any thread count.
 class SearchContext {
  public:
   SearchContext(const SearchSpace* space, EvaluatorInterface* evaluator,
-                const Budget& budget, uint64_t seed,
-                const FaultPolicy& policy = FaultPolicy{});
+                const SearchOptions& options);
+  ~SearchContext();
 
   const SearchSpace& space() const { return *space_; }
   Rng* rng() { return &rng_; }
@@ -38,6 +67,15 @@ class SearchContext {
   /// budget ran out (the algorithm should then return from Iterate).
   std::optional<double> Evaluate(const PipelineSpec& pipeline,
                                  double budget_fraction = 1.0);
+
+  /// Batch form of Evaluate: submits a whole generation/rung at once so
+  /// the parallel engine can use every worker, then records results in
+  /// index order. Bookkeeping (budget charges, retries, quarantine, best
+  /// tracking, history order) matches evaluating the span sequentially
+  /// through Evaluate(); entry i is nullopt iff the budget ran out before
+  /// slot i was admitted.
+  std::vector<std::optional<double>> EvaluateBatch(
+      std::span<const PipelineSpec> pipelines, double budget_fraction = 1.0);
 
   bool BudgetExhausted() const;
 
@@ -58,7 +96,9 @@ class SearchContext {
   const Evaluation& best() const;
 
   /// Seconds spent inside Evaluate() (prep + train + overhead) — the
-  /// complement of "Pick" time in the Section 5.3 decomposition.
+  /// complement of "Pick" time in the Section 5.3 decomposition. Batch
+  /// evaluations contribute their wall-clock span, so parallel speedup is
+  /// visible here.
   double eval_seconds() const { return eval_seconds_; }
   double elapsed_seconds() const { return total_watch_.ElapsedSeconds(); }
 
@@ -77,13 +117,41 @@ class SearchContext {
     return quarantine_.count(pipeline.Key()) > 0;
   }
   const FaultPolicy& fault_policy() const { return policy_; }
+  const SearchOptions& options() const { return options_; }
+
+  /// The caches the context created (null when cache_bytes == 0).
+  CachingEvaluator* result_cache() { return result_cache_.get(); }
+  TransformCache* transform_cache() { return transform_cache_.get(); }
 
  private:
+  /// Builds the canonical request for (pipeline, fraction, attempt).
+  EvalRequest MakeRequest(const PipelineSpec& pipeline,
+                          double budget_fraction, int attempt) const;
+  /// Runs `requests` through the pool (or inline when single-threaded)
+  /// with transient-failure retry rounds; on return, `results[i]` is the
+  /// final outcome of request i and `retries[i]` the retry attempts it
+  /// consumed.
+  void EvaluateWithRetries(std::vector<EvalRequest> requests,
+                           std::vector<Evaluation>* results,
+                           std::vector<int>* retries);
+  /// History push + failure accounting + best-tracking for one record.
+  /// `retries` is the number of retry attempts this record absorbed.
+  double RecordEvaluation(Evaluation evaluation, int retries);
+  /// Records a quarantine short-circuit for `pipeline` and returns the
+  /// penalty score.
+  double RecordQuarantineHit(const PipelineSpec& pipeline,
+                             double budget_fraction, EvalFailure failure);
+
   const SearchSpace* space_;
-  EvaluatorInterface* evaluator_;
+  EvaluatorInterface* evaluator_;  ///< top of the decorator chain.
+  SearchOptions options_;
   Budget budget_;
   Rng rng_;
   FaultPolicy policy_;
+  /// Decorators owned by the context (outermost first); may be null.
+  std::shared_ptr<TransformCache> transform_cache_;
+  std::unique_ptr<CachingEvaluator> result_cache_;
+  std::unique_ptr<ParallelEvaluator> pool_;
   std::vector<Evaluation> history_;
   /// Pipeline key -> the permanent failure that quarantined it.
   std::unordered_map<std::string, EvalFailure> quarantine_;
@@ -137,17 +205,31 @@ struct SearchResult {
   long num_retries = 0;
   long num_quarantined = 0;
   long num_quarantine_hits = 0;
+  /// Evaluation-engine report: worker threads used and cache traffic
+  /// (zero when the run used no cache).
+  int num_threads = 1;
+  long result_cache_hits = 0;
+  long result_cache_misses = 0;
+  long transform_cache_hits = 0;
+  long transform_cache_misses = 0;
 };
 
 /// Drives Algorithm 1: Initialize once, then Iterate until the budget is
 /// exhausted. Returns the best pipeline found (empty pipeline if the
-/// algorithm never completed a successful evaluation). `policy` governs
-/// retry/quarantine behaviour for failed evaluations.
+/// algorithm never completed a successful evaluation).
+SearchResult RunSearch(SearchAlgorithm* algorithm,
+                       EvaluatorInterface* evaluator,
+                       const SearchSpace& space,
+                       const SearchOptions& options);
+
+/// Deprecated positional overload (kept for one release): forwards to the
+/// SearchOptions form. New code writes
+/// `RunSearch(&alg, &eval, space, {budget, seed})`.
+[[deprecated("pass a SearchOptions: RunSearch(alg, eval, space, {budget, seed})")]]
 SearchResult RunSearch(SearchAlgorithm* algorithm,
                        EvaluatorInterface* evaluator,
                        const SearchSpace& space, const Budget& budget,
-                       uint64_t seed,
-                       const FaultPolicy& policy = FaultPolicy{});
+                       uint64_t seed, const FaultPolicy& policy = FaultPolicy{});
 
 }  // namespace autofp
 

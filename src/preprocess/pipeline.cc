@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <sstream>
+#include <utility>
+
+#include "preprocess/transform_cache.h"
 
 namespace autofp {
 
@@ -23,6 +26,33 @@ bool IsCollapsed(const Matrix& matrix) {
     if (value != first) return false;
   }
   return true;
+}
+
+/// Shared validation of a transformed pair (the Checked* contract).
+Result<TransformedPair> CheckTransformedPair(const PipelineSpec& spec,
+                                             TransformedPair pair) {
+  if (!AllFinite(pair.train) || !AllFinite(pair.valid)) {
+    return Status::OutOfRange("pipeline '" + spec.ToString() +
+                              "' produced non-finite output");
+  }
+  // Only non-empty pipelines can be blamed for collapsing the data; the
+  // no-FP pass-through reports whatever the raw features are.
+  if (!spec.empty() && IsCollapsed(pair.train)) {
+    return Status::InvalidArgument("pipeline '" + spec.ToString() +
+                                   "' produced a degenerate (constant) "
+                                   "training matrix");
+  }
+  return pair;
+}
+
+/// Cache key of the length-`length` prefix of `spec` fitted on the data
+/// identified by `data_key`.
+std::string PrefixCacheKey(const std::string& data_key,
+                           const PipelineSpec& spec, size_t length) {
+  PipelineSpec prefix;
+  prefix.steps.assign(spec.steps.begin(),
+                      spec.steps.begin() + static_cast<long>(length));
+  return data_key + "||" + prefix.Key();
 }
 
 }  // namespace
@@ -95,19 +125,46 @@ TransformedPair FitTransformPair(const PipelineSpec& spec, const Matrix& train,
 Result<TransformedPair> CheckedFitTransformPair(const PipelineSpec& spec,
                                                 const Matrix& train,
                                                 const Matrix& valid) {
-  TransformedPair pair = FitTransformPair(spec, train, valid);
-  if (!AllFinite(pair.train) || !AllFinite(pair.valid)) {
-    return Status::OutOfRange("pipeline '" + spec.ToString() +
-                              "' produced non-finite output");
+  return CheckTransformedPair(spec, FitTransformPair(spec, train, valid));
+}
+
+Result<TransformedPair> CheckedFitTransformPairCached(
+    const PipelineSpec& spec, const Matrix& train, const Matrix& valid,
+    TransformCache* cache, const std::string& data_key) {
+  if (cache == nullptr || spec.empty()) {
+    return CheckedFitTransformPair(spec, train, valid);
   }
-  // Only non-empty pipelines can be blamed for collapsing the data; the
-  // no-FP pass-through reports whatever the raw features are.
-  if (!spec.empty() && IsCollapsed(pair.train)) {
-    return Status::InvalidArgument("pipeline '" + spec.ToString() +
-                                   "' produced a degenerate (constant) "
-                                   "training matrix");
+  // Longest cached prefix, probed from the full pipeline downward so a
+  // repeat evaluation skips fitting entirely.
+  size_t fitted = 0;
+  std::shared_ptr<const TransformedPair> cached;
+  for (size_t length = spec.size(); length >= 1; --length) {
+    cached = cache->Get(PrefixCacheKey(data_key, spec, length));
+    if (cached != nullptr) {
+      fitted = length;
+      break;
+    }
   }
-  return pair;
+  Matrix current_train = cached != nullptr ? cached->train : train;
+  Matrix current_valid = cached != nullptr ? cached->valid : valid;
+  // Continue fitting exactly where the cached prefix left off; every newly
+  // produced prefix is cached, including the full pipeline. Intermediate
+  // matrices are cached unchecked — the uncached path also fits through
+  // non-finite intermediates, so reuse stays bit-identical.
+  for (size_t i = fitted; i < spec.size(); ++i) {
+    std::unique_ptr<Preprocessor> step = MakePreprocessor(spec.steps[i]);
+    step->Fit(current_train);
+    current_train = step->Transform(current_train);
+    current_valid = step->Transform(current_valid);
+    TransformedPair prefix_pair;
+    prefix_pair.train = current_train;
+    prefix_pair.valid = current_valid;
+    cache->Put(PrefixCacheKey(data_key, spec, i + 1), std::move(prefix_pair));
+  }
+  TransformedPair pair;
+  pair.train = std::move(current_train);
+  pair.valid = std::move(current_valid);
+  return CheckTransformedPair(spec, std::move(pair));
 }
 
 }  // namespace autofp

@@ -74,6 +74,18 @@ Result<TransformedPair> CheckedFitTransformPair(const PipelineSpec& spec,
                                                 const Matrix& train,
                                                 const Matrix& valid);
 
+class TransformCache;  // preprocess/transform_cache.h
+
+/// CheckedFitTransformPair with prefix memoization: reuses the longest
+/// cached fitted prefix of `spec` and caches every newly computed prefix,
+/// so evaluating "A -> B -> C" after "A -> B" only fits C. `data_key`
+/// must uniquely identify the (train, valid) matrices the prefixes are
+/// fitted on (e.g. the subsample identity); results are bit-identical to
+/// the uncached path. A null `cache` falls back to the uncached path.
+Result<TransformedPair> CheckedFitTransformPairCached(
+    const PipelineSpec& spec, const Matrix& train, const Matrix& valid,
+    TransformCache* cache, const std::string& data_key);
+
 }  // namespace autofp
 
 #endif  // AUTOFP_PREPROCESS_PIPELINE_H_

@@ -1,0 +1,76 @@
+#include "preprocess/transform_cache.h"
+
+#include <utility>
+
+namespace autofp {
+
+TransformCache::TransformCache(size_t max_bytes) : max_bytes_(max_bytes) {}
+
+size_t TransformCache::PayloadBytes(const std::string& key,
+                                    const TransformedPair& pair) {
+  return (pair.train.data().size() + pair.valid.data().size()) *
+             sizeof(double) +
+         key.size() + sizeof(Entry);
+}
+
+std::shared_ptr<const TransformedPair> TransformCache::Get(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = entries_.find(key);
+  if (found == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, found->second.lru_position);
+  return found->second.pair;
+}
+
+void TransformCache::Put(const std::string& key, TransformedPair pair) {
+  size_t bytes = PayloadBytes(key, pair);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > max_bytes_) return;  // would evict everything for one entry.
+  if (entries_.count(key) > 0) return;  // concurrent Put of the same prefix.
+  EvictToFitLocked(bytes);
+  lru_.push_front(key);
+  Entry entry;
+  entry.pair = std::make_shared<const TransformedPair>(std::move(pair));
+  entry.bytes = bytes;
+  entry.lru_position = lru_.begin();
+  entries_.emplace(key, std::move(entry));
+  bytes_ += bytes;
+  ++insertions_;
+}
+
+void TransformCache::EvictToFitLocked(size_t incoming_bytes) {
+  while (!lru_.empty() && bytes_ + incoming_bytes > max_bytes_) {
+    auto victim = entries_.find(lru_.back());
+    AUTOFP_CHECK(victim != entries_.end());
+    bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+TransformCache::Stats TransformCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.bytes = bytes_;
+  stats.max_bytes = max_bytes_;
+  stats.entries = entries_.size();
+  return stats;
+}
+
+void TransformCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace autofp

@@ -1,0 +1,86 @@
+#ifndef AUTOFP_PREPROCESS_TRANSFORM_CACHE_H_
+#define AUTOFP_PREPROCESS_TRANSFORM_CACHE_H_
+
+/// Prefix-transform memoization for pipeline evaluation.
+///
+/// Auto-FP searches evaluate thousands of pipelines drawn from a space of
+/// 7 preprocessors; pipelines share prefixes heavily ("StandardScaler ->
+/// Binarizer -> X" for every X). Fitting a prefix is a pure function of
+/// (prefix steps, training matrix), so its transformed train/valid output
+/// can be cached once and reused by every pipeline that extends it — the
+/// systems half of the paper's "evaluate faster" research opportunity.
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "preprocess/pipeline.h"
+
+namespace autofp {
+
+/// Thread-safe LRU cache from a prefix key to the transformed train/valid
+/// matrices of that fitted prefix, bounded by (approximate) payload bytes.
+/// Values are handed out as shared_ptr-to-const so eviction can never
+/// invalidate matrices a concurrent evaluation is still reading.
+class TransformCache {
+ public:
+  /// `max_bytes` bounds the summed payload size; entries larger than the
+  /// whole budget are never stored.
+  explicit TransformCache(size_t max_bytes);
+
+  /// Returns the cached pair for `key`, or nullptr. A hit refreshes the
+  /// entry's LRU position.
+  std::shared_ptr<const TransformedPair> Get(const std::string& key);
+
+  /// Stores `pair` under `key` (no-op if the key is already present),
+  /// evicting least-recently-used entries until the byte budget holds.
+  void Put(const std::string& key, TransformedPair pair);
+
+  struct Stats {
+    long hits = 0;
+    long misses = 0;
+    long insertions = 0;
+    long evictions = 0;
+    size_t bytes = 0;
+    size_t max_bytes = 0;
+    size_t entries = 0;
+
+    double HitRate() const {
+      long lookups = hits + misses;
+      return lookups > 0 ? static_cast<double>(hits) /
+                               static_cast<double>(lookups)
+                         : 0.0;
+    }
+  };
+  Stats stats() const;
+
+  void Clear();
+
+ private:
+  struct Entry {
+    std::shared_ptr<const TransformedPair> pair;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_position;
+  };
+
+  static size_t PayloadBytes(const std::string& key,
+                             const TransformedPair& pair);
+  void EvictToFitLocked(size_t incoming_bytes);
+
+  mutable std::mutex mutex_;
+  const size_t max_bytes_;
+  size_t bytes_ = 0;
+  std::list<std::string> lru_;  ///< front = most recently used.
+  std::unordered_map<std::string, Entry> entries_;
+  long hits_ = 0;
+  long misses_ = 0;
+  long insertions_ = 0;
+  long evictions_ = 0;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_PREPROCESS_TRANSFORM_CACHE_H_

@@ -35,48 +35,40 @@ void Enas::Initialize(SearchContext* context) {
   baseline_set_ = false;
 }
 
-void Enas::Iterate(SearchContext* context) {
-  AUTOFP_CHECK(controller_ != nullptr);
-  const SearchSpace& space = context->space();
+std::vector<size_t> Enas::SampleDecisions(SearchContext* context) {
   const int start_token = static_cast<int>(num_operators_);
   const size_t stop_decision = num_operators_;
-  const size_t max_length = space.max_pipeline_length();
+  const size_t max_length = context->space().max_pipeline_length();
 
   // Autoregressive sampling: re-run the controller on the growing prefix
   // (sequences are tiny, so the O(L^2) forward cost is negligible).
   std::vector<int> inputs = {start_token};
   std::vector<size_t> decisions;
-  bool stopped = false;
   while (decisions.size() < max_length) {
     std::vector<std::vector<double>> outputs = controller_->Forward(inputs);
     std::vector<double> probabilities = Softmax(outputs.back());
     if (decisions.empty()) probabilities[stop_decision] = 0.0;
     size_t decision = context->rng()->Categorical(probabilities);
     decisions.push_back(decision);
-    if (decision == stop_decision) {
-      stopped = true;
-      break;
-    }
+    if (decision == stop_decision) break;
     inputs.push_back(static_cast<int>(decision));
   }
-  std::vector<int> operators;
-  for (size_t decision : decisions) {
-    if (decision == stop_decision) break;
-    operators.push_back(static_cast<int>(decision));
-  }
-  PipelineSpec pipeline = space.Decode(operators);
+  return decisions;
+}
 
-  std::optional<double> accuracy = context->Evaluate(pipeline);
-  if (!accuracy.has_value()) return;
+void Enas::UpdateController(const std::vector<size_t>& decisions,
+                            double accuracy) {
+  const int start_token = static_cast<int>(num_operators_);
+  const size_t stop_decision = num_operators_;
 
   if (!baseline_set_) {
-    baseline_ = *accuracy;
+    baseline_ = accuracy;
     baseline_set_ = true;
   } else {
     baseline_ = config_.baseline_decay * baseline_ +
-                (1.0 - config_.baseline_decay) * *accuracy;
+                (1.0 - config_.baseline_decay) * accuracy;
   }
-  double advantage = *accuracy - baseline_;
+  double advantage = accuracy - baseline_;
   if (advantage == 0.0) return;
 
   // REINFORCE gradient through the controller: one forward over the full
@@ -86,7 +78,6 @@ void Enas::Iterate(SearchContext* context) {
     AUTOFP_CHECK_LT(decisions[i], stop_decision);
     train_inputs.push_back(static_cast<int>(decisions[i]));
   }
-  (void)stopped;
   std::vector<std::vector<double>> outputs =
       controller_->Forward(train_inputs);
   AUTOFP_CHECK_EQ(outputs.size(), decisions.size());
@@ -104,6 +95,38 @@ void Enas::Iterate(SearchContext* context) {
   controller_->ZeroGrads();
   controller_->Backward(train_inputs, grads);
   controller_->Step(adam);
+}
+
+void Enas::Iterate(SearchContext* context) {
+  AUTOFP_CHECK(controller_ != nullptr);
+  AUTOFP_CHECK_GE(config_.child_batch, 1);
+  const SearchSpace& space = context->space();
+  const size_t stop_decision = num_operators_;
+
+  // Sample `child_batch` children from the current controller state, then
+  // evaluate them as one batch. With child_batch == 1 this is exactly the
+  // classic sample -> evaluate -> update loop.
+  std::vector<std::vector<size_t>> children;
+  std::vector<PipelineSpec> pipelines;
+  children.reserve(static_cast<size_t>(config_.child_batch));
+  pipelines.reserve(static_cast<size_t>(config_.child_batch));
+  for (int c = 0; c < config_.child_batch; ++c) {
+    std::vector<size_t> decisions = SampleDecisions(context);
+    std::vector<int> operators;
+    for (size_t decision : decisions) {
+      if (decision == stop_decision) break;
+      operators.push_back(static_cast<int>(decision));
+    }
+    pipelines.push_back(space.Decode(operators));
+    children.push_back(std::move(decisions));
+  }
+
+  std::vector<std::optional<double>> accuracies =
+      context->EvaluateBatch(pipelines);
+  for (size_t c = 0; c < children.size(); ++c) {
+    if (!accuracies[c].has_value()) return;
+    UpdateController(children[c], *accuracies[c]);
+  }
 }
 
 }  // namespace autofp

@@ -22,6 +22,12 @@ class Enas : public SearchAlgorithm {
     double learning_rate = 5e-3;
     double baseline_decay = 0.8;
     uint64_t controller_seed = 31;
+    /// Children sampled (from the same controller state) and evaluated as
+    /// one batch per Iterate. 1 reproduces classic ENAS exactly; larger
+    /// values trade per-child controller updates for parallel evaluation
+    /// throughput (updates are then applied child-by-child after the
+    /// batch returns).
+    int child_batch = 1;
   };
 
   explicit Enas(const Config& config) : config_(config) {}
@@ -32,6 +38,12 @@ class Enas : public SearchAlgorithm {
   void Iterate(SearchContext* context) override;
 
  private:
+  /// Autoregressively samples one child from the current controller.
+  std::vector<size_t> SampleDecisions(SearchContext* context);
+  /// Baseline update + one REINFORCE step for an evaluated child.
+  void UpdateController(const std::vector<size_t>& decisions,
+                        double accuracy);
+
   Config config_;
   std::unique_ptr<LstmNet> controller_;
   size_t num_operators_ = 0;

@@ -6,11 +6,20 @@ namespace autofp {
 
 void TournamentEvolution::Initialize(SearchContext* context) {
   population_.clear();
+  // The whole initial generation is independent of its own results, so it
+  // is sampled up front and submitted as one batch for the parallel
+  // engine. Evaluation draws no context RNG, so the sampling stream (and
+  // the resulting population) matches the one-at-a-time loop exactly.
+  std::vector<PipelineSpec> initial;
+  initial.reserve(config_.population_size);
   for (size_t i = 0; i < config_.population_size; ++i) {
-    PipelineSpec pipeline = context->space().SampleUniform(context->rng());
-    std::optional<double> accuracy = context->Evaluate(pipeline);
-    if (!accuracy.has_value()) return;
-    population_.push_back({pipeline, *accuracy});
+    initial.push_back(context->space().SampleUniform(context->rng()));
+  }
+  std::vector<std::optional<double>> accuracies =
+      context->EvaluateBatch(initial);
+  for (size_t i = 0; i < initial.size(); ++i) {
+    if (!accuracies[i].has_value()) return;
+    population_.push_back({initial[i], *accuracies[i]});
   }
 }
 

@@ -47,11 +47,16 @@ void Hyperband::Iterate(SearchContext* context) {
   for (int round = 0; round <= s; ++round) {
     double fraction =
         std::clamp(r * std::pow(eta, round), config_.min_fraction, 1.0);
-    for (Entry& entry : rung) {
-      std::optional<double> accuracy =
-          context->Evaluate(entry.pipeline, fraction);
-      if (!accuracy.has_value()) return;
-      entry.accuracy = *accuracy;
+    // A rung's evaluations are independent of each other: submit the
+    // whole rung as one batch so the parallel engine fills its workers.
+    std::vector<PipelineSpec> pipelines;
+    pipelines.reserve(rung.size());
+    for (const Entry& entry : rung) pipelines.push_back(entry.pipeline);
+    std::vector<std::optional<double>> accuracies =
+        context->EvaluateBatch(pipelines, fraction);
+    for (size_t i = 0; i < rung.size(); ++i) {
+      if (!accuracies[i].has_value()) return;
+      rung[i].accuracy = *accuracies[i];
     }
     // Keep the top 1/eta for the next rung.
     size_t keep = std::max<size_t>(

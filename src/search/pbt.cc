@@ -7,14 +7,18 @@ namespace autofp {
 
 void Pbt::Initialize(SearchContext* context) {
   population_.clear();
+  std::vector<PipelineSpec> initial;
+  initial.reserve(config_.population_size);
   for (size_t i = 0; i < config_.population_size; ++i) {
-    PipelineSpec pipeline =
-        i < config_.initial_population.size()
-            ? config_.initial_population[i]
-            : context->space().SampleUniform(context->rng());
-    std::optional<double> accuracy = context->Evaluate(pipeline);
-    if (!accuracy.has_value()) return;
-    population_.push_back({pipeline, *accuracy});
+    initial.push_back(i < config_.initial_population.size()
+                          ? config_.initial_population[i]
+                          : context->space().SampleUniform(context->rng()));
+  }
+  std::vector<std::optional<double>> accuracies =
+      context->EvaluateBatch(initial);
+  for (size_t i = 0; i < initial.size(); ++i) {
+    if (!accuracies[i].has_value()) return;
+    population_.push_back({initial[i], *accuracies[i]});
   }
 }
 
@@ -38,8 +42,15 @@ void Pbt::Iterate(SearchContext* context) {
                               0.25 * static_cast<double>(order.size()))));
   exploit_pool = std::min(exploit_pool, top_count);
 
+  // Candidate generation only reads top-ranked members, and victims come
+  // from the disjoint bottom segment — so the whole replacement wave can
+  // be generated first and evaluated as one batch without changing any
+  // decision the sequential loop would have made.
+  std::vector<size_t> victims(replace_count);
+  std::vector<PipelineSpec> candidates;
+  candidates.reserve(replace_count);
   for (size_t i = 0; i < replace_count; ++i) {
-    size_t victim = order[order.size() - 1 - i];
+    victims[i] = order[order.size() - 1 - i];
     PipelineSpec candidate;
     if (context->rng()->Bernoulli(config_.random_probability)) {
       // Pure exploration: fresh random pipeline.
@@ -50,9 +61,13 @@ void Pbt::Iterate(SearchContext* context) {
       candidate = context->space().Mutate(population_[parent].pipeline,
                                           context->rng());
     }
-    std::optional<double> accuracy = context->Evaluate(candidate);
-    if (!accuracy.has_value()) return;
-    population_[victim] = {candidate, *accuracy};
+    candidates.push_back(std::move(candidate));
+  }
+  std::vector<std::optional<double>> accuracies =
+      context->EvaluateBatch(candidates);
+  for (size_t i = 0; i < replace_count; ++i) {
+    if (!accuracies[i].has_value()) return;
+    population_[victims[i]] = {candidates[i], *accuracies[i]};
   }
 }
 

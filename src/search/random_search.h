@@ -2,19 +2,38 @@
 #define AUTOFP_SEARCH_RANDOM_SEARCH_H_
 
 #include <string>
+#include <vector>
 
 #include "core/search_framework.h"
 
 namespace autofp {
 
-/// Random search (Bergstra & Bengio, 2012): one uniformly sampled pipeline
-/// per iteration, no state. The paper's strong baseline.
+/// Random search (Bergstra & Bengio, 2012): uniformly sampled pipelines,
+/// no state. The paper's strong baseline.
+///
+/// Each Iterate() samples `batch_size` pipelines up front and submits them
+/// through EvaluateBatch so the parallel engine can use every worker.
+/// Because evaluation consumes no context RNG (request seeds are derived,
+/// not drawn), the sampling stream — and therefore the recorded history —
+/// is identical to evaluating one pipeline at a time.
 class RandomSearch : public SearchAlgorithm {
  public:
+  explicit RandomSearch(int batch_size = 8) : batch_size_(batch_size) {
+    AUTOFP_CHECK_GE(batch_size, 1);
+  }
+
   std::string name() const override { return "RS"; }
   void Iterate(SearchContext* context) override {
-    context->Evaluate(context->space().SampleUniform(context->rng()));
+    std::vector<PipelineSpec> batch;
+    batch.reserve(static_cast<size_t>(batch_size_));
+    for (int i = 0; i < batch_size_; ++i) {
+      batch.push_back(context->space().SampleUniform(context->rng()));
+    }
+    context->EvaluateBatch(batch);
   }
+
+ private:
+  int batch_size_;
 };
 
 }  // namespace autofp

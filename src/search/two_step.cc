@@ -10,7 +10,9 @@ namespace autofp {
 SearchResult RunTwoStep(const TwoStepConfig& config,
                         EvaluatorInterface* evaluator,
                         const ParameterSpace& parameters,
-                        const Budget& total_budget, uint64_t seed) {
+                        const SearchOptions& options) {
+  const Budget& total_budget = options.budget;
+  const uint64_t seed = options.seed;
   AUTOFP_CHECK(total_budget.limited());
   Rng rng(seed);
   Stopwatch watch;
@@ -50,9 +52,11 @@ SearchResult RunTwoStep(const TwoStepConfig& config,
     Result<std::unique_ptr<SearchAlgorithm>> algorithm =
         MakeSearchAlgorithm(config.algorithm);
     AUTOFP_CHECK(algorithm.ok()) << algorithm.status().ToString();
-    SearchResult result =
-        RunSearch(algorithm.value().get(), evaluator, space, inner,
-                  seed + 1000 * static_cast<uint64_t>(round) + 1);
+    SearchOptions inner_options = options;
+    inner_options.budget = inner;
+    inner_options.seed = seed + 1000 * static_cast<uint64_t>(round) + 1;
+    SearchResult result = RunSearch(algorithm.value().get(), evaluator, space,
+                                    inner_options);
     evaluations_used += result.num_evaluations;
     best.num_evaluations += result.num_evaluations;
     best.prep_seconds += result.prep_seconds;
@@ -73,14 +77,14 @@ SearchResult RunTwoStep(const TwoStepConfig& config,
 SearchResult RunOneStep(const std::string& algorithm,
                         EvaluatorInterface* evaluator,
                         const ParameterSpace& parameters,
-                        const Budget& total_budget, uint64_t seed,
+                        const SearchOptions& options,
                         size_t max_pipeline_length) {
   SearchSpace space = OneStepSpace(parameters, max_pipeline_length);
   Result<std::unique_ptr<SearchAlgorithm>> instance =
       MakeSearchAlgorithm(algorithm);
   AUTOFP_CHECK(instance.ok()) << instance.status().ToString();
   SearchResult result =
-      RunSearch(instance.value().get(), evaluator, space, total_budget, seed);
+      RunSearch(instance.value().get(), evaluator, space, options);
   result.algorithm = "OneStep(" + algorithm + ")";
   return result;
 }

@@ -22,17 +22,19 @@ struct TwoStepConfig {
   size_t max_pipeline_length = 7;
 };
 
+/// `options.budget` is the total budget across all rounds; the remaining
+/// fields (threads, caches, fault policy) apply to every inner search.
 SearchResult RunTwoStep(const TwoStepConfig& config,
                         EvaluatorInterface* evaluator,
                         const ParameterSpace& parameters,
-                        const Budget& total_budget, uint64_t seed);
+                        const SearchOptions& options);
 
 /// The One-step extension: a single search over the flattened
 /// (preprocessor x parameter) alphabet.
 SearchResult RunOneStep(const std::string& algorithm,
                         EvaluatorInterface* evaluator,
                         const ParameterSpace& parameters,
-                        const Budget& total_budget, uint64_t seed,
+                        const SearchOptions& options,
                         size_t max_pipeline_length = 7);
 
 }  // namespace autofp

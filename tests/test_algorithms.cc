@@ -60,8 +60,7 @@ TEST_P(EveryAlgorithm, RunsWithinBudgetAndImproves) {
   Result<std::unique_ptr<SearchAlgorithm>> algorithm =
       MakeSearchAlgorithm(GetParam());
   ASSERT_TRUE(algorithm.ok());
-  SearchResult result = RunSearch(algorithm.value().get(), &evaluator, space,
-                                  Budget::Evaluations(40), 123);
+  SearchResult result = RunSearch(algorithm.value().get(), &evaluator, space, {Budget::Evaluations(40), 123});
   EXPECT_GT(result.num_evaluations, 0) << GetParam();
   // Bandit algorithms run many cheap partial evaluations; what is bounded
   // is the *cost* (full-training equivalents), with one overshoot allowed
@@ -82,10 +81,8 @@ TEST_P(EveryAlgorithm, DeterministicForSeed) {
       MakeSearchAlgorithm(GetParam());
   Result<std::unique_ptr<SearchAlgorithm>> algorithm_b =
       MakeSearchAlgorithm(GetParam());
-  SearchResult a = RunSearch(algorithm_a.value().get(), &evaluator_a, space,
-                             Budget::Evaluations(25), 9);
-  SearchResult b = RunSearch(algorithm_b.value().get(), &evaluator_b, space,
-                             Budget::Evaluations(25), 9);
+  SearchResult a = RunSearch(algorithm_a.value().get(), &evaluator_a, space, {Budget::Evaluations(25), 9});
+  SearchResult b = RunSearch(algorithm_b.value().get(), &evaluator_b, space, {Budget::Evaluations(25), 9});
   EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy) << GetParam();
   EXPECT_TRUE(a.best_pipeline == b.best_pipeline) << GetParam();
 }
@@ -100,8 +97,7 @@ TEST(RandomSearchBehavior, BeatsBaselineOnScaleSensitiveData) {
   PipelineEvaluator evaluator = MakeEvaluator(63);
   SearchSpace space = SearchSpace::Default();
   Result<std::unique_ptr<SearchAlgorithm>> rs = MakeSearchAlgorithm("RS");
-  SearchResult result = RunSearch(rs.value().get(), &evaluator, space,
-                                  Budget::Evaluations(60), 5);
+  SearchResult result = RunSearch(rs.value().get(), &evaluator, space, {Budget::Evaluations(60), 5});
   EXPECT_GT(result.best_accuracy, result.baseline_accuracy + 0.02);
 }
 
@@ -114,8 +110,7 @@ TEST(AnnealBehavior, AcceptsImprovementsGreedily) {
   Anneal anneal(config);
   PipelineEvaluator evaluator = MakeEvaluator(64);
   SearchSpace space = SearchSpace::Default(4);
-  SearchResult result = RunSearch(&anneal, &evaluator, space,
-                                  Budget::Evaluations(30), 11);
+  SearchResult result = RunSearch(&anneal, &evaluator, space, {Budget::Evaluations(30), 11});
   EXPECT_GE(result.best_accuracy, result.baseline_accuracy - 0.05);
 }
 
@@ -131,8 +126,7 @@ TEST(EvolutionBehavior, PopulationBoundedAndKillPoliciesDiffer) {
   EXPECT_EQ(tevo_y.name(), "TEVO_Y");
   PipelineEvaluator evaluator = MakeEvaluator(65);
   SearchSpace space = SearchSpace::Default(4);
-  SearchResult result = RunSearch(&tevo_h, &evaluator, space,
-                                  Budget::Evaluations(30), 13);
+  SearchResult result = RunSearch(&tevo_h, &evaluator, space, {Budget::Evaluations(30), 13});
   EXPECT_EQ(result.num_evaluations, 30);
 }
 
@@ -143,7 +137,7 @@ TEST(PbtBehavior, ImprovesOverItsInitialPopulation) {
   PipelineEvaluator evaluator = MakeEvaluator(66);
   SearchSpace space = SearchSpace::Default();
   SearchResult result =
-      RunSearch(&pbt, &evaluator, space, Budget::Evaluations(60), 17);
+      RunSearch(&pbt, &evaluator, space, {Budget::Evaluations(60), 17});
   EXPECT_GT(result.best_accuracy, result.baseline_accuracy);
 }
 
@@ -151,7 +145,8 @@ TEST(ReinforceBehavior, PolicyShiftsTowardRewardedTokens) {
   PipelineEvaluator evaluator = MakeEvaluator(67);
   SearchSpace space = SearchSpace::Default(3);
   Reinforce reinforce;
-  SearchContext context(&space, &evaluator, Budget::Evaluations(60), 19);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(60), 19});
   reinforce.Initialize(&context);
   std::vector<double> initial = reinforce.PolicyProbabilities(0);
   while (!context.BudgetExhausted()) {
@@ -173,7 +168,8 @@ TEST(HyperbandBehavior, UsesPartialBudgets) {
   Hyperband hyperband(config);
   PipelineEvaluator evaluator = MakeEvaluator(68);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(30), 23);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(30), 23});
   hyperband.Initialize(&context);
   hyperband.Iterate(&context);
   bool has_partial = false, has_full = false;
@@ -212,7 +208,7 @@ TEST(TpeBehavior, RunsAfterInitialization) {
   PipelineEvaluator evaluator = MakeEvaluator(69);
   SearchSpace space = SearchSpace::Default(4);
   SearchResult result =
-      RunSearch(&tpe, &evaluator, space, Budget::Evaluations(25), 27);
+      RunSearch(&tpe, &evaluator, space, {Budget::Evaluations(25), 27});
   EXPECT_EQ(result.num_evaluations, 25);
 }
 

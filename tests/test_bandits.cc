@@ -32,7 +32,8 @@ PipelineEvaluator MakeEvaluator(uint64_t seed) {
 std::map<double, int> BracketProfile(Hyperband* algorithm, uint64_t seed) {
   PipelineEvaluator evaluator = MakeEvaluator(seed);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(500), seed);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(500), seed});
   algorithm->Initialize(&context);
   algorithm->Iterate(&context);
   std::map<double, int> counts;
@@ -69,7 +70,8 @@ TEST(Hyperband, SuccessiveHalvingKeepsTheBest) {
   Hyperband hyperband(config);
   PipelineEvaluator evaluator = MakeEvaluator(12);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(100), 12);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(100), 12});
   hyperband.Initialize(&context);
   hyperband.Iterate(&context);  // bracket s=1: 2*3=6 configs? n=ceil(2/2*3)=3.
   // The configurations promoted to full budget must be among the best of
@@ -108,7 +110,8 @@ TEST(Hyperband, BracketsCycleThroughS) {
   Hyperband hyperband(config);
   PipelineEvaluator evaluator = MakeEvaluator(13);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(1000), 13);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(1000), 13});
   hyperband.Initialize(&context);
   // Three brackets: s=2 (min fraction 1/9), s=1 (1/3), s=0 (only 1.0).
   hyperband.Iterate(&context);
@@ -137,7 +140,8 @@ TEST(Hyperband, MinFractionRespected) {
   Hyperband hyperband(config);
   PipelineEvaluator evaluator = MakeEvaluator(14);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(60), 14);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(60), 14});
   hyperband.Initialize(&context);
   for (int i = 0; i < 4 && !context.BudgetExhausted(); ++i) {
     hyperband.Iterate(&context);
@@ -152,7 +156,8 @@ TEST(Bohb, FallsBackToRandomWithoutObservations) {
   Bohb bohb;
   PipelineEvaluator evaluator = MakeEvaluator(15);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(40), 15);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(40), 15});
   bohb.Initialize(&context);
   bohb.Iterate(&context);
   EXPECT_GT(context.history().size(), 0u);
@@ -166,7 +171,8 @@ TEST(Bohb, RunsManyBracketsUnderBudget) {
   Bohb bohb(config);
   PipelineEvaluator evaluator = MakeEvaluator(16);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(30), 16);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(30), 16});
   bohb.Initialize(&context);
   while (!context.BudgetExhausted()) {
     bohb.Iterate(&context);

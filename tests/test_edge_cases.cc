@@ -141,9 +141,11 @@ TEST(EdgeEvaluator, TinyBudgetFractionKeepsOneRowPerClass) {
   model.lr_epochs = 5;
   PipelineEvaluator evaluator(split.train, split.valid, model);
   for (double fraction : {0.01, 0.02, 0.05}) {
-    Evaluation evaluation = evaluator.Evaluate(
-        PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}),
-        fraction);
+    EvalRequest request;
+    request.pipeline =
+        PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler});
+    request.budget_fraction = fraction;
+    Evaluation evaluation = evaluator.Evaluate(request);
     EXPECT_FALSE(evaluation.failed()) << "fraction " << fraction << ": "
                                       << evaluation.status.ToString();
     EXPECT_GE(evaluation.accuracy, 0.0);
@@ -200,9 +202,7 @@ TEST(EdgeSearch, BudgetOfOneEvaluation) {
   for (const std::string& name : AllSearchAlgorithmNames()) {
     PipelineEvaluator evaluator(split.train, split.valid, model);
     auto algorithm = MakeSearchAlgorithm(name).value();
-    SearchResult result = RunSearch(algorithm.get(), &evaluator,
-                                    SearchSpace::Default(),
-                                    Budget::Evaluations(1), 81);
+    SearchResult result = RunSearch(algorithm.get(), &evaluator, SearchSpace::Default(), {Budget::Evaluations(1), 81});
     EXPECT_GE(result.num_evaluations, 1) << name;
     EXPECT_GE(result.best_accuracy, 0.0) << name;
   }
@@ -253,8 +253,7 @@ TEST(EdgeSearch, TwoStepWithSecondsBudgetTerminates) {
   config.algorithm = "RS";
   config.inner_budget = Budget::Seconds(0.05);
   SearchResult result =
-      RunTwoStep(config, &evaluator, ParameterSpace::LowCardinality(),
-                 Budget::Seconds(0.2), 84);
+      RunTwoStep(config, &evaluator, ParameterSpace::LowCardinality(), {Budget::Seconds(0.2), 84});
   EXPECT_GT(result.num_evaluations, 0);
   EXPECT_LT(result.elapsed_seconds, 3.0);
 }
@@ -294,13 +293,14 @@ TEST(EdgeEvaluator, LongestPipelineOnWideData) {
   ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
   model.lr_epochs = 5;
   PipelineEvaluator evaluator(split.train, split.valid, model);
-  PipelineSpec all_seven = PipelineSpec::FromKinds(
+  EvalRequest request;
+  request.pipeline = PipelineSpec::FromKinds(
       {PreprocessorKind::kBinarizer, PreprocessorKind::kMaxAbsScaler,
        PreprocessorKind::kMinMaxScaler, PreprocessorKind::kNormalizer,
        PreprocessorKind::kPowerTransformer,
        PreprocessorKind::kQuantileTransformer,
        PreprocessorKind::kStandardScaler});
-  Evaluation evaluation = evaluator.Evaluate(all_seven);
+  Evaluation evaluation = evaluator.Evaluate(request);
   EXPECT_GE(evaluation.accuracy, 0.0);
   EXPECT_LE(evaluation.accuracy, 1.0);
 }

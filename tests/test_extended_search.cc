@@ -28,8 +28,7 @@ PipelineEvaluator MakeEvaluator(uint64_t seed) {
 TEST(OneStep, RunsOnLowCardinalitySpace) {
   PipelineEvaluator evaluator = MakeEvaluator(71);
   SearchResult result =
-      RunOneStep("PBT", &evaluator, ParameterSpace::LowCardinality(),
-                 Budget::Evaluations(30), 3, /*max_pipeline_length=*/4);
+      RunOneStep("PBT", &evaluator, ParameterSpace::LowCardinality(), {Budget::Evaluations(30), 3}, /*max_pipeline_length=*/4);
   EXPECT_EQ(result.algorithm, "OneStep(PBT)");
   EXPECT_EQ(result.num_evaluations, 30);
   EXPECT_GE(result.best_accuracy, result.baseline_accuracy - 0.05);
@@ -38,8 +37,7 @@ TEST(OneStep, RunsOnLowCardinalitySpace) {
 TEST(OneStep, PipelineStepsComeFromExtendedAlphabet) {
   PipelineEvaluator evaluator = MakeEvaluator(72);
   SearchResult result =
-      RunOneStep("RS", &evaluator, ParameterSpace::LowCardinality(),
-                 Budget::Evaluations(20), 4, 4);
+      RunOneStep("RS", &evaluator, ParameterSpace::LowCardinality(), {Budget::Evaluations(20), 4}, 4);
   ParameterSpace parameters = ParameterSpace::LowCardinality();
   for (const PreprocessorConfig& step : result.best_pipeline.steps) {
     if (step.kind == PreprocessorKind::kBinarizer) {
@@ -59,8 +57,7 @@ TEST(TwoStep, RespectsTotalEvaluationBudget) {
   config.inner_budget = Budget::Evaluations(10);
   config.max_pipeline_length = 4;
   SearchResult result =
-      RunTwoStep(config, &evaluator, ParameterSpace::LowCardinality(),
-                 Budget::Evaluations(35), 5);
+      RunTwoStep(config, &evaluator, ParameterSpace::LowCardinality(), {Budget::Evaluations(35), 5});
   EXPECT_EQ(result.algorithm, "TwoStep(RS)");
   EXPECT_EQ(result.num_evaluations, 35);  // 10+10+10+5.
 }
@@ -71,12 +68,12 @@ TEST(TwoStep, BestOverRoundsIsReturned) {
   config.algorithm = "RS";
   config.inner_budget = Budget::Evaluations(8);
   SearchResult result =
-      RunTwoStep(config, &evaluator, ParameterSpace::LowCardinality(),
-                 Budget::Evaluations(32), 6);
+      RunTwoStep(config, &evaluator, ParameterSpace::LowCardinality(), {Budget::Evaluations(32), 6});
   // Re-evaluating the returned pipeline reproduces the reported accuracy.
   PipelineEvaluator check = MakeEvaluator(74);
-  EXPECT_NEAR(check.Evaluate(result.best_pipeline).accuracy,
-              result.best_accuracy, 1e-12);
+  EvalRequest rescore;
+  rescore.pipeline = result.best_pipeline;
+  EXPECT_NEAR(check.Evaluate(rescore).accuracy, result.best_accuracy, 1e-12);
 }
 
 TEST(TwoStep, WorksOnHighCardinalitySpace) {
@@ -86,8 +83,7 @@ TEST(TwoStep, WorksOnHighCardinalitySpace) {
   config.inner_budget = Budget::Evaluations(10);
   config.max_pipeline_length = 4;
   SearchResult result =
-      RunTwoStep(config, &evaluator, ParameterSpace::HighCardinality(),
-                 Budget::Evaluations(30), 7);
+      RunTwoStep(config, &evaluator, ParameterSpace::HighCardinality(), {Budget::Evaluations(30), 7});
   EXPECT_EQ(result.num_evaluations, 30);
   EXPECT_GE(result.best_accuracy, 0.0);
 }
@@ -97,8 +93,7 @@ TEST(OneStepVsTwoStep, HighCardinalityOneStepIsQuantileHeavy) {
   // high-cardinality space overwhelmingly explores QuantileTransformer.
   PipelineEvaluator evaluator = MakeEvaluator(76);
   SearchResult one_step =
-      RunOneStep("RS", &evaluator, ParameterSpace::HighCardinality(),
-                 Budget::Evaluations(15), 8, 4);
+      RunOneStep("RS", &evaluator, ParameterSpace::HighCardinality(), {Budget::Evaluations(15), 8}, 4);
   size_t quantile_steps = 0, total_steps = 0;
   for (const PreprocessorConfig& step : one_step.best_pipeline.steps) {
     ++total_steps;

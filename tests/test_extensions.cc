@@ -38,7 +38,8 @@ TEST(WarmStart, SeededPipelinesAreEvaluatedFirst) {
       PipelineSpec::FromKinds({PreprocessorKind::kBinarizer}),
   };
   Pbt pbt(config);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(10), 1);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(10), 1});
   pbt.Initialize(&context);
   ASSERT_GE(context.history().size(), 2u);
   EXPECT_TRUE(context.history()[0].pipeline ==
@@ -57,8 +58,7 @@ TEST(WarmStart, MatchesColdStartBudgetConsumption) {
       PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler})};
   PipelineEvaluator warm_eval(split.train, split.valid, FastLr());
   Pbt warm(config);
-  SearchResult warm_result = RunSearch(&warm, &warm_eval, space,
-                                       Budget::Evaluations(30), 5);
+  SearchResult warm_result = RunSearch(&warm, &warm_eval, space, {Budget::Evaluations(30), 5});
   EXPECT_EQ(warm_result.num_evaluations, 30);
   EXPECT_GE(warm_result.best_accuracy, warm_result.baseline_accuracy - 0.05);
 }
@@ -68,7 +68,7 @@ TEST(GlobalTrainFraction, ReducesEffectiveTrainingData) {
   PipelineEvaluator evaluator(split.train, split.valid, FastLr());
   evaluator.set_global_train_fraction(0.3);
   EXPECT_DOUBLE_EQ(evaluator.global_train_fraction(), 0.3);
-  Evaluation evaluation = evaluator.Evaluate(PipelineSpec{});
+  Evaluation evaluation = evaluator.Evaluate(EvalRequest{});
   // Accuracy remains valid; the search still functions end to end.
   EXPECT_GE(evaluation.accuracy, 0.0);
   EXPECT_LE(evaluation.accuracy, 1.0);
@@ -79,7 +79,9 @@ TEST(GlobalTrainFraction, ComposesWithBanditFraction) {
   PipelineEvaluator evaluator(split.train, split.valid, FastLr());
   evaluator.set_global_train_fraction(0.5);
   // 0.5 global x 0.5 bandit = 25% of training rows; must still train.
-  Evaluation evaluation = evaluator.Evaluate(PipelineSpec{}, 0.5);
+  EvalRequest request;
+  request.budget_fraction = 0.5;
+  Evaluation evaluation = evaluator.Evaluate(request);
   EXPECT_GE(evaluation.accuracy, 0.0);
   EXPECT_LE(evaluation.accuracy, 1.0);
 }
@@ -89,10 +91,10 @@ TEST(GlobalTrainFraction, FullFractionIdenticalToDefault) {
   PipelineEvaluator with_knob(split.train, split.valid, FastLr());
   with_knob.set_global_train_fraction(1.0);
   PipelineEvaluator plain(split.train, split.valid, FastLr());
-  PipelineSpec pipeline =
-      PipelineSpec::FromKinds({PreprocessorKind::kMinMaxScaler});
-  EXPECT_DOUBLE_EQ(with_knob.Evaluate(pipeline).accuracy,
-                   plain.Evaluate(pipeline).accuracy);
+  EvalRequest request;
+  request.pipeline = PipelineSpec::FromKinds({PreprocessorKind::kMinMaxScaler});
+  EXPECT_DOUBLE_EQ(with_knob.Evaluate(request).accuracy,
+                   plain.Evaluate(request).accuracy);
 }
 
 TEST(GlobalTrainFractionDeath, RejectsOutOfRange) {

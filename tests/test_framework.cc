@@ -28,9 +28,10 @@ PipelineEvaluator MakeEvaluator(ModelKind kind = ModelKind::kXgboost,
 
 TEST(Evaluator, AccuracyInRangeAndTimed) {
   PipelineEvaluator evaluator = MakeEvaluator();
-  PipelineSpec pipeline =
+  EvalRequest request;
+  request.pipeline =
       PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler});
-  Evaluation evaluation = evaluator.Evaluate(pipeline);
+  Evaluation evaluation = evaluator.Evaluate(request);
   EXPECT_GE(evaluation.accuracy, 0.0);
   EXPECT_LE(evaluation.accuracy, 1.0);
   EXPECT_GT(evaluation.timing.prep_seconds, 0.0);
@@ -40,7 +41,7 @@ TEST(Evaluator, AccuracyInRangeAndTimed) {
 
 TEST(Evaluator, EmptyPipelineHasNoPrepWork) {
   PipelineEvaluator evaluator = MakeEvaluator();
-  Evaluation evaluation = evaluator.Evaluate(PipelineSpec{});
+  Evaluation evaluation = evaluator.Evaluate(EvalRequest{});
   // Identity pipeline: prep should be (near) free relative to training.
   EXPECT_LT(evaluation.timing.prep_seconds,
             evaluation.timing.train_seconds);
@@ -48,10 +49,11 @@ TEST(Evaluator, EmptyPipelineHasNoPrepWork) {
 
 TEST(Evaluator, DeterministicForSamePipeline) {
   PipelineEvaluator evaluator = MakeEvaluator();
-  PipelineSpec pipeline = PipelineSpec::FromKinds(
+  EvalRequest request;
+  request.pipeline = PipelineSpec::FromKinds(
       {PreprocessorKind::kMinMaxScaler, PreprocessorKind::kBinarizer});
-  double a = evaluator.Evaluate(pipeline).accuracy;
-  double b = evaluator.Evaluate(pipeline).accuracy;
+  double a = evaluator.Evaluate(request).accuracy;
+  double b = evaluator.Evaluate(request).accuracy;
   EXPECT_DOUBLE_EQ(a, b);
 }
 
@@ -65,8 +67,9 @@ TEST(Evaluator, BaselineCachedAndDoesNotConsumeBudget) {
 TEST(Evaluator, PartialBudgetUsesFewerRows) {
   PipelineEvaluator evaluator = MakeEvaluator();
   // A partial-budget evaluation must still work and produce valid accuracy.
-  Evaluation evaluation =
-      evaluator.Evaluate(PipelineSpec{}, /*budget_fraction=*/0.2);
+  EvalRequest request;
+  request.budget_fraction = 0.2;
+  Evaluation evaluation = evaluator.Evaluate(request);
   EXPECT_GE(evaluation.accuracy, 0.0);
   EXPECT_LE(evaluation.accuracy, 1.0);
   EXPECT_DOUBLE_EQ(evaluation.budget_fraction, 0.2);
@@ -75,7 +78,8 @@ TEST(Evaluator, PartialBudgetUsesFewerRows) {
 TEST(Context, EvaluationBudgetStops) {
   PipelineEvaluator evaluator = MakeEvaluator();
   SearchSpace space = SearchSpace::Default();
-  SearchContext context(&space, &evaluator, Budget::Evaluations(5), 1);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(5), 1});
   Rng rng(1);
   for (int i = 0; i < 10; ++i) {
     context.Evaluate(space.SampleUniform(context.rng()));
@@ -88,7 +92,8 @@ TEST(Context, EvaluationBudgetStops) {
 TEST(Context, PartialEvaluationsCostTheirFraction) {
   PipelineEvaluator evaluator = MakeEvaluator();
   SearchSpace space = SearchSpace::Default();
-  SearchContext context(&space, &evaluator, Budget::Evaluations(2), 1);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(2), 1});
   for (int i = 0; i < 6; ++i) {
     context.Evaluate(space.SampleUniform(context.rng()), 0.25);
   }
@@ -102,7 +107,8 @@ TEST(Context, PartialEvaluationsCostTheirFraction) {
 TEST(Context, BestPrefersFullBudgetEvaluations) {
   PipelineEvaluator evaluator = MakeEvaluator();
   SearchSpace space = SearchSpace::Default();
-  SearchContext context(&space, &evaluator, Budget::Evaluations(50), 1);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(50), 1});
   PipelineSpec scaler =
       PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler});
   context.Evaluate(scaler, 0.3);  // partial.
@@ -117,7 +123,7 @@ TEST(RunSearch, FindsResultWithinBudget) {
   SearchSpace space = SearchSpace::Default();
   RandomSearch rs;
   SearchResult result =
-      RunSearch(&rs, &evaluator, space, Budget::Evaluations(20), 7);
+      RunSearch(&rs, &evaluator, space, {Budget::Evaluations(20), 7});
   EXPECT_EQ(result.algorithm, "RS");
   EXPECT_EQ(result.num_evaluations, 20);
   EXPECT_GE(result.best_accuracy, 0.0);
@@ -131,7 +137,7 @@ TEST(RunSearch, TimeBudgetTerminates) {
   SearchSpace space = SearchSpace::Default();
   RandomSearch rs;
   SearchResult result =
-      RunSearch(&rs, &evaluator, space, Budget::Seconds(0.3), 7);
+      RunSearch(&rs, &evaluator, space, {Budget::Seconds(0.3), 7});
   EXPECT_GT(result.num_evaluations, 0);
   EXPECT_LT(result.elapsed_seconds, 5.0);
 }
@@ -142,9 +148,9 @@ TEST(RunSearch, DeterministicForSeed) {
   PipelineEvaluator evaluator_b = MakeEvaluator();
   RandomSearch rs_a, rs_b;
   SearchResult a =
-      RunSearch(&rs_a, &evaluator_a, space, Budget::Evaluations(15), 3);
+      RunSearch(&rs_a, &evaluator_a, space, {Budget::Evaluations(15), 3});
   SearchResult b =
-      RunSearch(&rs_b, &evaluator_b, space, Budget::Evaluations(15), 3);
+      RunSearch(&rs_b, &evaluator_b, space, {Budget::Evaluations(15), 3});
   EXPECT_DOUBLE_EQ(a.best_accuracy, b.best_accuracy);
   EXPECT_TRUE(a.best_pipeline == b.best_pipeline);
 }
@@ -165,15 +171,16 @@ TEST(RunSearch, BestAccuracyIsMaxOfHistory) {
   };
   FixedSequence algorithm;
   SearchResult result =
-      RunSearch(&algorithm, &evaluator, space, Budget::Evaluations(4), 1);
-  double best = 0.0;
+      RunSearch(&algorithm, &evaluator, space, {Budget::Evaluations(4), 1});
   PipelineEvaluator check = MakeEvaluator();
-  best = std::max(
-      check
-          .Evaluate(PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}))
-          .accuracy,
-      check.Evaluate(PipelineSpec::FromKinds({PreprocessorKind::kBinarizer}))
-          .accuracy);
+  EvalRequest scaler_request;
+  scaler_request.pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler});
+  EvalRequest binarizer_request;
+  binarizer_request.pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kBinarizer});
+  double best = std::max(check.Evaluate(scaler_request).accuracy,
+                         check.Evaluate(binarizer_request).accuracy);
   EXPECT_DOUBLE_EQ(result.best_accuracy, best);
 }
 
@@ -187,7 +194,7 @@ TEST(RunSearch, StalledAlgorithmTerminates) {
   };
   Stalled algorithm;
   SearchResult result =
-      RunSearch(&algorithm, &evaluator, space, Budget::Evaluations(100), 1);
+      RunSearch(&algorithm, &evaluator, space, {Budget::Evaluations(100), 1});
   EXPECT_EQ(result.num_evaluations, 0);
   // Falls back to baseline accuracy with an empty pipeline.
   EXPECT_DOUBLE_EQ(result.best_accuracy, result.baseline_accuracy);

@@ -38,9 +38,7 @@ TEST_P(EndToEnd, SearchImprovesScaleSensitiveModels) {
   model.mlp_epochs = 10;
   PipelineEvaluator evaluator(split.train, split.valid, model);
   auto tevo = MakeSearchAlgorithm("TEVO_H").value();
-  SearchResult result = RunSearch(tevo.get(), &evaluator,
-                                  SearchSpace::Default(),
-                                  Budget::Evaluations(60), 31);
+  SearchResult result = RunSearch(tevo.get(), &evaluator, SearchSpace::Default(), {Budget::Evaluations(60), 31});
   // Scaling-sensitive models (LR, MLP) must gain clearly; trees must at
   // least not lose.
   if (GetParam() == ModelKind::kXgboost) {
@@ -82,9 +80,7 @@ TEST(EndToEndFlow, CsvRoundTripSearch) {
   model.lr_epochs = 25;
   PipelineEvaluator evaluator(split.train, split.valid, model);
   auto rs = MakeSearchAlgorithm("RS").value();
-  SearchResult result = RunSearch(rs.get(), &evaluator,
-                                  SearchSpace::Default(4),
-                                  Budget::Evaluations(30), 32);
+  SearchResult result = RunSearch(rs.get(), &evaluator, SearchSpace::Default(4), {Budget::Evaluations(30), 32});
   EXPECT_EQ(result.num_evaluations, 30);
   std::remove(path.c_str());
 }
@@ -99,11 +95,11 @@ TEST(EndToEndFlow, BestPipelineReproducesReportedAccuracy) {
   model.lr_epochs = 25;
   PipelineEvaluator search_eval(split.train, split.valid, model);
   auto pbt = MakeSearchAlgorithm("PBT").value();
-  SearchResult result = RunSearch(pbt.get(), &search_eval,
-                                  SearchSpace::Default(),
-                                  Budget::Evaluations(40), 33);
+  SearchResult result = RunSearch(pbt.get(), &search_eval, SearchSpace::Default(), {Budget::Evaluations(40), 33});
   PipelineEvaluator check_eval(split.train, split.valid, model);
-  EXPECT_DOUBLE_EQ(check_eval.Evaluate(result.best_pipeline).accuracy,
+  EvalRequest rescore;
+  rescore.pipeline = result.best_pipeline;
+  EXPECT_DOUBLE_EQ(check_eval.Evaluate(rescore).accuracy,
                    result.best_accuracy);
 }
 
@@ -115,7 +111,8 @@ TEST(EndToEndFlow, AllAlgorithmsShareTheSameEvaluationSemantics) {
   TrainValidSplit split = SplitTrainValid(data, 0.8, &rng);
   ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
   model.lr_epochs = 25;
-  PipelineSpec probe =
+  EvalRequest probe;
+  probe.pipeline =
       PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler,
                                PreprocessorKind::kMinMaxScaler});
   PipelineEvaluator eval_a(split.train, split.valid, model);
@@ -132,15 +129,13 @@ TEST(EndToEndFlow, TwoStepAndOneStepSearchTheSameParameterUniverse) {
   model.lr_epochs = 20;
   ParameterSpace parameters = ParameterSpace::LowCardinality();
   PipelineEvaluator one_eval(split.train, split.valid, model);
-  SearchResult one = RunOneStep("RS", &one_eval, parameters,
-                                Budget::Evaluations(25), 35, 4);
+  SearchResult one = RunOneStep("RS", &one_eval, parameters, {Budget::Evaluations(25), 35}, 4);
   TwoStepConfig config;
   config.algorithm = "RS";
   config.inner_budget = Budget::Evaluations(10);
   config.max_pipeline_length = 4;
   PipelineEvaluator two_eval(split.train, split.valid, model);
-  SearchResult two = RunTwoStep(config, &two_eval, parameters,
-                                Budget::Evaluations(25), 35);
+  SearchResult two = RunTwoStep(config, &two_eval, parameters, {Budget::Evaluations(25), 35});
   // Both produce valid pipelines whose steps obey the Table 6 values.
   SearchSpace flattened = OneStepSpace(parameters, 4);
   for (const SearchResult* result : {&one, &two}) {
@@ -179,8 +174,7 @@ TEST(EndToEndFlow, SuiteScenarioIsFullyDeterministic) {
     model.lr_epochs = 20;
     PipelineEvaluator evaluator(split.train, split.valid, model);
     auto algorithm = MakeSearchAlgorithm("PBT").value();
-    return RunSearch(algorithm.get(), &evaluator, SearchSpace::Default(),
-                     Budget::Evaluations(30), 77);
+    return RunSearch(algorithm.get(), &evaluator, SearchSpace::Default(), {Budget::Evaluations(30), 77});
   };
   SearchResult a = run_once();
   SearchResult b = run_once();

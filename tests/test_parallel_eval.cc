@@ -1,0 +1,524 @@
+/// Tests of the batch evaluation engine: TransformCache LRU behaviour,
+/// cached-vs-uncached evaluation equivalence, the CachingEvaluator result
+/// cache, ParallelEvaluator ordering/determinism, EvaluateBatch bookkeeping
+/// parity with sequential Evaluate, and fault semantics under concurrency.
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/eval_cache.h"
+#include "core/parallel_evaluator.h"
+#include "core/search_framework.h"
+#include "data/splits.h"
+#include "data/synthetic.h"
+#include "preprocess/transform_cache.h"
+#include "search/random_search.h"
+
+namespace autofp {
+namespace {
+
+const PreprocessorKind kAllKinds[] = {
+    PreprocessorKind::kBinarizer,       PreprocessorKind::kMaxAbsScaler,
+    PreprocessorKind::kMinMaxScaler,    PreprocessorKind::kNormalizer,
+    PreprocessorKind::kPowerTransformer,
+    PreprocessorKind::kQuantileTransformer,
+    PreprocessorKind::kStandardScaler};
+
+TrainValidSplit MakeSplit(uint64_t seed, size_t rows = 120, size_t cols = 4) {
+  SyntheticSpec spec;
+  spec.name = "parallel";
+  spec.family = SyntheticFamily::kScaledBlobs;
+  spec.rows = rows;
+  spec.cols = cols;
+  spec.num_classes = 2;
+  spec.seed = seed;
+  Dataset data = GenerateSynthetic(spec);
+  Rng rng(seed);
+  return SplitTrainValid(data, 0.8, &rng);
+}
+
+ModelConfig FastLr() {
+  ModelConfig model = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  model.lr_epochs = 10;
+  return model;
+}
+
+// ---------------------------------------------------------------------------
+// TransformCache: LRU bounded by bytes.
+
+TransformedPair MakePair(size_t rows, double fill) {
+  TransformedPair pair;
+  pair.train = Matrix(rows, 10, fill);
+  pair.valid = Matrix(rows / 2, 10, fill);
+  return pair;
+}
+
+TEST(TransformCache, StoresAndRetrieves) {
+  TransformCache cache(1 << 20);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", MakePair(10, 1.5));
+  std::shared_ptr<const TransformedPair> hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->train.rows(), 10u);
+  EXPECT_DOUBLE_EQ(hit->train(0, 0), 1.5);
+  TransformCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.insertions, 1);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
+}
+
+TEST(TransformCache, EvictsLeastRecentlyUsed) {
+  // Each entry's payload is 100x10 + 50x10 doubles = 12000 bytes; a 30000
+  // byte budget holds two entries but not three.
+  TransformCache cache(30000);
+  cache.Put("a", MakePair(100, 1.0));
+  cache.Put("b", MakePair(100, 2.0));
+  ASSERT_NE(cache.Get("a"), nullptr);  // refresh "a": now "b" is LRU.
+  cache.Put("c", MakePair(100, 3.0));
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);  // evicted.
+  TransformCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_LE(stats.bytes, stats.max_bytes);
+}
+
+TEST(TransformCache, OversizedEntryIsNeverStored) {
+  TransformCache cache(1000);  // smaller than any MakePair(100, ...) payload.
+  cache.Put("big", MakePair(100, 1.0));
+  EXPECT_EQ(cache.Get("big"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(TransformCache, EvictionNeverInvalidatesHeldValues) {
+  TransformCache cache(30000);
+  cache.Put("a", MakePair(100, 7.0));
+  std::shared_ptr<const TransformedPair> held = cache.Get("a");
+  cache.Put("b", MakePair(100, 1.0));
+  cache.Put("c", MakePair(100, 2.0));  // evicts "a".
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  // The held shared_ptr still reads valid data.
+  EXPECT_DOUBLE_EQ(held->train(99, 9), 7.0);
+}
+
+TEST(TransformCache, ClearResetsContentAndBytes) {
+  TransformCache cache(1 << 20);
+  cache.Put("a", MakePair(10, 1.0));
+  cache.Put("b", MakePair(10, 2.0));
+  cache.Clear();
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Prefix-transform caching is invisible: cached evaluations are identical
+// to uncached ones for every preprocessor and budget fraction.
+
+TEST(PrefixCache, CachedEvaluationsIdenticalForAllPreprocessors) {
+  TrainValidSplit split = MakeSplit(61);
+  PipelineEvaluator plain(split.train, split.valid, FastLr());
+  PipelineEvaluator cached(split.train, split.valid, FastLr());
+  auto cache = std::make_shared<TransformCache>(64 << 20);
+  cached.AttachTransformCache(cache);
+
+  for (PreprocessorKind kind : kAllKinds) {
+    for (double fraction : {0.25, 1.0}) {
+      // Single step, then two chains sharing that step as a prefix, so the
+      // second and third evaluations hit the cache.
+      const std::vector<PipelineSpec> pipelines = {
+          PipelineSpec::FromKinds({kind}),
+          PipelineSpec::FromKinds({kind, PreprocessorKind::kStandardScaler}),
+          PipelineSpec::FromKinds({kind, PreprocessorKind::kBinarizer}),
+      };
+      for (const PipelineSpec& pipeline : pipelines) {
+        EvalRequest request;
+        request.pipeline = pipeline;
+        request.budget_fraction = fraction;
+        request.seed = 0xFEEDu + static_cast<uint64_t>(kind);
+        Evaluation uncached_eval = plain.Evaluate(request);
+        Evaluation cached_eval = cached.Evaluate(request);
+        EXPECT_DOUBLE_EQ(cached_eval.accuracy, uncached_eval.accuracy)
+            << KindName(kind) << " fraction " << fraction;
+        EXPECT_EQ(cached_eval.failure, uncached_eval.failure)
+            << KindName(kind) << " fraction " << fraction;
+        EXPECT_DOUBLE_EQ(cached_eval.budget_fraction,
+                         uncached_eval.budget_fraction);
+      }
+    }
+  }
+  TransformCache::Stats stats = cache->stats();
+  EXPECT_GT(stats.hits, 0) << "shared prefixes never hit the cache";
+  EXPECT_GT(stats.insertions, 0);
+}
+
+TEST(PrefixCache, RepeatEvaluationHitsEveryPrefix) {
+  TrainValidSplit split = MakeSplit(62);
+  PipelineEvaluator evaluator(split.train, split.valid, FastLr());
+  auto cache = std::make_shared<TransformCache>(64 << 20);
+  evaluator.AttachTransformCache(cache);
+  EvalRequest request;
+  request.pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler,
+                               PreprocessorKind::kMinMaxScaler,
+                               PreprocessorKind::kBinarizer});
+  double first = evaluator.Evaluate(request).accuracy;
+  long hits_before = cache->stats().hits;
+  double second = evaluator.Evaluate(request).accuracy;
+  EXPECT_DOUBLE_EQ(first, second);
+  // The repeat probes the longest prefix first and finds the whole
+  // pipeline cached: exactly one more hit, no new insertions.
+  EXPECT_EQ(cache->stats().hits, hits_before + 1);
+}
+
+// ---------------------------------------------------------------------------
+// CachingEvaluator: full-result memoization by request identity.
+
+class CountingLandscape : public EvaluatorInterface {
+ public:
+  using EvaluatorInterface::Evaluate;
+
+  Evaluation Evaluate(const EvalRequest& request) override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    Evaluation evaluation;
+    evaluation.pipeline = request.pipeline;
+    evaluation.budget_fraction = request.budget_fraction;
+    double score = 0.3;
+    for (const PreprocessorConfig& step : request.pipeline.steps) {
+      if (step.kind == PreprocessorKind::kBinarizer) score += 0.15;
+    }
+    score -= 0.02 * static_cast<double>(request.pipeline.size());
+    evaluation.accuracy = std::min(score, 1.0);
+    return evaluation;
+  }
+  double BaselineAccuracy() override { return 0.3; }
+  long calls() const { return calls_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> calls_{0};
+};
+
+TEST(CachingEvaluator, IdenticalRequestsHitWithoutInnerCall) {
+  CountingLandscape inner;
+  CachingEvaluator cached(&inner);
+  EvalRequest request;
+  request.pipeline = PipelineSpec::FromKinds({PreprocessorKind::kBinarizer});
+  request.seed = 5;
+  Evaluation first = cached.Evaluate(request);
+  Evaluation second = cached.Evaluate(request);
+  EXPECT_DOUBLE_EQ(first.accuracy, second.accuracy);
+  EXPECT_EQ(inner.calls(), 1);
+  EXPECT_EQ(cached.hits(), 1);
+  EXPECT_EQ(cached.misses(), 1);
+}
+
+TEST(CachingEvaluator, DifferentFractionSeedOrDeadlineMiss) {
+  CountingLandscape inner;
+  CachingEvaluator cached(&inner);
+  EvalRequest request;
+  request.pipeline = PipelineSpec::FromKinds({PreprocessorKind::kBinarizer});
+  cached.Evaluate(request);
+  EvalRequest other_fraction = request;
+  other_fraction.budget_fraction = 0.5;
+  cached.Evaluate(other_fraction);
+  EvalRequest other_seed = request;
+  other_seed.seed = 99;
+  cached.Evaluate(other_seed);
+  EvalRequest other_deadline = request;
+  other_deadline.deadline_seconds = 30.0;
+  cached.Evaluate(other_deadline);
+  EXPECT_EQ(inner.calls(), 4);
+  EXPECT_EQ(cached.hits(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// ParallelEvaluator: ordering and equivalence to sequential evaluation.
+
+TEST(ParallelEvaluator, ResultsArriveInRequestOrder) {
+  CountingLandscape inner;
+  ParallelEvaluator pool(&inner, 4);
+  std::vector<EvalRequest> requests;
+  for (int length = 1; length <= 7; ++length) {
+    EvalRequest request;
+    request.pipeline = PipelineSpec::FromKinds(std::vector<PreprocessorKind>(
+        static_cast<size_t>(length), PreprocessorKind::kBinarizer));
+    requests.push_back(request);
+  }
+  std::vector<Evaluation> results = pool.EvaluateAll(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < results.size(); ++i) {
+    EXPECT_TRUE(results[i].pipeline == requests[i].pipeline) << "slot " << i;
+    Evaluation sequential = inner.Evaluate(requests[i]);
+    EXPECT_DOUBLE_EQ(results[i].accuracy, sequential.accuracy);
+  }
+}
+
+TEST(ParallelEvaluator, RealEvaluatorMatchesSequential) {
+  TrainValidSplit split = MakeSplit(63);
+  PipelineEvaluator sequential(split.train, split.valid, FastLr());
+  PipelineEvaluator concurrent(split.train, split.valid, FastLr());
+  ParallelEvaluator pool(&concurrent, 4);
+  std::vector<EvalRequest> requests;
+  for (PreprocessorKind kind : kAllKinds) {
+    EvalRequest request;
+    request.pipeline = PipelineSpec::FromKinds({kind});
+    request.seed = static_cast<uint64_t>(kind) * 17 + 1;
+    requests.push_back(request);
+  }
+  std::vector<Evaluation> results = pool.EvaluateAll(requests);
+  ASSERT_EQ(results.size(), requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    EXPECT_DOUBLE_EQ(results[i].accuracy,
+                     sequential.Evaluate(requests[i]).accuracy)
+        << "slot " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EvaluateBatch: bookkeeping parity with sequential Evaluate.
+
+TEST(EvaluateBatch, BudgetCutoffIsASuffixOfNullopts) {
+  CountingLandscape evaluator;
+  SearchSpace space = SearchSpace::Default();
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(5), 3});
+  std::vector<PipelineSpec> batch;
+  for (int i = 0; i < 8; ++i) {
+    batch.push_back(space.SampleUniform(context.rng()));
+  }
+  std::vector<std::optional<double>> scores = context.EvaluateBatch(batch);
+  ASSERT_EQ(scores.size(), 8u);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(scores[i].has_value()) << i;
+  for (int i = 5; i < 8; ++i) EXPECT_FALSE(scores[i].has_value()) << i;
+  EXPECT_EQ(context.num_evaluations(), 5);
+  EXPECT_TRUE(context.BudgetExhausted());
+}
+
+TEST(EvaluateBatch, DuplicatesEvaluateOnceButRecordEach) {
+  CountingLandscape evaluator;
+  SearchSpace space = SearchSpace::Default();
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(10), 3});
+  PipelineSpec pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kBinarizer});
+  std::vector<PipelineSpec> batch(4, pipeline);
+  std::vector<std::optional<double>> scores = context.EvaluateBatch(batch);
+  EXPECT_EQ(evaluator.calls(), 1);  // deduplicated inside the batch.
+  ASSERT_EQ(scores.size(), 4u);
+  for (const std::optional<double>& score : scores) {
+    ASSERT_TRUE(score.has_value());
+    EXPECT_DOUBLE_EQ(*score, *scores[0]);
+  }
+  // Bookkeeping replays per slot: four history records, four budget units.
+  EXPECT_EQ(context.num_evaluations(), 4);
+  EXPECT_DOUBLE_EQ(context.evaluation_cost(), 4.0);
+}
+
+/// Pipelines starting with Normalizer fail permanently; everything else
+/// succeeds. Thread-safe.
+class PermanentFailLandscape : public CountingLandscape {
+ public:
+  using CountingLandscape::Evaluate;
+
+  Evaluation Evaluate(const EvalRequest& request) override {
+    if (!request.pipeline.empty() &&
+        request.pipeline.steps[0].kind == PreprocessorKind::kNormalizer) {
+      Evaluation evaluation;
+      evaluation.pipeline = request.pipeline;
+      evaluation.budget_fraction = request.budget_fraction;
+      evaluation.failure = EvalFailure::kNonFiniteOutput;
+      evaluation.status = Status::OutOfRange("rigged non-finite");
+      evaluation.accuracy = kPenaltyAccuracy;
+      return evaluation;
+    }
+    return CountingLandscape::Evaluate(request);
+  }
+};
+
+TEST(EvaluateBatch, InBatchQuarantineMatchesSequential) {
+  PipelineSpec bad = PipelineSpec::FromKinds({PreprocessorKind::kNormalizer});
+  PipelineSpec good = PipelineSpec::FromKinds({PreprocessorKind::kBinarizer});
+  SearchSpace space = SearchSpace::Default();
+
+  PermanentFailLandscape batch_eval;
+  SearchContext batch_context(&space, &batch_eval,
+                              SearchOptions{Budget::Evaluations(10), 3});
+  std::vector<PipelineSpec> batch = {bad, good, bad};
+  batch_context.EvaluateBatch(batch);
+
+  PermanentFailLandscape seq_eval;
+  SearchContext seq_context(&space, &seq_eval,
+                            SearchOptions{Budget::Evaluations(10), 3});
+  for (const PipelineSpec& pipeline : batch) seq_context.Evaluate(pipeline);
+
+  EXPECT_EQ(batch_context.num_failures(), seq_context.num_failures());
+  EXPECT_EQ(batch_context.num_quarantined(), seq_context.num_quarantined());
+  EXPECT_EQ(batch_context.num_quarantine_hits(),
+            seq_context.num_quarantine_hits());
+  EXPECT_DOUBLE_EQ(batch_context.evaluation_cost(),
+                   seq_context.evaluation_cost());
+  ASSERT_EQ(batch_context.history().size(), seq_context.history().size());
+  for (size_t i = 0; i < batch_context.history().size(); ++i) {
+    EXPECT_EQ(batch_context.history()[i].failure,
+              seq_context.history()[i].failure)
+        << "slot " << i;
+    EXPECT_DOUBLE_EQ(batch_context.history()[i].accuracy,
+                     seq_context.history()[i].accuracy);
+  }
+  EXPECT_EQ(batch_context.num_quarantine_hits(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance: 4 workers produce the same search as 1.
+
+std::vector<std::pair<std::string, double>> HistoryMultiset(
+    const std::vector<Evaluation>& history) {
+  std::vector<std::pair<std::string, double>> entries;
+  entries.reserve(history.size());
+  for (const Evaluation& evaluation : history) {
+    entries.emplace_back(evaluation.pipeline.Key(), evaluation.accuracy);
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
+TEST(ThreadInvariance, FourThreadSearchMatchesOneThread) {
+  SearchSpace space = SearchSpace::Default();
+  SearchResult results[2];
+  std::vector<std::pair<std::string, double>> histories[2];
+  const int thread_counts[2] = {1, 4};
+  for (int variant = 0; variant < 2; ++variant) {
+    CountingLandscape evaluator;
+    RandomSearch rs(/*batch_size=*/8);
+    SearchOptions options;
+    options.budget = Budget::Evaluations(64);
+    options.seed = 91;
+    options.num_threads = thread_counts[variant];
+    // Capture the history through a context-driving run.
+    SearchContext context(&space, &evaluator, options);
+    rs.Initialize(&context);
+    while (!context.BudgetExhausted()) rs.Iterate(&context);
+    histories[variant] = HistoryMultiset(context.history());
+    ASSERT_TRUE(context.has_best());
+    results[variant].best_pipeline = context.best().pipeline;
+    results[variant].best_accuracy = context.best().accuracy;
+  }
+  EXPECT_TRUE(results[0].best_pipeline == results[1].best_pipeline);
+  EXPECT_DOUBLE_EQ(results[0].best_accuracy, results[1].best_accuracy);
+  ASSERT_EQ(histories[0].size(), histories[1].size());
+  EXPECT_TRUE(histories[0] == histories[1]);
+}
+
+TEST(ThreadInvariance, RealEvaluatorWithCacheMatchesSingleThread) {
+  // The full decorator chain (transform cache + result cache + pool)
+  // reproduces the plain single-threaded search exactly.
+  TrainValidSplit split = MakeSplit(64, /*rows=*/100);
+  SearchSpace space = SearchSpace::Default();
+  SearchResult plain, engine;
+  {
+    PipelineEvaluator evaluator(split.train, split.valid, FastLr());
+    RandomSearch rs(/*batch_size=*/4);
+    plain = RunSearch(&rs, &evaluator, space,
+                      SearchOptions{Budget::Evaluations(12), 17});
+  }
+  {
+    PipelineEvaluator evaluator(split.train, split.valid, FastLr());
+    RandomSearch rs(/*batch_size=*/4);
+    SearchOptions options{Budget::Evaluations(12), 17};
+    options.num_threads = 4;
+    options.cache_bytes = 32 << 20;
+    engine = RunSearch(&rs, &evaluator, space, options);
+  }
+  EXPECT_TRUE(plain.best_pipeline == engine.best_pipeline);
+  EXPECT_DOUBLE_EQ(plain.best_accuracy, engine.best_accuracy);
+  EXPECT_EQ(plain.num_evaluations, engine.num_evaluations);
+  EXPECT_EQ(engine.num_threads, 4);
+  EXPECT_GT(engine.transform_cache_hits + engine.transform_cache_misses, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Fault semantics are unchanged under the parallel engine.
+
+TEST(ParallelFaults, RetryAndQuarantineCountsMatchSequential) {
+  SearchSpace space = SearchSpace::Default();
+  long failures[2], retries[2], quarantined[2], quarantine_hits[2];
+  std::vector<std::pair<std::string, double>> histories[2];
+  const int thread_counts[2] = {1, 4};
+  for (int variant = 0; variant < 2; ++variant) {
+    PermanentFailLandscape inner;
+    FaultInjectorConfig injector_config;
+    injector_config.fault_rate = 0.3;
+    injector_config.seed = 99;
+    FaultInjectingEvaluator evaluator(&inner, injector_config);
+    RandomSearch rs(/*batch_size=*/8);
+    FaultPolicy policy;
+    policy.max_retries = 3;
+    SearchOptions options;
+    options.budget = Budget::Evaluations(64);
+    options.seed = 23;
+    options.fault_policy = policy;
+    options.num_threads = thread_counts[variant];
+    SearchContext context(&space, &evaluator, options);
+    rs.Initialize(&context);
+    while (!context.BudgetExhausted()) rs.Iterate(&context);
+    failures[variant] = context.num_failures();
+    retries[variant] = context.num_retries();
+    quarantined[variant] = context.num_quarantined();
+    quarantine_hits[variant] = context.num_quarantine_hits();
+    histories[variant] = HistoryMultiset(context.history());
+  }
+  EXPECT_GT(failures[0], 0);  // the injector actually fired.
+  EXPECT_GT(retries[0], 0);
+  EXPECT_EQ(failures[0], failures[1]);
+  EXPECT_EQ(retries[0], retries[1]);
+  EXPECT_EQ(quarantined[0], quarantined[1]);
+  EXPECT_EQ(quarantine_hits[0], quarantine_hits[1]);
+  EXPECT_TRUE(histories[0] == histories[1]);
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated shim: the old surface still works, marked for removal.
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(DeprecatedShim, OldEvaluateMatchesRequestForm) {
+  TrainValidSplit split = MakeSplit(65);
+  PipelineEvaluator evaluator(split.train, split.valid, FastLr());
+  PipelineSpec pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kMinMaxScaler});
+  EvalRequest request;
+  request.pipeline = pipeline;
+  // Full-fraction evaluations are seed-independent, so the shim (which
+  // derives its own seed) matches the request form exactly.
+  EXPECT_DOUBLE_EQ(evaluator.Evaluate(pipeline, 1.0).accuracy,
+                   evaluator.Evaluate(request).accuracy);
+}
+
+TEST(DeprecatedShim, SetEvalDeadlineAppliesToOldOverloadOnly) {
+  TrainValidSplit split = MakeSplit(66, /*rows=*/400, /*cols=*/20);
+  PipelineEvaluator evaluator(split.train, split.valid,
+                              ModelConfig::Defaults(
+                                  ModelKind::kLogisticRegression));
+  evaluator.SetEvalDeadline(1e-9);
+  PipelineSpec pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler});
+  Evaluation old_form = evaluator.Evaluate(pipeline, 1.0);
+  EXPECT_EQ(old_form.failure, EvalFailure::kDeadlineExceeded);
+  // A fresh request carries its own (disabled) deadline: unaffected.
+  EvalRequest request;
+  request.pipeline = pipeline;
+  EXPECT_FALSE(evaluator.Evaluate(request).failed());
+}
+#pragma GCC diagnostic pop
+
+}  // namespace
+}  // namespace autofp

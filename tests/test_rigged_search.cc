@@ -25,12 +25,13 @@ class RiggedEvaluator : public EvaluatorInterface {
 
   explicit RiggedEvaluator(ScoreFn score) : score_(std::move(score)) {}
 
-  Evaluation Evaluate(const PipelineSpec& pipeline,
-                      double budget_fraction) override {
+  using EvaluatorInterface::Evaluate;
+
+  Evaluation Evaluate(const EvalRequest& request) override {
     Evaluation evaluation;
-    evaluation.pipeline = pipeline;
-    evaluation.budget_fraction = budget_fraction;
-    evaluation.accuracy = score_(pipeline);
+    evaluation.pipeline = request.pipeline;
+    evaluation.budget_fraction = request.budget_fraction;
+    evaluation.accuracy = score_(request.pipeline);
     evaluation.timing.prep_seconds = 1e-6;
     evaluation.timing.train_seconds = 1e-6;
     return evaluation;
@@ -66,8 +67,7 @@ TEST_P(RiggedAlgorithms, ClimbsTheGradientLandscape) {
   RiggedEvaluator evaluator(GradientLandscape);
   SearchSpace space = SearchSpace::Default();
   auto algorithm = MakeSearchAlgorithm(GetParam()).value();
-  SearchResult result = RunSearch(algorithm.get(), &evaluator, space,
-                                  Budget::Evaluations(300), 41);
+  SearchResult result = RunSearch(algorithm.get(), &evaluator, space, {Budget::Evaluations(300), 41});
   // A uniform sample scores ~0.35 in expectation; 300 looks at a smooth
   // landscape must reach at least a 3-Binarizer pipeline (score 0.69 at
   // length 3; pure random best-of-300 lands near 0.65).
@@ -89,11 +89,9 @@ TEST(RiggedEvolution, ExploitationBeatsRandomOnSmoothLandscape) {
   const long kBudget = 120;
   double tevo_total = 0.0, rs_total = 0.0;
   for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
-    tevo_total += RunSearch(tevo.get(), &tevo_eval, space,
-                            Budget::Evaluations(kBudget), seed)
+    tevo_total += RunSearch(tevo.get(), &tevo_eval, space, {Budget::Evaluations(kBudget), seed})
                       .best_accuracy;
-    rs_total += RunSearch(rs.get(), &rs_eval, space,
-                          Budget::Evaluations(kBudget), seed)
+    rs_total += RunSearch(rs.get(), &rs_eval, space, {Budget::Evaluations(kBudget), seed})
                     .best_accuracy;
   }
   // Mutation-based exploitation compounds Binarizer steps; uniform random
@@ -106,8 +104,7 @@ TEST(RiggedAnneal, NeverLosesItsBestState) {
   RiggedEvaluator evaluator(GradientLandscape);
   SearchSpace space = SearchSpace::Default();
   auto anneal = MakeSearchAlgorithm("Anneal").value();
-  SearchResult result = RunSearch(anneal.get(), &evaluator, space,
-                                  Budget::Evaluations(200), 43);
+  SearchResult result = RunSearch(anneal.get(), &evaluator, space, {Budget::Evaluations(200), 43});
   EXPECT_GE(result.best_accuracy, 0.9);
 }
 
@@ -115,7 +112,8 @@ TEST(RiggedReinforce, PolicyLearnsTheRewardedOperator) {
   RiggedEvaluator evaluator(GradientLandscape);
   SearchSpace space = SearchSpace::Default();
   Reinforce reinforce;
-  SearchContext context(&space, &evaluator, Budget::Evaluations(400), 44);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(400), 44});
   reinforce.Initialize(&context);
   while (!context.BudgetExhausted()) reinforce.Iterate(&context);
   // Binarizer is operator 0 in the canonical order; position-0 policy
@@ -130,7 +128,8 @@ TEST(RiggedEnas, SampledQualityImproves) {
   RiggedEvaluator evaluator(GradientLandscape);
   SearchSpace space = SearchSpace::Default();
   auto enas = MakeSearchAlgorithm("ENAS").value();
-  SearchContext context(&space, &evaluator, Budget::Evaluations(400), 45);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(400), 45});
   enas->Initialize(&context);
   while (!context.BudgetExhausted()) enas->Iterate(&context);
   const std::vector<Evaluation>& history = context.history();
@@ -150,8 +149,7 @@ TEST(RiggedHyperband, HalvingPromotesTheTrueBest) {
   RiggedEvaluator evaluator(GradientLandscape);
   SearchSpace space = SearchSpace::Default();
   auto hyperband = MakeSearchAlgorithm("HYPERBAND").value();
-  SearchResult result = RunSearch(hyperband.get(), &evaluator, space,
-                                  Budget::Evaluations(120), 46);
+  SearchResult result = RunSearch(hyperband.get(), &evaluator, space, {Budget::Evaluations(120), 46});
   // The final (full-budget) answer can never score below the best
   // partial observation, because scores are budget-independent here.
   EXPECT_GE(result.best_accuracy, 0.6);
@@ -162,8 +160,7 @@ TEST(RiggedSurrogates, ModelBasedSearchExploitsStructure) {
     RiggedEvaluator evaluator(GradientLandscape);
     SearchSpace space = SearchSpace::Default();
     auto algorithm = MakeSearchAlgorithm(name).value();
-    SearchResult result = RunSearch(algorithm.get(), &evaluator, space,
-                                    Budget::Evaluations(150), 47);
+    SearchResult result = RunSearch(algorithm.get(), &evaluator, space, {Budget::Evaluations(150), 47});
     EXPECT_GE(result.best_accuracy, 0.85) << name;
   }
 }
@@ -186,8 +183,7 @@ TEST(RiggedDeceptive, RandomSearchFindsNeedleWithEnoughBudget) {
   RiggedEvaluator evaluator(DeceptiveLandscape);
   SearchSpace space = SearchSpace::Default();
   auto rs = MakeSearchAlgorithm("RS").value();
-  SearchResult result = RunSearch(rs.get(), &evaluator, space,
-                                  Budget::Evaluations(1500), 48);
+  SearchResult result = RunSearch(rs.get(), &evaluator, space, {Budget::Evaluations(1500), 48});
   EXPECT_DOUBLE_EQ(result.best_accuracy, 1.0);
 }
 
@@ -195,8 +191,7 @@ TEST(RiggedDeceptive, BaselineReporting) {
   RiggedEvaluator evaluator(DeceptiveLandscape);
   SearchSpace space = SearchSpace::Default();
   auto rs = MakeSearchAlgorithm("RS").value();
-  SearchResult result = RunSearch(rs.get(), &evaluator, space,
-                                  Budget::Evaluations(10), 49);
+  SearchResult result = RunSearch(rs.get(), &evaluator, space, {Budget::Evaluations(10), 49});
   EXPECT_DOUBLE_EQ(result.baseline_accuracy,
                    DeceptiveLandscape(PipelineSpec{}));
 }
@@ -204,7 +199,8 @@ TEST(RiggedDeceptive, BaselineReporting) {
 TEST(RiggedFramework, HistoryMatchesLandscapeExactly) {
   RiggedEvaluator evaluator(GradientLandscape);
   SearchSpace space = SearchSpace::Default();
-  SearchContext context(&space, &evaluator, Budget::Evaluations(50), 50);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(50), 50});
   Rng rng(50);
   for (int i = 0; i < 50; ++i) {
     PipelineSpec pipeline = space.SampleUniform(&rng);

@@ -94,7 +94,8 @@ TEST(Smac, ImprovesOnItsInitialization) {
   Smac smac(config);
   PipelineEvaluator evaluator = MakeEvaluator(21);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(40), 21);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(40), 21});
   smac.Initialize(&context);
   double best_initial = 0.0;
   for (const Evaluation& evaluation : context.history()) {
@@ -109,7 +110,8 @@ TEST(Smac, EvaluatesExactlyOnePipelinePerIteration) {
   Smac smac;
   PipelineEvaluator evaluator = MakeEvaluator(22);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(60), 22);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(60), 22});
   smac.Initialize(&context);
   long before = context.num_evaluations();
   smac.Iterate(&context);
@@ -121,7 +123,8 @@ TEST(ProgressiveNasBehavior, InitEvaluatesAllSingletons) {
   ProgressiveNas pnas(config);
   PipelineEvaluator evaluator = MakeEvaluator(23);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(100), 23);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(100), 23});
   pnas.Initialize(&context);
   EXPECT_EQ(context.num_evaluations(), 7);
   for (const Evaluation& evaluation : context.history()) {
@@ -135,7 +138,8 @@ TEST(ProgressiveNasBehavior, ExpansionGrowsPipelinesByOne) {
   ProgressiveNas pnas(config);
   PipelineEvaluator evaluator = MakeEvaluator(24);
   SearchSpace space = SearchSpace::Default(4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(100), 24);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(100), 24});
   pnas.Initialize(&context);
   size_t after_init = context.history().size();
   pnas.Iterate(&context);
@@ -156,7 +160,8 @@ TEST(ProgressiveNasBehavior, NeverReevaluatesTheSamePipeline) {
   ProgressiveNas pnas(config);
   PipelineEvaluator evaluator = MakeEvaluator(25);
   SearchSpace space = SearchSpace::Default(3);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(60), 25);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(60), 25});
   pnas.Initialize(&context);
   for (int i = 0; i < 10 && !context.BudgetExhausted(); ++i) {
     pnas.Iterate(&context);
@@ -178,7 +183,8 @@ TEST(ProgressiveNasBehavior, CapsSingletonInitInHugeSpaces) {
   PipelineEvaluator evaluator = MakeEvaluator(26);
   // One-step high-cardinality alphabet: thousands of operators.
   SearchSpace space = OneStepSpace(ParameterSpace::HighCardinality(), 4);
-  SearchContext context(&space, &evaluator, Budget::Evaluations(50), 26);
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(50), 26});
   pnas.Initialize(&context);
   EXPECT_EQ(context.num_evaluations(), 10);
 }
@@ -192,7 +198,7 @@ TEST(ProgressiveNasBehavior, VariantsDiffer) {
     ProgressiveNas pnas(config);
     PipelineEvaluator evaluator = MakeEvaluator(27);
     SearchSpace space = SearchSpace::Default(4);
-    return RunSearch(&pnas, &evaluator, space, Budget::Evaluations(35), 27);
+    return RunSearch(&pnas, &evaluator, space, {Budget::Evaluations(35), 27});
   };
   SearchResult pmne = run(ProgressiveNas::SurrogateKind::kMlp, false);
   SearchResult plne = run(ProgressiveNas::SurrogateKind::kLstm, false);

@@ -48,6 +48,8 @@ struct Options {
   double slowdown_seconds = 0.05;
   double eval_deadline = -1.0;
   int max_retries = 2;
+  int threads = 1;
+  double cache_mb = 0.0;
   bool list = false;
   std::string apply;  ///< pipeline to apply instead of searching.
   std::string out;    ///< output CSV for --apply.
@@ -70,6 +72,8 @@ void PrintUsage() {
       "  --slowdown-seconds S     simulated slowdown length (default 0.05)\n"
       "  --eval-deadline S        per-evaluation deadline in seconds\n"
       "  --max-retries N          retries for transient faults (default 2)\n"
+      "  --threads N              parallel evaluation threads (default 1)\n"
+      "  --cache-mb MB            evaluation-cache budget in MiB (default 0)\n"
       "  --list                   list built-in datasets and algorithms\n"
       "  --apply \"<pipeline>\"     fit+apply a pipeline instead of searching\n"
       "  --out FILE               output CSV for --apply\n");
@@ -143,6 +147,14 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       const char* v = next("--max-retries");
       if (!v) return false;
       options->max_retries = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      if (!v) return false;
+      options->threads = std::atoi(v);
+    } else if (arg == "--cache-mb") {
+      const char* v = next("--cache-mb");
+      if (!v) return false;
+      options->cache_mb = std::atof(v);
     } else if (arg == "--apply") {
       const char* v = next("--apply");
       if (!v) return false;
@@ -275,8 +287,13 @@ int main(int argc, char** argv) {
   if (options.eval_deadline > 0.0) {
     budget = budget.WithEvalDeadline(options.eval_deadline);
   }
-  FaultPolicy policy;
-  policy.max_retries = options.max_retries;
+  SearchOptions search_options;
+  search_options.budget = budget;
+  search_options.seed = options.seed;
+  search_options.fault_policy.max_retries = options.max_retries;
+  search_options.num_threads = options.threads > 0 ? options.threads : 1;
+  search_options.cache_bytes =
+      static_cast<size_t>(options.cache_mb * 1024.0 * 1024.0);
 
   std::printf("dataset: %s (%zu rows x %zu cols, %d classes)\n",
               dataset.value().name.c_str(), dataset.value().num_rows(),
@@ -300,8 +317,8 @@ int main(int argc, char** argv) {
       return 2;
     }
     SearchSpace space = SearchSpace::Default(options.max_length);
-    result = RunSearch(algorithm.value().get(), &evaluator, space, budget,
-                       options.seed, policy);
+    result = RunSearch(algorithm.value().get(), &evaluator, space,
+                       search_options);
   } else {
     ParameterSpace parameters = options.space == "low"
                                     ? ParameterSpace::LowCardinality()
@@ -315,11 +332,10 @@ int main(int argc, char** argv) {
       TwoStepConfig config;
       config.algorithm = options.algorithm;
       config.max_pipeline_length = options.max_length;
-      result = RunTwoStep(config, &evaluator, parameters, budget,
-                          options.seed);
+      result = RunTwoStep(config, &evaluator, parameters, search_options);
     } else {
-      result = RunOneStep(options.algorithm, &evaluator, parameters, budget,
-                          options.seed, options.max_length);
+      result = RunOneStep(options.algorithm, &evaluator, parameters,
+                          search_options, options.max_length);
     }
   }
 
@@ -337,5 +353,13 @@ int main(int argc, char** argv) {
               "%ld quarantined, %ld quarantine hits\n",
               result.num_failures, result.num_retries,
               result.num_quarantined, result.num_quarantine_hits);
+  if (search_options.num_threads > 1 || search_options.cache_bytes > 0) {
+    std::printf("engine         : %d threads | result cache %ld/%ld hits | "
+                "prefix cache %ld/%ld hits\n",
+                result.num_threads, result.result_cache_hits,
+                result.result_cache_hits + result.result_cache_misses,
+                result.transform_cache_hits,
+                result.transform_cache_hits + result.transform_cache_misses);
+  }
   return 0;
 }
