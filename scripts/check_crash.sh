@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Kill-point crash-injection harness for the durable-run subsystem.
+#
+# For a matrix of (search algorithm x kill point), runs the CLI with a
+# write-ahead journal and the deterministic crash point armed
+# (AUTOFP_CRASH_AFTER_APPENDS=N hard-exits the process right after journal
+# append N hits the disk), resumes the killed run with --resume, and
+# asserts that the resumed run's evaluation history (canonical
+# --dump-journal listing) and best pipeline are byte-identical to an
+# uninterrupted run of the same configuration. Also exercises torn-tail
+# recovery: a journal truncated mid-record must resume losing only the
+# torn record and still converge to the identical history.
+#
+# Usage: scripts/check_crash.sh [--binary PATH] [--algorithms "A B C"]
+#                               [--kill-points "N1 N2 N3"]
+#   --binary PATH   autofp binary (default: build/tools/autofp, built if
+#                   missing)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+bin="${repo_root}/build/tools/autofp"
+algorithms=(RS TEVO_H HYPERBAND)
+kill_points=(3 10 25)
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --binary) bin="$2"; shift 2 ;;
+    --algorithms) read -r -a algorithms <<< "$2"; shift 2 ;;
+    --kill-points) read -r -a kill_points <<< "$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+if [[ ! -x "${bin}" ]]; then
+  echo "building autofp..."
+  cmake -B "${repo_root}/build" -S "${repo_root}" > /dev/null
+  cmake --build "${repo_root}/build" --target autofp -j > /dev/null
+fi
+
+workdir="$(mktemp -d)"
+trap 'rm -rf "${workdir}"' EXIT
+
+common_args=(--data suite:blood_syn --budget 40 --seed 7)
+crash_exit=86  # kCrashPointExitCode
+failures=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+best_line() { grep '^best pipeline' "$1"; }
+
+for algorithm in "${algorithms[@]}"; do
+  ref_journal="${workdir}/${algorithm}.ref.journal"
+  ref_out="${workdir}/${algorithm}.ref.out"
+  "${bin}" "${common_args[@]}" --algorithm "${algorithm}" \
+      --journal "${ref_journal}" > "${ref_out}"
+  "${bin}" --dump-journal "${ref_journal}" > "${workdir}/${algorithm}.ref.dump"
+
+  for kill_point in "${kill_points[@]}"; do
+    tag="${algorithm}@${kill_point}"
+    journal="${workdir}/${tag}.journal"
+    # 1. Kill the run after ${kill_point} durable appends.
+    set +e
+    AUTOFP_CRASH_AFTER_APPENDS="${kill_point}" \
+        "${bin}" "${common_args[@]}" --algorithm "${algorithm}" \
+        --journal "${journal}" > /dev/null 2>&1
+    status=$?
+    set -e
+    if [[ ${status} -ne ${crash_exit} ]]; then
+      fail "${tag}: expected injected-crash exit ${crash_exit}, got ${status}"
+      continue
+    fi
+    [[ -s "${journal}" ]] || { fail "${tag}: crashed run left no journal"; continue; }
+
+    # 2. Resume and require completion.
+    resume_out="${workdir}/${tag}.resume.out"
+    if ! "${bin}" "${common_args[@]}" --algorithm "${algorithm}" \
+        --journal "${journal}" --resume > "${resume_out}"; then
+      fail "${tag}: resume did not complete"
+      continue
+    fi
+    if ! grep -q "journal        : ${kill_point} replayed" "${resume_out}"; then
+      fail "${tag}: resume did not replay exactly ${kill_point} evaluations"
+    fi
+
+    # 3. Resumed history and best pipeline must match the uninterrupted run.
+    "${bin}" --dump-journal "${journal}" > "${workdir}/${tag}.dump"
+    if ! cmp -s "${workdir}/${algorithm}.ref.dump" "${workdir}/${tag}.dump"; then
+      fail "${tag}: resumed journal differs from uninterrupted run"
+      diff "${workdir}/${algorithm}.ref.dump" "${workdir}/${tag}.dump" | head -5 >&2
+    fi
+    if [[ "$(best_line "${ref_out}")" != "$(best_line "${resume_out}")" ]]; then
+      fail "${tag}: best pipeline differs after resume"
+    fi
+    echo "ok: ${tag}"
+  done
+done
+
+# Torn-tail recovery: truncate a crashed journal mid-record; the resume
+# must drop only the torn record, re-evaluate it, and still converge.
+torn="${workdir}/torn.journal"
+set +e
+AUTOFP_CRASH_AFTER_APPENDS=10 "${bin}" "${common_args[@]}" --algorithm RS \
+    --journal "${torn}" > /dev/null 2>&1
+set -e
+truncate -s -5 "${torn}"
+torn_out="${workdir}/torn.out"
+"${bin}" "${common_args[@]}" --algorithm RS --journal "${torn}" --resume \
+    > "${torn_out}" || fail "torn-tail: resume did not complete"
+grep -q 'torn-tail bytes dropped' "${torn_out}" \
+    || fail "torn-tail: tail drop not reported"
+"${bin}" --dump-journal "${torn}" > "${workdir}/torn.dump"
+cmp -s "${workdir}/RS.ref.dump" "${workdir}/torn.dump" \
+    || fail "torn-tail: resumed journal differs from uninterrupted run"
+echo "ok: torn-tail recovery"
+
+if [[ ${failures} -gt 0 ]]; then
+  echo "check_crash: ${failures} failure(s)" >&2
+  exit 1
+fi
+echo "Crash-resume determinism check passed" \
+     "(${#algorithms[@]} algorithms x ${#kill_points[@]} kill points)."

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-shot CI entry point: tier-1 build + ctest, the ThreadSanitizer
+# concurrency suites, and the kill-point crash-injection matrix.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+echo "=== tier-1: build + ctest ==="
+cmake -B "${repo_root}/build" -S "${repo_root}"
+cmake --build "${repo_root}/build" -j
+(cd "${repo_root}/build" && ctest --output-on-failure -j)
+
+echo "=== tsan: concurrency suites ==="
+"${repo_root}/scripts/check_tsan.sh"
+
+echo "=== crash: kill-and-resume determinism ==="
+"${repo_root}/scripts/check_crash.sh" --binary "${repo_root}/build/tools/autofp"
+
+echo "CI passed."

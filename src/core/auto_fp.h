@@ -23,6 +23,7 @@
 #include "core/evaluator.h"          // IWYU pragma: export
 #include "core/fp_growth.h"          // IWYU pragma: export
 #include "core/ranking.h"            // IWYU pragma: export
+#include "core/run_journal.h"        // IWYU pragma: export
 #include "core/search_framework.h"   // IWYU pragma: export
 #include "core/search_space.h"       // IWYU pragma: export
 #include "data/benchmark_suite.h"    // IWYU pragma: export

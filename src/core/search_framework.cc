@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "core/run_journal.h"
+
 namespace autofp {
 
 SearchContext::SearchContext(const SearchSpace* space,
@@ -44,12 +46,12 @@ SearchContext::SearchContext(const SearchSpace* space,
 SearchContext::~SearchContext() = default;
 
 bool SearchContext::BudgetExhausted() const {
+  if (interrupted()) return true;  // graceful stop at evaluation boundary.
   if (budget_.max_evaluations >= 0 &&
       evaluation_cost_ >= static_cast<double>(budget_.max_evaluations)) {
     return true;
   }
-  if (budget_.max_seconds >= 0.0 &&
-      total_watch_.ElapsedSeconds() >= budget_.max_seconds) {
+  if (budget_.max_seconds >= 0.0 && elapsed_seconds() >= budget_.max_seconds) {
     return true;
   }
   return false;
@@ -133,6 +135,7 @@ double SearchContext::RecordEvaluation(Evaluation evaluation, int retries) {
   }
   history_.push_back(std::move(evaluation));
   const Evaluation& recorded = history_.back();
+  if (!recorded.failed()) ++num_successes_;
 
   // Best-tracking considers only successful, finite scores: a failed or
   // NaN accuracy must never compare its way past best_key_ (NaN poisons
@@ -210,8 +213,10 @@ std::vector<std::optional<double>> SearchContext::EvaluateBatch(
         budget_.max_evaluations >= 0 &&
         projected_cost >= static_cast<double>(budget_.max_evaluations);
     bool time_exhausted = budget_.max_seconds >= 0.0 &&
-                          total_watch_.ElapsedSeconds() >= budget_.max_seconds;
-    if (cost_exhausted || time_exhausted) continue;  // stays kSkipped.
+                          elapsed_seconds() >= budget_.max_seconds;
+    if (cost_exhausted || time_exhausted || interrupted()) {
+      continue;  // stays kSkipped.
+    }
     projected_cost += budget_fraction;
     auto quarantined = quarantine_.find(pipelines[i].Key());
     if (quarantined != quarantine_.end()) {
@@ -226,12 +231,63 @@ std::vector<std::optional<double>> SearchContext::EvaluateBatch(
     request_index[i] = entry->second;
   }
 
-  // Phase 2 — evaluate distinct keys concurrently, with retry rounds.
+  // Phase 2 — serve recorded outcomes from the resume journal, then
+  // evaluate the remaining distinct keys concurrently with retry rounds.
+  // Replay is keyed by request identity and FIFO per key, so the
+  // deterministic re-run consumes exactly the recorded sequence no matter
+  // where batch boundaries fall relative to the crash point.
   Stopwatch watch;
-  std::vector<Evaluation> results;
-  std::vector<int> retries;
-  EvaluateWithRetries(std::move(requests), &results, &retries);
-  eval_seconds_ += watch.ElapsedSeconds();
+  std::vector<Evaluation> results(requests.size());
+  std::vector<int> retries(requests.size(), 0);
+  std::vector<EvalRequest> live;
+  std::vector<size_t> live_slot;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    if (options_.replay != nullptr) {
+      std::optional<JournalRecord> record =
+          options_.replay->Take(requests[r].pipeline.Key(), budget_fraction);
+      if (record.has_value()) {
+        AUTOFP_CHECK(record->seed == requests[r].seed)
+            << "journal record for '" << record->pipeline
+            << "' carries a different request seed — the journal was "
+               "recorded under options this run does not reproduce";
+        results[r] = EvaluationFromRecord(*record);
+        retries[r] = record->attempts - 1;
+        journal_elapsed_seconds_ += record->elapsed_seconds;
+        eval_seconds_ += record->elapsed_seconds;
+        ++num_replayed_;
+        continue;
+      }
+    }
+    live.push_back(requests[r]);
+    live_slot.push_back(r);
+  }
+  if (!live.empty()) {
+    // First-attempt seeds are the requests' identity in the journal;
+    // EvaluateWithRetries re-derives seeds per retry attempt.
+    std::vector<uint64_t> live_seeds;
+    live_seeds.reserve(live.size());
+    for (const EvalRequest& request : live) live_seeds.push_back(request.seed);
+    std::vector<Evaluation> live_results;
+    std::vector<int> live_retries;
+    EvaluateWithRetries(std::move(live), &live_results, &live_retries);
+    double live_elapsed = watch.ElapsedSeconds();
+    eval_seconds_ += live_elapsed;
+    // Journal every fresh outcome (durable before the search moves on).
+    // The batch's wall-clock is apportioned evenly — it only matters for
+    // restoring time-budget consumption on resume.
+    double elapsed_share = live_elapsed / static_cast<double>(live.size());
+    for (size_t k = 0; k < live_results.size(); ++k) {
+      live_results[k].attempts = 1 + live_retries[k];
+      if (options_.journal != nullptr) {
+        Status appended = options_.journal->Append(MakeJournalRecord(
+            live_results[k], live_seeds[k], elapsed_share));
+        AUTOFP_CHECK(appended.ok())
+            << "run journal append failed: " << appended.ToString();
+      }
+      results[live_slot[k]] = std::move(live_results[k]);
+      retries[live_slot[k]] = live_retries[k];
+    }
+  }
 
   // Phase 3 — record in index order, replaying sequential bookkeeping:
   // the first occurrence of a key records the computed result (and may
@@ -296,6 +352,9 @@ SearchResult RunSearch(SearchAlgorithm* algorithm,
   result.num_retries = context.num_retries();
   result.num_quarantined = context.num_quarantined();
   result.num_quarantine_hits = context.num_quarantine_hits();
+  result.num_successes = context.num_successes();
+  result.num_replayed = context.num_replayed();
+  result.interrupted = context.interrupted();
   result.num_threads = options.num_threads;
   if (context.result_cache() != nullptr) {
     result.result_cache_hits = context.result_cache()->hits();

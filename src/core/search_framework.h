@@ -1,6 +1,7 @@
 #ifndef AUTOFP_CORE_SEARCH_FRAMEWORK_H_
 #define AUTOFP_CORE_SEARCH_FRAMEWORK_H_
 
+#include <csignal>
 #include <cstddef>
 #include <memory>
 #include <optional>
@@ -21,6 +22,9 @@
 
 namespace autofp {
 
+class RunJournalWriter;  // core/run_journal.h
+class RunJournalReplay;  // core/run_journal.h
+
 /// Everything that configures one search run besides the algorithm, the
 /// evaluator and the space. An aggregate, so call sites read
 /// `RunSearch(&alg, &eval, space, {budget, seed})` and grow options
@@ -38,6 +42,17 @@ struct SearchOptions {
   /// it is a PipelineEvaluator without one) and full Evaluations are
   /// memoized by request identity.
   size_t cache_bytes = 0;
+  /// Durable-run hooks (DESIGN.md "Durable runs and crash recovery").
+  /// Non-owning, may be null. `journal` receives one fsync'd record per
+  /// fresh evaluator outcome; `replay` serves recorded outcomes instead
+  /// of re-evaluating until it runs dry (replayed outcomes are not
+  /// re-appended — on resume they are already in the file).
+  RunJournalWriter* journal = nullptr;
+  RunJournalReplay* replay = nullptr;
+  /// Graceful-stop request (e.g. set from a SIGINT/SIGTERM handler): when
+  /// non-null and nonzero, the budget reads as exhausted, so the search
+  /// stops at the next evaluation boundary with its bookkeeping intact.
+  const volatile std::sig_atomic_t* stop_flag = nullptr;
 };
 
 /// Services the unified framework (Algorithm 1) offers an algorithm:
@@ -53,6 +68,13 @@ struct SearchOptions {
 /// Determinism: every evaluation's seed is derived from (run seed,
 /// pipeline, fraction, attempt) — never from call order — so the recorded
 /// history for a given request sequence is identical at any thread count.
+///
+/// Durability (see DESIGN.md "Durable runs and crash recovery"): with
+/// SearchOptions::journal set, every fresh evaluator outcome is appended
+/// (fsync'd, CRC-protected) before the search continues; with ::replay
+/// set, recorded outcomes are served instead of re-evaluating, budget and
+/// retry/quarantine bookkeeping replaying identically — so a crashed run
+/// re-run from its journal converges to the byte-identical history.
 class SearchContext {
  public:
   SearchContext(const SearchSpace* space, EvaluatorInterface* evaluator,
@@ -100,7 +122,11 @@ class SearchContext {
   /// evaluations contribute their wall-clock span, so parallel speedup is
   /// visible here.
   double eval_seconds() const { return eval_seconds_; }
-  double elapsed_seconds() const { return total_watch_.ElapsedSeconds(); }
+  /// Wall-clock consumed by this run, including time restored from the
+  /// resume journal (so time budgets survive a crash/resume cycle).
+  double elapsed_seconds() const {
+    return journal_elapsed_seconds_ + total_watch_.ElapsedSeconds();
+  }
 
   /// Fault bookkeeping. num_failures counts evaluator attempts that
   /// returned a failure (including ones later recovered by a retry);
@@ -113,6 +139,14 @@ class SearchContext {
     return static_cast<long>(quarantine_.size());
   }
   long num_quarantine_hits() const { return num_quarantine_hits_; }
+  /// History entries that did not fail (the entries best() may pick from).
+  long num_successes() const { return num_successes_; }
+  /// Evaluations served from the resume journal instead of the evaluator.
+  long num_replayed() const { return num_replayed_; }
+  /// True once the stop flag (SearchOptions::stop_flag) was observed set.
+  bool interrupted() const {
+    return options_.stop_flag != nullptr && *options_.stop_flag != 0;
+  }
   bool IsQuarantined(const PipelineSpec& pipeline) const {
     return quarantine_.count(pipeline.Key()) > 0;
   }
@@ -162,6 +196,12 @@ class SearchContext {
   long num_failures_ = 0;
   long num_retries_ = 0;
   long num_quarantine_hits_ = 0;
+  long num_successes_ = 0;
+  long num_replayed_ = 0;
+  /// Wall-clock restored from replayed journal records; added to the live
+  /// stopwatch so a resumed time-budget run continues from its recorded
+  /// consumption instead of restarting the clock.
+  double journal_elapsed_seconds_ = 0.0;
   Stopwatch total_watch_;
 };
 
@@ -205,6 +245,9 @@ struct SearchResult {
   long num_retries = 0;
   long num_quarantined = 0;
   long num_quarantine_hits = 0;
+  /// History entries that did not fail; 0 means every evaluation failed
+  /// and `best_accuracy` is only the baseline/penalty fallback.
+  long num_successes = 0;
   /// Evaluation-engine report: worker threads used and cache traffic
   /// (zero when the run used no cache).
   int num_threads = 1;
@@ -212,6 +255,10 @@ struct SearchResult {
   long result_cache_misses = 0;
   long transform_cache_hits = 0;
   long transform_cache_misses = 0;
+  /// Durable-run report: evaluations served from the resume journal, and
+  /// whether the run was stopped early by the graceful-stop flag.
+  long num_replayed = 0;
+  bool interrupted = false;
 };
 
 /// Drives Algorithm 1: Initialize once, then Iterate until the budget is

@@ -59,9 +59,17 @@ SearchResult RunTwoStep(const TwoStepConfig& config,
                                     inner_options);
     evaluations_used += result.num_evaluations;
     best.num_evaluations += result.num_evaluations;
+    best.evaluation_cost += result.evaluation_cost;
     best.prep_seconds += result.prep_seconds;
     best.train_seconds += result.train_seconds;
     best.pick_seconds += result.pick_seconds;
+    best.num_failures += result.num_failures;
+    best.num_retries += result.num_retries;
+    best.num_quarantined += result.num_quarantined;
+    best.num_quarantine_hits += result.num_quarantine_hits;
+    best.num_successes += result.num_successes;
+    best.num_replayed += result.num_replayed;
+    best.interrupted = result.interrupted;
     best.baseline_accuracy = result.baseline_accuracy;
     if (round == 0 || result.best_accuracy > best.best_accuracy) {
       best.best_accuracy = result.best_accuracy;
@@ -69,6 +77,7 @@ SearchResult RunTwoStep(const TwoStepConfig& config,
     }
     ++round;
     if (result.num_evaluations == 0) break;  // inner budget too small.
+    if (result.interrupted) break;  // graceful stop: no further rounds.
   }
   best.elapsed_seconds = watch.ElapsedSeconds();
   return best;

@@ -286,6 +286,17 @@ TEST(ParallelEvaluator, RealEvaluatorMatchesSequential) {
 // ---------------------------------------------------------------------------
 // EvaluateBatch: bookkeeping parity with sequential Evaluate.
 
+std::vector<std::pair<std::string, double>> HistoryMultiset(
+    const std::vector<Evaluation>& history) {
+  std::vector<std::pair<std::string, double>> entries;
+  entries.reserve(history.size());
+  for (const Evaluation& evaluation : history) {
+    entries.emplace_back(evaluation.pipeline.Key(), evaluation.accuracy);
+  }
+  std::sort(entries.begin(), entries.end());
+  return entries;
+}
+
 TEST(EvaluateBatch, BudgetCutoffIsASuffixOfNullopts) {
   CountingLandscape evaluator;
   SearchSpace space = SearchSpace::Default();
@@ -377,19 +388,93 @@ TEST(EvaluateBatch, InBatchQuarantineMatchesSequential) {
   EXPECT_EQ(batch_context.num_quarantine_hits(), 1);
 }
 
+TEST(EvaluateBatch, EmptyBatchIsANoOp) {
+  CountingLandscape evaluator;
+  SearchSpace space = SearchSpace::Default();
+  SearchContext context(&space, &evaluator,
+                        SearchOptions{Budget::Evaluations(10), 3});
+  std::vector<std::optional<double>> scores = context.EvaluateBatch({});
+  EXPECT_TRUE(scores.empty());
+  EXPECT_EQ(evaluator.calls(), 0);
+  EXPECT_EQ(context.num_evaluations(), 0);
+  EXPECT_TRUE(context.history().empty());
+  EXPECT_DOUBLE_EQ(context.evaluation_cost(), 0.0);
+  EXPECT_FALSE(context.BudgetExhausted());
+}
+
+TEST(EvaluateBatch, AllQuarantinedBatchMatchesSequential) {
+  PipelineSpec bad = PipelineSpec::FromKinds({PreprocessorKind::kNormalizer});
+  SearchSpace space = SearchSpace::Default();
+
+  PermanentFailLandscape batch_eval;
+  SearchContext batch_context(&space, &batch_eval,
+                              SearchOptions{Budget::Evaluations(20), 3});
+  batch_context.Evaluate(bad);  // quarantines the pipeline.
+  long calls_after_quarantine = batch_eval.calls();
+  std::vector<PipelineSpec> batch(3, bad);
+  std::vector<std::optional<double>> scores =
+      batch_context.EvaluateBatch(batch);
+  // Every slot is served from quarantine: no evaluator calls at all.
+  EXPECT_EQ(batch_eval.calls(), calls_after_quarantine);
+  ASSERT_EQ(scores.size(), 3u);
+  for (const std::optional<double>& score : scores) {
+    ASSERT_TRUE(score.has_value());
+    EXPECT_DOUBLE_EQ(*score, kPenaltyAccuracy);
+  }
+
+  PermanentFailLandscape seq_eval;
+  SearchContext seq_context(&space, &seq_eval,
+                            SearchOptions{Budget::Evaluations(20), 3});
+  seq_context.Evaluate(bad);
+  for (const PipelineSpec& pipeline : batch) seq_context.Evaluate(pipeline);
+
+  EXPECT_EQ(batch_eval.calls(), seq_eval.calls());
+  EXPECT_EQ(batch_context.num_quarantine_hits(),
+            seq_context.num_quarantine_hits());
+  EXPECT_EQ(batch_context.num_failures(), seq_context.num_failures());
+  EXPECT_DOUBLE_EQ(batch_context.evaluation_cost(),
+                   seq_context.evaluation_cost());
+  EXPECT_TRUE(HistoryMultiset(batch_context.history()) ==
+              HistoryMultiset(seq_context.history()));
+}
+
+TEST(EvaluateBatch, AllDuplicateSpecsMatchSequential) {
+  PipelineSpec pipeline =
+      PipelineSpec::FromKinds({PreprocessorKind::kBinarizer,
+                               PreprocessorKind::kStandardScaler});
+  SearchSpace space = SearchSpace::Default();
+
+  CountingLandscape batch_eval;
+  SearchContext batch_context(&space, &batch_eval,
+                              SearchOptions{Budget::Evaluations(20), 3});
+  std::vector<PipelineSpec> batch(5, pipeline);
+  batch_context.EvaluateBatch(batch);
+
+  CountingLandscape seq_eval;
+  SearchContext seq_context(&space, &seq_eval,
+                            SearchOptions{Budget::Evaluations(20), 3});
+  for (const PipelineSpec& spec : batch) seq_context.Evaluate(spec);
+
+  // The batch path dedups the evaluator call but must replicate the
+  // sequential path's per-slot bookkeeping exactly.
+  EXPECT_EQ(batch_context.num_evaluations(), seq_context.num_evaluations());
+  EXPECT_DOUBLE_EQ(batch_context.evaluation_cost(),
+                   seq_context.evaluation_cost());
+  EXPECT_EQ(batch_context.num_successes(), seq_context.num_successes());
+  ASSERT_EQ(batch_context.history().size(), seq_context.history().size());
+  for (size_t i = 0; i < batch_context.history().size(); ++i) {
+    EXPECT_EQ(batch_context.history()[i].pipeline.Key(),
+              seq_context.history()[i].pipeline.Key());
+    EXPECT_DOUBLE_EQ(batch_context.history()[i].accuracy,
+                     seq_context.history()[i].accuracy);
+  }
+  ASSERT_TRUE(batch_context.has_best());
+  EXPECT_EQ(batch_context.best().pipeline.Key(),
+            seq_context.best().pipeline.Key());
+}
+
 // ---------------------------------------------------------------------------
 // Thread-count invariance: 4 workers produce the same search as 1.
-
-std::vector<std::pair<std::string, double>> HistoryMultiset(
-    const std::vector<Evaluation>& history) {
-  std::vector<std::pair<std::string, double>> entries;
-  entries.reserve(history.size());
-  for (const Evaluation& evaluation : history) {
-    entries.emplace_back(evaluation.pipeline.Key(), evaluation.accuracy);
-  }
-  std::sort(entries.begin(), entries.end());
-  return entries;
-}
 
 TEST(ThreadInvariance, FourThreadSearchMatchesOneThread) {
   SearchSpace space = SearchSpace::Default();

@@ -9,17 +9,33 @@
 ///          [--max-length N] [--space default|low|high] [--two-step]
 ///          [--train-fraction F] [--fault-rate F] [--slowdown-rate F]
 ///          [--slowdown-seconds S] [--eval-deadline S] [--max-retries N]
-///          [--list]
+///          [--journal FILE] [--resume] [--list]
 ///   autofp --data <file.csv> --apply "<pipeline>" --out <file.csv>
+///   autofp --dump-journal <file.journal>
 ///
 /// The CSV's last column is the class label; pass suite:NAME to use a
 /// built-in benchmark dataset (see --list). With --apply, no search runs:
 /// the given pipeline (PipelineSpec::ToString syntax, e.g.
 /// "StandardScaler -> Binarizer(threshold=0.2)") is fitted to the data and
 /// the transformed table (plus the label column) is written to --out.
+///
+/// Durable runs: --journal appends every completed evaluation to an
+/// fsync'd write-ahead journal; --resume replays a journal after a crash
+/// or interrupt so the search continues where it stopped. SIGINT/SIGTERM
+/// stop the search gracefully at the next evaluation boundary (report
+/// still printed, journal flushed). The env var AUTOFP_CRASH_AFTER_APPENDS
+/// arms a deterministic crash point for the crash-injection harness.
+///
+/// Exit codes: 0 completed with >= 1 successful evaluation; 1 runtime
+/// error; 2 usage error; 3 interrupted by signal; 4 completed but every
+/// evaluation failed; 86 injected crash point.
 
+#include <bit>
+#include <cinttypes>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "core/auto_fp.h"
@@ -31,6 +47,10 @@
 namespace {
 
 using namespace autofp;
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void HandleStopSignal(int) { g_stop_requested = 1; }
 
 struct Options {
   std::string data;
@@ -53,6 +73,9 @@ struct Options {
   bool list = false;
   std::string apply;  ///< pipeline to apply instead of searching.
   std::string out;    ///< output CSV for --apply.
+  std::string journal;       ///< write-ahead run journal path.
+  bool resume = false;       ///< replay the journal before evaluating.
+  std::string dump_journal;  ///< print a journal and exit.
 };
 
 void PrintUsage() {
@@ -74,9 +97,14 @@ void PrintUsage() {
       "  --max-retries N          retries for transient faults (default 2)\n"
       "  --threads N              parallel evaluation threads (default 1)\n"
       "  --cache-mb MB            evaluation-cache budget in MiB (default 0)\n"
+      "  --journal FILE           append evaluations to a crash-safe journal\n"
+      "  --resume                 replay FILE before evaluating (needs --journal)\n"
+      "  --dump-journal FILE      print a journal's records and exit\n"
       "  --list                   list built-in datasets and algorithms\n"
       "  --apply \"<pipeline>\"     fit+apply a pipeline instead of searching\n"
-      "  --out FILE               output CSV for --apply\n");
+      "  --out FILE               output CSV for --apply\n"
+      "exit codes: 0 ok | 1 error | 2 usage | 3 interrupted | 4 all "
+      "evaluations failed\n");
 }
 
 bool ParseArgs(int argc, char** argv, Options* options) {
@@ -155,6 +183,16 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       const char* v = next("--cache-mb");
       if (!v) return false;
       options->cache_mb = std::atof(v);
+    } else if (arg == "--journal") {
+      const char* v = next("--journal");
+      if (!v) return false;
+      options->journal = v;
+    } else if (arg == "--resume") {
+      options->resume = true;
+    } else if (arg == "--dump-journal") {
+      const char* v = next("--dump-journal");
+      if (!v) return false;
+      options->dump_journal = v;
     } else if (arg == "--apply") {
       const char* v = next("--apply");
       if (!v) return false;
@@ -174,6 +212,64 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     }
   }
   return true;
+}
+
+/// Determinism-relevant CLI configuration, folded into the journal's
+/// options fingerprint so resuming with different flags (different data,
+/// algorithm, model, space, fault injection, ...) is rejected instead of
+/// silently replaying outcomes the new run would never produce. Threads
+/// and cache size stay out: history is invariant to them.
+uint64_t CliConfigFingerprint(const Options& options,
+                              const SearchOptions& search_options) {
+  uint64_t hash = SearchOptionsFingerprint(search_options);
+  auto mix_string = [&hash](const std::string& value) {
+    hash = Fnv1a64(value.data(), value.size(), hash);
+  };
+  mix_string(options.data);
+  mix_string(options.model);
+  mix_string(options.algorithm);
+  mix_string(options.space);
+  hash = HashCombine(hash, options.two_step ? 1 : 0);
+  hash = HashCombine(hash, options.max_length);
+  hash = HashCombine(hash, std::bit_cast<uint64_t>(options.train_fraction));
+  hash = HashCombine(hash, std::bit_cast<uint64_t>(options.fault_rate));
+  hash = HashCombine(hash, std::bit_cast<uint64_t>(options.slowdown_rate));
+  hash = HashCombine(hash, std::bit_cast<uint64_t>(options.slowdown_seconds));
+  return hash;
+}
+
+/// Canonical, machine-comparable journal listing. Timing fields are
+/// deliberately omitted: they are wall-clock noise, and everything printed
+/// here must be byte-identical between an uninterrupted run and a
+/// crash+resume of the same configuration (scripts/check_crash.sh diffs
+/// two of these dumps).
+int DumpJournal(const std::string& path) {
+  JournalReadResult read = ReadRunJournal(path);
+  if (!read.ok()) {
+    std::fprintf(stderr, "error reading journal: %s: %s\n",
+                 JournalErrorName(read.error),
+                 read.status.message().c_str());
+    return 1;
+  }
+  std::printf("journal version %u\n", read.header.version);
+  std::printf("options_fp %016" PRIx64 " dataset_fp %016" PRIx64 "\n",
+              read.header.options_fingerprint,
+              read.header.dataset_fingerprint);
+  std::printf("meta %s\n", read.header.meta.c_str());
+  std::printf("records %zu\n", read.records.size());
+  if (read.dropped_tail_bytes > 0) {
+    std::fprintf(stderr, "note: dropped %zu torn-tail bytes\n",
+                 read.dropped_tail_bytes);
+  }
+  for (size_t i = 0; i < read.records.size(); ++i) {
+    const JournalRecord& record = read.records[i];
+    std::printf("%06zu seed=%016" PRIx64
+                " frac=%.17g acc=%.17g failure=%s attempts=%d | %s\n",
+                i, record.seed, record.budget_fraction, record.accuracy,
+                EvalFailureName(record.failure), record.attempts,
+                record.pipeline.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -196,6 +292,11 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
     return 0;
+  }
+  if (!options.dump_journal.empty()) return DumpJournal(options.dump_journal);
+  if (options.resume && options.journal.empty()) {
+    std::fprintf(stderr, "error: --resume requires --journal\n");
+    return 2;
   }
   if (options.data.empty()) {
     PrintUsage();
@@ -295,6 +396,72 @@ int main(int argc, char** argv) {
   search_options.cache_bytes =
       static_cast<size_t>(options.cache_mb * 1024.0 * 1024.0);
 
+  // Graceful shutdown: SIGINT/SIGTERM stop the search at the next
+  // evaluation boundary; the report below still prints and the journal
+  // (already fsync'd per record) is complete up to the stop.
+  search_options.stop_flag = &g_stop_requested;
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  // Durable run: open (or resume) the write-ahead journal.
+  std::unique_ptr<RunJournalWriter> journal;
+  std::unique_ptr<RunJournalReplay> replay;
+  if (!options.journal.empty()) {
+    const uint64_t dataset_fp = DatasetFingerprint(dataset.value());
+    const uint64_t options_fp = CliConfigFingerprint(options, search_options);
+    RunJournalOptions journal_options;
+    journal_options.meta = "autofp data=" + options.data +
+                           " algorithm=" + options.algorithm +
+                           " model=" + options.model +
+                           " space=" + options.space +
+                           " seed=" + std::to_string(options.seed);
+    if (const char* crash_env = std::getenv("AUTOFP_CRASH_AFTER_APPENDS")) {
+      journal_options.crash_after_appends = std::atoi(crash_env);
+    }
+    if (options.resume) {
+      JournalReadResult read = ReadRunJournal(options.journal);
+      if (!read.ok()) {
+        std::fprintf(stderr, "error: cannot resume from '%s': %s: %s\n",
+                     options.journal.c_str(), JournalErrorName(read.error),
+                     read.status.message().c_str());
+        return 1;
+      }
+      Status detail;
+      JournalError mismatch =
+          ValidateJournalHeader(read.header, options_fp, dataset_fp, &detail);
+      if (mismatch != JournalError::kNone) {
+        std::fprintf(stderr, "error: cannot resume from '%s': %s: %s\n",
+                     options.journal.c_str(), JournalErrorName(mismatch),
+                     detail.message().c_str());
+        return 1;
+      }
+      std::printf("resuming: %zu recorded evaluations from %s",
+                  read.records.size(), options.journal.c_str());
+      if (read.dropped_tail_bytes > 0) {
+        std::printf(" (%zu torn-tail bytes dropped)", read.dropped_tail_bytes);
+      }
+      std::printf("\n");
+      replay = std::make_unique<RunJournalReplay>(read.records);
+      Result<std::unique_ptr<RunJournalWriter>> writer =
+          RunJournalWriter::OpenForAppend(options.journal, journal_options);
+      if (!writer.ok()) {
+        std::fprintf(stderr, "error: %s\n", writer.status().ToString().c_str());
+        return 1;
+      }
+      journal = std::move(writer).value();
+    } else {
+      Result<std::unique_ptr<RunJournalWriter>> writer = RunJournalWriter::Create(
+          options.journal, options_fp, dataset_fp, journal_options);
+      if (!writer.ok()) {
+        std::fprintf(stderr, "error: %s\n", writer.status().ToString().c_str());
+        return 1;
+      }
+      journal = std::move(writer).value();
+    }
+    search_options.journal = journal.get();
+    search_options.replay = replay.get();
+  }
+
   std::printf("dataset: %s (%zu rows x %zu cols, %d classes)\n",
               dataset.value().name.c_str(), dataset.value().num_rows(),
               dataset.value().num_cols(), dataset.value().num_classes);
@@ -360,6 +527,26 @@ int main(int argc, char** argv) {
                 result.result_cache_hits + result.result_cache_misses,
                 result.transform_cache_hits,
                 result.transform_cache_hits + result.transform_cache_misses);
+  }
+  if (journal != nullptr) {
+    std::printf("journal        : %ld replayed, %ld appended -> %s\n",
+                result.num_replayed, journal->num_appends(),
+                journal->path().c_str());
+  }
+  if (result.interrupted) {
+    std::printf("interrupted    : stopped by signal at an evaluation "
+                "boundary%s\n",
+                journal != nullptr ? "; journal flushed, rerun with --resume"
+                                   : "");
+    return 3;
+  }
+  if (result.num_successes == 0) {
+    std::fprintf(stderr,
+                 "no successful evaluation: all %ld evaluations failed "
+                 "(%ld failed attempts); the reported best is only the "
+                 "no-FP/penalty fallback\n",
+                 result.num_evaluations, result.num_failures);
+    return 4;
   }
   return 0;
 }
