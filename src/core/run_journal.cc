@@ -108,6 +108,23 @@ bool DecodeRecordPayload(const char* data, size_t size,
   return reader.pos == size;
 }
 
+// Writes the whole buffer, restarting on EINTR and short writes: ::write
+// may land only a prefix (signal, near-full disk), and treating that as
+// all-or-nothing would report an error while leaving a torn tail behind a
+// still-running process.
+bool WriteAll(int fd, const char* data, size_t size) {
+  while (size > 0) {
+    ssize_t written = ::write(fd, data, size);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    size -= static_cast<size_t>(written);
+  }
+  return true;
+}
+
 JournalReadResult ReadError(JournalError error, std::string message) {
   JournalReadResult result;
   result.error = error;
@@ -302,13 +319,26 @@ JournalReadResult ReadRunJournal(const std::string& path) {
       torn_tail();
       break;
     }
+    if (payload_length > kMaxRecordPayload) {
+      // A torn append leaves a prefix of valid bytes, so it can shorten
+      // the length field (caught above) but never fill all four bytes
+      // with an implausible value — that is real corruption. Classifying
+      // it as a torn tail would silently drop every intact record after
+      // the damage while ok() stays true, so reject the journal instead.
+      JournalReadResult corrupt;
+      corrupt.header = result.header;
+      corrupt.error = JournalError::kCorruptRecord;
+      corrupt.status = Status::IoError(
+          "journal record " + std::to_string(result.records.size()) +
+          " declares an implausible payload length (" +
+          std::to_string(payload_length) + " bytes) in '" + path + "'");
+      return corrupt;
+    }
     const size_t available = bytes.size() - reader.pos;
-    if (payload_length > kMaxRecordPayload ||
-        available < static_cast<size_t>(payload_length) + sizeof(uint32_t)) {
+    if (available < static_cast<size_t>(payload_length) + sizeof(uint32_t)) {
       // The declared extent runs past EOF: a record that never finished
-      // being written. (A garbage oversized length mid-file is
-      // indistinguishable from a torn one; both end parsing here, and any
-      // following bytes are unreachable either way.)
+      // being written — the expected torn tail, bounded by this one
+      // record's extent.
       torn_tail();
       break;
     }
@@ -382,8 +412,7 @@ Result<std::unique_ptr<RunJournalWriter>> RunJournalWriter::Create(
   header.dataset_fingerprint = dataset_fingerprint;
   header.meta = options.meta;
   std::string bytes = EncodeHeader(header);
-  if (::write(fd, bytes.data(), bytes.size()) !=
-      static_cast<ssize_t>(bytes.size())) {
+  if (!WriteAll(fd, bytes.data(), bytes.size())) {
     ::close(fd);
     return Status::IoError("cannot write journal header to '" + path +
                            "': " + std::strerror(errno));
@@ -409,6 +438,11 @@ Result<std::unique_ptr<RunJournalWriter>> RunJournalWriter::OpenForAppend(
                            "' for append: " + std::strerror(errno));
   }
   off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Status::IoError("cannot seek to end of journal '" + path +
+                           "': " + std::strerror(errno));
+  }
   if (existing.dropped_tail_bytes > 0) {
     end -= static_cast<off_t>(existing.dropped_tail_bytes);
     if (::ftruncate(fd, end) != 0 || ::lseek(fd, end, SEEK_SET) < 0) {
@@ -428,8 +462,7 @@ Status RunJournalWriter::Append(const JournalRecord& record) {
   AppendPod<uint32_t>(&bytes, static_cast<uint32_t>(payload.size()));
   bytes.append(payload);
   AppendPod<uint32_t>(&bytes, Crc32(payload.data(), payload.size()));
-  if (::write(fd_, bytes.data(), bytes.size()) !=
-      static_cast<ssize_t>(bytes.size())) {
+  if (!WriteAll(fd_, bytes.data(), bytes.size())) {
     return Status::IoError("journal append to '" + path_ +
                            "' failed: " + std::strerror(errno));
   }

@@ -69,8 +69,10 @@ enum class JournalError : int {
   kVersionMismatch,
   /// The header checksum does not match its content.
   kCorruptHeader,
-  /// A record before the tail fails its CRC or is internally inconsistent
-  /// — mid-file corruption, not a torn tail; the journal is rejected.
+  /// A record before the tail fails its CRC or is internally inconsistent,
+  /// or any record declares an implausibly large length (a torn append
+  /// leaves a short length field, never a garbage one) — corruption, not a
+  /// torn tail; the journal is rejected rather than silently truncated.
   kCorruptRecord,
   /// Header fingerprint does not match the resuming run's SearchOptions.
   kOptionsMismatch,

@@ -269,13 +269,14 @@ std::vector<std::optional<double>> SearchContext::EvaluateBatch(
     for (const EvalRequest& request : live) live_seeds.push_back(request.seed);
     std::vector<Evaluation> live_results;
     std::vector<int> live_retries;
+    const size_t live_count = live.size();  // `live` is consumed below.
     EvaluateWithRetries(std::move(live), &live_results, &live_retries);
     double live_elapsed = watch.ElapsedSeconds();
     eval_seconds_ += live_elapsed;
     // Journal every fresh outcome (durable before the search moves on).
     // The batch's wall-clock is apportioned evenly — it only matters for
     // restoring time-budget consumption on resume.
-    double elapsed_share = live_elapsed / static_cast<double>(live.size());
+    double elapsed_share = live_elapsed / static_cast<double>(live_count);
     for (size_t k = 0; k < live_results.size(); ++k) {
       live_results[k].attempts = 1 + live_retries[k];
       if (options_.journal != nullptr) {
@@ -324,6 +325,14 @@ const Evaluation& SearchContext::best() const {
   return history_[best_index_];
 }
 
+std::vector<std::string> SearchContext::quarantined_pipelines() const {
+  std::vector<std::string> keys;
+  keys.reserve(quarantine_.size());
+  for (const auto& [key, failure] : quarantine_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
 SearchResult RunSearch(SearchAlgorithm* algorithm,
                        EvaluatorInterface* evaluator,
                        const SearchSpace& space,
@@ -351,6 +360,7 @@ SearchResult RunSearch(SearchAlgorithm* algorithm,
   result.num_failures = context.num_failures();
   result.num_retries = context.num_retries();
   result.num_quarantined = context.num_quarantined();
+  result.quarantined_pipelines = context.quarantined_pipelines();
   result.num_quarantine_hits = context.num_quarantine_hits();
   result.num_successes = context.num_successes();
   result.num_replayed = context.num_replayed();

@@ -138,6 +138,8 @@ class SearchContext {
   long num_quarantined() const {
     return static_cast<long>(quarantine_.size());
   }
+  /// Keys of the quarantined pipelines, sorted (deterministic order).
+  std::vector<std::string> quarantined_pipelines() const;
   long num_quarantine_hits() const { return num_quarantine_hits_; }
   /// History entries that did not fail (the entries best() may pick from).
   long num_successes() const { return num_successes_; }
@@ -245,6 +247,11 @@ struct SearchResult {
   long num_retries = 0;
   long num_quarantined = 0;
   long num_quarantine_hits = 0;
+  /// Keys of the quarantined pipelines, sorted; size() == num_quarantined.
+  /// Lets meta-searches (two-step) that run many inner searches — each
+  /// with its own quarantine map — count distinct pipelines instead of
+  /// summing per-round figures.
+  std::vector<std::string> quarantined_pipelines;
   /// History entries that did not fail; 0 means every evaluation failed
   /// and `best_accuracy` is only the baseline/penalty fallback.
   long num_successes = 0;

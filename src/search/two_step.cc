@@ -1,6 +1,7 @@
 #include "search/two_step.h"
 
 #include <algorithm>
+#include <set>
 
 #include "search/registry.h"
 #include "util/timer.h"
@@ -18,6 +19,9 @@ SearchResult RunTwoStep(const TwoStepConfig& config,
   Stopwatch watch;
   SearchResult best;
   best.algorithm = "TwoStep(" + config.algorithm + ")";
+  // Each inner RunSearch owns its quarantine map, so the same pipeline can
+  // be quarantined in several rounds; the report counts it once.
+  std::set<std::string> quarantined;
   long evaluations_used = 0;
   int round = 0;
   while (true) {
@@ -65,7 +69,8 @@ SearchResult RunTwoStep(const TwoStepConfig& config,
     best.pick_seconds += result.pick_seconds;
     best.num_failures += result.num_failures;
     best.num_retries += result.num_retries;
-    best.num_quarantined += result.num_quarantined;
+    quarantined.insert(result.quarantined_pipelines.begin(),
+                       result.quarantined_pipelines.end());
     best.num_quarantine_hits += result.num_quarantine_hits;
     best.num_successes += result.num_successes;
     best.num_replayed += result.num_replayed;
@@ -79,6 +84,8 @@ SearchResult RunTwoStep(const TwoStepConfig& config,
     if (result.num_evaluations == 0) break;  // inner budget too small.
     if (result.interrupted) break;  // graceful stop: no further rounds.
   }
+  best.num_quarantined = static_cast<long>(quarantined.size());
+  best.quarantined_pipelines.assign(quarantined.begin(), quarantined.end());
   best.elapsed_seconds = watch.ElapsedSeconds();
   return best;
 }

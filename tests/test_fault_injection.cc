@@ -3,6 +3,7 @@
 /// semantics, and end-to-end searches over a rigged evaluator with 20%
 /// injected faults.
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 
@@ -13,6 +14,7 @@
 #include "data/synthetic.h"
 #include "data/splits.h"
 #include "search/registry.h"
+#include "search/two_step.h"
 
 namespace autofp {
 namespace {
@@ -303,6 +305,28 @@ TEST(FaultySearch, TwentyPercentFaultsStillFindValidBest) {
     EXPECT_GT(result.num_retries, 0) << name;
     EXPECT_EQ(result.num_quarantined, 0) << name;  // all faults transient.
   }
+}
+
+TEST(FaultySearch, TwoStepCountsDistinctQuarantinedPipelines) {
+  // Each inner round owns its quarantine map, so the same Normalizer-first
+  // pipeline can be quarantined in several rounds; the two-step report
+  // must count distinct pipelines, not a per-round sum.
+  FlakyRiggedEvaluator evaluator;
+  TwoStepConfig config;
+  config.algorithm = "RS";
+  config.inner_budget = Budget::Evaluations(8);
+  config.max_pipeline_length = 3;
+  SearchResult result =
+      RunTwoStep(config, &evaluator, ParameterSpace::LowCardinality(),
+                 {Budget::Evaluations(64), 9});
+  EXPECT_GT(result.num_quarantined, 0);
+  EXPECT_EQ(result.num_quarantined,
+            static_cast<long>(result.quarantined_pipelines.size()));
+  EXPECT_TRUE(std::is_sorted(result.quarantined_pipelines.begin(),
+                             result.quarantined_pipelines.end()));
+  EXPECT_EQ(std::adjacent_find(result.quarantined_pipelines.begin(),
+                               result.quarantined_pipelines.end()),
+            result.quarantined_pipelines.end());
 }
 
 TEST(FaultySearch, RealEvaluatorWithInjectorAndDeadline) {

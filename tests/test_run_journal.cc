@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <string>
@@ -210,6 +212,25 @@ TEST(RunJournal, CrcMismatchMidFileRejected) {
   // Header = magic(4) + version(4) + fps(16) + meta len(4)+bytes + crc(4).
   size_t header_size = 4 + 4 + 16 + 4 + intact.header.meta.size() + 4;
   bytes[header_size + 12] ^= 0x10;  // inside record 0's payload.
+  WriteFileBytes(path, bytes);
+  JournalReadResult read = ReadRunJournal(path);
+  EXPECT_EQ(read.error, JournalError::kCorruptRecord);
+  EXPECT_FALSE(read.status.ok());
+}
+
+TEST(RunJournal, OversizedLengthFieldIsCorruptionNotATornTail) {
+  // A torn append leaves a *short* length field; a fully-present garbage
+  // length (flipped bit) is corruption. Classifying it as a torn tail
+  // would silently drop the two intact records that follow.
+  std::string path = WriteSampleJournal("oversized_len.journal", 3);
+  std::string bytes = ReadFileBytes(path);
+  JournalReadResult intact = ReadRunJournal(path);
+  ASSERT_TRUE(intact.ok());
+  // Header = magic(4) + version(4) + fps(16) + meta len(4)+bytes + crc(4);
+  // record 0's u32 length field sits immediately after.
+  size_t header_size = 4 + 4 + 16 + 4 + intact.header.meta.size() + 4;
+  uint32_t huge = 0x7F000000u;
+  std::memcpy(bytes.data() + header_size, &huge, sizeof(huge));
   WriteFileBytes(path, bytes);
   JournalReadResult read = ReadRunJournal(path);
   EXPECT_EQ(read.error, JournalError::kCorruptRecord);
@@ -458,6 +479,50 @@ TEST(CrashResume, FullReplayNeverTouchesTheEvaluator) {
   while (!context.BudgetExhausted()) algorithm->Iterate(&context);
   EXPECT_EQ(evaluator.calls(), 0);
   EXPECT_EQ(replay.remaining(), 0u);
+}
+
+TEST(CrashResume, JournaledElapsedSharesAreFiniteAndRestoreTimeBudget) {
+  // Regression: the per-record elapsed share was divided by the size of a
+  // moved-from vector (always 0), journaling inf into every record; a
+  // resumed time-budgeted run then read elapsed_seconds() == inf and
+  // stopped before its first evaluation.
+  SearchSpace space = SearchSpace::Default();
+  std::string path = TempPath("finite_elapsed.journal");
+  {
+    CountingRiggedEvaluator evaluator;
+    auto writer = RunJournalWriter::Create(path, 1, 2);
+    ASSERT_TRUE(writer.ok());
+    SearchOptions options{Budget::Evaluations(16), 13};
+    options.journal = writer.value().get();
+    SearchContext context(&space, &evaluator, options);
+    Rng rng(13);
+    std::vector<PipelineSpec> batch;
+    for (int i = 0; i < 4; ++i) batch.push_back(space.SampleUniform(&rng));
+    context.EvaluateBatch(batch);
+    context.EvaluateBatch(batch);
+  }
+  JournalReadResult read = ReadRunJournal(path);
+  ASSERT_TRUE(read.ok());
+  ASSERT_FALSE(read.records.empty());
+  for (const JournalRecord& record : read.records) {
+    EXPECT_TRUE(std::isfinite(record.elapsed_seconds))
+        << record.pipeline << ": " << record.elapsed_seconds;
+    EXPECT_GE(record.elapsed_seconds, 0.0);
+  }
+  // A resume under a generous time budget must not start exhausted.
+  RunJournalReplay replay(read.records);
+  CountingRiggedEvaluator evaluator;
+  SearchOptions options{Budget::Seconds(3600.0), 13};
+  options.replay = &replay;
+  SearchContext context(&space, &evaluator, options);
+  EXPECT_FALSE(context.BudgetExhausted());
+  Rng rng(13);
+  std::vector<PipelineSpec> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(space.SampleUniform(&rng));
+  context.EvaluateBatch(batch);
+  EXPECT_GT(context.num_replayed(), 0);
+  EXPECT_TRUE(std::isfinite(context.elapsed_seconds()));
+  EXPECT_FALSE(context.BudgetExhausted());
 }
 
 // ---------------------------------------------------------------------------
