@@ -48,6 +48,30 @@ void ModelArgs(benchmark::internal::Benchmark* bench) {
 }
 BENCHMARK(BM_ModelTrain)->Apply(ModelArgs)->Unit(benchmark::kMillisecond);
 
+void BM_ModelPredictBatch(benchmark::State& state) {
+  // Inference throughput: the base-class per-row loop
+  // (`Classifier::PredictBatch`, called non-virtually) vs the real batch
+  // override GBDT/MLP provide — the path the serving runtime
+  // (src/serve/) rides.
+  auto kind = static_cast<ModelKind>(state.range(0));
+  const bool batch_path = state.range(1) != 0;
+  Dataset data = MakeDataset(2048, 2);
+  auto model = MakeClassifier(ModelConfig::Defaults(kind));
+  model->Train(data.features, data.labels, 2);
+  for (auto _ : state) {
+    std::vector<int> predictions =
+        batch_path ? model->PredictBatch(data.features)
+                   : model->Classifier::PredictBatch(data.features);
+    benchmark::DoNotOptimize(predictions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.features.rows()));
+  state.SetLabel(ModelKindName(kind) + (batch_path ? "/batch" : "/per-row"));
+}
+BENCHMARK(BM_ModelPredictBatch)
+    ->Args({1, 0})->Args({1, 1})->Args({2, 0})->Args({2, 1})
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_FullEvaluation(benchmark::State& state) {
   // One complete pipeline evaluation: prep + train + score, the unit the
   // search budgets count.

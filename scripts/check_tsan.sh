@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Builds with -fsanitize=thread and runs the concurrency-sensitive tests:
 # the parallel evaluation engine (ParallelEvaluator, TransformCache,
-# CachingEvaluator, EvaluateBatch) plus the fault-injection suite that
-# shares its retry/quarantine paths.
+# CachingEvaluator, EvaluateBatch), the fault-injection suite that
+# shares its retry/quarantine paths, and the serving runtime's worker
+# pool (Predictor sharded scoring + latency histogram).
 #
 # Usage: scripts/check_tsan.sh [ctest-regex]
 #   ctest-regex  optional test-name filter; defaults to the concurrency
@@ -11,13 +12,14 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-tsan"
-filter="${1:-TransformCache|PrefixCache|CachingEvaluator|ParallelEvaluator|EvaluateBatch|ThreadInvariance|ParallelFaults|FaultInjector|Quarantine|Retry}"
+filter="${1:-TransformCache|PrefixCache|CachingEvaluator|ParallelEvaluator|EvaluateBatch|ThreadInvariance|ParallelFaults|FaultInjector|Quarantine|Retry|Predictor}"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAUTOFP_SANITIZE=thread
 cmake --build "${build_dir}" -j \
-  --target test_parallel_eval test_fault_injection
+  --target test_parallel_eval test_fault_injection test_predictor \
+  autofp autofp_serve_bin
 
 cd "${build_dir}"
 TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "${filter}"

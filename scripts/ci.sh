@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # One-shot CI entry point: tier-1 build + ctest, the ThreadSanitizer
-# concurrency suites, and the kill-point crash-injection matrix.
+# concurrency suites, the artifact/serving round trip, and the
+# kill-point crash-injection matrix.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -14,6 +15,11 @@ cmake --build "${repo_root}/build" -j
 
 echo "=== tsan: concurrency suites ==="
 "${repo_root}/scripts/check_tsan.sh"
+
+echo "=== serve: export -> score round trip ==="
+"${repo_root}/scripts/check_serve.sh" \
+  --cli "${repo_root}/build/tools/autofp" \
+  --serve "${repo_root}/build/tools/autofp_serve"
 
 echo "=== crash: kill-and-resume determinism ==="
 "${repo_root}/scripts/check_crash.sh" --binary "${repo_root}/build/tools/autofp"

@@ -1,5 +1,7 @@
 #include "ml/decision_tree.h"
 
+#include "util/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 #include <functional>
@@ -299,6 +301,38 @@ double DecisionTreeRegressor::Predict(const double* row, size_t cols) const {
                                                     : nodes_[index].right;
   }
   return nodes_[index].value;
+}
+
+void DecisionTreeClassifier::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(!nodes_.empty()) << "SaveState before Train";
+  WritePod<uint64_t>(out, nodes_.size());
+  for (const Node& node : nodes_) {
+    WritePod<int32_t>(out, node.feature);
+    WritePod<double>(out, node.threshold);
+    WritePod<int32_t>(out, node.left);
+    WritePod<int32_t>(out, node.right);
+    WritePod<int32_t>(out, node.label);
+  }
+}
+
+Status DecisionTreeClassifier::LoadState(std::istream& in) {
+  uint64_t num_nodes = 0;
+  if (!ReadPod(in, &num_nodes) || num_nodes == 0 ||
+      num_nodes > kMaxSerializedElements) {
+    return Status::InvalidArgument(
+        "DecisionTreeClassifier: malformed state blob");
+  }
+  std::vector<Node> nodes(num_nodes);
+  for (Node& node : nodes) {
+    if (!ReadPod(in, &node.feature) || !ReadPod(in, &node.threshold) ||
+        !ReadPod(in, &node.left) || !ReadPod(in, &node.right) ||
+        !ReadPod(in, &node.label)) {
+      return Status::InvalidArgument(
+          "DecisionTreeClassifier: malformed state blob");
+    }
+  }
+  nodes_ = std::move(nodes);
+  return Status::OK();
 }
 
 }  // namespace autofp

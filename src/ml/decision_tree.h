@@ -40,6 +40,8 @@ class DecisionTreeClassifier : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<DecisionTreeClassifier>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   size_t num_nodes() const { return nodes_.size(); }
   int depth() const;

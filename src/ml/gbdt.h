@@ -27,6 +27,8 @@ class GbdtClassifier : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<GbdtClassifier>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   /// Raw additive scores (1 logit for binary, k for multi-class).
   std::vector<double> RawScores(const double* row, size_t cols) const;

@@ -1,5 +1,7 @@
 #include "ml/knn.h"
 
+#include "util/serialize.h"
+
 #include <algorithm>
 
 namespace autofp {
@@ -41,6 +43,27 @@ int KnnClassifier::Predict(const double* row, size_t cols) const {
     }
   }
   return distances[0].second;
+}
+
+void KnnClassifier::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(!train_labels_.empty()) << "SaveState before Train";
+  WritePod<int32_t>(out, num_classes_);
+  WriteMatrix(out, train_features_);
+  WriteVec(out, train_labels_);
+}
+
+Status KnnClassifier::LoadState(std::istream& in) {
+  int32_t classes = 0;
+  Matrix features;
+  std::vector<int> labels;
+  if (!ReadPod(in, &classes) || classes < 2 || !ReadMatrix(in, &features) ||
+      !ReadVec(in, &labels) || labels.size() != features.rows()) {
+    return Status::InvalidArgument("KnnClassifier: malformed state blob");
+  }
+  num_classes_ = classes;
+  train_features_ = std::move(features);
+  train_labels_ = std::move(labels);
+  return Status::OK();
 }
 
 }  // namespace autofp

@@ -22,6 +22,8 @@ class KnnClassifier : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<KnnClassifier>(k_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   int k_;

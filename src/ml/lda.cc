@@ -1,5 +1,7 @@
 #include "ml/lda.h"
 
+#include "util/serialize.h"
+
 #include <cmath>
 #include <vector>
 
@@ -137,6 +139,31 @@ int LdaClassifier::Predict(const double* row, size_t cols) const {
     }
   }
   return best_class;
+}
+
+void LdaClassifier::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(!weights_.empty()) << "SaveState before Train";
+  WritePod<int32_t>(out, num_classes_);
+  WritePod<uint64_t>(out, num_features_);
+  WriteVec(out, weights_);
+  WriteVec(out, biases_);
+}
+
+Status LdaClassifier::LoadState(std::istream& in) {
+  int32_t classes = 0;
+  uint64_t features = 0;
+  std::vector<double> weights, biases;
+  if (!ReadPod(in, &classes) || classes < 2 || !ReadPod(in, &features) ||
+      !ReadVec(in, &weights) || !ReadVec(in, &biases) ||
+      weights.size() != static_cast<size_t>(classes) * features ||
+      biases.size() != static_cast<size_t>(classes)) {
+    return Status::InvalidArgument("LdaClassifier: malformed state blob");
+  }
+  num_classes_ = classes;
+  num_features_ = features;
+  weights_ = std::move(weights);
+  biases_ = std::move(biases);
+  return Status::OK();
 }
 
 }  // namespace autofp

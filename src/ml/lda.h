@@ -23,6 +23,8 @@ class LdaClassifier : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<LdaClassifier>(ridge_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   double ridge_;

@@ -1,5 +1,7 @@
 #include "ml/logistic_regression.h"
 
+#include "util/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -81,6 +83,28 @@ int LogisticRegression::Predict(const double* row, size_t cols) const {
   std::vector<double> scores = DecisionFunction(row, cols);
   return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
                           scores.begin());
+}
+
+void LogisticRegression::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(!weights_.empty()) << "SaveState before Train";
+  WritePod<int32_t>(out, num_classes_);
+  WritePod<uint64_t>(out, num_features_);
+  WriteVec(out, weights_);
+}
+
+Status LogisticRegression::LoadState(std::istream& in) {
+  int32_t classes = 0;
+  uint64_t features = 0;
+  std::vector<double> weights;
+  if (!ReadPod(in, &classes) || classes < 2 || !ReadPod(in, &features) ||
+      !ReadVec(in, &weights) ||
+      weights.size() != static_cast<size_t>(classes) * (features + 1)) {
+    return Status::InvalidArgument("LogisticRegression: malformed state blob");
+  }
+  num_classes_ = classes;
+  num_features_ = features;
+  weights_ = std::move(weights);
+  return Status::OK();
 }
 
 }  // namespace autofp

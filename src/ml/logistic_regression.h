@@ -25,6 +25,8 @@ class LogisticRegression : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<LogisticRegression>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   /// Per-class decision scores for one row (exposed for tests).
   std::vector<double> DecisionFunction(const double* row, size_t cols) const;

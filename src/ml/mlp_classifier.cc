@@ -1,5 +1,7 @@
 #include "ml/mlp_classifier.h"
 
+#include "util/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -72,6 +74,45 @@ int MlpClassifier::Predict(const double* row, size_t cols) const {
   Matrix single(1, cols);
   for (size_t c = 0; c < cols; ++c) single(0, c) = row[c];
   return PredictBatch(single)[0];
+}
+
+void MlpClassifier::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(net_.has_value()) << "SaveState before Train";
+  WritePod<int32_t>(out, num_classes_);
+  const MlpNetConfig& net_config = net_->config();
+  WritePod<uint64_t>(out, net_config.input_dim);
+  WritePod<uint64_t>(out, net_config.hidden_dims.size());
+  for (size_t h : net_config.hidden_dims) WritePod<uint64_t>(out, h);
+  WritePod<uint64_t>(out, net_config.output_dim);
+  net_->SaveState(out);
+}
+
+Status MlpClassifier::LoadState(std::istream& in) {
+  const Status malformed =
+      Status::InvalidArgument("MlpClassifier: malformed state blob");
+  int32_t classes = 0;
+  MlpNetConfig net_config;
+  uint64_t num_hidden = 0;
+  if (!ReadPod(in, &classes) || classes < 2 ||
+      !ReadPod(in, &net_config.input_dim) || net_config.input_dim == 0 ||
+      !ReadPod(in, &num_hidden) || num_hidden > 64) {
+    return malformed;
+  }
+  net_config.hidden_dims.resize(num_hidden);
+  for (uint64_t i = 0; i < num_hidden; ++i) {
+    if (!ReadPod(in, &net_config.hidden_dims[i])) return malformed;
+  }
+  if (!ReadPod(in, &net_config.output_dim) ||
+      net_config.output_dim != static_cast<size_t>(classes)) {
+    return malformed;
+  }
+  Rng rng(config_.seed);  // init values are overwritten by LoadState below.
+  MlpNet net(net_config, &rng);
+  Status loaded = net.LoadState(in);
+  if (!loaded.ok()) return loaded;
+  num_classes_ = classes;
+  net_.emplace(std::move(net));
+  return Status::OK();
 }
 
 }  // namespace autofp

@@ -27,6 +27,8 @@ class MlpClassifier : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<MlpClassifier>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   ModelConfig config_;

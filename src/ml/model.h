@@ -1,11 +1,14 @@
 #ifndef AUTOFP_ML_MODEL_H_
 #define AUTOFP_ML_MODEL_H_
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "util/matrix.h"
+#include "util/status.h"
 
 namespace autofp {
 
@@ -75,6 +78,18 @@ class Classifier {
 
   /// Fresh untrained instance with identical hyperparameters.
   virtual std::unique_ptr<Classifier> Clone() const = 0;
+
+  /// Serializes the trained state (weights, trees, layers — NOT the
+  /// hyperparameters, which travel separately as the ModelConfig) to
+  /// `out`. Must be called on a trained instance. The encoding is the
+  /// host-endian field-by-field format of util/serialize.h, framed and
+  /// CRC-protected by the artifact layer (src/serve/artifact.h).
+  virtual void SaveState(std::ostream& out) const = 0;
+
+  /// Restores the state written by SaveState on an instance built with
+  /// the same hyperparameters, leaving it trained. Returns
+  /// InvalidArgument on malformed or truncated bytes — never crashes.
+  virtual Status LoadState(std::istream& in) = 0;
 };
 
 /// Instantiates the classifier described by `config`.

@@ -1,5 +1,7 @@
 #include "ml/naive_bayes.h"
 
+#include "util/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -78,6 +80,35 @@ int GaussianNaiveBayes::Predict(const double* row, size_t cols) const {
     }
   }
   return best_class;
+}
+
+void GaussianNaiveBayes::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(!means_.empty()) << "SaveState before Train";
+  WritePod<int32_t>(out, num_classes_);
+  WritePod<uint64_t>(out, num_features_);
+  WriteVec(out, log_priors_);
+  WriteVec(out, means_);
+  WriteVec(out, variances_);
+}
+
+Status GaussianNaiveBayes::LoadState(std::istream& in) {
+  int32_t classes = 0;
+  uint64_t features = 0;
+  std::vector<double> log_priors, means, variances;
+  if (!ReadPod(in, &classes) || classes < 2 || !ReadPod(in, &features) ||
+      !ReadVec(in, &log_priors) || !ReadVec(in, &means) ||
+      !ReadVec(in, &variances) ||
+      log_priors.size() != static_cast<size_t>(classes) ||
+      means.size() != static_cast<size_t>(classes) * features ||
+      variances.size() != means.size()) {
+    return Status::InvalidArgument("GaussianNaiveBayes: malformed state blob");
+  }
+  num_classes_ = classes;
+  num_features_ = features;
+  log_priors_ = std::move(log_priors);
+  means_ = std::move(means);
+  variances_ = std::move(variances);
+  return Status::OK();
 }
 
 }  // namespace autofp

@@ -20,6 +20,8 @@ class GaussianNaiveBayes : public Classifier {
   std::unique_ptr<Classifier> Clone() const override {
     return std::make_unique<GaussianNaiveBayes>();
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   int num_classes_ = 0;

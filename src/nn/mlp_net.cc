@@ -1,5 +1,7 @@
 #include "nn/mlp_net.h"
 
+#include "util/serialize.h"
+
 #include <algorithm>
 
 namespace autofp {
@@ -138,6 +140,36 @@ size_t MlpNet::num_parameters() const {
     total += layer.weights.size() + layer.bias.size();
   }
   return total;
+}
+
+void MlpNet::SaveState(std::ostream& out) const {
+  WritePod<uint64_t>(out, layers_.size());
+  for (const Layer& layer : layers_) {
+    WriteVec(out, layer.weights.value);
+    WriteVec(out, layer.bias.value);
+  }
+}
+
+Status MlpNet::LoadState(std::istream& in) {
+  const Status malformed =
+      Status::InvalidArgument("MlpNet: malformed state blob");
+  uint64_t num_layers = 0;
+  if (!ReadPod(in, &num_layers) || num_layers != layers_.size()) {
+    return malformed;
+  }
+  for (Layer& layer : layers_) {
+    std::vector<double> weights, bias;
+    if (!ReadVec(in, &weights) || weights.size() != layer.weights.size() ||
+        !ReadVec(in, &bias) || bias.size() != layer.bias.size()) {
+      return malformed;
+    }
+    layer.weights.value = std::move(weights);
+    layer.bias.value = std::move(bias);
+    layer.weights.ZeroGrad();
+    layer.bias.ZeroGrad();
+  }
+  adam_step_ = 0;
+  return Status::OK();
 }
 
 }  // namespace autofp

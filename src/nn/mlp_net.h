@@ -6,6 +6,7 @@
 
 #include "nn/param.h"
 #include "util/matrix.h"
+#include "util/status.h"
 #include "util/random.h"
 
 namespace autofp {
@@ -43,6 +44,14 @@ class MlpNet {
   void Step(const AdamConfig& adam);
 
   size_t num_parameters() const;
+
+  /// Serializes the parameter values (weights and biases; optimizer
+  /// moments are training-only state and are not persisted). Encoding per
+  /// util/serialize.h.
+  void SaveState(std::ostream& out) const;
+  /// Restores parameter values written by SaveState into a net built with
+  /// the same MlpNetConfig; shape mismatches are InvalidArgument.
+  Status LoadState(std::istream& in);
 
   const MlpNetConfig& config() const { return config_; }
 

@@ -1,5 +1,7 @@
 #include "preprocess/maxabs_scaler.h"
 
+#include "util/serialize.h"
+
 #include <cmath>
 
 namespace autofp {
@@ -31,6 +33,19 @@ Matrix MaxAbsScaler::Transform(const Matrix& data) const {
     }
   }
   return out;
+}
+
+void MaxAbsScaler::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(fitted_) << "SaveState before Fit";
+  WriteVec(out, scales_);
+}
+
+Status MaxAbsScaler::LoadState(std::istream& in) {
+  if (!ReadVec(in, &scales_)) {
+    return Status::InvalidArgument("MaxAbsScaler: malformed state blob");
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace autofp

@@ -23,6 +23,8 @@ class MaxAbsScaler : public Preprocessor {
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<MaxAbsScaler>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   const std::vector<double>& scales() const { return scales_; }
 

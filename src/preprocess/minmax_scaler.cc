@@ -1,5 +1,7 @@
 #include "preprocess/minmax_scaler.h"
 
+#include "util/serialize.h"
+
 #include <limits>
 
 namespace autofp {
@@ -36,6 +38,21 @@ Matrix MinMaxScaler::Transform(const Matrix& data) const {
     }
   }
   return out;
+}
+
+void MinMaxScaler::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(fitted_) << "SaveState before Fit";
+  WriteVec(out, mins_);
+  WriteVec(out, ranges_);
+}
+
+Status MinMaxScaler::LoadState(std::istream& in) {
+  if (!ReadVec(in, &mins_) || !ReadVec(in, &ranges_) ||
+      mins_.size() != ranges_.size()) {
+    return Status::InvalidArgument("MinMaxScaler: malformed state blob");
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace autofp

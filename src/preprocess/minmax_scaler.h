@@ -23,6 +23,8 @@ class MinMaxScaler : public Preprocessor {
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<MinMaxScaler>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
  private:
   PreprocessorConfig config_;

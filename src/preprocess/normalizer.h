@@ -21,6 +21,12 @@ class Normalizer : public Preprocessor {
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<Normalizer>(config_);
   }
+  /// Stateless: nothing to persist beyond the config.
+  void SaveState(std::ostream& out) const override { (void)out; }
+  Status LoadState(std::istream& in) override {
+    (void)in;
+    return Status::OK();
+  }
 
  private:
   PreprocessorConfig config_;

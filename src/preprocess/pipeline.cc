@@ -91,6 +91,20 @@ FittedPipeline FittedPipeline::Fit(const PipelineSpec& spec,
   return pipeline;
 }
 
+FittedPipeline FittedPipeline::FromFittedSteps(
+    PipelineSpec spec, std::vector<std::unique_ptr<Preprocessor>> steps) {
+  AUTOFP_CHECK_EQ(spec.steps.size(), steps.size());
+  for (size_t i = 0; i < steps.size(); ++i) {
+    AUTOFP_CHECK(steps[i] != nullptr);
+    AUTOFP_CHECK(steps[i]->config() == spec.steps[i])
+        << "fitted step " << i << " does not match the spec";
+  }
+  FittedPipeline pipeline;
+  pipeline.spec_ = std::move(spec);
+  pipeline.fitted_steps_ = std::move(steps);
+  return pipeline;
+}
+
 Matrix FittedPipeline::Transform(const Matrix& data) const {
   Matrix current = data;
   for (const auto& step : fitted_steps_) {

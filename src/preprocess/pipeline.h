@@ -42,10 +42,21 @@ class FittedPipeline {
   /// Fits `spec` on `train` and returns the fitted chain.
   static FittedPipeline Fit(const PipelineSpec& spec, const Matrix& train);
 
+  /// Reassembles a fitted chain from already-fitted steps (the artifact
+  /// loader's path — see src/serve/artifact.h). `steps[i]` must be the
+  /// fitted preprocessor of `spec.steps[i]`.
+  static FittedPipeline FromFittedSteps(
+      PipelineSpec spec, std::vector<std::unique_ptr<Preprocessor>> steps);
+
   /// Applies the fitted chain to arbitrary data with matching column count.
   Matrix Transform(const Matrix& data) const;
 
   const PipelineSpec& spec() const { return spec_; }
+
+  /// The fitted steps, in application order (size() == spec().size()).
+  const std::vector<std::unique_ptr<Preprocessor>>& steps() const {
+    return fitted_steps_;
+  }
 
  private:
   PipelineSpec spec_;

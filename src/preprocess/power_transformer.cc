@@ -1,5 +1,7 @@
 #include "preprocess/power_transformer.h"
 
+#include "util/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 #include <limits>
@@ -149,6 +151,23 @@ Matrix PowerTransformer::Transform(const Matrix& data) const {
     }
   }
   return out;
+}
+
+void PowerTransformer::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(fitted_) << "SaveState before Fit";
+  WriteVec(out, lambdas_);
+  WriteVec(out, means_);
+  WriteVec(out, stddevs_);
+}
+
+Status PowerTransformer::LoadState(std::istream& in) {
+  if (!ReadVec(in, &lambdas_) || !ReadVec(in, &means_) ||
+      !ReadVec(in, &stddevs_) || means_.size() != stddevs_.size() ||
+      (config_.standardize && means_.size() != lambdas_.size())) {
+    return Status::InvalidArgument("PowerTransformer: malformed state blob");
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace autofp

@@ -26,6 +26,8 @@ class PowerTransformer : public Preprocessor {
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<PowerTransformer>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   const std::vector<double>& lambdas() const { return lambdas_; }
 

@@ -1,11 +1,14 @@
 #ifndef AUTOFP_PREPROCESS_PREPROCESSOR_H_
 #define AUTOFP_PREPROCESS_PREPROCESSOR_H_
 
+#include <istream>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "util/matrix.h"
+#include "util/status.h"
 
 namespace autofp {
 
@@ -83,6 +86,19 @@ class Preprocessor {
 
   /// Fresh unfitted copy with the same configuration.
   virtual std::unique_ptr<Preprocessor> Clone() const = 0;
+
+  /// Serializes the fitted state (learned column statistics — NOT the
+  /// config, which travels separately as the parseable pipeline string)
+  /// to `out`. Must be called on a fitted instance; stateless
+  /// preprocessors write nothing. The encoding is the host-endian
+  /// field-by-field format of util/serialize.h, framed and CRC-protected
+  /// by the artifact layer (src/serve/artifact.h).
+  virtual void SaveState(std::ostream& out) const = 0;
+
+  /// Restores the state written by SaveState on an instance built from
+  /// the same configuration, leaving it fitted. Returns InvalidArgument
+  /// on malformed or truncated bytes — never crashes on bad input.
+  virtual Status LoadState(std::istream& in) = 0;
 
   std::string name() const { return KindName(config().kind); }
 

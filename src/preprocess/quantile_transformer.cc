@@ -1,5 +1,7 @@
 #include "preprocess/quantile_transformer.h"
 
+#include "util/serialize.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -64,6 +66,34 @@ Matrix QuantileTransformer::Transform(const Matrix& data) const {
     }
   }
   return out;
+}
+
+void QuantileTransformer::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(fitted_) << "SaveState before Fit";
+  WritePod<int32_t>(out, effective_quantiles_);
+  WritePod<uint64_t>(out, references_.size());
+  for (const std::vector<double>& column : references_) {
+    WriteVec(out, column);
+  }
+}
+
+Status QuantileTransformer::LoadState(std::istream& in) {
+  int32_t effective = 0;
+  uint64_t columns = 0;
+  if (!ReadPod(in, &effective) || effective < 2 || !ReadPod(in, &columns) ||
+      columns > kMaxSerializedElements) {
+    return Status::InvalidArgument("QuantileTransformer: malformed state blob");
+  }
+  references_.assign(columns, {});
+  for (std::vector<double>& column : references_) {
+    if (!ReadVec(in, &column)) {
+      return Status::InvalidArgument(
+          "QuantileTransformer: malformed state blob");
+    }
+  }
+  effective_quantiles_ = effective;
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace autofp

@@ -28,6 +28,8 @@ class QuantileTransformer : public Preprocessor {
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<QuantileTransformer>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   /// Number of reference quantiles actually used after row-count capping.
   int effective_quantiles() const { return effective_quantiles_; }

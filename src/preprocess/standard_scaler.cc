@@ -1,5 +1,7 @@
 #include "preprocess/standard_scaler.h"
 
+#include "util/serialize.h"
+
 #include <cmath>
 
 namespace autofp {
@@ -43,6 +45,21 @@ Matrix StandardScaler::Transform(const Matrix& data) const {
     }
   }
   return out;
+}
+
+void StandardScaler::SaveState(std::ostream& out) const {
+  AUTOFP_CHECK(fitted_) << "SaveState before Fit";
+  WriteVec(out, means_);
+  WriteVec(out, stddevs_);
+}
+
+Status StandardScaler::LoadState(std::istream& in) {
+  if (!ReadVec(in, &means_) || !ReadVec(in, &stddevs_) ||
+      means_.size() != stddevs_.size()) {
+    return Status::InvalidArgument("StandardScaler: malformed state blob");
+  }
+  fitted_ = true;
+  return Status::OK();
 }
 
 }  // namespace autofp

@@ -24,6 +24,8 @@ class StandardScaler : public Preprocessor {
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<StandardScaler>(config_);
   }
+  void SaveState(std::ostream& out) const override;
+  Status LoadState(std::istream& in) override;
 
   const std::vector<double>& means() const { return means_; }
   const std::vector<double>& stddevs() const { return stddevs_; }

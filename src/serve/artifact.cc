@@ -1,0 +1,434 @@
+#include "serve/artifact.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "core/run_journal.h"  // Crc32, Fnv1a64, HashCombine, DatasetFingerprint
+#include "preprocess/pipeline_parse.h"
+#include "util/serialize.h"
+
+namespace autofp {
+namespace {
+
+constexpr char kMagic[4] = {'A', 'F', 'P', 'A'};
+
+// Section ids. Exactly one of each is required.
+constexpr uint32_t kSchemaSection = 1;
+constexpr uint32_t kPipelineSection = 2;
+constexpr uint32_t kModelSection = 3;
+
+// Upper bound on one section's payload; a declared length beyond it is
+// corruption, not data (even a KNN model storing its training matrix
+// stays far below this).
+constexpr uint32_t kMaxSectionPayload = 1u << 30;
+
+std::string EncodeSection(uint32_t id, const std::string& payload) {
+  std::string out;
+  AUTOFP_CHECK_LE(payload.size(), kMaxSectionPayload);
+  const uint32_t length = static_cast<uint32_t>(payload.size());
+  out.append(reinterpret_cast<const char*>(&id), sizeof(id));
+  out.append(reinterpret_cast<const char*>(&length), sizeof(length));
+  out.append(payload);
+  const uint32_t crc = Crc32(out.data(), out.size());
+  out.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return out;
+}
+
+void EncodeModelConfig(std::ostream& out, const ModelConfig& config) {
+  WritePod<int32_t>(out, static_cast<int32_t>(config.kind));
+  WritePod<double>(out, config.lr_l2);
+  WritePod<int32_t>(out, config.lr_epochs);
+  WritePod<double>(out, config.lr_step);
+  WritePod<int32_t>(out, config.xgb_rounds);
+  WritePod<int32_t>(out, config.xgb_max_depth);
+  WritePod<double>(out, config.xgb_eta);
+  WritePod<double>(out, config.xgb_lambda);
+  WritePod<int32_t>(out, config.xgb_max_bins);
+  WritePod<double>(out, config.xgb_min_child_weight);
+  WritePod<int32_t>(out, config.mlp_hidden);
+  WritePod<int32_t>(out, config.mlp_epochs);
+  WritePod<double>(out, config.mlp_step);
+  WritePod<int32_t>(out, config.mlp_batch);
+  WritePod<uint64_t>(out, config.seed);
+}
+
+bool DecodeModelConfig(std::istream& in, ModelConfig* config) {
+  int32_t kind = 0;
+  if (!ReadPod(in, &kind) || kind < 0 || kind > 2) return false;
+  config->kind = static_cast<ModelKind>(kind);
+  return ReadPod(in, &config->lr_l2) && ReadPod(in, &config->lr_epochs) &&
+         ReadPod(in, &config->lr_step) && ReadPod(in, &config->xgb_rounds) &&
+         ReadPod(in, &config->xgb_max_depth) &&
+         ReadPod(in, &config->xgb_eta) && ReadPod(in, &config->xgb_lambda) &&
+         ReadPod(in, &config->xgb_max_bins) &&
+         ReadPod(in, &config->xgb_min_child_weight) &&
+         ReadPod(in, &config->mlp_hidden) &&
+         ReadPod(in, &config->mlp_epochs) && ReadPod(in, &config->mlp_step) &&
+         ReadPod(in, &config->mlp_batch) && ReadPod(in, &config->seed);
+}
+
+ArtifactReadResult Fail(ArtifactError error, std::string message) {
+  ArtifactReadResult result;
+  result.error = error;
+  result.status = Status(error == ArtifactError::kIoError
+                             ? StatusCode::kIoError
+                             : StatusCode::kInvalidArgument,
+                         std::move(message));
+  return result;
+}
+
+}  // namespace
+
+const char* ArtifactErrorName(ArtifactError error) {
+  switch (error) {
+    case ArtifactError::kNone:
+      return "OK";
+    case ArtifactError::kIoError:
+      return "IoError";
+    case ArtifactError::kBadMagic:
+      return "BadMagic";
+    case ArtifactError::kVersionMismatch:
+      return "VersionMismatch";
+    case ArtifactError::kCorruptHeader:
+      return "CorruptHeader";
+    case ArtifactError::kTruncated:
+      return "Truncated";
+    case ArtifactError::kCorruptSection:
+      return "CorruptSection";
+    case ArtifactError::kMalformedSection:
+      return "MalformedSection";
+    case ArtifactError::kMissingSection:
+      return "MissingSection";
+    case ArtifactError::kSchemaMismatch:
+      return "SchemaMismatch";
+    case ArtifactError::kBadState:
+      return "BadState";
+  }
+  return "?";
+}
+
+uint64_t SchemaFingerprint(const ArtifactSchema& schema) {
+  uint64_t hash = Fnv1a64("afp-schema", 10);
+  hash = HashCombine(hash, schema.input_cols);
+  hash = HashCombine(hash, static_cast<uint64_t>(schema.num_classes));
+  hash = HashCombine(hash, schema.transformed_cols);
+  return hash;
+}
+
+Status WriteArtifact(const std::string& path, const ArtifactSchema& schema,
+                     const FittedPipeline& pipeline,
+                     const ModelConfig& model_config, const Classifier& model,
+                     const ArtifactWriteOptions& options) {
+  const uint64_t schema_fp = SchemaFingerprint(schema);
+  const uint64_t section_fp = options.override_section_fingerprint != 0
+                                  ? options.override_section_fingerprint
+                                  : schema_fp;
+
+  std::ostringstream schema_payload(std::ios::binary);
+  WriteString(schema_payload, schema.dataset_name);
+  WritePod<uint64_t>(schema_payload, schema.input_cols);
+  WritePod<int32_t>(schema_payload, schema.num_classes);
+  WritePod<uint64_t>(schema_payload, schema.transformed_cols);
+  WritePod<uint64_t>(schema_payload, schema.dataset_fingerprint);
+  WritePod<uint64_t>(schema_payload, schema_fp);
+
+  std::ostringstream pipeline_payload(std::ios::binary);
+  WritePod<uint64_t>(pipeline_payload, section_fp);
+  WriteString(pipeline_payload, pipeline.spec().ToString());
+  WritePod<uint32_t>(pipeline_payload,
+                     static_cast<uint32_t>(pipeline.steps().size()));
+  for (const std::unique_ptr<Preprocessor>& step : pipeline.steps()) {
+    std::ostringstream blob(std::ios::binary);
+    step->SaveState(blob);
+    WriteString(pipeline_payload, blob.str());
+  }
+
+  std::ostringstream model_payload(std::ios::binary);
+  WritePod<uint64_t>(model_payload, section_fp);
+  EncodeModelConfig(model_payload, model_config);
+  {
+    std::ostringstream blob(std::ios::binary);
+    model.SaveState(blob);
+    WriteString(model_payload, blob.str());
+  }
+
+  std::string preamble;
+  preamble.append(kMagic, sizeof(kMagic));
+  const uint32_t version = kArtifactVersion;
+  const uint32_t num_sections = 3;
+  preamble.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  preamble.append(reinterpret_cast<const char*>(&num_sections),
+                  sizeof(num_sections));
+  const uint32_t preamble_crc = Crc32(preamble.data(), preamble.size());
+  preamble.append(reinterpret_cast<const char*>(&preamble_crc),
+                  sizeof(preamble_crc));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::IoError("cannot open artifact for writing: " + path);
+  }
+  out << preamble;
+  out << EncodeSection(kSchemaSection, schema_payload.str());
+  out << EncodeSection(kPipelineSection, pipeline_payload.str());
+  out << EncodeSection(kModelSection, model_payload.str());
+  out.flush();
+  if (!out.good()) {
+    return Status::IoError("short write while writing artifact: " + path);
+  }
+  return Status::OK();
+}
+
+ArtifactReadResult ReadArtifact(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.good()) {
+    return Fail(ArtifactError::kIoError, "cannot open artifact: " + path);
+  }
+  std::string bytes((std::istreambuf_iterator<char>(file)),
+                    std::istreambuf_iterator<char>());
+  if (file.bad()) {
+    return Fail(ArtifactError::kIoError, "cannot read artifact: " + path);
+  }
+
+  // Preamble: magic, version, section count, CRC.
+  const size_t kPreambleSize = sizeof(kMagic) + 3 * sizeof(uint32_t);
+  if (bytes.size() < sizeof(kMagic) ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Fail(ArtifactError::kBadMagic,
+                "not an Auto-FP artifact (bad magic): " + path);
+  }
+  if (bytes.size() < kPreambleSize) {
+    return Fail(ArtifactError::kTruncated,
+                "artifact truncated inside the preamble: " + path);
+  }
+  uint32_t version = 0, num_sections = 0, preamble_crc = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  std::memcpy(&num_sections, bytes.data() + sizeof(kMagic) + sizeof(uint32_t),
+              sizeof(num_sections));
+  std::memcpy(&preamble_crc,
+              bytes.data() + sizeof(kMagic) + 2 * sizeof(uint32_t),
+              sizeof(preamble_crc));
+  if (version != kArtifactVersion) {
+    return Fail(ArtifactError::kVersionMismatch,
+                "artifact version " + std::to_string(version) +
+                    ", this build reads version " +
+                    std::to_string(kArtifactVersion));
+  }
+  if (Crc32(bytes.data(), kPreambleSize - sizeof(uint32_t)) != preamble_crc) {
+    return Fail(ArtifactError::kCorruptHeader,
+                "artifact preamble checksum mismatch: " + path);
+  }
+
+  // Sections.
+  struct Section {
+    uint32_t id = 0;
+    std::string payload;
+  };
+  std::vector<Section> sections;
+  size_t pos = kPreambleSize;
+  for (uint32_t s = 0; s < num_sections; ++s) {
+    if (bytes.size() - pos < 2 * sizeof(uint32_t)) {
+      return Fail(ArtifactError::kTruncated,
+                  "artifact ends inside section " + std::to_string(s) +
+                      "'s frame header");
+    }
+    uint32_t id = 0, length = 0;
+    std::memcpy(&id, bytes.data() + pos, sizeof(id));
+    std::memcpy(&length, bytes.data() + pos + sizeof(uint32_t),
+                sizeof(length));
+    if (length > kMaxSectionPayload) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "section " + std::to_string(s) +
+                      " declares an implausible payload length");
+    }
+    if (bytes.size() - pos - 2 * sizeof(uint32_t) <
+        static_cast<size_t>(length) + sizeof(uint32_t)) {
+      return Fail(ArtifactError::kTruncated,
+                  "artifact ends inside section " + std::to_string(s));
+    }
+    const size_t frame_size = 2 * sizeof(uint32_t) + length;
+    uint32_t stored_crc = 0;
+    std::memcpy(&stored_crc, bytes.data() + pos + frame_size,
+                sizeof(stored_crc));
+    if (Crc32(bytes.data() + pos, frame_size) != stored_crc) {
+      return Fail(ArtifactError::kCorruptSection,
+                  "section " + std::to_string(s) + " (id " +
+                      std::to_string(id) + ") checksum mismatch");
+    }
+    Section section;
+    section.id = id;
+    section.payload.assign(bytes.data() + pos + 2 * sizeof(uint32_t), length);
+    sections.push_back(std::move(section));
+    pos += frame_size + sizeof(uint32_t);
+  }
+  if (pos != bytes.size()) {
+    return Fail(ArtifactError::kMalformedSection,
+                std::to_string(bytes.size() - pos) +
+                    " trailing bytes after the last section");
+  }
+  auto find_section = [&sections](uint32_t id) -> const std::string* {
+    const std::string* found = nullptr;
+    for (const Section& section : sections) {
+      if (section.id != id) continue;
+      if (found != nullptr) return nullptr;  // duplicate
+      found = &section.payload;
+    }
+    return found;
+  };
+
+  ArtifactReadResult result;
+  LoadedArtifact& artifact = result.artifact;
+
+  // Schema section.
+  const std::string* schema_payload = find_section(kSchemaSection);
+  if (schema_payload == nullptr) {
+    return Fail(ArtifactError::kMissingSection,
+                "schema section missing or duplicated");
+  }
+  uint64_t stored_schema_fp = 0;
+  {
+    std::istringstream in(*schema_payload, std::ios::binary);
+    int32_t num_classes = 0;
+    if (!ReadString(in, &artifact.schema.dataset_name) ||
+        !ReadPod(in, &artifact.schema.input_cols) ||
+        !ReadPod(in, &num_classes) || num_classes < 2 ||
+        !ReadPod(in, &artifact.schema.transformed_cols) ||
+        !ReadPod(in, &artifact.schema.dataset_fingerprint) ||
+        !ReadPod(in, &stored_schema_fp) || in.peek() != EOF) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "schema section does not parse");
+    }
+    artifact.schema.num_classes = num_classes;
+  }
+  const uint64_t schema_fp = SchemaFingerprint(artifact.schema);
+  if (stored_schema_fp != schema_fp) {
+    return Fail(ArtifactError::kSchemaMismatch,
+                "schema section fingerprint disagrees with its own fields");
+  }
+
+  // Pipeline section.
+  const std::string* pipeline_payload = find_section(kPipelineSection);
+  if (pipeline_payload == nullptr) {
+    return Fail(ArtifactError::kMissingSection,
+                "pipeline section missing or duplicated");
+  }
+  {
+    std::istringstream in(*pipeline_payload, std::ios::binary);
+    uint64_t section_fp = 0;
+    std::string spec_text;
+    uint32_t num_steps = 0;
+    if (!ReadPod(in, &section_fp) || !ReadString(in, &spec_text) ||
+        !ReadPod(in, &num_steps)) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "pipeline section does not parse");
+    }
+    if (section_fp != schema_fp) {
+      return Fail(ArtifactError::kSchemaMismatch,
+                  "pipeline section was written for a different schema "
+                  "(fingerprint mismatch)");
+    }
+    Result<PipelineSpec> spec = ParsePipelineSpec(spec_text);
+    if (!spec.ok() || spec.value().steps.size() != num_steps) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "pipeline section spec '" + spec_text + "' does not parse");
+    }
+    artifact.spec = std::move(spec).value();
+    for (uint32_t i = 0; i < num_steps; ++i) {
+      std::string blob;
+      if (!ReadString(in, &blob)) {
+        return Fail(ArtifactError::kMalformedSection,
+                    "pipeline section is missing step " + std::to_string(i) +
+                        "'s state blob");
+      }
+      std::unique_ptr<Preprocessor> step =
+          MakePreprocessor(artifact.spec.steps[i]);
+      std::istringstream blob_in(blob, std::ios::binary);
+      Status loaded = step->LoadState(blob_in);
+      if (loaded.ok() && blob_in.peek() != EOF) {
+        loaded = Status::InvalidArgument(step->name() +
+                                         ": trailing bytes in state blob");
+      }
+      if (!loaded.ok()) {
+        result = Fail(ArtifactError::kBadState, loaded.message());
+        return result;
+      }
+      artifact.fitted_steps.push_back(std::move(step));
+    }
+    if (in.peek() != EOF) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "trailing bytes in the pipeline section");
+    }
+  }
+
+  // Model section.
+  const std::string* model_payload = find_section(kModelSection);
+  if (model_payload == nullptr) {
+    return Fail(ArtifactError::kMissingSection,
+                "model section missing or duplicated");
+  }
+  {
+    std::istringstream in(*model_payload, std::ios::binary);
+    uint64_t section_fp = 0;
+    std::string blob;
+    if (!ReadPod(in, &section_fp)) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "model section does not parse");
+    }
+    if (section_fp != schema_fp) {
+      return Fail(ArtifactError::kSchemaMismatch,
+                  "model section was written for a different schema "
+                  "(fingerprint mismatch)");
+    }
+    if (!DecodeModelConfig(in, &artifact.model_config) ||
+        !ReadString(in, &blob) || in.peek() != EOF) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "model section does not parse");
+    }
+    artifact.model = MakeClassifier(artifact.model_config);
+    std::istringstream blob_in(blob, std::ios::binary);
+    Status loaded = artifact.model->LoadState(blob_in);
+    if (loaded.ok() && blob_in.peek() != EOF) {
+      loaded = Status::InvalidArgument(
+          "model state blob carries trailing bytes");
+    }
+    if (!loaded.ok()) {
+      return Fail(ArtifactError::kBadState, loaded.message());
+    }
+  }
+  return result;
+}
+
+Result<ArtifactSchema> ExportArtifact(const std::string& path,
+                                      const Dataset& data,
+                                      const PipelineSpec& spec,
+                                      const ModelConfig& model_config) {
+  Status valid = data.Validate();
+  if (!valid.ok()) return valid;
+  FittedPipeline pipeline = FittedPipeline::Fit(spec, data.features);
+  Matrix transformed = pipeline.Transform(data.features);
+  for (double value : transformed.data()) {
+    if (!std::isfinite(value)) {
+      return Status::OutOfRange(
+          "pipeline '" + spec.ToString() +
+          "' produced non-finite output on the export data; refusing to "
+          "train and ship a model on it");
+    }
+  }
+  std::unique_ptr<Classifier> model = MakeClassifier(model_config);
+  model->Train(transformed, data.labels, data.num_classes);
+
+  ArtifactSchema schema;
+  schema.dataset_name = data.name;
+  schema.input_cols = data.num_cols();
+  schema.num_classes = data.num_classes;
+  schema.transformed_cols = transformed.cols();
+  schema.dataset_fingerprint = DatasetFingerprint(data);
+  Status written =
+      WriteArtifact(path, schema, pipeline, model_config, *model);
+  if (!written.ok()) return written;
+  return schema;
+}
+
+}  // namespace autofp

@@ -1,0 +1,148 @@
+#ifndef AUTOFP_SERVE_ARTIFACT_H_
+#define AUTOFP_SERVE_ARTIFACT_H_
+
+/// Versioned pipeline artifacts (see DESIGN.md "Artifacts and serving").
+/// An artifact is the deployable unit of Auto-FP: one file capturing the
+/// fitted state of a searched preprocessing pipeline plus the trained
+/// state of its downstream model, so `transform -> predict` can be served
+/// long after the search process exited. The format follows the
+/// run_journal conventions: magic + version up front, CRC-32 over every
+/// section, FNV-1a fingerprints tying the sections to one schema. A
+/// reader never guesses: every corruption case (truncated file, flipped
+/// byte, foreign version, mismatched sections) is a typed ArtifactError,
+/// never UB or a crash.
+///
+/// File layout (host-endian; artifacts are machine-local deployment
+/// state, not interchange files):
+///
+///   magic "AFPA" | u32 version | u32 num_sections | u32 preamble_crc
+///   repeated num_sections times:
+///     u32 section_id | u32 payload_len | payload | u32 crc(id,len,payload)
+///
+/// with exactly one section each of:
+///   kSchemaSection   dataset name/shape/classes + fingerprints
+///   kPipelineSection pipeline spec string + per-step SaveState blobs
+///   kModelSection    ModelConfig + the trained model's SaveState blob
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "ml/model.h"
+#include "preprocess/pipeline.h"
+#include "util/status.h"
+
+namespace autofp {
+
+/// Artifact format version; bumped on any layout change. Readers reject
+/// other versions with kVersionMismatch — there is no cross-version
+/// migration (re-export from the search instead; see DESIGN.md).
+inline constexpr uint32_t kArtifactVersion = 1;
+
+/// Why an artifact could not be read/validated. kNone means success.
+enum class ArtifactError : int {
+  kNone = 0,
+  /// The file could not be opened or read (or written, for the writer).
+  kIoError,
+  /// The file does not start with the artifact magic.
+  kBadMagic,
+  /// The file is an artifact of a different format version.
+  kVersionMismatch,
+  /// The preamble checksum does not match its content.
+  kCorruptHeader,
+  /// The file ends before a declared section does.
+  kTruncated,
+  /// A section's CRC does not match its content (e.g. a flipped byte).
+  kCorruptSection,
+  /// A section's CRC is intact but its payload does not parse, a section
+  /// is duplicated, or the file carries trailing bytes.
+  kMalformedSection,
+  /// A required section is absent.
+  kMissingSection,
+  /// The pipeline/model sections' schema fingerprints disagree with the
+  /// schema section (an artifact stitched from mismatched halves).
+  kSchemaMismatch,
+  /// A preprocessor/model state blob was rejected by LoadState.
+  kBadState,
+};
+
+/// Human-readable name ("CorruptSection" etc.; "OK" for kNone).
+const char* ArtifactErrorName(ArtifactError error);
+
+/// What the served model expects of its input — the schema every serving
+/// row is validated against before it touches a preprocessor.
+struct ArtifactSchema {
+  std::string dataset_name;
+  /// Feature columns a serving row must have (label column excluded).
+  uint64_t input_cols = 0;
+  int num_classes = 0;
+  /// Model input width after the pipeline (== input_cols for the paper's
+  /// seven column-preserving preprocessors; kept explicit so the format
+  /// survives future column-changing steps).
+  uint64_t transformed_cols = 0;
+  /// DatasetFingerprint of the training data (informational: identifies
+  /// what the artifact was fitted on; serving data is never checked
+  /// against it).
+  uint64_t dataset_fingerprint = 0;
+};
+
+/// FNV-1a fingerprint of the schema fields every section must agree on
+/// (input_cols, num_classes, transformed_cols).
+uint64_t SchemaFingerprint(const ArtifactSchema& schema);
+
+/// Writer knobs. The fingerprint override exists only so tests can
+/// manufacture the kSchemaMismatch corruption case with valid CRCs.
+struct ArtifactWriteOptions {
+  /// When nonzero, stamped into the pipeline/model sections instead of
+  /// the real SchemaFingerprint (test hook for the corruption taxonomy).
+  uint64_t override_section_fingerprint = 0;
+};
+
+/// Serializes (schema, fitted pipeline, model config, trained model) to
+/// `path`, overwriting it. The pipeline must be fitted and the model
+/// trained; both are only read.
+Status WriteArtifact(const std::string& path, const ArtifactSchema& schema,
+                     const FittedPipeline& pipeline,
+                     const ModelConfig& model_config, const Classifier& model,
+                     const ArtifactWriteOptions& options = {});
+
+/// A fully deserialized artifact: fitted steps and trained model ready to
+/// assemble into a Predictor (serve/predictor.h).
+struct LoadedArtifact {
+  ArtifactSchema schema;
+  PipelineSpec spec;
+  /// Fitted preprocessors, one per spec step, in application order.
+  std::vector<std::unique_ptr<Preprocessor>> fitted_steps;
+  ModelConfig model_config;
+  std::unique_ptr<Classifier> model;
+};
+
+/// Outcome of reading an artifact. On success (`ok()`), `artifact` holds
+/// the deserialized pipeline and model; otherwise `error` says which
+/// corruption-taxonomy case fired and `status` carries detail.
+struct ArtifactReadResult {
+  ArtifactError error = ArtifactError::kNone;
+  Status status;  ///< detail message; OK iff error == kNone.
+  LoadedArtifact artifact;
+
+  bool ok() const { return error == ArtifactError::kNone; }
+};
+
+/// Reads and validates `path` through the full corruption taxonomy.
+ArtifactReadResult ReadArtifact(const std::string& path);
+
+/// End-to-end export (the CLI's --export-artifact body): fits `spec` on
+/// all of `data`, trains `model_config`'s classifier on the transformed
+/// features, and writes the artifact. Returns the schema it stamped, or
+/// OutOfRange/InvalidArgument when the pipeline output is non-finite (a
+/// model trained on it would be garbage).
+Result<ArtifactSchema> ExportArtifact(const std::string& path,
+                                      const Dataset& data,
+                                      const PipelineSpec& spec,
+                                      const ModelConfig& model_config);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SERVE_ARTIFACT_H_

@@ -1,0 +1,152 @@
+#ifndef AUTOFP_SERVE_PREDICTOR_H_
+#define AUTOFP_SERVE_PREDICTOR_H_
+
+/// The inference runtime (see DESIGN.md "Artifacts and serving"): loads a
+/// pipeline artifact into an immutable Predictor that applies
+/// `transform -> predict` to row batches, optionally sharded over a fixed
+/// worker pool (the parallel_evaluator pattern: tasks are enqueued, a
+/// per-call barrier waits, results land in input order). Every serving
+/// row is validated against the artifact schema with a typed error —
+/// nothing downstream of the schema guard ever sees a misshapen row —
+/// and every scored batch feeds a latency histogram (count, rows/sec,
+/// p50/p95/p99).
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ml/model.h"
+#include "preprocess/pipeline.h"
+#include "serve/artifact.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace autofp {
+
+/// Snapshot of the serving-latency histogram. Percentiles are over
+/// per-batch latencies (the unit a caller waits on); rows_per_second is
+/// total rows over summed batch time.
+struct ServeStats {
+  long batches = 0;
+  long rows = 0;
+  double busy_seconds = 0.0;
+  double rows_per_second = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+/// Thread-safe log-bucketed latency histogram (fixed memory, so a
+/// long-running serve loop never grows it).
+class LatencyRecorder {
+ public:
+  void Record(double seconds, long rows);
+  ServeStats Snapshot() const;
+
+ private:
+  /// Bucket i covers [1us * kGrowth^i, 1us * kGrowth^(i+1)); ~15% relative
+  /// error, spanning 1us..~1e3 s.
+  static constexpr int kNumBuckets = 160;
+  static constexpr double kGrowth = 1.15;
+  static int BucketIndex(double seconds);
+  static double BucketValueMs(int bucket);
+
+  mutable std::mutex mutex_;
+  std::array<long, kNumBuckets> counts_{};
+  long batches_ = 0;
+  long rows_ = 0;
+  double busy_seconds_ = 0.0;
+};
+
+/// An immutable, thread-safe serving unit: fitted pipeline + trained
+/// model + the schema they were exported with. All scoring methods are
+/// const and safe to call concurrently; the only mutable state (latency
+/// histogram, task queue) is internally synchronized.
+/// Options for assembling a Predictor.
+struct PredictorOptions {
+  /// Worker threads for sharded scoring; 1 scores inline on the caller.
+  int num_threads = 1;
+};
+
+class Predictor {
+ public:
+  using Options = PredictorOptions;
+
+  /// Typed outcome of loading an artifact into a predictor.
+  struct LoadResult {
+    ArtifactError error = ArtifactError::kNone;
+    Status status;
+    std::unique_ptr<Predictor> predictor;  ///< non-null iff ok().
+
+    bool ok() const { return error == ArtifactError::kNone; }
+  };
+
+  /// Reads `path` (full corruption taxonomy applies) and assembles the
+  /// predictor.
+  static LoadResult Load(const std::string& path,
+                         const Options& options = Options());
+
+  /// Assembles a predictor from an already-loaded artifact.
+  static std::unique_ptr<Predictor> FromArtifact(
+      LoadedArtifact artifact, const Options& options = Options());
+
+  ~Predictor();
+  Predictor(const Predictor&) = delete;
+  Predictor& operator=(const Predictor&) = delete;
+
+  /// Scores one batch: schema-validates `rows` (typed InvalidArgument if
+  /// the column count differs from the artifact schema — never UB), then
+  /// transform + predict. Returns one class id per row.
+  Result<std::vector<int>> Predict(const Matrix& rows) const;
+
+  /// Sharded scoring: splits `rows` into shards of `batch_rows` and
+  /// scores them concurrently on the worker pool (inline when the pool
+  /// has one thread). Results are in row order and identical to
+  /// Predict()'s at any thread count.
+  Result<std::vector<int>> PredictSharded(const Matrix& rows,
+                                          size_t batch_rows) const;
+
+  const ArtifactSchema& schema() const { return schema_; }
+  const PipelineSpec& spec() const { return pipeline_.spec(); }
+  const ModelConfig& model_config() const { return model_config_; }
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Latency histogram over every batch scored so far.
+  ServeStats stats() const { return latency_.Snapshot(); }
+
+ private:
+  Predictor(LoadedArtifact artifact, const Options& options);
+
+  /// Schema guard shared by both scoring paths.
+  Status ValidateSchema(const Matrix& rows) const;
+  /// Transform+predict rows [begin, end) of `rows` into predictions
+  /// [begin, end), recording the shard's latency.
+  void ScoreRange(const Matrix& rows, size_t begin, size_t end,
+                  std::vector<int>* predictions) const;
+  void WorkerLoop();
+
+  ArtifactSchema schema_;
+  FittedPipeline pipeline_;
+  ModelConfig model_config_;
+  std::unique_ptr<Classifier> model_;
+  mutable LatencyRecorder latency_;
+
+  // Fixed worker pool (parallel_evaluator pattern). The queue holds
+  // closures; each PredictSharded call carries its own barrier.
+  mutable std::mutex mutex_;
+  mutable std::condition_variable work_available_;
+  mutable std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SERVE_PREDICTOR_H_

@@ -1,0 +1,101 @@
+#ifndef AUTOFP_UTIL_SERIALIZE_H_
+#define AUTOFP_UTIL_SERIALIZE_H_
+
+/// Binary stream helpers for fitted-state blobs (Preprocessor::SaveState,
+/// Classifier::SaveState and the artifact format in src/serve/). The
+/// encoding is host-endian and field-by-field (never raw struct bytes, so
+/// padding can't leak nondeterminism into artifacts). Readers return false
+/// on exhaustion or implausible lengths instead of throwing or allocating
+/// unbounded memory; callers turn that into a typed Status.
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/matrix.h"
+
+namespace autofp {
+
+/// Upper bound on one serialized vector/string, far above any real fitted
+/// state. A declared length beyond it is corruption (or a version bug),
+/// not data — reading it would only manufacture a giant allocation.
+inline constexpr uint64_t kMaxSerializedElements = 1ull << 28;
+
+template <typename T>
+void WritePod(std::ostream& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return in.gcount() == static_cast<std::streamsize>(sizeof(T));
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod<uint64_t>(out, values.size());
+  if (!values.empty()) {
+    out.write(reinterpret_cast<const char*>(values.data()),
+              static_cast<std::streamsize>(values.size() * sizeof(T)));
+  }
+}
+
+template <typename T>
+bool ReadVec(std::istream& in, std::vector<T>* values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t count = 0;
+  if (!ReadPod(in, &count) || count > kMaxSerializedElements) return false;
+  values->resize(count);
+  if (count == 0) return true;
+  const std::streamsize bytes =
+      static_cast<std::streamsize>(count * sizeof(T));
+  in.read(reinterpret_cast<char*>(values->data()), bytes);
+  return in.gcount() == bytes;
+}
+
+inline void WriteString(std::ostream& out, const std::string& value) {
+  WritePod<uint64_t>(out, value.size());
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+inline bool ReadString(std::istream& in, std::string* value) {
+  uint64_t size = 0;
+  if (!ReadPod(in, &size) || size > kMaxSerializedElements) return false;
+  value->resize(size);
+  if (size == 0) return true;
+  in.read(value->data(), static_cast<std::streamsize>(size));
+  return in.gcount() == static_cast<std::streamsize>(size);
+}
+
+inline void WriteMatrix(std::ostream& out, const Matrix& matrix) {
+  WritePod<uint64_t>(out, matrix.rows());
+  WritePod<uint64_t>(out, matrix.cols());
+  WriteVec(out, matrix.data());
+}
+
+inline bool ReadMatrix(std::istream& in, Matrix* matrix) {
+  uint64_t rows = 0, cols = 0;
+  std::vector<double> data;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || !ReadVec(in, &data)) {
+    return false;
+  }
+  if (rows * cols != data.size() ||
+      (cols != 0 && rows > kMaxSerializedElements / cols)) {
+    return false;
+  }
+  Matrix out_matrix(rows, cols);
+  out_matrix.data() = std::move(data);
+  *matrix = std::move(out_matrix);
+  return true;
+}
+
+}  // namespace autofp
+
+#endif  // AUTOFP_UTIL_SERIALIZE_H_

@@ -1,0 +1,185 @@
+/// Tests of the serving runtime (src/serve/predictor.h): the schema
+/// guard, thread/shard invariance of PredictSharded, latency stats, and
+/// the central serving property — for every (preprocessor, model) pair,
+/// predictions served from an artifact are bit-identical to the
+/// in-process fit_transform -> train -> predict they were exported from.
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/benchmark_suite.h"
+#include "serve/predictor.h"
+
+namespace autofp {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Dataset TestData() {
+  Result<Dataset> data = GetSuiteDataset("blood_syn");
+  AUTOFP_CHECK(data.ok()) << data.status().ToString();
+  return std::move(data).value();
+}
+
+/// Exports an artifact for (spec, model) fitted on `data` and loads it
+/// back into a predictor.
+std::unique_ptr<Predictor> MakePredictor(const Dataset& data,
+                                         const PipelineSpec& spec,
+                                         ModelKind kind,
+                                         const std::string& name,
+                                         int num_threads = 1) {
+  std::string path = TempPath(name);
+  Result<ArtifactSchema> exported =
+      ExportArtifact(path, data, spec, ModelConfig::Defaults(kind));
+  EXPECT_TRUE(exported.ok()) << exported.status().ToString();
+  Predictor::Options options;
+  options.num_threads = num_threads;
+  Predictor::LoadResult loaded = Predictor::Load(path, options);
+  EXPECT_TRUE(loaded.ok()) << ArtifactErrorName(loaded.error) << ": "
+                           << loaded.status.ToString();
+  return std::move(loaded.predictor);
+}
+
+/// The in-process reference the artifact must reproduce exactly:
+/// ExportArtifact's own fit/train recipe.
+std::vector<int> InProcessPredictions(const Dataset& data,
+                                      const PipelineSpec& spec,
+                                      ModelKind kind) {
+  FittedPipeline pipeline = FittedPipeline::Fit(spec, data.features);
+  Matrix transformed = pipeline.Transform(data.features);
+  std::unique_ptr<Classifier> model =
+      MakeClassifier(ModelConfig::Defaults(kind));
+  model->Train(transformed, data.labels, data.num_classes);
+  return model->PredictBatch(transformed);
+}
+
+TEST(Predictor, SchemaGuardRejectsWrongColumnCount) {
+  Dataset data = TestData();
+  std::unique_ptr<Predictor> predictor = MakePredictor(
+      data, PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}),
+      ModelKind::kLogisticRegression, "predictor_guard.afpa");
+  Matrix wrong(3, data.num_cols() + 2);
+  Result<std::vector<int>> predictions = predictor->Predict(wrong);
+  ASSERT_FALSE(predictions.ok());
+  EXPECT_EQ(predictions.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(predictions.status().message().find("columns"),
+            std::string::npos)
+      << predictions.status().ToString();
+  // The sharded path guards identically.
+  EXPECT_FALSE(predictor->PredictSharded(wrong, 2).ok());
+  // Nothing reached the histogram.
+  EXPECT_EQ(predictor->stats().batches, 0);
+}
+
+TEST(Predictor, EmptyBatch) {
+  Dataset data = TestData();
+  std::unique_ptr<Predictor> predictor = MakePredictor(
+      data, PipelineSpec::FromKinds({PreprocessorKind::kMinMaxScaler}),
+      ModelKind::kLogisticRegression, "predictor_empty.afpa");
+  Matrix empty(0, data.num_cols());
+  Result<std::vector<int>> predictions = predictor->Predict(empty);
+  ASSERT_TRUE(predictions.ok());
+  EXPECT_TRUE(predictions.value().empty());
+}
+
+TEST(Predictor, ServedMatchesInProcessForAllPairs) {
+  // The round-trip property at the heart of the artifact format: for all
+  // 7 preprocessors x 3 models, scoring through an exported artifact is
+  // bit-identical to never having left the process.
+  Dataset data = TestData();
+  for (PreprocessorKind preprocessor : AllPreprocessorKinds()) {
+    PipelineSpec spec = PipelineSpec::FromKinds({preprocessor});
+    for (ModelKind model :
+         {ModelKind::kLogisticRegression, ModelKind::kXgboost,
+          ModelKind::kMlp}) {
+      const std::string label =
+          KindName(preprocessor) + "+" + ModelKindName(model);
+      std::unique_ptr<Predictor> predictor = MakePredictor(
+          data, spec, model, "predictor_pair_" + label + ".afpa");
+      Result<std::vector<int>> served = predictor->Predict(data.features);
+      ASSERT_TRUE(served.ok()) << label;
+      EXPECT_EQ(served.value(), InProcessPredictions(data, spec, model))
+          << label;
+    }
+  }
+}
+
+TEST(Predictor, ShardedMatchesUnshardedAcrossThreadsAndBatches) {
+  Dataset data = TestData();
+  PipelineSpec spec = PipelineSpec::FromKinds(
+      {PreprocessorKind::kPowerTransformer, PreprocessorKind::kMinMaxScaler});
+  std::vector<int> reference;
+  for (int threads : {1, 2, 4}) {
+    std::unique_ptr<Predictor> predictor = MakePredictor(
+        data, spec, ModelKind::kXgboost,
+        "predictor_shard_" + std::to_string(threads) + ".afpa", threads);
+    EXPECT_EQ(predictor->num_threads(), threads);
+    if (reference.empty()) {
+      Result<std::vector<int>> unsharded = predictor->Predict(data.features);
+      ASSERT_TRUE(unsharded.ok());
+      reference = unsharded.value();
+    }
+    for (size_t batch : {size_t{1}, size_t{7}, size_t{64}, size_t{100000}}) {
+      Result<std::vector<int>> sharded =
+          predictor->PredictSharded(data.features, batch);
+      ASSERT_TRUE(sharded.ok());
+      EXPECT_EQ(sharded.value(), reference)
+          << threads << " threads, batch " << batch;
+    }
+  }
+}
+
+TEST(Predictor, ConcurrentCallersShareOnePredictor) {
+  // The predictor is immutable after load; many caller threads scoring
+  // concurrently (each through the sharded path) must all agree.
+  Dataset data = TestData();
+  std::unique_ptr<Predictor> predictor = MakePredictor(
+      data, PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}),
+      ModelKind::kMlp, "predictor_concurrent.afpa", /*num_threads=*/3);
+  Result<std::vector<int>> reference = predictor->Predict(data.features);
+  ASSERT_TRUE(reference.ok());
+  std::vector<std::thread> callers;
+  std::vector<int> mismatches(4, 0);
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      for (int repeat = 0; repeat < 8; ++repeat) {
+        Result<std::vector<int>> predictions =
+            predictor->PredictSharded(data.features, 32);
+        if (!predictions.ok() || predictions.value() != reference.value()) {
+          ++mismatches[c];
+        }
+      }
+    });
+  }
+  for (std::thread& caller : callers) caller.join();
+  EXPECT_EQ(mismatches, std::vector<int>(4, 0));
+}
+
+TEST(Predictor, StatsCountEveryScoredBatch) {
+  Dataset data = TestData();
+  std::unique_ptr<Predictor> predictor = MakePredictor(
+      data, PipelineSpec::FromKinds({PreprocessorKind::kMaxAbsScaler}),
+      ModelKind::kLogisticRegression, "predictor_stats.afpa",
+      /*num_threads=*/2);
+  ASSERT_TRUE(predictor->Predict(data.features).ok());
+  ASSERT_TRUE(predictor->PredictSharded(data.features, 100).ok());
+  ServeStats stats = predictor->stats();
+  // One unsharded batch plus ceil(rows/100) shards.
+  const long expected_batches =
+      1 + static_cast<long>((data.num_rows() + 99) / 100);
+  EXPECT_EQ(stats.batches, expected_batches);
+  EXPECT_EQ(stats.rows, static_cast<long>(2 * data.num_rows()));
+  EXPECT_GT(stats.busy_seconds, 0.0);
+  EXPECT_GT(stats.rows_per_second, 0.0);
+  EXPECT_GT(stats.p50_ms, 0.0);
+  EXPECT_LE(stats.p50_ms, stats.p95_ms);
+  EXPECT_LE(stats.p95_ms, stats.p99_ms);
+}
+
+}  // namespace
+}  // namespace autofp

@@ -9,7 +9,7 @@
 ///          [--max-length N] [--space default|low|high] [--two-step]
 ///          [--train-fraction F] [--fault-rate F] [--slowdown-rate F]
 ///          [--slowdown-seconds S] [--eval-deadline S] [--max-retries N]
-///          [--journal FILE] [--resume] [--list]
+///          [--journal FILE] [--resume] [--export-artifact FILE] [--list]
 ///   autofp --data <file.csv> --apply "<pipeline>" --out <file.csv>
 ///   autofp --dump-journal <file.journal>
 ///
@@ -39,6 +39,7 @@
 #include <string>
 
 #include "core/auto_fp.h"
+#include "serve/artifact.h"
 #include "preprocess/pipeline_parse.h"
 #include "util/csv.h"
 #include "search/registry.h"
@@ -73,6 +74,7 @@ struct Options {
   bool list = false;
   std::string apply;  ///< pipeline to apply instead of searching.
   std::string out;    ///< output CSV for --apply.
+  std::string export_artifact;  ///< serve artifact path (after search).
   std::string journal;       ///< write-ahead run journal path.
   bool resume = false;       ///< replay the journal before evaluating.
   std::string dump_journal;  ///< print a journal and exit.
@@ -97,6 +99,10 @@ void PrintUsage() {
       "  --max-retries N          retries for transient faults (default 2)\n"
       "  --threads N              parallel evaluation threads (default 1)\n"
       "  --cache-mb MB            evaluation-cache budget in MiB (default 0)\n"
+      "  --export-artifact FILE   after the search, refit the winning\n"
+      "                           pipeline on the full dataset, train the\n"
+      "                           downstream model, and write a serving\n"
+      "                           artifact (score it with autofp_serve)\n"
       "  --journal FILE           append evaluations to a crash-safe journal\n"
       "  --resume                 replay FILE before evaluating (needs --journal)\n"
       "  --dump-journal FILE      print a journal's records and exit\n"
@@ -183,6 +189,10 @@ bool ParseArgs(int argc, char** argv, Options* options) {
       const char* v = next("--cache-mb");
       if (!v) return false;
       options->cache_mb = std::atof(v);
+    } else if (arg == "--export-artifact") {
+      const char* v = next("--export-artifact");
+      if (!v) return false;
+      options->export_artifact = v;
     } else if (arg == "--journal") {
       const char* v = next("--journal");
       if (!v) return false;
@@ -532,6 +542,31 @@ int main(int argc, char** argv) {
     std::printf("journal        : %ld replayed, %ld appended -> %s\n",
                 result.num_replayed, journal->num_appends(),
                 journal->path().c_str());
+  }
+  // Deployment: refit the winning pipeline on the full dataset (train +
+  // valid -- all the data the search saw), train the downstream model on
+  // the transformed features, and write the serving artifact.
+  if (!options.export_artifact.empty()) {
+    if (result.num_successes == 0) {
+      std::fprintf(stderr,
+                   "warning: skipping --export-artifact: no successful "
+                   "evaluation to export\n");
+    } else {
+      Result<ArtifactSchema> exported =
+          ExportArtifact(options.export_artifact, dataset.value(),
+                         result.best_pipeline,
+                         ModelConfig::Defaults(model_kind));
+      if (!exported.ok()) {
+        std::fprintf(stderr, "error exporting artifact: %s\n",
+                     exported.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("artifact       : %s (%" PRIu64 " feature cols, "
+                  "%d classes, dataset fp %016" PRIx64 ")\n",
+                  options.export_artifact.c_str(),
+                  exported.value().input_cols, exported.value().num_classes,
+                  exported.value().dataset_fingerprint);
+    }
   }
   if (result.interrupted) {
     std::printf("interrupted    : stopped by signal at an evaluation "

@@ -1,0 +1,330 @@
+/// autofp_serve — score rows against an exported pipeline artifact.
+///
+/// The serving half of the artifact workflow (see DESIGN.md "Artifacts
+/// and serving"): `autofp --export-artifact` writes the fitted pipeline
+/// plus trained model to one file; this tool loads it into an immutable
+/// Predictor and applies `transform -> predict` to rows, either in one
+/// batch pass (`score`) or as a long-running request loop (`serve`).
+///
+/// Usage:
+///   autofp_serve score --artifact FILE --in FILE.csv --out FILE.csv
+///                [--threads N] [--batch N] [--has-header]
+///   autofp_serve serve --artifact FILE [--threads N]
+///
+/// score: reads a numeric CSV and writes one prediction per input row.
+/// Rows may carry the training label as a trailing extra column (it is
+/// ignored), so `autofp --apply`-style dumps score directly. Malformed
+/// rows (non-numeric cell, wrong column count) are skipped and counted —
+/// a bad row never aborts the batch — and reported on stderr.
+///
+/// serve: reads newline-delimited requests from stdin, one CSV feature
+/// row per line, and answers each on stdout with the predicted class id
+/// (or `ERR <reason>` for a malformed line). SIGINT/SIGTERM drain
+/// gracefully: the in-flight request finishes, the latency report is
+/// printed, and the process exits 3 (mirroring the search CLI).
+///
+/// Exit codes: 0 ok; 1 runtime error (unreadable/corrupt artifact, I/O);
+/// 2 usage error; 3 interrupted by signal; 4 every input row malformed.
+
+#include <cerrno>
+#include <cinttypes>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/predictor.h"
+
+namespace {
+
+using namespace autofp;
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+extern "C" void HandleStopSignal(int) { g_stop_requested = 1; }
+
+struct Options {
+  std::string mode;  ///< "score" or "serve".
+  std::string artifact;
+  std::string in;
+  std::string out;
+  int threads = 1;
+  size_t batch = 256;
+  bool has_header = false;
+};
+
+void PrintUsage() {
+  std::printf(
+      "usage: autofp_serve score --artifact FILE --in FILE.csv --out "
+      "FILE.csv\n"
+      "                    [--threads N] [--batch N] [--has-header]\n"
+      "       autofp_serve serve --artifact FILE [--threads N]\n"
+      "  score: batch-score a CSV (one prediction per row; rows may carry\n"
+      "         a trailing label column, which is ignored; malformed rows\n"
+      "         are skipped and counted)\n"
+      "  serve: answer newline-delimited CSV rows on stdin until EOF or\n"
+      "         SIGINT/SIGTERM\n"
+      "  --threads N    scoring threads (default 1)\n"
+      "  --batch N      rows per scoring shard (default 256)\n"
+      "  --has-header   skip the first line of --in\n"
+      "exit codes: 0 ok | 1 error | 2 usage | 3 interrupted | 4 all rows "
+      "malformed\n");
+}
+
+bool ParseArgs(int argc, char** argv, Options* options) {
+  if (argc < 2) return false;
+  options->mode = argv[1];
+  if (options->mode != "score" && options->mode != "serve") {
+    std::fprintf(stderr, "error: unknown mode '%s'\n", options->mode.c_str());
+    return false;
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", flag);
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--artifact") {
+      const char* v = next("--artifact");
+      if (v == nullptr) return false;
+      options->artifact = v;
+    } else if (arg == "--in") {
+      const char* v = next("--in");
+      if (v == nullptr) return false;
+      options->in = v;
+    } else if (arg == "--out") {
+      const char* v = next("--out");
+      if (v == nullptr) return false;
+      options->out = v;
+    } else if (arg == "--threads") {
+      const char* v = next("--threads");
+      if (v == nullptr) return false;
+      options->threads = std::atoi(v);
+      if (options->threads < 1) {
+        std::fprintf(stderr, "error: --threads must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--batch") {
+      const char* v = next("--batch");
+      if (v == nullptr) return false;
+      long batch = std::atol(v);
+      if (batch < 1) {
+        std::fprintf(stderr, "error: --batch must be >= 1\n");
+        return false;
+      }
+      options->batch = static_cast<size_t>(batch);
+    } else if (arg == "--has-header") {
+      options->has_header = true;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (options->artifact.empty()) {
+    std::fprintf(stderr, "error: --artifact is required\n");
+    return false;
+  }
+  if (options->mode == "score" &&
+      (options->in.empty() || options->out.empty())) {
+    std::fprintf(stderr, "error: score mode needs --in and --out\n");
+    return false;
+  }
+  return true;
+}
+
+/// Parses one CSV line into doubles. Returns false (with a reason) on a
+/// non-numeric cell; the caller decides what a bad row means.
+bool ParseRow(const std::string& line, std::vector<double>* cells,
+              std::string* reason) {
+  cells->clear();
+  size_t start = 0;
+  while (true) {
+    size_t comma = line.find(',', start);
+    std::string cell = line.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    // Trim surrounding whitespace so "1.0, 2.0" parses.
+    size_t first = cell.find_first_not_of(" \t\r");
+    size_t last = cell.find_last_not_of(" \t\r");
+    if (first == std::string::npos) {
+      *reason = "empty cell";
+      return false;
+    }
+    cell = cell.substr(first, last - first + 1);
+    errno = 0;
+    char* end = nullptr;
+    double value = std::strtod(cell.c_str(), &end);
+    if (end != cell.c_str() + cell.size() || errno == ERANGE) {
+      *reason = "non-numeric cell '" + cell + "'";
+      return false;
+    }
+    cells->push_back(value);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return true;
+}
+
+/// Checks a parsed row against the artifact schema. Rows may carry one
+/// trailing extra column (the training label) which is dropped.
+bool CheckWidth(std::vector<double>* cells, uint64_t input_cols,
+                std::string* reason) {
+  if (cells->size() == input_cols + 1) cells->pop_back();
+  if (cells->size() != input_cols) {
+    *reason = "expected " + std::to_string(input_cols) + " columns, got " +
+              std::to_string(cells->size());
+    return false;
+  }
+  return true;
+}
+
+void PrintStats(const Predictor& predictor) {
+  ServeStats stats = predictor.stats();
+  std::fprintf(stderr,
+               "latency: %ld batches, %ld rows, %.0f rows/s, "
+               "p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+               stats.batches, stats.rows, stats.rows_per_second, stats.p50_ms,
+               stats.p95_ms, stats.p99_ms);
+}
+
+int RunScore(const Options& options, const Predictor& predictor) {
+  std::ifstream in(options.in);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", options.in.c_str());
+    return 1;
+  }
+  const uint64_t input_cols = predictor.schema().input_cols;
+  Matrix rows;
+  long skipped = 0;
+  long line_number = 0;
+  std::string line;
+  std::vector<double> cells;
+  bool skip_header = options.has_header;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (skip_header) {
+      skip_header = false;
+      continue;
+    }
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string reason;
+    if (!ParseRow(line, &cells, &reason) ||
+        !CheckWidth(&cells, input_cols, &reason)) {
+      std::fprintf(stderr, "warning: skipping line %ld: %s\n", line_number,
+                   reason.c_str());
+      ++skipped;
+      continue;
+    }
+    Matrix row(1, input_cols);
+    std::copy(cells.begin(), cells.end(), row.RowPtr(0));
+    rows.AppendRows(row);
+  }
+  if (in.bad()) {
+    std::fprintf(stderr, "error: I/O error reading %s\n", options.in.c_str());
+    return 1;
+  }
+  if (rows.rows() == 0) {
+    if (skipped > 0) {
+      std::fprintf(stderr, "error: all %ld rows malformed\n", skipped);
+      return 4;
+    }
+    std::fprintf(stderr, "warning: %s has no data rows\n", options.in.c_str());
+  }
+
+  Result<std::vector<int>> predictions =
+      predictor.PredictSharded(rows, options.batch);
+  if (!predictions.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 predictions.status().message().c_str());
+    return 1;
+  }
+  std::ofstream out(options.out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", options.out.c_str());
+    return 1;
+  }
+  out << "prediction\n";
+  for (int label : predictions.value()) out << label << "\n";
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: I/O error writing %s\n", options.out.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "scored %zu rows (%ld skipped) -> %s\n", rows.rows(),
+               skipped, options.out.c_str());
+  PrintStats(predictor);
+  return 0;
+}
+
+int RunServe(const Predictor& predictor) {
+  const uint64_t input_cols = predictor.schema().input_cols;
+  std::fprintf(stderr,
+               "serving artifact for dataset '%s' (%" PRIu64
+               " feature columns, %d classes); one CSV row per line\n",
+               predictor.schema().dataset_name.c_str(), input_cols,
+               predictor.schema().num_classes);
+  std::string line;
+  std::vector<double> cells;
+  long answered = 0;
+  while (g_stop_requested == 0 && std::getline(std::cin, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    std::string reason;
+    if (!ParseRow(line, &cells, &reason) ||
+        !CheckWidth(&cells, input_cols, &reason)) {
+      std::printf("ERR %s\n", reason.c_str());
+      std::fflush(stdout);
+      continue;
+    }
+    Matrix row(1, input_cols);
+    std::copy(cells.begin(), cells.end(), row.RowPtr(0));
+    Result<std::vector<int>> prediction = predictor.Predict(row);
+    if (!prediction.ok()) {
+      std::printf("ERR %s\n", prediction.status().message().c_str());
+    } else {
+      std::printf("%d\n", prediction.value()[0]);
+    }
+    std::fflush(stdout);
+    ++answered;
+  }
+  // Graceful drain: the in-flight request above already finished; report
+  // and exit with the interrupt code if a signal (not EOF) stopped us.
+  std::fprintf(stderr, "served %ld requests\n", answered);
+  PrintStats(predictor);
+  return g_stop_requested != 0 ? 3 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  if (!ParseArgs(argc, argv, &options)) {
+    PrintUsage();
+    return 2;
+  }
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+
+  Predictor::Options predictor_options;
+  predictor_options.num_threads = options.threads;
+  Predictor::LoadResult loaded =
+      Predictor::Load(options.artifact, predictor_options);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: cannot load artifact %s: [%s] %s\n",
+                 options.artifact.c_str(), ArtifactErrorName(loaded.error),
+                 loaded.status.message().c_str());
+    return 1;
+  }
+  const Predictor& predictor = *loaded.predictor;
+  std::fprintf(stderr, "loaded artifact: pipeline [%s], model %s\n",
+               predictor.spec().ToString().c_str(),
+               ModelKindName(predictor.model_config().kind).c_str());
+
+  return options.mode == "score" ? RunScore(options, predictor)
+                                 : RunServe(predictor);
+}
