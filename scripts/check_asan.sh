@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds with -fsanitize=address and runs the data-plane-heavy suites:
+# the in-place kernel / scratch-buffer property tests, the matrix
+# storage primitives they rest on, the pipeline fit/transform paths,
+# and the parallel + serving consumers of shared cache entries. ASan
+# is the check that the zero-copy refactor's aliasing rules (in-place
+# kernels, non-owning views, adopted move storage) never read or write
+# freed or out-of-bounds memory.
+#
+# Usage: scripts/check_asan.sh [ctest-regex]
+#   ctest-regex  optional test-name filter; defaults to the data-plane
+#                suites. Pass '.' to run everything under ASan.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-asan"
+filter="${1:-Matrix|InPlace|Pipeline|TransformCache|ScratchEval|ParallelEvaluator|EvaluateBatch|Predictor}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAUTOFP_SANITIZE=address
+cmake --build "${build_dir}" -j \
+  --target test_matrix test_inplace test_pipeline test_parallel_eval \
+  test_predictor
+
+cd "${build_dir}"
+ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  ctest --output-on-failure -R "${filter}"
+echo "ASan check passed."

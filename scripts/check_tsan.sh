@@ -2,8 +2,10 @@
 # Builds with -fsanitize=thread and runs the concurrency-sensitive tests:
 # the parallel evaluation engine (ParallelEvaluator, TransformCache,
 # CachingEvaluator, EvaluateBatch), the fault-injection suite that
-# shares its retry/quarantine paths, and the serving runtime's worker
-# pool (Predictor sharded scoring + latency histogram).
+# shares its retry/quarantine paths, the serving runtime's worker
+# pool (Predictor sharded scoring + latency histogram), and the
+# zero-copy data plane (shared cache entries read while evicting,
+# per-worker scratch reuse, in-place kernel equivalence).
 #
 # Usage: scripts/check_tsan.sh [ctest-regex]
 #   ctest-regex  optional test-name filter; defaults to the concurrency
@@ -12,14 +14,14 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-tsan"
-filter="${1:-TransformCache|PrefixCache|CachingEvaluator|ParallelEvaluator|EvaluateBatch|ThreadInvariance|ParallelFaults|FaultInjector|Quarantine|Retry|Predictor}"
+filter="${1:-TransformCache|PrefixCache|CachingEvaluator|ParallelEvaluator|EvaluateBatch|ThreadInvariance|ParallelFaults|FaultInjector|Quarantine|Retry|Predictor|ScratchEval|InPlace}"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAUTOFP_SANITIZE=thread
 cmake --build "${build_dir}" -j \
   --target test_parallel_eval test_fault_injection test_predictor \
-  autofp autofp_serve_bin
+  test_inplace autofp autofp_serve_bin
 
 cd "${build_dir}"
 TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "${filter}"

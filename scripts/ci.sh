@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # One-shot CI entry point: tier-1 build + ctest, the ThreadSanitizer
-# concurrency suites, the artifact/serving round trip, and the
-# kill-point crash-injection matrix.
+# concurrency suites, the AddressSanitizer data-plane suites, the
+# artifact/serving round trip, and the kill-point crash-injection
+# matrix.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -15,6 +16,9 @@ cmake --build "${repo_root}/build" -j
 
 echo "=== tsan: concurrency suites ==="
 "${repo_root}/scripts/check_tsan.sh"
+
+echo "=== asan: data-plane suites ==="
+"${repo_root}/scripts/check_asan.sh"
 
 echo "=== serve: export -> score round trip ==="
 "${repo_root}/scripts/check_serve.sh" \

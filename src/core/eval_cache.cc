@@ -19,6 +19,11 @@ std::string CachingEvaluator::KeyFor(const EvalRequest& request) {
 }
 
 Evaluation CachingEvaluator::Evaluate(const EvalRequest& request) {
+  return Evaluate(request, /*scratch=*/nullptr);
+}
+
+Evaluation CachingEvaluator::Evaluate(const EvalRequest& request,
+                                      TransformScratch* scratch) {
   std::string key = KeyFor(request);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -29,7 +34,7 @@ Evaluation CachingEvaluator::Evaluate(const EvalRequest& request) {
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  Evaluation evaluation = inner_->Evaluate(request);
+  Evaluation evaluation = inner_->Evaluate(request, scratch);
   // Wall-clock-dependent outcomes are the only non-pure ones: a deadline
   // flake must be allowed to succeed next time.
   if (evaluation.failure != EvalFailure::kDeadlineExceeded) {

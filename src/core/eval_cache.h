@@ -34,9 +34,10 @@ class CachingEvaluator : public EvaluatorInterface {
  public:
   explicit CachingEvaluator(EvaluatorInterface* inner);
 
-  using EvaluatorInterface::Evaluate;
-
   Evaluation Evaluate(const EvalRequest& request) override;
+  /// On a miss, lends `scratch` to the inner evaluator.
+  Evaluation Evaluate(const EvalRequest& request,
+                      TransformScratch* scratch) override;
   double BaselineAccuracy() override { return inner_->BaselineAccuracy(); }
 
   long hits() const { return hits_.load(std::memory_order_relaxed); }

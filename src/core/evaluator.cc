@@ -65,23 +65,6 @@ uint64_t EvalRequest::DeriveSeed(uint64_t root, const PipelineSpec& pipeline,
   return mixed;
 }
 
-// The deprecated positional surface, implemented on top of the request
-// API. Seeded like a first-attempt request so shim behaviour matches the
-// framework's for the same pipeline and fraction.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Evaluation EvaluatorInterface::Evaluate(const PipelineSpec& pipeline,
-                                        double budget_fraction) {
-  EvalRequest request;
-  request.pipeline = pipeline;
-  request.budget_fraction = budget_fraction;
-  request.deadline_seconds = deprecated_deadline_seconds_;
-  request.seed =
-      EvalRequest::DeriveSeed(0x51191517, pipeline, budget_fraction, 1);
-  return Evaluate(request);
-}
-#pragma GCC diagnostic pop
-
 PipelineEvaluator::PipelineEvaluator(Dataset train, Dataset valid,
                                      ModelConfig model)
     : train_(std::move(train)), valid_(std::move(valid)), model_(model) {
@@ -96,12 +79,18 @@ void PipelineEvaluator::AttachFaultInjector(const FaultInjectorConfig& config) {
 }
 
 Evaluation PipelineEvaluator::Evaluate(const EvalRequest& request) {
+  return Evaluate(request, /*scratch=*/nullptr);
+}
+
+Evaluation PipelineEvaluator::Evaluate(const EvalRequest& request,
+                                       TransformScratch* scratch) {
   num_evaluations_.fetch_add(1, std::memory_order_relaxed);
-  return EvaluateImpl(request, /*use_injector=*/true);
+  return EvaluateImpl(request, /*use_injector=*/true, scratch);
 }
 
 Evaluation PipelineEvaluator::EvaluateImpl(const EvalRequest& request,
-                                           bool use_injector) {
+                                           bool use_injector,
+                                           TransformScratch* scratch) {
   const PipelineSpec& pipeline = request.pipeline;
   const double budget_fraction = request.budget_fraction;
   AUTOFP_CHECK_GT(budget_fraction, 0.0);
@@ -143,14 +132,12 @@ Evaluation PipelineEvaluator::EvaluateImpl(const EvalRequest& request,
   }
 
   Stopwatch prep_watch;
-  Result<TransformedPair> transformed =
-      transform_cache_ != nullptr
-          ? CheckedFitTransformPairCached(
-                pipeline, train_view->features, valid_.features,
-                transform_cache_.get(),
-                SubsampleKey(effective_fraction, request.seed))
-          : CheckedFitTransformPair(pipeline, train_view->features,
-                                    valid_.features);
+  // The shared matrices returned here may alias `train_view`/`valid_`
+  // (empty pipeline) or `*scratch` (uncached path) — both outlive every
+  // use below, which is the whole lifetime the zero-copy contract needs.
+  Result<SharedTransformedPair> transformed = CheckedFitTransformPairCached(
+      pipeline, train_view->features, valid_.features, transform_cache_.get(),
+      SubsampleKey(effective_fraction, request.seed), scratch);
   result.timing.prep_seconds = prep_watch.ElapsedSeconds() + injected_delay;
   if (!transformed.ok()) {
     Status status = transformed.status();
@@ -166,10 +153,10 @@ Evaluation PipelineEvaluator::EvaluateImpl(const EvalRequest& request,
 
   Stopwatch train_watch;
   std::unique_ptr<Classifier> model = MakeClassifier(model_);
-  model->Train(transformed.value().train, train_view->labels,
+  model->Train(*transformed.value().train, train_view->labels,
                train_.num_classes);
   double accuracy =
-      EvaluateAccuracy(*model, transformed.value().valid, valid_.labels);
+      EvaluateAccuracy(*model, *transformed.value().valid, valid_.labels);
   result.timing.train_seconds = train_watch.ElapsedSeconds();
   if (!std::isfinite(accuracy)) {
     return FailedEvaluation(pipeline, budget_fraction,
@@ -192,7 +179,9 @@ double PipelineEvaluator::BaselineAccuracy() {
     // without injection, deadlines, or budget accounting (the evaluation
     // counter is not bumped).
     EvalRequest request;
-    baseline_accuracy_ = EvaluateImpl(request, /*use_injector=*/false).accuracy;
+    baseline_accuracy_ =
+        EvaluateImpl(request, /*use_injector=*/false, /*scratch=*/nullptr)
+            .accuracy;
   }
   return baseline_accuracy_;
 }
@@ -204,6 +193,11 @@ FaultInjectingEvaluator::FaultInjectingEvaluator(
 }
 
 Evaluation FaultInjectingEvaluator::Evaluate(const EvalRequest& request) {
+  return Evaluate(request, /*scratch=*/nullptr);
+}
+
+Evaluation FaultInjectingEvaluator::Evaluate(const EvalRequest& request,
+                                             TransformScratch* scratch) {
   InjectionDecision decision = injector_.DecisionFor(request.seed);
   if (decision.failure != EvalFailure::kNone) {
     Evaluation result;
@@ -214,7 +208,7 @@ Evaluation FaultInjectingEvaluator::Evaluate(const EvalRequest& request) {
     result.accuracy = kPenaltyAccuracy;
     return result;
   }
-  Evaluation result = inner_->Evaluate(request);
+  Evaluation result = inner_->Evaluate(request, scratch);
   if (decision.delay_seconds > 0.0) {
     result.timing.prep_seconds += decision.delay_seconds;
     if (request.deadline_seconds > 0.0 &&

@@ -87,26 +87,21 @@ class EvaluatorInterface {
   /// penalty score.
   virtual Evaluation Evaluate(const EvalRequest& request) = 0;
 
-  /// Accuracy of the empty (no-FP) pipeline.
-  virtual double BaselineAccuracy() = 0;
-
-  /// Deprecated shim (kept for one release): builds an EvalRequest from
-  /// the positional arguments plus the deadline stored by the deprecated
-  /// SetEvalDeadline. New code passes an EvalRequest directly.
-  [[deprecated("build an EvalRequest and call Evaluate(request)")]]
-  Evaluation Evaluate(const PipelineSpec& pipeline,
-                      double budget_fraction = 1.0);
-
-  /// Deprecated shim: stores a deadline applied only by the deprecated
-  /// Evaluate(pipeline, fraction) overload above. New code sets
-  /// EvalRequest::deadline_seconds per call.
-  [[deprecated("set EvalRequest::deadline_seconds per call")]]
-  void SetEvalDeadline(double seconds) {
-    deprecated_deadline_seconds_ = seconds;
+  /// Scratch-aware form: `scratch` (may be null) lends the evaluator
+  /// reusable transform buffers. The caller owns them and must not lend
+  /// the same buffers to concurrent evaluations — the engine keeps one
+  /// per worker thread (see core/parallel_evaluator.h). The default
+  /// ignores the scratch and forwards, so synthetic evaluators that do no
+  /// transform work only implement the one-argument form; decorators
+  /// should override this and pass the scratch through.
+  virtual Evaluation Evaluate(const EvalRequest& request,
+                              TransformScratch* scratch) {
+    (void)scratch;
+    return Evaluate(request);
   }
 
- private:
-  double deprecated_deadline_seconds_ = -1.0;  ///< shim-only state.
+  /// Accuracy of the empty (no-FP) pipeline.
+  virtual double BaselineAccuracy() = 0;
 };
 
 /// Evaluates pipelines per the paper's pipeline-error definition (Eq. 2):
@@ -128,8 +123,6 @@ class EvaluatorInterface {
 class PipelineEvaluator : public EvaluatorInterface {
  public:
   PipelineEvaluator(Dataset train, Dataset valid, ModelConfig model);
-
-  using EvaluatorInterface::Evaluate;
 
   /// Data-size reduction (the paper's research opportunity 2): scale every
   /// evaluation's training subsample by `fraction` in (0, 1]. The search
@@ -162,6 +155,11 @@ class PipelineEvaluator : public EvaluatorInterface {
   /// per class.
   Evaluation Evaluate(const EvalRequest& request) override;
 
+  /// Scratch-aware form: on the uncached transform path the fit/transform
+  /// chain runs through `*scratch` instead of freshly allocated matrices.
+  Evaluation Evaluate(const EvalRequest& request,
+                      TransformScratch* scratch) override;
+
   /// Validation accuracy with no preprocessing (the paper's no-FP line).
   /// Computed once and cached; immune to fault injection and deadlines.
   double BaselineAccuracy() override;
@@ -174,8 +172,10 @@ class PipelineEvaluator : public EvaluatorInterface {
   }
 
  private:
-  /// The evaluation body; `use_injector` is false for the baseline.
-  Evaluation EvaluateImpl(const EvalRequest& request, bool use_injector);
+  /// The evaluation body; `use_injector` is false for the baseline and
+  /// `scratch` (may be null) backs the uncached transform path.
+  Evaluation EvaluateImpl(const EvalRequest& request, bool use_injector,
+                          TransformScratch* scratch);
 
   Dataset train_;
   Dataset valid_;
@@ -199,9 +199,9 @@ class FaultInjectingEvaluator : public EvaluatorInterface {
   FaultInjectingEvaluator(EvaluatorInterface* inner,
                           const FaultInjectorConfig& config);
 
-  using EvaluatorInterface::Evaluate;
-
   Evaluation Evaluate(const EvalRequest& request) override;
+  Evaluation Evaluate(const EvalRequest& request,
+                      TransformScratch* scratch) override;
   double BaselineAccuracy() override { return inner_->BaselineAccuracy(); }
 
   FaultInjector* injector() { return &injector_; }

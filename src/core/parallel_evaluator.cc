@@ -43,6 +43,11 @@ std::vector<Evaluation> ParallelEvaluator::EvaluateAll(
 }
 
 void ParallelEvaluator::WorkerLoop() {
+  // Per-worker scratch arena, reused across every evaluation this worker
+  // runs: only this thread touches it, and after the first few tasks its
+  // buffers have seen the largest matrix shape, so the uncached transform
+  // path stops allocating.
+  TransformScratch scratch;
   for (;;) {
     Task task;
     {
@@ -53,7 +58,7 @@ void ParallelEvaluator::WorkerLoop() {
       task = queue_.front();
       queue_.pop_front();
     }
-    *task.result = inner_->Evaluate(*task.request);
+    *task.result = inner_->Evaluate(*task.request, &scratch);
     {
       // Notify while holding the batch mutex: the submitter's wait can
       // only observe remaining == 0 (and destroy the Batch) after this

@@ -34,11 +34,13 @@ class ParallelEvaluator : public EvaluatorInterface {
   ParallelEvaluator(const ParallelEvaluator&) = delete;
   ParallelEvaluator& operator=(const ParallelEvaluator&) = delete;
 
-  using EvaluatorInterface::Evaluate;
-
   /// Single evaluations bypass the pool (no queueing latency).
   Evaluation Evaluate(const EvalRequest& request) override {
     return inner_->Evaluate(request);
+  }
+  Evaluation Evaluate(const EvalRequest& request,
+                      TransformScratch* scratch) override {
+    return inner_->Evaluate(request, scratch);
   }
   double BaselineAccuracy() override { return inner_->BaselineAccuracy(); }
 

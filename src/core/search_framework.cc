@@ -90,7 +90,7 @@ void SearchContext::EvaluateWithRetries(std::vector<EvalRequest> requests,
     } else {
       round_results.reserve(round.size());
       for (const EvalRequest& request : round) {
-        round_results.push_back(evaluator_->Evaluate(request));
+        round_results.push_back(evaluator_->Evaluate(request, &scratch_));
       }
     }
 
@@ -396,17 +396,6 @@ SearchResult RunSearch(SearchAlgorithm* algorithm,
   result.pick_seconds = std::max(
       0.0, result.elapsed_seconds - context.eval_seconds());
   return result;
-}
-
-SearchResult RunSearch(SearchAlgorithm* algorithm,
-                       EvaluatorInterface* evaluator,
-                       const SearchSpace& space, const Budget& budget,
-                       uint64_t seed, const FaultPolicy& policy) {
-  SearchOptions options;
-  options.budget = budget;
-  options.seed = seed;
-  options.fault_policy = policy;
-  return RunSearch(algorithm, evaluator, space, options);
 }
 
 }  // namespace autofp

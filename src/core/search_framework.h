@@ -188,6 +188,9 @@ class SearchContext {
   std::shared_ptr<TransformCache> transform_cache_;
   std::unique_ptr<CachingEvaluator> result_cache_;
   std::unique_ptr<ParallelEvaluator> pool_;
+  /// Reusable transform buffers for the sequential (no-pool) evaluation
+  /// path; the pool's workers each keep their own.
+  TransformScratch scratch_;
   std::vector<Evaluation> history_;
   /// Pipeline key -> the permanent failure that quarantined it.
   std::unordered_map<std::string, EvalFailure> quarantine_;
@@ -275,15 +278,6 @@ SearchResult RunSearch(SearchAlgorithm* algorithm,
                        EvaluatorInterface* evaluator,
                        const SearchSpace& space,
                        const SearchOptions& options);
-
-/// Deprecated positional overload (kept for one release): forwards to the
-/// SearchOptions form. New code writes
-/// `RunSearch(&alg, &eval, space, {budget, seed})`.
-[[deprecated("pass a SearchOptions: RunSearch(alg, eval, space, {budget, seed})")]]
-SearchResult RunSearch(SearchAlgorithm* algorithm,
-                       EvaluatorInterface* evaluator,
-                       const SearchSpace& space, const Budget& budget,
-                       uint64_t seed, const FaultPolicy& policy = FaultPolicy{});
 
 }  // namespace autofp
 

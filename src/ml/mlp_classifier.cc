@@ -27,12 +27,16 @@ void MlpClassifier::Train(const Matrix& features,
   const size_t n = features.rows();
   const size_t batch_size =
       std::min<size_t>(static_cast<size_t>(config_.mlp_batch), n);
+  // Reused across every minibatch: one gather buffer instead of an
+  // allocation per step.
+  Matrix inputs;
+  std::vector<size_t> batch;
   for (int epoch = 0; epoch < config_.mlp_epochs; ++epoch) {
     std::vector<size_t> order = rng.Permutation(n);
     for (size_t start = 0; start < n; start += batch_size) {
       size_t end = std::min(start + batch_size, n);
-      std::vector<size_t> batch(order.begin() + start, order.begin() + end);
-      Matrix inputs = features.SelectRows(batch);
+      batch.assign(order.begin() + start, order.begin() + end);
+      features.SelectRowsInto(batch, &inputs);
       Matrix logits = net_->Forward(inputs);
       // Softmax cross-entropy gradient: probs - onehot, averaged over batch.
       Matrix grad(logits.rows(), logits.cols());

@@ -2,17 +2,12 @@
 
 namespace autofp {
 
-Matrix Binarizer::Transform(const Matrix& data) const {
-  Matrix out(data.rows(), data.cols());
+void Binarizer::TransformInPlace(Matrix& data) const {
   const double threshold = config_.threshold;
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* in_row = data.RowPtr(r);
-    double* out_row = out.RowPtr(r);
-    for (size_t c = 0; c < data.cols(); ++c) {
-      out_row[c] = in_row[c] > threshold ? 1.0 : 0.0;
-    }
+  // Elementwise with no per-column state: one flat pass over the storage.
+  for (double& value : data.data()) {
+    value = value > threshold ? 1.0 : 0.0;
   }
-  return out;
 }
 
 }  // namespace autofp

@@ -17,7 +17,7 @@ class Binarizer : public Preprocessor {
 
   const PreprocessorConfig& config() const override { return config_; }
   void Fit(const Matrix& data) override { (void)data; }
-  Matrix Transform(const Matrix& data) const override;
+  void TransformInPlace(Matrix& data) const override;
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<Binarizer>(config_);
   }

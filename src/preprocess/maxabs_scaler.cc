@@ -21,18 +21,19 @@ void MaxAbsScaler::Fit(const Matrix& data) {
   fitted_ = true;
 }
 
-Matrix MaxAbsScaler::Transform(const Matrix& data) const {
+void MaxAbsScaler::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "MaxAbsScaler::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), scales_.size());
-  Matrix out(data.rows(), data.cols());
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* in_row = data.RowPtr(r);
-    double* out_row = out.RowPtr(r);
-    for (size_t c = 0; c < data.cols(); ++c) {
-      out_row[c] = in_row[c] / scales_[c];
+  const size_t rows = data.rows();
+  const size_t cols = data.cols();
+  // Column-strided: hoist the per-column scale out of the row loop.
+  for (size_t c = 0; c < cols; ++c) {
+    const double scale = scales_[c];
+    double* p = data.data().data() + c;
+    for (size_t r = 0; r < rows; ++r, p += cols) {
+      *p /= scale;
     }
   }
-  return out;
 }
 
 void MaxAbsScaler::SaveState(std::ostream& out) const {

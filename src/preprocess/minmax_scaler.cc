@@ -26,18 +26,20 @@ void MinMaxScaler::Fit(const Matrix& data) {
   fitted_ = true;
 }
 
-Matrix MinMaxScaler::Transform(const Matrix& data) const {
+void MinMaxScaler::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "MinMaxScaler::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), mins_.size());
-  Matrix out(data.rows(), data.cols());
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* in_row = data.RowPtr(r);
-    double* out_row = out.RowPtr(r);
-    for (size_t c = 0; c < data.cols(); ++c) {
-      out_row[c] = (in_row[c] - mins_[c]) / ranges_[c];
+  const size_t rows = data.rows();
+  const size_t cols = data.cols();
+  // Column-strided: hoist the per-column min/range out of the row loop.
+  for (size_t c = 0; c < cols; ++c) {
+    const double min = mins_[c];
+    const double range = ranges_[c];
+    double* p = data.data().data() + c;
+    for (size_t r = 0; r < rows; ++r, p += cols) {
+      *p = (*p - min) / range;
     }
   }
-  return out;
 }
 
 void MinMaxScaler::SaveState(std::ostream& out) const {

@@ -4,32 +4,32 @@
 
 namespace autofp {
 
-Matrix Normalizer::Transform(const Matrix& data) const {
-  Matrix out(data.rows(), data.cols());
+void Normalizer::TransformInPlace(Matrix& data) const {
+  const size_t cols = data.cols();
+  const NormKind kind = config_.norm;
+  // Row-wise by definition: the norm is a per-sample reduction, so the
+  // natural row-major pass is also the cache-friendly one.
   for (size_t r = 0; r < data.rows(); ++r) {
-    const double* in_row = data.RowPtr(r);
-    double* out_row = out.RowPtr(r);
+    double* row = data.RowPtr(r);
     double norm = 0.0;
-    switch (config_.norm) {
+    switch (kind) {
       case NormKind::kL1:
-        for (size_t c = 0; c < data.cols(); ++c) norm += std::abs(in_row[c]);
+        for (size_t c = 0; c < cols; ++c) norm += std::abs(row[c]);
         break;
       case NormKind::kL2:
-        for (size_t c = 0; c < data.cols(); ++c)
-          norm += in_row[c] * in_row[c];
+        for (size_t c = 0; c < cols; ++c) norm += row[c] * row[c];
         norm = std::sqrt(norm);
         break;
       case NormKind::kMax:
-        for (size_t c = 0; c < data.cols(); ++c) {
-          double abs_value = std::abs(in_row[c]);
+        for (size_t c = 0; c < cols; ++c) {
+          double abs_value = std::abs(row[c]);
           if (abs_value > norm) norm = abs_value;
         }
         break;
     }
     if (norm == 0.0) norm = 1.0;
-    for (size_t c = 0; c < data.cols(); ++c) out_row[c] = in_row[c] / norm;
+    for (size_t c = 0; c < cols; ++c) row[c] /= norm;
   }
-  return out;
 }
 
 }  // namespace autofp

@@ -28,21 +28,38 @@ bool IsCollapsed(const Matrix& matrix) {
   return true;
 }
 
-/// Shared validation of a transformed pair (the Checked* contract).
-Result<TransformedPair> CheckTransformedPair(const PipelineSpec& spec,
-                                             TransformedPair pair) {
-  if (!AllFinite(pair.train) || !AllFinite(pair.valid)) {
+/// The Checked* validation contract, on the matrices themselves.
+Status CheckTransformed(const PipelineSpec& spec, const Matrix& train,
+                        const Matrix& valid) {
+  if (!AllFinite(train) || !AllFinite(valid)) {
     return Status::OutOfRange("pipeline '" + spec.ToString() +
                               "' produced non-finite output");
   }
   // Only non-empty pipelines can be blamed for collapsing the data; the
   // no-FP pass-through reports whatever the raw features are.
-  if (!spec.empty() && IsCollapsed(pair.train)) {
+  if (!spec.empty() && IsCollapsed(train)) {
     return Status::InvalidArgument("pipeline '" + spec.ToString() +
                                    "' produced a degenerate (constant) "
                                    "training matrix");
   }
+  return Status::OK();
+}
+
+/// Shared validation of a transformed pair (the Checked* contract).
+Result<TransformedPair> CheckTransformedPair(const PipelineSpec& spec,
+                                             TransformedPair pair) {
+  Status status = CheckTransformed(spec, pair.train, pair.valid);
+  if (!status.ok()) return status;
   return pair;
+}
+
+/// A shared_ptr that observes `matrix` without owning it (the aliasing
+/// constructor with an empty control block). Used to hand out zero-copy
+/// views of caller-owned storage; the caller guarantees the storage
+/// outlives every use of the view.
+std::shared_ptr<const Matrix> NonOwningView(const Matrix& matrix) {
+  return std::shared_ptr<const Matrix>(std::shared_ptr<const Matrix>(),
+                                       &matrix);
 }
 
 /// Cache key of the length-`length` prefix of `spec` fitted on the data
@@ -81,11 +98,13 @@ FittedPipeline FittedPipeline::Fit(const PipelineSpec& spec,
                                    const Matrix& train) {
   FittedPipeline pipeline;
   pipeline.spec_ = spec;
+  // One working copy threaded through the whole chain: each step fits on
+  // the previous step's output, then transforms it in place.
   Matrix current = train;
   for (const PreprocessorConfig& config : spec.steps) {
     std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
     step->Fit(current);
-    current = step->Transform(current);
+    step->TransformInPlace(current);
     pipeline.fitted_steps_.push_back(std::move(step));
   }
   return pipeline;
@@ -107,32 +126,35 @@ FittedPipeline FittedPipeline::FromFittedSteps(
 
 Matrix FittedPipeline::Transform(const Matrix& data) const {
   Matrix current = data;
-  for (const auto& step : fitted_steps_) {
-    current = step->Transform(current);
-  }
+  TransformInPlace(current);
   return current;
+}
+
+void FittedPipeline::TransformInPlace(Matrix& data) const {
+  for (const auto& step : fitted_steps_) {
+    step->TransformInPlace(data);
+  }
+}
+
+void FittedPipeline::TransformInto(const Matrix& data, Matrix* scratch) const {
+  AUTOFP_CHECK(scratch != nullptr);
+  if (scratch != &data) *scratch = data;
+  TransformInPlace(*scratch);
 }
 
 TransformedPair FitTransformPair(const PipelineSpec& spec, const Matrix& train,
                                  const Matrix& valid) {
+  // One working copy per matrix threaded through the whole chain: fitting
+  // transforms train step-by-step anyway, and valid follows in lockstep.
   TransformedPair out;
-  if (spec.empty()) {
-    out.train = train;
-    out.valid = valid;
-    return out;
-  }
-  // Fitting already transforms the training matrix step-by-step; doing the
-  // same for valid in lockstep avoids a second pass over the chain.
-  Matrix current_train = train;
-  Matrix current_valid = valid;
+  out.train = train;
+  out.valid = valid;
   for (const PreprocessorConfig& config : spec.steps) {
     std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
-    step->Fit(current_train);
-    current_train = step->Transform(current_train);
-    current_valid = step->Transform(current_valid);
+    step->Fit(out.train);
+    step->TransformInPlace(out.train);
+    step->TransformInPlace(out.valid);
   }
-  out.train = std::move(current_train);
-  out.valid = std::move(current_valid);
   return out;
 }
 
@@ -142,43 +164,85 @@ Result<TransformedPair> CheckedFitTransformPair(const PipelineSpec& spec,
   return CheckTransformedPair(spec, FitTransformPair(spec, train, valid));
 }
 
-Result<TransformedPair> CheckedFitTransformPairCached(
+Result<SharedTransformedPair> CheckedFitTransformPairCached(
     const PipelineSpec& spec, const Matrix& train, const Matrix& valid,
-    TransformCache* cache, const std::string& data_key) {
-  if (cache == nullptr || spec.empty()) {
-    return CheckedFitTransformPair(spec, train, valid);
+    TransformCache* cache, const std::string& data_key,
+    TransformScratch* scratch) {
+  // The empty spec passes the inputs through: hand out zero-copy views of
+  // the caller's matrices (valid while the caller's data is).
+  if (spec.empty()) {
+    Status status = CheckTransformed(spec, train, valid);
+    if (!status.ok()) return status;
+    return SharedTransformedPair{NonOwningView(train), NonOwningView(valid)};
   }
+
+  if (cache == nullptr) {
+    // Uncached path: thread the chain through the scratch buffers (or
+    // locals when the caller brought none), then hand out views. With
+    // scratch, the steady state allocates nothing and the result aliases
+    // the scratch buffers — see the header contract.
+    TransformScratch local;
+    TransformScratch& work = scratch != nullptr ? *scratch : local;
+    work.train = train;
+    work.valid = valid;
+    for (const PreprocessorConfig& config : spec.steps) {
+      std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
+      step->Fit(work.train);
+      step->TransformInPlace(work.train);
+      step->TransformInPlace(work.valid);
+    }
+    Status status = CheckTransformed(spec, work.train, work.valid);
+    if (!status.ok()) return status;
+    if (scratch != nullptr) {
+      return SharedTransformedPair{NonOwningView(scratch->train),
+                                   NonOwningView(scratch->valid)};
+    }
+    return SharedTransformedPair{
+        std::make_shared<const Matrix>(std::move(local.train)),
+        std::make_shared<const Matrix>(std::move(local.valid))};
+  }
+
   // Longest cached prefix, probed from the full pipeline downward so a
-  // repeat evaluation skips fitting entirely.
+  // repeat evaluation skips fitting entirely — a full hit returns the
+  // cached matrices themselves, copying nothing.
   size_t fitted = 0;
-  std::shared_ptr<const TransformedPair> cached;
+  CachedTransforms cached;
   for (size_t length = spec.size(); length >= 1; --length) {
     cached = cache->Get(PrefixCacheKey(data_key, spec, length));
-    if (cached != nullptr) {
+    if (cached) {
       fitted = length;
       break;
     }
   }
-  Matrix current_train = cached != nullptr ? cached->train : train;
-  Matrix current_valid = cached != nullptr ? cached->valid : valid;
-  // Continue fitting exactly where the cached prefix left off; every newly
-  // produced prefix is cached, including the full pipeline. Intermediate
-  // matrices are cached unchecked — the uncached path also fits through
-  // non-finite intermediates, so reuse stays bit-identical.
+  SharedTransformedPair current;
+  if (cached) {
+    current.train = std::move(cached.train);
+    current.valid = std::move(cached.valid);
+  } else {
+    current.train = NonOwningView(train);
+    current.valid = NonOwningView(valid);
+  }
+  // Continue fitting exactly where the cached prefix left off. Each new
+  // step costs one copy of the (immutable) previous prefix, transformed in
+  // place; the result doubles as the cache entry, so the old copy-into-
+  // cache and copy-out-of-cache both disappear. Intermediate matrices are
+  // cached unchecked — the uncached path also fits through non-finite
+  // intermediates, so reuse stays bit-identical.
   for (size_t i = fitted; i < spec.size(); ++i) {
     std::unique_ptr<Preprocessor> step = MakePreprocessor(spec.steps[i]);
-    step->Fit(current_train);
-    current_train = step->Transform(current_train);
-    current_valid = step->Transform(current_valid);
-    TransformedPair prefix_pair;
-    prefix_pair.train = current_train;
-    prefix_pair.valid = current_valid;
-    cache->Put(PrefixCacheKey(data_key, spec, i + 1), std::move(prefix_pair));
+    step->Fit(*current.train);
+    Matrix next_train = *current.train;
+    step->TransformInPlace(next_train);
+    Matrix next_valid = *current.valid;
+    step->TransformInPlace(next_valid);
+    current.train = std::make_shared<const Matrix>(std::move(next_train));
+    current.valid = std::make_shared<const Matrix>(std::move(next_valid));
+    cache->Put(PrefixCacheKey(data_key, spec, i + 1), current.train,
+               current.valid);
   }
-  TransformedPair pair;
-  pair.train = std::move(current_train);
-  pair.valid = std::move(current_valid);
-  return CheckTransformedPair(spec, std::move(pair));
+  Status status = CheckTransformed(spec, *current.train, *current.valid);
+  if (!status.ok()) return status;
+  return current;
 }
 
 }  // namespace autofp

@@ -51,6 +51,18 @@ class FittedPipeline {
   /// Applies the fitted chain to arbitrary data with matching column count.
   Matrix Transform(const Matrix& data) const;
 
+  /// Applies the fitted chain to `data` in place: every step is
+  /// shape-preserving, so the whole chain runs through one buffer with no
+  /// per-stage temporaries.
+  void TransformInPlace(Matrix& data) const;
+
+  /// Transform into a caller-provided scratch buffer: copies `data` into
+  /// `*scratch` (reusing its allocation) and applies the chain in place.
+  /// The result lives in `*scratch`. Passing `scratch == &data` skips the
+  /// copy and transforms the caller's matrix directly; any other overlap
+  /// is undefined.
+  void TransformInto(const Matrix& data, Matrix* scratch) const;
+
   const PipelineSpec& spec() const { return spec_; }
 
   /// The fitted steps, in application order (size() == spec().size()).
@@ -87,15 +99,43 @@ Result<TransformedPair> CheckedFitTransformPair(const PipelineSpec& spec,
 
 class TransformCache;  // preprocess/transform_cache.h
 
+/// A transformed (train, valid) pair handed out without copying: the
+/// matrices are immutable and may be shared with the transform cache, with
+/// other threads, or (see the aliasing notes on
+/// CheckedFitTransformPairCached) merely alias a caller-owned buffer.
+/// Consumers must treat them as read-only.
+struct SharedTransformedPair {
+  std::shared_ptr<const Matrix> train;
+  std::shared_ptr<const Matrix> valid;
+};
+
+/// Reusable working buffers for the uncached fit/transform path. One per
+/// worker thread (see core/parallel_evaluator.h): after the first
+/// evaluation the buffers have seen their largest shape and the steady
+/// state allocates nothing.
+struct TransformScratch {
+  Matrix train;
+  Matrix valid;
+};
+
 /// CheckedFitTransformPair with prefix memoization: reuses the longest
 /// cached fitted prefix of `spec` and caches every newly computed prefix,
 /// so evaluating "A -> B -> C" after "A -> B" only fits C. `data_key`
 /// must uniquely identify the (train, valid) matrices the prefixes are
 /// fitted on (e.g. the subsample identity); results are bit-identical to
-/// the uncached path. A null `cache` falls back to the uncached path.
-Result<TransformedPair> CheckedFitTransformPairCached(
+/// the uncached path.
+///
+/// Zero-copy contract: the returned matrices are shared immutable
+/// references — cache hits hand out the cached entries themselves, the
+/// empty spec aliases `train`/`valid`, and on the uncached path (`cache`
+/// null) with a non-null `scratch` the result aliases the scratch
+/// buffers. Aliased results are only valid while the aliased storage is
+/// (until the next call reusing `scratch`, or until `train`/`valid` are
+/// destroyed); callers that need the data to outlive that must copy.
+Result<SharedTransformedPair> CheckedFitTransformPairCached(
     const PipelineSpec& spec, const Matrix& train, const Matrix& valid,
-    TransformCache* cache, const std::string& data_key);
+    TransformCache* cache, const std::string& data_key,
+    TransformScratch* scratch = nullptr);
 
 }  // namespace autofp
 

@@ -135,22 +135,29 @@ void PowerTransformer::Fit(const Matrix& data) {
   fitted_ = true;
 }
 
-Matrix PowerTransformer::Transform(const Matrix& data) const {
+void PowerTransformer::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "PowerTransformer::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), lambdas_.size());
-  Matrix out(data.rows(), data.cols());
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* in_row = data.RowPtr(r);
-    double* out_row = out.RowPtr(r);
-    for (size_t c = 0; c < data.cols(); ++c) {
-      double value = YeoJohnson(in_row[c], lambdas_[c]);
-      if (config_.standardize) {
-        value = (value - means_[c]) / stddevs_[c];
+  const size_t rows = data.rows();
+  const size_t cols = data.cols();
+  const bool standardize = config_.standardize;
+  // Column-strided: hoist lambda and the standardization params (and the
+  // standardize branch) out of the row loop.
+  for (size_t c = 0; c < cols; ++c) {
+    const double lambda = lambdas_[c];
+    const double mean = means_[c];
+    const double stddev = stddevs_[c];
+    double* p = data.data().data() + c;
+    if (standardize) {
+      for (size_t r = 0; r < rows; ++r, p += cols) {
+        *p = ClampFinite((YeoJohnson(*p, lambda) - mean) / stddev);
       }
-      out_row[c] = ClampFinite(value);
+    } else {
+      for (size_t r = 0; r < rows; ++r, p += cols) {
+        *p = ClampFinite(YeoJohnson(*p, lambda));
+      }
     }
   }
-  return out;
 }
 
 void PowerTransformer::SaveState(std::ostream& out) const {

@@ -22,7 +22,7 @@ class PowerTransformer : public Preprocessor {
 
   const PreprocessorConfig& config() const override { return config_; }
   void Fit(const Matrix& data) override;
-  Matrix Transform(const Matrix& data) const override;
+  void TransformInPlace(Matrix& data) const override;
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<PowerTransformer>(config_);
   }

@@ -80,9 +80,21 @@ class Preprocessor {
   /// Transform() (stateless preprocessors accept it as a no-op).
   virtual void Fit(const Matrix& data) = 0;
 
-  /// Applies the learned transformation. `data` must have the same column
-  /// count as the fit data.
-  virtual Matrix Transform(const Matrix& data) const = 0;
+  /// Applies the learned transformation to `data` in place. All seven
+  /// preprocessors are shape-preserving, so the matrix keeps its
+  /// dimensions; only the element values change. `data` must have the
+  /// same column count as the fit data. This is the allocation-free hot
+  /// path (see DESIGN.md "Data plane and memory").
+  virtual void TransformInPlace(Matrix& data) const = 0;
+
+  /// Copying form of TransformInPlace: applies the learned transformation
+  /// to a copy of `data` and returns it. Call sites that own a reusable
+  /// buffer should prefer TransformInPlace.
+  Matrix Transform(const Matrix& data) const {
+    Matrix out = data;
+    TransformInPlace(out);
+    return out;
+  }
 
   /// Fresh unfitted copy with the same configuration.
   virtual std::unique_ptr<Preprocessor> Clone() const = 0;

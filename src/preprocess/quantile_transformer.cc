@@ -29,7 +29,7 @@ void QuantileTransformer::Fit(const Matrix& data) {
   fitted_ = true;
 }
 
-Matrix QuantileTransformer::Transform(const Matrix& data) const {
+void QuantileTransformer::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "QuantileTransformer::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), references_.size());
   const bool to_normal =
@@ -37,16 +37,22 @@ Matrix QuantileTransformer::Transform(const Matrix& data) const {
   // Clip CDF values away from {0,1} before the normal inverse, matching
   // scikit-learn's bounded output (~±5.2 sigma).
   const double cdf_eps = 1e-7;
-  Matrix out(data.rows(), data.cols());
+  const size_t rows = data.rows();
+  const size_t cols = data.cols();
   const double denom = static_cast<double>(effective_quantiles_ - 1);
-  for (size_t c = 0; c < data.cols(); ++c) {
+  // Column-strided: hoist the per-column reference table (front/back and
+  // the search bounds) out of the row loop.
+  for (size_t c = 0; c < cols; ++c) {
     const std::vector<double>& refs = references_[c];
-    for (size_t r = 0; r < data.rows(); ++r) {
-      double value = data(r, c);
+    const double lo_ref = refs.front();
+    const double hi_ref = refs.back();
+    double* p = data.data().data() + c;
+    for (size_t r = 0; r < rows; ++r, p += cols) {
+      const double value = *p;
       double cdf;
-      if (value <= refs.front()) {
+      if (value <= lo_ref) {
         cdf = 0.0;
-      } else if (value >= refs.back()) {
+      } else if (value >= hi_ref) {
         cdf = 1.0;
       } else {
         // Binary search for the bracketing references, then interpolate.
@@ -59,13 +65,12 @@ Matrix QuantileTransformer::Transform(const Matrix& data) const {
       }
       if (to_normal) {
         cdf = std::clamp(cdf, cdf_eps, 1.0 - cdf_eps);
-        out(r, c) = NormalInverseCdf(cdf);
+        *p = NormalInverseCdf(cdf);
       } else {
-        out(r, c) = cdf;
+        *p = cdf;
       }
     }
   }
-  return out;
 }
 
 void QuantileTransformer::SaveState(std::ostream& out) const {

@@ -31,20 +31,22 @@ void StandardScaler::Fit(const Matrix& data) {
   fitted_ = true;
 }
 
-Matrix StandardScaler::Transform(const Matrix& data) const {
+void StandardScaler::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "StandardScaler::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), means_.size());
-  Matrix out(data.rows(), data.cols());
+  const size_t rows = data.rows();
+  const size_t cols = data.cols();
   const bool with_mean = config_.with_mean;
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* in_row = data.RowPtr(r);
-    double* out_row = out.RowPtr(r);
-    for (size_t c = 0; c < data.cols(); ++c) {
-      double centered = with_mean ? in_row[c] - means_[c] : in_row[c];
-      out_row[c] = centered / stddevs_[c];
+  // Column-strided: hoist the per-column mean/stddev (and the with_mean
+  // branch) out of the row loop.
+  for (size_t c = 0; c < cols; ++c) {
+    const double mean = with_mean ? means_[c] : 0.0;
+    const double stddev = stddevs_[c];
+    double* p = data.data().data() + c;
+    for (size_t r = 0; r < rows; ++r, p += cols) {
+      *p = (*p - mean) / stddev;
     }
   }
-  return out;
 }
 
 void StandardScaler::SaveState(std::ostream& out) const {

@@ -20,7 +20,7 @@ class StandardScaler : public Preprocessor {
 
   const PreprocessorConfig& config() const override { return config_; }
   void Fit(const Matrix& data) override;
-  Matrix Transform(const Matrix& data) const override;
+  void TransformInPlace(Matrix& data) const override;
   std::unique_ptr<Preprocessor> Clone() const override {
     return std::make_unique<StandardScaler>(config_);
   }

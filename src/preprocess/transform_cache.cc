@@ -7,34 +7,36 @@ namespace autofp {
 TransformCache::TransformCache(size_t max_bytes) : max_bytes_(max_bytes) {}
 
 size_t TransformCache::PayloadBytes(const std::string& key,
-                                    const TransformedPair& pair) {
-  return (pair.train.data().size() + pair.valid.data().size()) *
-             sizeof(double) +
+                                    const Matrix& train, const Matrix& valid) {
+  return (train.data().size() + valid.data().size()) * sizeof(double) +
          key.size() + sizeof(Entry);
 }
 
-std::shared_ptr<const TransformedPair> TransformCache::Get(
-    const std::string& key) {
+CachedTransforms TransformCache::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto found = entries_.find(key);
   if (found == entries_.end()) {
     ++misses_;
-    return nullptr;
+    return {};
   }
   ++hits_;
   lru_.splice(lru_.begin(), lru_, found->second.lru_position);
   return found->second.pair;
 }
 
-void TransformCache::Put(const std::string& key, TransformedPair pair) {
-  size_t bytes = PayloadBytes(key, pair);
+void TransformCache::Put(const std::string& key,
+                         std::shared_ptr<const Matrix> train,
+                         std::shared_ptr<const Matrix> valid) {
+  AUTOFP_CHECK(train != nullptr && valid != nullptr);
+  size_t bytes = PayloadBytes(key, *train, *valid);
   std::lock_guard<std::mutex> lock(mutex_);
   if (bytes > max_bytes_) return;  // would evict everything for one entry.
   if (entries_.count(key) > 0) return;  // concurrent Put of the same prefix.
   EvictToFitLocked(bytes);
   lru_.push_front(key);
   Entry entry;
-  entry.pair = std::make_shared<const TransformedPair>(std::move(pair));
+  entry.pair.train = std::move(train);
+  entry.pair.valid = std::move(valid);
   entry.bytes = bytes;
   entry.lru_position = lru_.begin();
   entries_.emplace(key, std::move(entry));

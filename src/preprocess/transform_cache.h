@@ -17,27 +17,41 @@
 #include <string>
 #include <unordered_map>
 
-#include "preprocess/pipeline.h"
+#include "util/matrix.h"
 
 namespace autofp {
 
+/// The cached train/valid matrices of one fitted prefix, handed out as
+/// shared immutable references: a hit costs two shared_ptr copies, never
+/// a matrix copy. Empty (null matrices, false in bool context) on a miss.
+struct CachedTransforms {
+  std::shared_ptr<const Matrix> train;
+  std::shared_ptr<const Matrix> valid;
+
+  explicit operator bool() const { return train != nullptr; }
+};
+
 /// Thread-safe LRU cache from a prefix key to the transformed train/valid
 /// matrices of that fitted prefix, bounded by (approximate) payload bytes.
-/// Values are handed out as shared_ptr-to-const so eviction can never
-/// invalidate matrices a concurrent evaluation is still reading.
+/// Entries are shared-immutable (see DESIGN.md "Data plane and memory"):
+/// eviction can never invalidate matrices a concurrent evaluation is
+/// still reading, and no consumer may mutate them.
 class TransformCache {
  public:
   /// `max_bytes` bounds the summed payload size; entries larger than the
   /// whole budget are never stored.
   explicit TransformCache(size_t max_bytes);
 
-  /// Returns the cached pair for `key`, or nullptr. A hit refreshes the
-  /// entry's LRU position.
-  std::shared_ptr<const TransformedPair> Get(const std::string& key);
+  /// Returns the cached matrices for `key`, or an empty result. A hit
+  /// refreshes the entry's LRU position.
+  CachedTransforms Get(const std::string& key);
 
-  /// Stores `pair` under `key` (no-op if the key is already present),
+  /// Stores the pair under `key` (no-op if the key is already present),
   /// evicting least-recently-used entries until the byte budget holds.
-  void Put(const std::string& key, TransformedPair pair);
+  /// Both pointers must be non-null; the cache shares ownership with the
+  /// caller instead of copying the matrices.
+  void Put(const std::string& key, std::shared_ptr<const Matrix> train,
+           std::shared_ptr<const Matrix> valid);
 
   struct Stats {
     long hits = 0;
@@ -61,13 +75,13 @@ class TransformCache {
 
  private:
   struct Entry {
-    std::shared_ptr<const TransformedPair> pair;
+    CachedTransforms pair;
     size_t bytes = 0;
     std::list<std::string>::iterator lru_position;
   };
 
-  static size_t PayloadBytes(const std::string& key,
-                             const TransformedPair& pair);
+  static size_t PayloadBytes(const std::string& key, const Matrix& train,
+                             const Matrix& valid);
   void EvictToFitLocked(size_t incoming_bytes);
 
   mutable std::mutex mutex_;

@@ -95,8 +95,12 @@ Predictor::~Predictor() {
 }
 
 void Predictor::WorkerLoop() {
+  // Per-worker shard scratch, reused across every task this worker runs:
+  // after the first few shards it has seen the largest shard shape and
+  // scoring stops allocating.
+  Matrix scratch;
   for (;;) {
-    std::function<void()> task;
+    std::function<void(Matrix*)> task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
@@ -105,7 +109,7 @@ void Predictor::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    task(&scratch);
   }
 }
 
@@ -121,15 +125,19 @@ Status Predictor::ValidateSchema(const Matrix& rows) const {
 }
 
 void Predictor::ScoreRange(const Matrix& rows, size_t begin, size_t end,
-                           std::vector<int>* predictions) const {
+                           std::vector<int>* predictions,
+                           Matrix* scratch) const {
   Stopwatch watch;
-  Matrix shard(end - begin, rows.cols());
+  // Copy the shard into the reusable scratch and run the whole transform
+  // chain through it in place — no per-shard or per-stage allocation once
+  // the scratch has grown to the largest shard.
+  scratch->Resize(end - begin, rows.cols());
   for (size_t r = begin; r < end; ++r) {
     const double* src = rows.RowPtr(r);
-    std::copy(src, src + rows.cols(), shard.RowPtr(r - begin));
+    std::copy(src, src + rows.cols(), scratch->RowPtr(r - begin));
   }
-  Matrix transformed = pipeline_.Transform(shard);
-  std::vector<int> shard_predictions = model_->PredictBatch(transformed);
+  pipeline_.TransformInPlace(*scratch);
+  std::vector<int> shard_predictions = model_->PredictBatch(*scratch);
   std::copy(shard_predictions.begin(), shard_predictions.end(),
             predictions->begin() + static_cast<long>(begin));
   latency_.Record(watch.ElapsedSeconds(), static_cast<long>(end - begin));
@@ -139,7 +147,10 @@ Result<std::vector<int>> Predictor::Predict(const Matrix& rows) const {
   Status valid = ValidateSchema(rows);
   if (!valid.ok()) return valid;
   std::vector<int> predictions(rows.rows());
-  if (rows.rows() > 0) ScoreRange(rows, 0, rows.rows(), &predictions);
+  if (rows.rows() > 0) {
+    Matrix scratch;
+    ScoreRange(rows, 0, rows.rows(), &predictions, &scratch);
+  }
   return predictions;
 }
 
@@ -151,7 +162,8 @@ Result<std::vector<int>> Predictor::PredictSharded(const Matrix& rows,
   std::vector<int> predictions(rows.rows());
   if (rows.rows() == 0) return predictions;
   if (workers_.empty() || rows.rows() <= batch_rows) {
-    ScoreRange(rows, 0, rows.rows(), &predictions);
+    Matrix scratch;
+    ScoreRange(rows, 0, rows.rows(), &predictions, &scratch);
     return predictions;
   }
 
@@ -168,8 +180,9 @@ Result<std::vector<int>> Predictor::PredictSharded(const Matrix& rows,
     std::lock_guard<std::mutex> lock(mutex_);
     for (size_t begin = 0; begin < rows.rows(); begin += batch_rows) {
       const size_t end = std::min(begin + batch_rows, rows.rows());
-      queue_.emplace_back([this, &rows, begin, end, &predictions, &barrier] {
-        ScoreRange(rows, begin, end, &predictions);
+      queue_.emplace_back([this, &rows, begin, end, &predictions,
+                           &barrier](Matrix* scratch) {
+        ScoreRange(rows, begin, end, &predictions, scratch);
         std::lock_guard<std::mutex> barrier_lock(barrier.mutex);
         if (--barrier.remaining == 0) barrier.done.notify_one();
       });

@@ -127,9 +127,12 @@ class Predictor {
   /// Schema guard shared by both scoring paths.
   Status ValidateSchema(const Matrix& rows) const;
   /// Transform+predict rows [begin, end) of `rows` into predictions
-  /// [begin, end), recording the shard's latency.
+  /// [begin, end), recording the shard's latency. The shard is copied
+  /// into `*scratch` and transformed there in place — each worker (and
+  /// each inline call) brings its own buffer, so the steady state
+  /// allocates nothing per shard.
   void ScoreRange(const Matrix& rows, size_t begin, size_t end,
-                  std::vector<int>* predictions) const;
+                  std::vector<int>* predictions, Matrix* scratch) const;
   void WorkerLoop();
 
   ArtifactSchema schema_;
@@ -139,10 +142,11 @@ class Predictor {
   mutable LatencyRecorder latency_;
 
   // Fixed worker pool (parallel_evaluator pattern). The queue holds
-  // closures; each PredictSharded call carries its own barrier.
+  // closures invoked with the worker's reusable shard scratch; each
+  // PredictSharded call carries its own barrier.
   mutable std::mutex mutex_;
   mutable std::condition_variable work_available_;
-  mutable std::deque<std::function<void()>> queue_;
+  mutable std::deque<std::function<void(Matrix*)>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -1,7 +1,7 @@
 #include "util/matrix.h"
 
 #include <algorithm>
-#include <cstring>
+#include <utility>
 
 namespace autofp {
 
@@ -14,6 +14,12 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
     AUTOFP_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
     data_.insert(data_.end(), row.begin(), row.end());
   }
+}
+
+void Matrix::Resize(size_t rows, size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
 }
 
 std::vector<double> Matrix::Column(size_t c) const {
@@ -30,12 +36,20 @@ void Matrix::SetColumn(size_t c, const std::vector<double>& values) {
 }
 
 Matrix Matrix::SelectRows(const std::vector<size_t>& indices) const {
-  Matrix out(indices.size(), cols_);
+  Matrix out;
+  SelectRowsInto(indices, &out);
+  return out;
+}
+
+void Matrix::SelectRowsInto(const std::vector<size_t>& indices,
+                            Matrix* out) const {
+  AUTOFP_CHECK(out != this) << "SelectRowsInto destination aliases source";
+  out->Resize(indices.size(), cols_);
   for (size_t i = 0; i < indices.size(); ++i) {
     AUTOFP_CHECK_LT(indices[i], rows_);
-    std::memcpy(out.RowPtr(i), RowPtr(indices[i]), cols_ * sizeof(double));
+    const double* src = RowPtr(indices[i]);
+    std::copy(src, src + cols_, out->RowPtr(i));
   }
-  return out;
 }
 
 void Matrix::AppendRows(const Matrix& other) {
@@ -44,8 +58,20 @@ void Matrix::AppendRows(const Matrix& other) {
     return;
   }
   AUTOFP_CHECK_EQ(cols_, other.cols_) << "column count mismatch";
-  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  data_.reserve(data_.size() + other.data_.size());
+  for (size_t r = 0; r < other.rows_; ++r) {
+    const double* src = other.RowPtr(r);
+    data_.insert(data_.end(), src, src + other.cols_);
+  }
   rows_ += other.rows_;
+}
+
+void Matrix::AppendRows(Matrix&& other) {
+  if (empty() && rows_ == 0) {
+    *this = std::move(other);
+    return;
+  }
+  AppendRows(other);
 }
 
 }  // namespace autofp

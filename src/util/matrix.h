@@ -44,6 +44,12 @@ class Matrix {
   std::vector<double>& data() { return data_; }
   const std::vector<double>& data() const { return data_; }
 
+  /// Reshapes to rows x cols without initializing the new contents
+  /// (existing element values are unspecified afterwards). Keeps the
+  /// allocation when capacity suffices, so a reused scratch matrix stops
+  /// allocating once it has seen its largest shape.
+  void Resize(size_t rows, size_t cols);
+
   /// Returns a copy of column c.
   std::vector<double> Column(size_t c) const;
 
@@ -53,9 +59,17 @@ class Matrix {
   /// Returns the sub-matrix consisting of the given row indices, in order.
   Matrix SelectRows(const std::vector<size_t>& indices) const;
 
+  /// SelectRows into a caller-provided destination (resized to fit), so a
+  /// hot loop can reuse one buffer. `out` must not alias this matrix.
+  void SelectRowsInto(const std::vector<size_t>& indices, Matrix* out) const;
+
   /// Appends the rows of `other` (must have identical column count,
   /// unless this matrix is empty).
   void AppendRows(const Matrix& other);
+
+  /// Move form: when this matrix is empty, adopts `other`'s storage
+  /// instead of copying it.
+  void AppendRows(Matrix&& other);
 
   bool operator==(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_ &&

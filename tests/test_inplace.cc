@@ -1,0 +1,244 @@
+/// Property tests for the zero-copy data plane (DESIGN.md "Data plane
+/// and memory"): TransformInPlace must be bit-identical to the copying
+/// Transform for every preprocessor and shape, FittedPipeline's scratch
+/// paths must match its copying path, and the cached fit/transform path
+/// must agree with the uncached one while handing out shared (not
+/// copied) matrices on repeat hits.
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "preprocess/pipeline.h"
+#include "preprocess/preprocessor.h"
+#include "preprocess/transform_cache.h"
+#include "util/matrix.h"
+#include "util/random.h"
+
+namespace autofp {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    double* row = m.RowPtr(r);
+    for (size_t c = 0; c < cols; ++c) row[c] = rng.Gaussian(0.0, 3.0);
+  }
+  return m;
+}
+
+/// Bit-level equality: every double in `a` has the same bit pattern as
+/// the corresponding double in `b` (stricter than operator==, which
+/// would e.g. conflate +0.0 and -0.0).
+::testing::AssertionResult BitIdentical(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* pa = a.RowPtr(r);
+    const double* pb = b.RowPtr(r);
+    if (std::memcmp(pa, pb, a.cols() * sizeof(double)) != 0) {
+      return ::testing::AssertionFailure() << "row " << r << " differs";
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// The configurations the property tests sweep: every kind with default
+/// parameters plus the non-default corners that exercise distinct kernel
+/// branches.
+std::vector<PreprocessorConfig> SweptConfigs() {
+  std::vector<PreprocessorConfig> configs;
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    configs.push_back(PreprocessorConfig::Defaults(kind));
+  }
+  PreprocessorConfig binarizer =
+      PreprocessorConfig::Defaults(PreprocessorKind::kBinarizer);
+  binarizer.threshold = 0.4;
+  configs.push_back(binarizer);
+  PreprocessorConfig l1 =
+      PreprocessorConfig::Defaults(PreprocessorKind::kNormalizer);
+  l1.norm = NormKind::kL1;
+  configs.push_back(l1);
+  PreprocessorConfig max_norm =
+      PreprocessorConfig::Defaults(PreprocessorKind::kNormalizer);
+  max_norm.norm = NormKind::kMax;
+  configs.push_back(max_norm);
+  PreprocessorConfig no_mean =
+      PreprocessorConfig::Defaults(PreprocessorKind::kStandardScaler);
+  no_mean.with_mean = false;
+  configs.push_back(no_mean);
+  PreprocessorConfig raw_power =
+      PreprocessorConfig::Defaults(PreprocessorKind::kPowerTransformer);
+  raw_power.standardize = false;
+  configs.push_back(raw_power);
+  PreprocessorConfig normal_quantile =
+      PreprocessorConfig::Defaults(PreprocessorKind::kQuantileTransformer);
+  normal_quantile.output_distribution = OutputDistribution::kNormal;
+  normal_quantile.n_quantiles = 20;
+  configs.push_back(normal_quantile);
+  return configs;
+}
+
+/// The shapes each config is checked on. Fit always happens on non-empty
+/// random data; the shapes below are what Transform is applied to.
+std::vector<Matrix> SweptInputs(size_t cols) {
+  std::vector<Matrix> inputs;
+  inputs.push_back(Matrix(0, cols));                // zero rows
+  inputs.push_back(RandomMatrix(1, cols, 7));       // single row
+  Matrix constant(6, cols, 0.0);
+  constant.SetColumn(1, std::vector<double>(6, 3.25));  // constant columns
+  inputs.push_back(std::move(constant));
+  inputs.push_back(RandomMatrix(40, cols, 11));     // dense random
+  return inputs;
+}
+
+TEST(InPlace, BitIdenticalToTransformAcrossConfigsAndShapes) {
+  const size_t cols = 4;
+  const Matrix fit_data = RandomMatrix(60, cols, 3);
+  for (const PreprocessorConfig& config : SweptConfigs()) {
+    std::unique_ptr<Preprocessor> preprocessor = MakePreprocessor(config);
+    preprocessor->Fit(fit_data);
+    for (const Matrix& input : SweptInputs(cols)) {
+      Matrix expected = preprocessor->Transform(input);
+      Matrix in_place = input;
+      preprocessor->TransformInPlace(in_place);
+      EXPECT_TRUE(BitIdentical(expected, in_place))
+          << config.ToString() << " on " << input.rows() << " rows";
+    }
+  }
+}
+
+TEST(InPlace, RepeatedInPlaceOnSameBufferMatchesChainedTransforms) {
+  // A dirty, reused buffer must behave exactly like a fresh copy: run the
+  // whole kind chain through one matrix and compare against chaining the
+  // copying Transform.
+  const Matrix fit_data = RandomMatrix(50, 3, 21);
+  Matrix reused = RandomMatrix(12, 3, 22);
+  Matrix expected = reused;
+  for (PreprocessorKind kind : AllPreprocessorKinds()) {
+    std::unique_ptr<Preprocessor> preprocessor = MakePreprocessor(kind);
+    preprocessor->Fit(fit_data);
+    preprocessor->TransformInPlace(reused);
+    expected = preprocessor->Transform(expected);
+    EXPECT_TRUE(BitIdentical(expected, reused)) << KindName(kind);
+  }
+}
+
+PipelineSpec RandomSpec(Rng* rng, size_t max_steps) {
+  PipelineSpec spec;
+  const size_t steps = rng->UniformIndex(max_steps + 1);
+  for (size_t i = 0; i < steps; ++i) {
+    spec.steps.push_back(PreprocessorConfig::Defaults(
+        AllPreprocessorKinds()[rng->UniformIndex(kNumPreprocessorKinds)]));
+  }
+  return spec;
+}
+
+TEST(InPlace, PipelineTransformIntoMatchesTransform) {
+  const size_t cols = 5;
+  const Matrix train = RandomMatrix(80, cols, 31);
+  Rng rng(32);
+  Matrix scratch = RandomMatrix(3, 2, 33);  // dirty, wrong shape on purpose
+  for (int trial = 0; trial < 25; ++trial) {
+    PipelineSpec spec = RandomSpec(&rng, 5);
+    FittedPipeline pipeline = FittedPipeline::Fit(spec, train);
+    Matrix input = RandomMatrix(17, cols, 1000 + trial);
+    Matrix expected = pipeline.Transform(input);
+
+    pipeline.TransformInto(input, &scratch);  // scratch reused every trial
+    EXPECT_TRUE(BitIdentical(expected, scratch)) << spec.ToString();
+
+    Matrix in_place = input;
+    pipeline.TransformInPlace(in_place);
+    EXPECT_TRUE(BitIdentical(expected, in_place)) << spec.ToString();
+
+    // Aliased form: scratch == &data transforms the caller's matrix.
+    pipeline.TransformInto(input, &input);
+    EXPECT_TRUE(BitIdentical(expected, input)) << spec.ToString();
+  }
+}
+
+TEST(InPlace, CachedPairMatchesUncheckedPairAcrossTrials) {
+  const size_t cols = 4;
+  const Matrix train = RandomMatrix(70, cols, 41);
+  const Matrix valid = RandomMatrix(30, cols, 42);
+  TransformCache cache(64 * 1024 * 1024);
+  TransformScratch scratch;
+  Rng rng(43);
+  for (int trial = 0; trial < 20; ++trial) {
+    PipelineSpec spec = RandomSpec(&rng, 4);
+    Result<TransformedPair> reference =
+        CheckedFitTransformPair(spec, train, valid);
+    Result<SharedTransformedPair> cached = CheckedFitTransformPairCached(
+        spec, train, valid, &cache, "data", &scratch);
+    Result<SharedTransformedPair> uncached = CheckedFitTransformPairCached(
+        spec, train, valid, /*cache=*/nullptr, "data", &scratch);
+    ASSERT_EQ(reference.ok(), cached.ok()) << spec.ToString();
+    ASSERT_EQ(reference.ok(), uncached.ok()) << spec.ToString();
+    if (!reference.ok()) continue;
+    EXPECT_TRUE(
+        BitIdentical(reference.value().train, *cached.value().train))
+        << spec.ToString();
+    EXPECT_TRUE(
+        BitIdentical(reference.value().valid, *cached.value().valid))
+        << spec.ToString();
+    EXPECT_TRUE(
+        BitIdentical(reference.value().train, *uncached.value().train))
+        << spec.ToString();
+    EXPECT_TRUE(
+        BitIdentical(reference.value().valid, *uncached.value().valid))
+        << spec.ToString();
+  }
+}
+
+TEST(InPlace, CacheHitHandsOutSharedMatricesNotCopies) {
+  const Matrix train = RandomMatrix(40, 3, 51);
+  const Matrix valid = RandomMatrix(20, 3, 52);
+  TransformCache cache(64 * 1024 * 1024);
+  PipelineSpec spec = PipelineSpec::FromKinds(
+      {PreprocessorKind::kStandardScaler, PreprocessorKind::kMinMaxScaler});
+  Result<SharedTransformedPair> first =
+      CheckedFitTransformPairCached(spec, train, valid, &cache, "data");
+  Result<SharedTransformedPair> second =
+      CheckedFitTransformPairCached(spec, train, valid, &cache, "data");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  // A full hit returns the cached matrices themselves: pointer identity,
+  // zero copies.
+  EXPECT_EQ(first.value().train.get(), second.value().train.get());
+  EXPECT_EQ(first.value().valid.get(), second.value().valid.get());
+}
+
+TEST(InPlace, UncachedScratchPathAliasesScratchBuffers) {
+  const Matrix train = RandomMatrix(40, 3, 61);
+  const Matrix valid = RandomMatrix(20, 3, 62);
+  TransformScratch scratch;
+  PipelineSpec spec =
+      PipelineSpec::FromKinds({PreprocessorKind::kMaxAbsScaler});
+  Result<SharedTransformedPair> out = CheckedFitTransformPairCached(
+      spec, train, valid, /*cache=*/nullptr, "data", &scratch);
+  ASSERT_TRUE(out.ok());
+  // The result is a non-owning view of the caller's scratch — the whole
+  // point of threading scratch through the evaluator.
+  EXPECT_EQ(out.value().train.get(), &scratch.train);
+  EXPECT_EQ(out.value().valid.get(), &scratch.valid);
+}
+
+TEST(InPlace, EmptySpecAliasesInputs) {
+  const Matrix train = RandomMatrix(10, 3, 71);
+  const Matrix valid = RandomMatrix(5, 3, 72);
+  Result<SharedTransformedPair> out = CheckedFitTransformPairCached(
+      PipelineSpec{}, train, valid, /*cache=*/nullptr, "data");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out.value().train.get(), &train);
+  EXPECT_EQ(out.value().valid.get(), &valid);
+}
+
+}  // namespace
+}  // namespace autofp

@@ -1,5 +1,7 @@
 #include "util/matrix.h"
 
+#include <utility>
+
 #include <gtest/gtest.h>
 
 namespace autofp {
@@ -90,6 +92,69 @@ TEST(Matrix, AppendRowsToEmpty) {
   a.AppendRows(b);
   ASSERT_EQ(a.rows(), 1u);
   EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+}
+
+TEST(Matrix, AppendRowsMoveIntoEmptyAdoptsStorage) {
+  Matrix a;
+  Matrix b = {{3, 4}, {5, 6}};
+  const double* storage = b.RowPtr(0);
+  a.AppendRows(std::move(b));
+  ASSERT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.RowPtr(0), storage);  // adopted, not copied
+  EXPECT_DOUBLE_EQ(a(1, 1), 6.0);
+}
+
+TEST(Matrix, AppendRowsMoveIntoNonEmptyCopies) {
+  Matrix a = {{1, 2}};
+  Matrix b = {{3, 4}};
+  a.AppendRows(std::move(b));
+  ASSERT_EQ(a.rows(), 2u);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 4.0);
+}
+
+TEST(Matrix, ResizeKeepsCapacityWhenShrinking) {
+  Matrix m(4, 3, 1.0);
+  const double* storage = m.RowPtr(0);
+  m.Resize(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.RowPtr(0), storage);  // no reallocation on shrink
+  m.Resize(4, 3);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.RowPtr(0), storage);  // regrow within old capacity
+}
+
+TEST(Matrix, ResizeChangesShape) {
+  Matrix m;
+  m.Resize(2, 5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 5u);
+  m(1, 4) = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 4), 7.0);
+}
+
+TEST(Matrix, SelectRowsIntoMatchesSelectRows) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix out(9, 9, -1.0);  // dirty destination of the wrong shape
+  m.SelectRowsInto({2, 0, 2}, &out);
+  EXPECT_TRUE(out == m.SelectRows({2, 0, 2}));
+}
+
+TEST(Matrix, SelectRowsIntoReusesCapacity) {
+  Matrix m = {{1, 2}, {3, 4}, {5, 6}};
+  Matrix out;
+  m.SelectRowsInto({0, 1, 2}, &out);
+  const double* storage = out.RowPtr(0);
+  m.SelectRowsInto({1, 0}, &out);
+  ASSERT_EQ(out.rows(), 2u);
+  EXPECT_EQ(out.RowPtr(0), storage);  // smaller selection reuses buffer
+  EXPECT_DOUBLE_EQ(out(0, 0), 3.0);
+}
+
+TEST(MatrixDeath, SelectRowsIntoSelfAborts) {
+  Matrix m = {{1, 2}, {3, 4}};
+  EXPECT_DEATH(m.SelectRowsInto({0}, &m), "CHECK failed");
 }
 
 TEST(Matrix, Equality) {

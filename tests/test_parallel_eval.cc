@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -52,21 +54,28 @@ ModelConfig FastLr() {
 // ---------------------------------------------------------------------------
 // TransformCache: LRU bounded by bytes.
 
-TransformedPair MakePair(size_t rows, double fill) {
-  TransformedPair pair;
-  pair.train = Matrix(rows, 10, fill);
-  pair.valid = Matrix(rows / 2, 10, fill);
-  return pair;
+/// Shared train/valid matrices filled with `fill`, the unit the cache now
+/// stores (no TransformedPair copies cross the cache boundary).
+std::pair<std::shared_ptr<const Matrix>, std::shared_ptr<const Matrix>>
+MakeShared(size_t rows, double fill) {
+  return {std::make_shared<const Matrix>(rows, 10, fill),
+          std::make_shared<const Matrix>(rows / 2, 10, fill)};
+}
+
+void PutPair(TransformCache* cache, const std::string& key, size_t rows,
+             double fill) {
+  auto [train, valid] = MakeShared(rows, fill);
+  cache->Put(key, std::move(train), std::move(valid));
 }
 
 TEST(TransformCache, StoresAndRetrieves) {
   TransformCache cache(1 << 20);
-  EXPECT_EQ(cache.Get("a"), nullptr);
-  cache.Put("a", MakePair(10, 1.5));
-  std::shared_ptr<const TransformedPair> hit = cache.Get("a");
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit->train.rows(), 10u);
-  EXPECT_DOUBLE_EQ(hit->train(0, 0), 1.5);
+  EXPECT_FALSE(cache.Get("a"));
+  PutPair(&cache, "a", 10, 1.5);
+  CachedTransforms hit = cache.Get("a");
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit.train->rows(), 10u);
+  EXPECT_DOUBLE_EQ((*hit.train)(0, 0), 1.5);
   TransformCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits, 1);
   EXPECT_EQ(stats.misses, 1);
@@ -75,49 +84,95 @@ TEST(TransformCache, StoresAndRetrieves) {
   EXPECT_DOUBLE_EQ(stats.HitRate(), 0.5);
 }
 
+TEST(TransformCache, HandsOutSharedReferencesNotCopies) {
+  TransformCache cache(1 << 20);
+  auto [train, valid] = MakeShared(10, 3.0);
+  const Matrix* stored = train.get();
+  cache.Put("a", std::move(train), std::move(valid));
+  // Both hits observe the very matrix that was Put — a hit never copies.
+  EXPECT_EQ(cache.Get("a").train.get(), stored);
+  EXPECT_EQ(cache.Get("a").train.get(), stored);
+}
+
 TEST(TransformCache, EvictsLeastRecentlyUsed) {
   // Each entry's payload is 100x10 + 50x10 doubles = 12000 bytes; a 30000
   // byte budget holds two entries but not three.
   TransformCache cache(30000);
-  cache.Put("a", MakePair(100, 1.0));
-  cache.Put("b", MakePair(100, 2.0));
-  ASSERT_NE(cache.Get("a"), nullptr);  // refresh "a": now "b" is LRU.
-  cache.Put("c", MakePair(100, 3.0));
-  EXPECT_NE(cache.Get("a"), nullptr);
-  EXPECT_NE(cache.Get("c"), nullptr);
-  EXPECT_EQ(cache.Get("b"), nullptr);  // evicted.
+  PutPair(&cache, "a", 100, 1.0);
+  PutPair(&cache, "b", 100, 2.0);
+  ASSERT_TRUE(cache.Get("a"));  // refresh "a": now "b" is LRU.
+  PutPair(&cache, "c", 100, 3.0);
+  EXPECT_TRUE(cache.Get("a"));
+  EXPECT_TRUE(cache.Get("c"));
+  EXPECT_FALSE(cache.Get("b"));  // evicted.
   TransformCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.evictions, 1);
   EXPECT_LE(stats.bytes, stats.max_bytes);
 }
 
 TEST(TransformCache, OversizedEntryIsNeverStored) {
-  TransformCache cache(1000);  // smaller than any MakePair(100, ...) payload.
-  cache.Put("big", MakePair(100, 1.0));
-  EXPECT_EQ(cache.Get("big"), nullptr);
+  TransformCache cache(1000);  // smaller than any 100-row payload.
+  PutPair(&cache, "big", 100, 1.0);
+  EXPECT_FALSE(cache.Get("big"));
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().bytes, 0u);
 }
 
 TEST(TransformCache, EvictionNeverInvalidatesHeldValues) {
   TransformCache cache(30000);
-  cache.Put("a", MakePair(100, 7.0));
-  std::shared_ptr<const TransformedPair> held = cache.Get("a");
-  cache.Put("b", MakePair(100, 1.0));
-  cache.Put("c", MakePair(100, 2.0));  // evicts "a".
-  EXPECT_EQ(cache.Get("a"), nullptr);
-  // The held shared_ptr still reads valid data.
-  EXPECT_DOUBLE_EQ(held->train(99, 9), 7.0);
+  PutPair(&cache, "a", 100, 7.0);
+  CachedTransforms held = cache.Get("a");
+  PutPair(&cache, "b", 100, 1.0);
+  PutPair(&cache, "c", 100, 2.0);  // evicts "a".
+  EXPECT_FALSE(cache.Get("a"));
+  // The held shared reference still reads valid data.
+  EXPECT_DOUBLE_EQ((*held.train)(99, 9), 7.0);
 }
 
 TEST(TransformCache, ClearResetsContentAndBytes) {
   TransformCache cache(1 << 20);
-  cache.Put("a", MakePair(10, 1.0));
-  cache.Put("b", MakePair(10, 2.0));
+  PutPair(&cache, "a", 10, 1.0);
+  PutPair(&cache, "b", 10, 2.0);
   cache.Clear();
-  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_FALSE(cache.Get("a"));
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().bytes, 0u);
+}
+
+TEST(TransformCache, SharedEntriesReadConcurrentlyWhileEvicting) {
+  // The shared-immutable contract under load (run under TSan via
+  // scripts/check_tsan.sh): readers sum a cached entry's matrix while a
+  // writer churns the cache past its byte budget, evicting and
+  // re-inserting around them. Held references must stay valid and
+  // constant throughout.
+  TransformCache cache(30000);
+  PutPair(&cache, "hot", 100, 5.0);
+  std::atomic<bool> stop{false};
+  std::atomic<long> bad_reads{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&cache, &stop, &bad_reads] {
+      while (!stop.load()) {
+        CachedTransforms held = cache.Get("hot");
+        if (!held) continue;  // currently evicted; writer will re-insert.
+        for (size_t r = 0; r < held.train->rows(); ++r) {
+          const double* row = held.train->RowPtr(r);
+          for (size_t c = 0; c < held.train->cols(); ++c) {
+            if (row[c] != 5.0) bad_reads.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 200; ++i) {
+    // Each filler insert evicts the LRU entry; re-insert "hot" so readers
+    // keep finding it.
+    PutPair(&cache, "filler" + std::to_string(i), 100, 1.0);
+    PutPair(&cache, "hot", 100, 5.0);
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(bad_reads.load(), 0);
 }
 
 // ---------------------------------------------------------------------------
@@ -571,39 +626,26 @@ TEST(ParallelFaults, RetryAndQuarantineCountsMatchSequential) {
 }
 
 // ---------------------------------------------------------------------------
-// Deprecated shim: the old surface still works, marked for removal.
+// Scratch-aware evaluation: lending reusable buffers changes nothing about
+// the results.
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(DeprecatedShim, OldEvaluateMatchesRequestForm) {
+TEST(ScratchEval, ScratchAndScratchlessEvaluationsIdentical) {
   TrainValidSplit split = MakeSplit(65);
   PipelineEvaluator evaluator(split.train, split.valid, FastLr());
-  PipelineSpec pipeline =
-      PipelineSpec::FromKinds({PreprocessorKind::kMinMaxScaler});
-  EvalRequest request;
-  request.pipeline = pipeline;
-  // Full-fraction evaluations are seed-independent, so the shim (which
-  // derives its own seed) matches the request form exactly.
-  EXPECT_DOUBLE_EQ(evaluator.Evaluate(pipeline, 1.0).accuracy,
-                   evaluator.Evaluate(request).accuracy);
+  TransformScratch scratch;
+  for (PreprocessorKind kind : kAllKinds) {
+    EvalRequest request;
+    request.pipeline = PipelineSpec::FromKinds(
+        {kind, PreprocessorKind::kStandardScaler});
+    request.seed = EvalRequest::DeriveSeed(99, request.pipeline, 1.0, 1);
+    Evaluation fresh = evaluator.Evaluate(request);
+    // The same (dirty) scratch serves every evaluation in turn.
+    Evaluation reused = evaluator.Evaluate(request, &scratch);
+    EXPECT_DOUBLE_EQ(fresh.accuracy, reused.accuracy)
+        << request.pipeline.ToString();
+    EXPECT_EQ(fresh.failure, reused.failure);
+  }
 }
-
-TEST(DeprecatedShim, SetEvalDeadlineAppliesToOldOverloadOnly) {
-  TrainValidSplit split = MakeSplit(66, /*rows=*/400, /*cols=*/20);
-  PipelineEvaluator evaluator(split.train, split.valid,
-                              ModelConfig::Defaults(
-                                  ModelKind::kLogisticRegression));
-  evaluator.SetEvalDeadline(1e-9);
-  PipelineSpec pipeline =
-      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler});
-  Evaluation old_form = evaluator.Evaluate(pipeline, 1.0);
-  EXPECT_EQ(old_form.failure, EvalFailure::kDeadlineExceeded);
-  // A fresh request carries its own (disabled) deadline: unaffected.
-  EvalRequest request;
-  request.pipeline = pipeline;
-  EXPECT_FALSE(evaluator.Evaluate(request).failed());
-}
-#pragma GCC diagnostic pop
 
 }  // namespace
 }  // namespace autofp

@@ -223,7 +223,7 @@ int RunScore(const Options& options, const Predictor& predictor) {
     }
     Matrix row(1, input_cols);
     std::copy(cells.begin(), cells.end(), row.RowPtr(0));
-    rows.AppendRows(row);
+    rows.AppendRows(std::move(row));
   }
   if (in.bad()) {
     std::fprintf(stderr, "error: I/O error reading %s\n", options.in.c_str());
