@@ -3,9 +3,11 @@
 # the parallel evaluation engine (ParallelEvaluator, TransformCache,
 # CachingEvaluator, EvaluateBatch), the fault-injection suite that
 # shares its retry/quarantine paths, the serving runtime's worker
-# pool (Predictor sharded scoring + latency histogram), and the
+# pool (Predictor sharded scoring + latency histogram), the
 # zero-copy data plane (shared cache entries read while evicting,
-# per-worker scratch reuse, in-place kernel equivalence).
+# per-worker scratch reuse, in-place kernel equivalence), and the
+# network serving stack (socket server I/O + batch threads, hot-swap
+# registry, swap-under-concurrent-load tear check).
 #
 # Usage: scripts/check_tsan.sh [ctest-regex]
 #   ctest-regex  optional test-name filter; defaults to the concurrency
@@ -14,14 +16,15 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${repo_root}/build-tsan"
-filter="${1:-TransformCache|PrefixCache|CachingEvaluator|ParallelEvaluator|EvaluateBatch|ThreadInvariance|ParallelFaults|FaultInjector|Quarantine|Retry|Predictor|ScratchEval|InPlace}"
+filter="${1:-TransformCache|PrefixCache|CachingEvaluator|ParallelEvaluator|EvaluateBatch|ThreadInvariance|ParallelFaults|FaultInjector|Quarantine|Retry|Predictor|ScratchEval|InPlace|Protocol|ServeNet|Registry|HotSwap}"
 
 cmake -B "${build_dir}" -S "${repo_root}" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DAUTOFP_SANITIZE=thread
 cmake --build "${build_dir}" -j \
   --target test_parallel_eval test_fault_injection test_predictor \
-  test_inplace autofp autofp_serve_bin
+  test_inplace test_protocol test_serve_net autofp autofp_serve_bin \
+  autofp_loadgen
 
 cd "${build_dir}"
 TSAN_OPTIONS="halt_on_error=1" ctest --output-on-failure -R "${filter}"

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # One-shot CI entry point: tier-1 build + ctest, the ThreadSanitizer
 # concurrency suites, the AddressSanitizer data-plane suites, the
-# artifact/serving round trip, and the kill-point crash-injection
-# matrix.
+# artifact/serving round trip, the network serving end-to-end leg
+# (hot swap under load, malformed frames, signal handling), and the
+# kill-point crash-injection matrix.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -24,6 +25,12 @@ echo "=== serve: export -> score round trip ==="
 "${repo_root}/scripts/check_serve.sh" \
   --cli "${repo_root}/build/tools/autofp" \
   --serve "${repo_root}/build/tools/autofp_serve"
+
+echo "=== serve: network round trip, hot swap, drain ==="
+"${repo_root}/scripts/check_serve_net.sh" \
+  --cli "${repo_root}/build/tools/autofp" \
+  --serve "${repo_root}/build/tools/autofp_serve" \
+  --loadgen "${repo_root}/build/tools/autofp_loadgen"
 
 echo "=== crash: kill-and-resume determinism ==="
 "${repo_root}/scripts/check_crash.sh" --binary "${repo_root}/build/tools/autofp"

@@ -56,13 +56,17 @@ ServeStats LatencyRecorder::Snapshot() const {
 
 Predictor::LoadResult Predictor::Load(const std::string& path,
                                       const Options& options) {
-  LoadResult result;
   ArtifactReadResult read = ReadArtifact(path);
-  result.error = read.error;
-  result.status = read.status;
-  if (!read.ok()) return result;
-  result.predictor = FromArtifact(std::move(read.artifact), options);
-  return result;
+  if (!read.ok()) {
+    // Fold the taxonomy name into the message so the single Status is
+    // self-contained for callers that never look at artifact_error().
+    Status status(read.status.code(),
+                  std::string("[") + ArtifactErrorName(read.error) + "] " +
+                      read.status.message());
+    return LoadResult(read.error, std::move(status), nullptr);
+  }
+  return LoadResult(ArtifactError::kNone, Status::OK(),
+                    FromArtifact(std::move(read.artifact), options));
 }
 
 std::unique_ptr<Predictor> Predictor::FromArtifact(LoadedArtifact artifact,

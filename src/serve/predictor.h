@@ -79,13 +79,43 @@ class Predictor {
  public:
   using Options = PredictorOptions;
 
-  /// Typed outcome of loading an artifact into a predictor.
-  struct LoadResult {
-    ArtifactError error = ArtifactError::kNone;
-    Status status;
-    std::unique_ptr<Predictor> predictor;  ///< non-null iff ok().
+  /// Typed outcome of loading an artifact into a predictor: one Status
+  /// carries success/failure (its message embeds the taxonomy name, so
+  /// `status().ToString()` is self-contained), and `artifact_error()`
+  /// names which corruption-taxonomy case fired for callers that branch
+  /// on it.
+  class LoadResult {
+   public:
+    LoadResult(ArtifactError artifact_error, Status status,
+               std::unique_ptr<Predictor> predictor)
+        : artifact_error_(artifact_error),
+          status_(std::move(status)),
+          predictor_(std::move(predictor)) {
+      AUTOFP_CHECK((predictor_ != nullptr) == status_.ok());
+    }
 
-    bool ok() const { return error == ArtifactError::kNone; }
+    bool ok() const { return status_.ok(); }
+    const Status& status() const { return status_; }
+
+    /// Which ArtifactError case failed the load; kNone on success.
+    ArtifactError artifact_error() const { return artifact_error_; }
+
+    /// The loaded predictor; ok() must hold.
+    const Predictor& predictor() const {
+      AUTOFP_CHECK(ok()) << status_.ToString();
+      return *predictor_;
+    }
+
+    /// Moves the loaded predictor out; ok() must hold.
+    std::unique_ptr<Predictor> TakePredictor() {
+      AUTOFP_CHECK(ok()) << status_.ToString();
+      return std::move(predictor_);
+    }
+
+   private:
+    ArtifactError artifact_error_;
+    Status status_;
+    std::unique_ptr<Predictor> predictor_;
   };
 
   /// Reads `path` (full corruption taxonomy applies) and assembles the

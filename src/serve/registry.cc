@@ -1,0 +1,53 @@
+#include "serve/registry.h"
+
+#include <utility>
+
+namespace autofp {
+
+Status ArtifactRegistry::Swap(const std::string& path) {
+  // Load outside the lock: reading and validating an artifact is the slow
+  // part, and Acquire() must never block behind disk I/O.
+  Predictor::LoadResult loaded = Predictor::Load(path, options_);
+  if (!loaded.ok()) return loaded.status();
+  std::shared_ptr<const Predictor> fresh(loaded.TakePredictor());
+  std::lock_guard<std::mutex> lock(mutex_);
+  current_ = std::move(fresh);  // the swap: one pointer exchange.
+  path_ = path;
+  ++generation_;
+  return Status::OK();
+}
+
+Status ArtifactRegistry::Reload() {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    path = path_;
+  }
+  if (path.empty()) {
+    return Status::NotFound("nothing loaded yet, so nothing to reload");
+  }
+  return Swap(path);
+}
+
+std::shared_ptr<const Predictor> ArtifactRegistry::Acquire() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
+
+RegistryInfo ArtifactRegistry::Info() const {
+  std::shared_ptr<const Predictor> live;
+  RegistryInfo info;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live = current_;
+    info.generation = generation_;
+    info.path = path_;
+  }
+  if (live != nullptr) {
+    info.pipeline = live->spec().ToString();
+    info.model = ModelKindName(live->model_config().kind);
+  }
+  return info;
+}
+
+}  // namespace autofp

@@ -1,0 +1,795 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
+
+namespace autofp {
+
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IoError(std::string("fcntl O_NONBLOCK: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+bool IsPredictType(FrameType type) {
+  return type == FrameType::kPredictCsv || type == FrameType::kPredictDense;
+}
+
+}  // namespace
+
+// --- Connection and queue item ----------------------------------------------
+
+struct ServeSocketServer::Connection {
+  uint64_t id = 0;
+  int fd = -1;
+  FrameDecoder decoder;
+  std::string outbuf;
+  size_t outbuf_sent = 0;
+  /// Requests queued whose responses have not yet reached outbuf.
+  long inflight = 0;
+  /// A connection-fatal protocol error happened: stop reading, flush the
+  /// error response, then close.
+  bool closing = false;
+};
+
+struct ServeSocketServer::Pending {
+  /// 0 routes the outcome to the server log instead of a socket (the
+  /// internal SIGHUP-reload path).
+  uint64_t conn_id = 0;
+  ServeRequest request;
+  size_t rows = 0;  ///< cached request.rows.rows() for queue accounting.
+  /// When true the response was decided at admission (BUSY, malformed
+  /// frame, schema mismatch); it rides the queue so responses stay FIFO
+  /// per connection, but costs the batcher nothing.
+  bool resolved = false;
+  ServeResponse ready;
+};
+
+// --- Poller: epoll where available, poll(2) as the portable fallback --------
+
+class ServeSocketServer::Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+  };
+
+  explicit Poller(bool use_poll) : use_poll_(use_poll) {
+#ifdef __linux__
+    if (!use_poll_) {
+      epoll_fd_ = ::epoll_create1(0);
+      // Fall back to poll(2) if the kernel refuses an epoll instance.
+      if (epoll_fd_ < 0) use_poll_ = true;
+    }
+#else
+    use_poll_ = true;
+#endif
+  }
+
+  ~Poller() {
+#ifdef __linux__
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+#endif
+  }
+
+  void Add(int fd, bool read, bool write) {
+    if (use_poll_) {
+      interest_[fd] = Mask(read, write);
+      return;
+    }
+#ifdef __linux__
+    struct epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EpollMask(read, write);
+    event.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &event);
+#endif
+  }
+
+  void Update(int fd, bool read, bool write) {
+    if (use_poll_) {
+      interest_[fd] = Mask(read, write);
+      return;
+    }
+#ifdef __linux__
+    struct epoll_event event;
+    std::memset(&event, 0, sizeof(event));
+    event.events = EpollMask(read, write);
+    event.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &event);
+#endif
+  }
+
+  void Remove(int fd) {
+    if (use_poll_) {
+      interest_.erase(fd);
+      return;
+    }
+#ifdef __linux__
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+#endif
+  }
+
+  void Wait(int timeout_ms, std::vector<Event>* events) {
+    events->clear();
+    if (use_poll_) {
+      pollfds_.clear();
+      for (const auto& [fd, mask] : interest_) {
+        pollfds_.push_back({fd, mask, 0});
+      }
+      const int ready =
+          ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
+      if (ready <= 0) return;
+      for (const struct pollfd& p : pollfds_) {
+        if (p.revents == 0) continue;
+        Event event;
+        event.fd = p.fd;
+        // Errors and hangups surface as readable: the next read() reports
+        // the close/error and the connection is torn down there.
+        event.readable =
+            (p.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0;
+        event.writable = (p.revents & POLLOUT) != 0;
+        events->push_back(event);
+      }
+      return;
+    }
+#ifdef __linux__
+    struct epoll_event raw[64];
+    const int ready = ::epoll_wait(epoll_fd_, raw, 64, timeout_ms);
+    for (int i = 0; i < ready; ++i) {
+      Event event;
+      event.fd = raw[i].data.fd;
+      event.readable =
+          (raw[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0;
+      event.writable = (raw[i].events & EPOLLOUT) != 0;
+      events->push_back(event);
+    }
+#endif
+  }
+
+ private:
+  static short Mask(bool read, bool write) {
+    return static_cast<short>((read ? POLLIN : 0) | (write ? POLLOUT : 0));
+  }
+#ifdef __linux__
+  static uint32_t EpollMask(bool read, bool write) {
+    return (read ? EPOLLIN : 0u) | (write ? EPOLLOUT : 0u);
+  }
+  int epoll_fd_ = -1;
+#endif
+
+  bool use_poll_;
+  std::map<int, short> interest_;     // poll mode
+  std::vector<struct pollfd> pollfds_;  // poll mode scratch
+};
+
+// --- Lifecycle --------------------------------------------------------------
+
+ServeSocketServer::ServeSocketServer(ArtifactRegistry* registry,
+                                     ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {
+  AUTOFP_CHECK(registry_ != nullptr);
+}
+
+ServeSocketServer::~ServeSocketServer() { Stop(); }
+
+Status ServeSocketServer::Start() {
+  AUTOFP_CHECK(!started_) << "Start() called twice";
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket: ") + std::strerror(errno));
+  }
+  auto fail = [this](std::string message) {
+    Status status = Status::IoError(std::move(message));
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : wake_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return status;
+  };
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return fail("not an IPv4 bind address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return fail("bind " + options_.host + ":" +
+                std::to_string(options_.port) + ": " + std::strerror(errno));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    return fail(std::string("getsockname: ") + std::strerror(errno));
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    return fail(std::string("listen: ") + std::strerror(errno));
+  }
+  Status nonblocking = SetNonBlocking(listen_fd_);
+  if (!nonblocking.ok()) return fail(nonblocking.message());
+  if (::pipe(wake_fds_) != 0) {
+    return fail(std::string("pipe: ") + std::strerror(errno));
+  }
+  SetNonBlocking(wake_fds_[0]);
+  SetNonBlocking(wake_fds_[1]);
+
+  poller_ = std::make_unique<Poller>(options_.use_poll);
+  poller_->Add(listen_fd_, /*read=*/true, /*write=*/false);
+  poller_->Add(wake_fds_[0], /*read=*/true, /*write=*/false);
+
+  stop_.store(false);
+  batcher_done_ = false;
+  io_thread_ = std::thread([this] { IoLoop(); });
+  batch_thread_ = std::thread([this] { BatchLoop(); });
+  started_ = true;
+  return Status::OK();
+}
+
+void ServeSocketServer::Stop() {
+  if (!started_) return;
+  stop_.store(true);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+  }
+  work_available_.notify_all();
+  WakeIo();
+  batch_thread_.join();
+  WakeIo();  // batcher_done_ is now visible; make sure the I/O loop looks.
+  io_thread_.join();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  poller_.reset();
+  started_ = false;
+}
+
+void ServeSocketServer::RequestReload() {
+  Pending reload;
+  reload.conn_id = 0;
+  reload.request.type = FrameType::kSwap;
+  reload.request.text.clear();  // empty path = reload current
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(reload));
+  }
+  work_available_.notify_one();
+}
+
+ServerCounters ServeSocketServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mutex_);
+  return counters_;
+}
+
+void ServeSocketServer::WakeIo() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
+}
+
+// --- I/O thread -------------------------------------------------------------
+
+void ServeSocketServer::IoLoop() {
+  std::vector<Poller::Event> events;
+  bool listen_closed = false;
+  std::chrono::steady_clock::time_point stop_deadline{};
+  for (;;) {
+    const bool stopping = stop_.load();
+    poller_->Wait(stopping ? 10 : 100, &events);
+    for (const Poller::Event& event : events) {
+      if (event.fd == wake_fds_[0]) {
+        char sink[256];
+        while (::read(wake_fds_[0], sink, sizeof(sink)) > 0) {
+        }
+        continue;
+      }
+      if (event.fd == listen_fd_) {
+        if (!listen_closed) AcceptNew();
+        continue;
+      }
+      if (event.readable) HandleReadable(event.fd);
+      // The connection may have been closed by the read path.
+      if (event.writable && connections_.count(event.fd) > 0) {
+        HandleWritable(event.fd);
+      }
+    }
+    DrainOutgoing();
+    if (!stopping) continue;
+
+    // Graceful drain: stop accepting, let the batcher answer everything
+    // queued, flush every connection, then leave (with a grace bound so a
+    // peer that never reads cannot wedge Stop()).
+    if (!listen_closed) {
+      poller_->Remove(listen_fd_);
+      listen_closed = true;
+      stop_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    }
+    bool flushed = true;
+    for (const auto& [fd, conn] : connections_) {
+      if (conn.inflight > 0 || conn.outbuf_sent < conn.outbuf.size()) {
+        flushed = false;
+        break;
+      }
+    }
+    bool queues_empty;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queues_empty = batcher_done_ && outgoing_.empty();
+    }
+    if ((queues_empty && flushed) ||
+        std::chrono::steady_clock::now() >= stop_deadline) {
+      break;
+    }
+  }
+  std::vector<int> open_fds;
+  open_fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) open_fds.push_back(fd);
+  for (int fd : open_fds) CloseConnection(fd);
+}
+
+void ServeSocketServer::AcceptNew() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient accept error: poll again.
+    }
+    SetNonBlocking(fd);
+    int nodelay = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &nodelay, sizeof(nodelay));
+    Connection conn;
+    conn.id = next_conn_id_++;
+    conn.fd = fd;
+    connections_.emplace(fd, std::move(conn));
+    poller_->Add(fd, /*read=*/true, /*write=*/false);
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.connections_accepted;
+    }
+  }
+}
+
+void ServeSocketServer::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  poller_->Remove(fd);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+void ServeSocketServer::HandleReadable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection* conn = &it->second;
+  if (conn->closing) return;
+  char chunk[65536];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn->decoder.Feed(chunk, static_cast<size_t>(n));
+      DrainDecoder(conn);
+      if (conn->closing) break;
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    }
+    // Peer closed (or hard error). A close mid-frame is a typed protocol
+    // error; there is no one left to answer, so it is only counted.
+    if (n == 0 && conn->decoder.HasPartialFrame()) {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.protocol_errors;
+    }
+    CloseConnection(fd);
+    return;
+  }
+  UpdateInterest(conn);
+}
+
+void ServeSocketServer::DrainDecoder(Connection* conn) {
+  Frame frame;
+  ServeError error = ServeError::kNone;
+  std::string detail;
+  while (!conn->closing) {
+    const FrameDecoder::Outcome outcome =
+        conn->decoder.Next(&frame, &error, &detail);
+    if (outcome == FrameDecoder::Outcome::kNeedMore) return;
+    if (outcome == FrameDecoder::Outcome::kBad) {
+      // The stream is desynced: answer the typed error, then close once
+      // every earlier in-flight response has flushed.
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.protocol_errors;
+      }
+      EnqueueResolved(conn, ServeResponse::Error(error, detail));
+      conn->closing = true;
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.frames_received;
+    }
+    Pending item;
+    item.conn_id = conn->id;
+    const ServeError parse_error =
+        ParseRequestFrame(frame, &item.request, &detail);
+    if (parse_error != ServeError::kNone) {
+      // Well-framed but unusable: typed error, connection keeps going.
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.protocol_errors;
+      }
+      EnqueueResolved(conn, ServeResponse::Error(parse_error, detail));
+      continue;
+    }
+    if (!IsPredictType(item.request.type)) {
+      // Admin frames ride the same FIFO so swap/stats interleave cleanly
+      // with predictions.
+      ++conn->inflight;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        pending_.push_back(std::move(item));
+      }
+      work_available_.notify_one();
+      continue;
+    }
+    // Predict admission: fit the rows to the live schema, then apply the
+    // queue-depth bound.
+    std::shared_ptr<const Predictor> live = registry_->Acquire();
+    if (live == nullptr) {
+      EnqueueResolved(conn, ServeResponse::Error(ServeError::kUnavailable,
+                                                 "no artifact loaded"));
+      continue;
+    }
+    std::string reason;
+    if (!FitRowsToSchema(&item.request.rows, live->schema().input_cols,
+                         &reason)) {
+      EnqueueResolved(
+          conn, ServeResponse::Error(ServeError::kSchemaMismatch, reason));
+      continue;
+    }
+    item.rows = item.request.rows.rows();
+    bool admitted;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      admitted = pending_rows_ + item.rows <= options_.max_queue_rows;
+      if (admitted) {
+        pending_rows_ += item.rows;
+        pending_.push_back(std::move(item));
+      }
+    }
+    if (!admitted) {
+      {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.busy_shed;
+      }
+      EnqueueResolved(
+          conn,
+          ServeResponse::Error(
+              ServeError::kBusy,
+              "pending queue is past its " +
+                  std::to_string(options_.max_queue_rows) + "-row bound"));
+      continue;
+    }
+    ++conn->inflight;
+    {
+      std::lock_guard<std::mutex> lock(counters_mutex_);
+      ++counters_.predict_requests;
+      counters_.predict_rows += static_cast<long>(item.rows);
+    }
+    work_available_.notify_one();
+  }
+}
+
+void ServeSocketServer::EnqueueResolved(Connection* conn,
+                                        ServeResponse response) {
+  // Pre-resolved answers still ride the pending queue: responses must
+  // leave in request order even when some were decided at admission.
+  Pending item;
+  item.conn_id = conn->id;
+  item.resolved = true;
+  item.ready = std::move(response);
+  ++conn->inflight;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(item));
+  }
+  work_available_.notify_one();
+}
+
+void ServeSocketServer::HandleWritable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  FlushConnection(&it->second);
+}
+
+void ServeSocketServer::FlushConnection(Connection* conn) {
+  while (conn->outbuf_sent < conn->outbuf.size()) {
+    const ssize_t n =
+        ::send(conn->fd, conn->outbuf.data() + conn->outbuf_sent,
+               conn->outbuf.size() - conn->outbuf_sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(conn->fd);
+      return;
+    }
+    conn->outbuf_sent += static_cast<size_t>(n);
+  }
+  if (conn->outbuf_sent == conn->outbuf.size()) {
+    conn->outbuf.clear();
+    conn->outbuf_sent = 0;
+    if (conn->closing && conn->inflight == 0) {
+      CloseConnection(conn->fd);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void ServeSocketServer::UpdateInterest(Connection* conn) {
+  poller_->Update(conn->fd, /*read=*/!conn->closing,
+                  /*write=*/conn->outbuf_sent < conn->outbuf.size());
+}
+
+void ServeSocketServer::DrainOutgoing() {
+  std::deque<Outgoing> ready;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ready.swap(outgoing_);
+  }
+  for (Outgoing& out : ready) {
+    // Find the connection by id; it may have closed while the batch ran.
+    Connection* conn = nullptr;
+    for (auto& [fd, candidate] : connections_) {
+      if (candidate.id == out.conn_id) {
+        conn = &candidate;
+        break;
+      }
+    }
+    if (conn == nullptr) continue;
+    conn->outbuf.append(out.bytes);
+    --conn->inflight;
+    FlushConnection(conn);
+  }
+}
+
+// --- Batch thread -----------------------------------------------------------
+
+void ServeSocketServer::BatchLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(
+          lock, [this] { return stop_.load() || !pending_.empty(); });
+      if (pending_.empty()) break;  // stop_ and fully drained
+
+      Pending first = std::move(pending_.front());
+      pending_.pop_front();
+      pending_rows_ -= first.rows;
+      if (first.resolved || !IsPredictType(first.request.type)) {
+        lock.unlock();
+        if (first.resolved) {
+          PostResponse(first.conn_id, first.ready);
+        } else {
+          ExecuteAdmin(first);
+        }
+        continue;
+      }
+
+      // Micro-batch window: take further same-width predicts off the
+      // front until the row bound fills, waiting at most max_delay_us
+      // for stragglers once one request is in hand.
+      size_t batch_rows = first.rows;
+      const size_t cols = first.request.rows.cols();
+      batch.push_back(std::move(first));
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(options_.max_delay_us);
+      while (batch_rows < options_.max_batch_rows) {
+        if (!pending_.empty()) {
+          Pending& front = pending_.front();
+          if (front.resolved || !IsPredictType(front.request.type) ||
+              front.request.rows.cols() != cols) {
+            break;
+          }
+          batch_rows += front.rows;
+          pending_rows_ -= front.rows;
+          batch.push_back(std::move(front));
+          pending_.pop_front();
+          continue;
+        }
+        if (stop_.load()) break;  // draining: don't wait for stragglers
+        if (work_available_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+    }
+    ExecuteBatch(std::move(batch));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batcher_done_ = true;
+  }
+  WakeIo();
+}
+
+void ServeSocketServer::ExecuteBatch(std::vector<Pending> batch) {
+  // One registry acquisition covers the whole micro-batch: every answer
+  // below comes from exactly one artifact, so a concurrent swap can never
+  // produce a torn mix within or across the batch's responses.
+  std::shared_ptr<const Predictor> predictor = registry_->Acquire();
+  {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    ++counters_.micro_batches;
+    if (batch.size() > 1) {
+      counters_.coalesced_requests += static_cast<long>(batch.size());
+    }
+  }
+  if (predictor == nullptr) {
+    for (const Pending& item : batch) {
+      PostResponse(item.conn_id,
+                   ServeResponse::Error(ServeError::kUnavailable,
+                                        "no artifact loaded"));
+    }
+    return;
+  }
+  const Matrix* rows = &batch[0].request.rows;
+  if (batch.size() > 1) {
+    size_t total_rows = 0;
+    for (const Pending& item : batch) total_rows += item.rows;
+    batch_scratch_.Resize(total_rows, batch[0].request.rows.cols());
+    size_t at = 0;
+    for (const Pending& item : batch) {
+      const Matrix& part = item.request.rows;
+      std::copy(part.data().begin(), part.data().end(),
+                batch_scratch_.RowPtr(at));
+      at += item.rows;
+    }
+    rows = &batch_scratch_;
+  }
+  ServeResponse scored =
+      ExecutePredictRows(*predictor, *rows, options_.shard_rows);
+  if (!scored.ok()) {
+    // The whole batch shares one width, so a schema failure (e.g. a swap
+    // changed the input width between admission and scoring) applies to
+    // every request in it.
+    for (const Pending& item : batch) {
+      PostResponse(item.conn_id, scored);
+    }
+    return;
+  }
+  size_t at = 0;
+  for (const Pending& item : batch) {
+    ServeResponse part;
+    part.type = FrameType::kPredictions;
+    part.predictions.assign(scored.predictions.begin() + at,
+                            scored.predictions.begin() + at + item.rows);
+    at += item.rows;
+    PostResponse(item.conn_id, part);
+  }
+}
+
+void ServeSocketServer::ExecuteAdmin(const Pending& item) {
+  switch (item.request.type) {
+    case FrameType::kSwap: {
+      const Status swapped = item.request.text.empty()
+                                 ? registry_->Reload()
+                                 : registry_->Swap(item.request.text);
+      if (swapped.ok()) {
+        {
+          std::lock_guard<std::mutex> lock(counters_mutex_);
+          ++counters_.swaps;
+        }
+        const RegistryInfo info = registry_->Info();
+        ServeResponse response;
+        response.type = FrameType::kSwapped;
+        response.message = "swapped generation=" +
+                           std::to_string(info.generation) + " pipeline=[" +
+                           info.pipeline + "] model=" + info.model +
+                           " path=" + info.path;
+        if (item.conn_id == 0) {
+          std::fprintf(stderr, "reload: %s\n", response.message.c_str());
+        } else {
+          PostResponse(item.conn_id, response);
+        }
+        return;
+      }
+      if (item.conn_id == 0) {
+        std::fprintf(stderr, "reload failed: %s\n",
+                     swapped.ToString().c_str());
+        return;
+      }
+      PostResponse(item.conn_id,
+                   ServeResponse::Error(ServeError::kUnavailable,
+                                        swapped.message()));
+      return;
+    }
+    case FrameType::kStats: {
+      const RegistryInfo info = registry_->Info();
+      const ServerCounters counts = counters();
+      std::shared_ptr<const Predictor> live = registry_->Acquire();
+      std::string report;
+      report += "generation=" + std::to_string(info.generation) + "\n";
+      report += "artifact=" + info.path + "\n";
+      report += "pipeline=[" + info.pipeline + "]\n";
+      report += "model=" + info.model + "\n";
+      if (live != nullptr) report += FormatServeStats(live->stats());
+      report +=
+          "connections_accepted=" + std::to_string(counts.connections_accepted) +
+          "\nframes_received=" + std::to_string(counts.frames_received) +
+          "\npredict_requests=" + std::to_string(counts.predict_requests) +
+          "\npredict_rows=" + std::to_string(counts.predict_rows) +
+          "\nmicro_batches=" + std::to_string(counts.micro_batches) +
+          "\ncoalesced_requests=" + std::to_string(counts.coalesced_requests) +
+          "\nbusy_shed=" + std::to_string(counts.busy_shed) +
+          "\nprotocol_errors=" + std::to_string(counts.protocol_errors) +
+          "\nswaps=" + std::to_string(counts.swaps) + "\n";
+      ServeResponse response;
+      response.type = FrameType::kStatsReport;
+      response.message = std::move(report);
+      PostResponse(item.conn_id, response);
+      return;
+    }
+    case FrameType::kPing: {
+      PostResponse(item.conn_id, ServeResponse());
+      return;
+    }
+    default:
+      PostResponse(item.conn_id,
+                   ServeResponse::Error(ServeError::kBadType,
+                                        "unsupported admin request"));
+      return;
+  }
+}
+
+void ServeSocketServer::PostResponse(uint64_t conn_id,
+                                     const ServeResponse& response) {
+  Outgoing out;
+  out.conn_id = conn_id;
+  EncodeResponse(response, &out.bytes);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outgoing_.push_back(std::move(out));
+  }
+  WakeIo();
+}
+
+}  // namespace autofp

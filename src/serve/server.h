@@ -1,0 +1,178 @@
+#ifndef AUTOFP_SERVE_SERVER_H_
+#define AUTOFP_SERVE_SERVER_H_
+
+/// The concurrent serving front end (see DESIGN.md "Network serving").
+/// Two threads turn socket bytes into PredictSharded calls:
+///
+///   I/O thread    epoll (poll(2) fallback / opt-in) over the listen
+///                 socket and every connection; decodes frames
+///                 (serve/protocol.h), applies admission control, and
+///                 flushes response bytes. Never blocks on scoring.
+///   batch thread  pops parsed requests FIFO, coalesces pending predict
+///                 requests into one matrix (bounded by max_batch_rows,
+///                 waiting at most max_delay_us for stragglers), scores
+///                 the whole micro-batch with ONE Acquire()'d predictor
+///                 through PredictSharded, and splits the answers back
+///                 per request.
+///
+/// Because every response in a micro-batch comes from exactly one
+/// registry acquisition, a SWAP landing under live traffic can only
+/// produce whole-batch old-artifact or whole-batch new-artifact answers —
+/// never a torn mix. Responses flow strictly FIFO per connection
+/// (admission rejections included), so pipelined clients stay in sync.
+/// Past `max_queue_rows` pending rows the server sheds load with a typed
+/// BUSY response instead of queueing without bound.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "util/status.h"
+
+namespace autofp {
+
+struct ServerOptions {
+  /// Bind address. Port 0 binds an ephemeral port (read it back with
+  /// port() after Start()).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Micro-batcher: coalesce pending predict requests up to this many
+  /// rows per PredictSharded call...
+  size_t max_batch_rows = 2048;
+  /// ...waiting at most this long for more requests once one is pending.
+  /// 0 scores whatever is queued immediately.
+  long max_delay_us = 200;
+  /// Admission control: when the pending-row queue already holds this
+  /// many rows, further predict requests get a BUSY response. A single
+  /// request larger than the bound is always shed.
+  size_t max_queue_rows = 1u << 16;
+  /// Shard size handed to PredictSharded for each micro-batch.
+  size_t shard_rows = 256;
+  /// Listen backlog.
+  int backlog = 128;
+  /// Force the portable poll(2) event loop even where epoll is available
+  /// (the fallback is always used on non-Linux builds).
+  bool use_poll = false;
+};
+
+/// Monotonic counters over the server's lifetime.
+struct ServerCounters {
+  long connections_accepted = 0;
+  long frames_received = 0;
+  long predict_requests = 0;
+  long predict_rows = 0;
+  long micro_batches = 0;    ///< PredictSharded calls issued.
+  long coalesced_requests = 0;  ///< predict requests that shared a batch.
+  long busy_shed = 0;        ///< requests rejected by admission control.
+  long protocol_errors = 0;  ///< malformed frames (fatal and non-fatal).
+  long swaps = 0;            ///< SWAP/reload requests that succeeded.
+};
+
+class ServeSocketServer {
+ public:
+  /// `registry` must outlive the server; it is shared with whoever else
+  /// wants to swap artifacts (SIGHUP handler, background re-search, ...).
+  ServeSocketServer(ArtifactRegistry* registry, ServerOptions options);
+  ~ServeSocketServer();
+  ServeSocketServer(const ServeSocketServer&) = delete;
+  ServeSocketServer& operator=(const ServeSocketServer&) = delete;
+
+  /// Binds, listens, and spawns the I/O + batch threads.
+  Status Start();
+
+  /// Graceful drain: stop accepting, answer everything already queued,
+  /// flush, close. Idempotent.
+  void Stop();
+
+  /// The bound port (after Start()).
+  int port() const { return port_; }
+
+  /// Queues a reload of the registry's current artifact (the SIGHUP
+  /// path). Processed by the batch thread in queue order; the outcome is
+  /// reported to stderr. Safe from signal-adjacent contexts (not
+  /// async-signal-safe itself — call it from the main loop, not the
+  /// handler).
+  void RequestReload();
+
+  ServerCounters counters() const;
+
+ private:
+  struct Connection;
+  struct Pending;
+  class Poller;
+
+  void IoLoop();
+  void BatchLoop();
+
+  // --- I/O-thread helpers (own connections_). ---
+  void AcceptNew();
+  void HandleReadable(int fd);
+  void HandleWritable(int fd);
+  void CloseConnection(int fd);
+  /// Parses every complete frame buffered on `conn`, enqueueing work.
+  void DrainDecoder(Connection* conn);
+  /// Queues `response` for `conn` in FIFO order with its requests.
+  void EnqueueResolved(Connection* conn, ServeResponse response);
+  void FlushConnection(Connection* conn);
+  void UpdateInterest(Connection* conn);
+  /// Moves completed responses from outgoing_ into connection buffers.
+  void DrainOutgoing();
+  void WakeIo();
+
+  // --- Batch-thread helpers. ---
+  /// Scores one micro-batch (requests all share a column count).
+  void ExecuteBatch(std::vector<Pending> batch);
+  void ExecuteAdmin(const Pending& item);
+  /// Hands encoded response bytes back to the I/O thread.
+  void PostResponse(uint64_t conn_id, const ServeResponse& response);
+
+  ArtifactRegistry* const registry_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int wake_fds_[2] = {-1, -1};  ///< self-pipe: batch thread -> I/O thread.
+  int port_ = 0;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+
+  // I/O-thread state (no lock: touched only by the I/O thread after
+  // Start()).
+  std::unique_ptr<Poller> poller_;
+  std::map<int, Connection> connections_;  ///< keyed by fd.
+  uint64_t next_conn_id_ = 1;
+
+  // Shared queues.
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<Pending> pending_;
+  size_t pending_rows_ = 0;
+  bool batcher_done_ = false;
+  struct Outgoing {
+    uint64_t conn_id;
+    std::string bytes;
+  };
+  std::deque<Outgoing> outgoing_;
+
+  mutable std::mutex counters_mutex_;
+  ServerCounters counters_;
+
+  /// Batch-thread-only concat scratch; reused so steady-state coalescing
+  /// stops allocating.
+  Matrix batch_scratch_;
+
+  std::thread io_thread_;
+  std::thread batch_thread_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_SERVE_SERVER_H_

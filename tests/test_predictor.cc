@@ -40,9 +40,8 @@ std::unique_ptr<Predictor> MakePredictor(const Dataset& data,
   Predictor::Options options;
   options.num_threads = num_threads;
   Predictor::LoadResult loaded = Predictor::Load(path, options);
-  EXPECT_TRUE(loaded.ok()) << ArtifactErrorName(loaded.error) << ": "
-                           << loaded.status.ToString();
-  return std::move(loaded.predictor);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().ToString();
+  return loaded.TakePredictor();
 }
 
 /// The in-process reference the artifact must reproduce exactly:

@@ -41,6 +41,7 @@
 #include "core/auto_fp.h"
 #include "serve/artifact.h"
 #include "preprocess/pipeline_parse.h"
+#include "cli_flags.h"
 #include "util/csv.h"
 #include "search/registry.h"
 #include "search/two_step.h"
@@ -116,101 +117,84 @@ void PrintUsage() {
 bool ParseArgs(int argc, char** argv, Options* options) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", flag);
-        return nullptr;
-      }
-      return argv[++i];
-    };
     if (arg == "--data") {
-      const char* v = next("--data");
-      if (!v) return false;
-      options->data = v;
+      if (!cli::ParseString(argc, argv, &i, "--data", &options->data))
+        return false;
     } else if (arg == "--model") {
-      const char* v = next("--model");
-      if (!v) return false;
-      options->model = v;
+      if (!cli::ParseString(argc, argv, &i, "--model", &options->model))
+        return false;
     } else if (arg == "--algorithm") {
-      const char* v = next("--algorithm");
-      if (!v) return false;
-      options->algorithm = v;
+      if (!cli::ParseString(argc, argv, &i, "--algorithm",
+                            &options->algorithm))
+        return false;
     } else if (arg == "--budget") {
-      const char* v = next("--budget");
-      if (!v) return false;
-      options->budget = std::atol(v);
+      if (!cli::ParseLong(argc, argv, &i, "--budget", LONG_MIN,
+                          &options->budget))
+        return false;
     } else if (arg == "--seconds") {
-      const char* v = next("--seconds");
-      if (!v) return false;
-      options->seconds = std::atof(v);
+      if (!cli::ParseDouble(argc, argv, &i, "--seconds", &options->seconds))
+        return false;
     } else if (arg == "--seed") {
-      const char* v = next("--seed");
-      if (!v) return false;
-      options->seed = std::strtoull(v, nullptr, 10);
+      if (!cli::ParseU64(argc, argv, &i, "--seed", &options->seed))
+        return false;
     } else if (arg == "--max-length") {
-      const char* v = next("--max-length");
-      if (!v) return false;
-      options->max_length = std::strtoul(v, nullptr, 10);
+      if (!cli::ParseSize(argc, argv, &i, "--max-length", 0,
+                          &options->max_length))
+        return false;
     } else if (arg == "--space") {
-      const char* v = next("--space");
-      if (!v) return false;
-      options->space = v;
+      if (!cli::ParseString(argc, argv, &i, "--space", &options->space))
+        return false;
     } else if (arg == "--two-step") {
       options->two_step = true;
     } else if (arg == "--train-fraction") {
-      const char* v = next("--train-fraction");
-      if (!v) return false;
-      options->train_fraction = std::atof(v);
+      if (!cli::ParseDouble(argc, argv, &i, "--train-fraction",
+                            &options->train_fraction))
+        return false;
     } else if (arg == "--fault-rate") {
-      const char* v = next("--fault-rate");
-      if (!v) return false;
-      options->fault_rate = std::atof(v);
+      if (!cli::ParseDouble(argc, argv, &i, "--fault-rate",
+                            &options->fault_rate))
+        return false;
     } else if (arg == "--slowdown-rate") {
-      const char* v = next("--slowdown-rate");
-      if (!v) return false;
-      options->slowdown_rate = std::atof(v);
+      if (!cli::ParseDouble(argc, argv, &i, "--slowdown-rate",
+                            &options->slowdown_rate))
+        return false;
     } else if (arg == "--slowdown-seconds") {
-      const char* v = next("--slowdown-seconds");
-      if (!v) return false;
-      options->slowdown_seconds = std::atof(v);
+      if (!cli::ParseDouble(argc, argv, &i, "--slowdown-seconds",
+                            &options->slowdown_seconds))
+        return false;
     } else if (arg == "--eval-deadline") {
-      const char* v = next("--eval-deadline");
-      if (!v) return false;
-      options->eval_deadline = std::atof(v);
+      if (!cli::ParseDouble(argc, argv, &i, "--eval-deadline",
+                            &options->eval_deadline))
+        return false;
     } else if (arg == "--max-retries") {
-      const char* v = next("--max-retries");
-      if (!v) return false;
-      options->max_retries = std::atoi(v);
+      if (!cli::ParseInt(argc, argv, &i, "--max-retries", 0,
+                         &options->max_retries))
+        return false;
     } else if (arg == "--threads") {
-      const char* v = next("--threads");
-      if (!v) return false;
-      options->threads = std::atoi(v);
+      if (!cli::ParseInt(argc, argv, &i, "--threads", 1, &options->threads))
+        return false;
     } else if (arg == "--cache-mb") {
-      const char* v = next("--cache-mb");
-      if (!v) return false;
-      options->cache_mb = std::atof(v);
+      if (!cli::ParseDouble(argc, argv, &i, "--cache-mb", &options->cache_mb))
+        return false;
     } else if (arg == "--export-artifact") {
-      const char* v = next("--export-artifact");
-      if (!v) return false;
-      options->export_artifact = v;
+      if (!cli::ParseString(argc, argv, &i, "--export-artifact",
+                            &options->export_artifact))
+        return false;
     } else if (arg == "--journal") {
-      const char* v = next("--journal");
-      if (!v) return false;
-      options->journal = v;
+      if (!cli::ParseString(argc, argv, &i, "--journal", &options->journal))
+        return false;
     } else if (arg == "--resume") {
       options->resume = true;
     } else if (arg == "--dump-journal") {
-      const char* v = next("--dump-journal");
-      if (!v) return false;
-      options->dump_journal = v;
+      if (!cli::ParseString(argc, argv, &i, "--dump-journal",
+                            &options->dump_journal))
+        return false;
     } else if (arg == "--apply") {
-      const char* v = next("--apply");
-      if (!v) return false;
-      options->apply = v;
+      if (!cli::ParseString(argc, argv, &i, "--apply", &options->apply))
+        return false;
     } else if (arg == "--out") {
-      const char* v = next("--out");
-      if (!v) return false;
-      options->out = v;
+      if (!cli::ParseString(argc, argv, &i, "--out", &options->out))
+        return false;
     } else if (arg == "--list") {
       options->list = true;
     } else if (arg == "--help" || arg == "-h") {

@@ -1,15 +1,19 @@
 /// autofp_serve — score rows against an exported pipeline artifact.
 ///
 /// The serving half of the artifact workflow (see DESIGN.md "Artifacts
-/// and serving"): `autofp --export-artifact` writes the fitted pipeline
-/// plus trained model to one file; this tool loads it into an immutable
-/// Predictor and applies `transform -> predict` to rows, either in one
-/// batch pass (`score`) or as a long-running request loop (`serve`).
+/// and serving" and "Network serving"): `autofp --export-artifact` writes
+/// the fitted pipeline plus trained model to one file; this tool loads it
+/// into an immutable Predictor and applies `transform -> predict` to
+/// rows, as a batch pass (`score`), a stdin request loop (`serve`), or a
+/// concurrent socket server (`listen`).
 ///
 /// Usage:
 ///   autofp_serve score --artifact FILE --in FILE.csv --out FILE.csv
 ///                [--threads N] [--batch N] [--has-header]
-///   autofp_serve serve --artifact FILE [--threads N]
+///   autofp_serve serve --artifact FILE [--threads N] [--batch N]
+///   autofp_serve listen --artifact FILE [--threads N] [--batch N]
+///                [--host H] [--port P] [--max-batch-rows N]
+///                [--max-delay-us N] [--max-queue-rows N] [--use-poll]
 ///
 /// score: reads a numeric CSV and writes one prediction per input row.
 /// Rows may carry the training label as a trailing extra column (it is
@@ -19,42 +23,61 @@
 ///
 /// serve: reads newline-delimited requests from stdin, one CSV feature
 /// row per line, and answers each on stdout with the predicted class id
-/// (or `ERR <reason>` for a malformed line). SIGINT/SIGTERM drain
-/// gracefully: the in-flight request finishes, the latency report is
-/// printed, and the process exits 3 (mirroring the search CLI).
+/// (or `ERR [<code>] <reason>` from the serving error taxonomy for a
+/// malformed line). SIGINT/SIGTERM drain gracefully: the in-flight
+/// request finishes, the latency report is printed, and the process
+/// exits 3 (mirroring the search CLI).
+///
+/// listen: binds a socket (port 0 picks an ephemeral port, announced as
+/// "listening on HOST:PORT" on stderr) and serves the framed binary
+/// protocol (serve/protocol.h) with micro-batching and a hot-swap
+/// artifact registry: a SWAP frame — or SIGHUP — replaces the live
+/// artifact atomically under traffic. SIGINT/SIGTERM drain and exit 3.
 ///
 /// Exit codes: 0 ok; 1 runtime error (unreadable/corrupt artifact, I/O);
 /// 2 usage error; 3 interrupted by signal; 4 every input row malformed.
 
-#include <cerrno>
-#include <cinttypes>
 #include <csignal>
+#include <cinttypes>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "serve/predictor.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "cli_flags.h"
 
 namespace {
 
 using namespace autofp;
 
 volatile std::sig_atomic_t g_stop_requested = 0;
+volatile std::sig_atomic_t g_reload_requested = 0;
 
 extern "C" void HandleStopSignal(int) { g_stop_requested = 1; }
+extern "C" void HandleReloadSignal(int) { g_reload_requested = 1; }
 
 struct Options {
-  std::string mode;  ///< "score" or "serve".
+  std::string mode;  ///< "score", "serve" or "listen".
   std::string artifact;
   std::string in;
   std::string out;
   int threads = 1;
   size_t batch = 256;
   bool has_header = false;
+  // listen mode.
+  std::string host = "127.0.0.1";
+  int port = 0;
+  size_t max_batch_rows = 2048;
+  long max_delay_us = 200;
+  size_t max_queue_rows = 1u << 16;
+  bool use_poll = false;
 };
 
 void PrintUsage() {
@@ -62,15 +85,29 @@ void PrintUsage() {
       "usage: autofp_serve score --artifact FILE --in FILE.csv --out "
       "FILE.csv\n"
       "                    [--threads N] [--batch N] [--has-header]\n"
-      "       autofp_serve serve --artifact FILE [--threads N]\n"
+      "       autofp_serve serve --artifact FILE [--threads N] [--batch N]\n"
+      "       autofp_serve listen --artifact FILE [--threads N] [--batch N]\n"
+      "                    [--host H] [--port P] [--max-batch-rows N]\n"
+      "                    [--max-delay-us N] [--max-queue-rows N] "
+      "[--use-poll]\n"
       "  score: batch-score a CSV (one prediction per row; rows may carry\n"
       "         a trailing label column, which is ignored; malformed rows\n"
       "         are skipped and counted)\n"
       "  serve: answer newline-delimited CSV rows on stdin until EOF or\n"
       "         SIGINT/SIGTERM\n"
-      "  --threads N    scoring threads (default 1)\n"
-      "  --batch N      rows per scoring shard (default 256)\n"
-      "  --has-header   skip the first line of --in\n"
+      "  listen: serve the framed binary protocol on a socket with\n"
+      "         micro-batching; SWAP frames or SIGHUP hot-swap the\n"
+      "         artifact; port 0 picks an ephemeral port (announced as\n"
+      "         'listening on HOST:PORT' on stderr)\n"
+      "  --threads N        scoring threads (default 1)\n"
+      "  --batch N          rows per scoring shard (default 256)\n"
+      "  --has-header       skip the first line of --in\n"
+      "  --host H           listen address (default 127.0.0.1)\n"
+      "  --port P           listen port (default 0 = ephemeral)\n"
+      "  --max-batch-rows N micro-batch row bound (default 2048)\n"
+      "  --max-delay-us N   micro-batch straggler wait (default 200)\n"
+      "  --max-queue-rows N admission bound before BUSY (default 65536)\n"
+      "  --use-poll         use the portable poll(2) loop, not epoll\n"
       "exit codes: 0 ok | 1 error | 2 usage | 3 interrupted | 4 all rows "
       "malformed\n");
 }
@@ -78,50 +115,50 @@ void PrintUsage() {
 bool ParseArgs(int argc, char** argv, Options* options) {
   if (argc < 2) return false;
   options->mode = argv[1];
-  if (options->mode != "score" && options->mode != "serve") {
+  if (options->mode != "score" && options->mode != "serve" &&
+      options->mode != "listen") {
     std::fprintf(stderr, "error: unknown mode '%s'\n", options->mode.c_str());
     return false;
   }
   for (int i = 2; i < argc; ++i) {
     std::string arg = argv[i];
-    auto next = [&](const char* flag) -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "error: %s needs a value\n", flag);
-        return nullptr;
-      }
-      return argv[++i];
-    };
     if (arg == "--artifact") {
-      const char* v = next("--artifact");
-      if (v == nullptr) return false;
-      options->artifact = v;
+      if (!cli::ParseString(argc, argv, &i, "--artifact", &options->artifact))
+        return false;
     } else if (arg == "--in") {
-      const char* v = next("--in");
-      if (v == nullptr) return false;
-      options->in = v;
+      if (!cli::ParseString(argc, argv, &i, "--in", &options->in))
+        return false;
     } else if (arg == "--out") {
-      const char* v = next("--out");
-      if (v == nullptr) return false;
-      options->out = v;
+      if (!cli::ParseString(argc, argv, &i, "--out", &options->out))
+        return false;
     } else if (arg == "--threads") {
-      const char* v = next("--threads");
-      if (v == nullptr) return false;
-      options->threads = std::atoi(v);
-      if (options->threads < 1) {
-        std::fprintf(stderr, "error: --threads must be >= 1\n");
+      if (!cli::ParseInt(argc, argv, &i, "--threads", 1, &options->threads))
         return false;
-      }
     } else if (arg == "--batch") {
-      const char* v = next("--batch");
-      if (v == nullptr) return false;
-      long batch = std::atol(v);
-      if (batch < 1) {
-        std::fprintf(stderr, "error: --batch must be >= 1\n");
+      if (!cli::ParseSize(argc, argv, &i, "--batch", 1, &options->batch))
         return false;
-      }
-      options->batch = static_cast<size_t>(batch);
     } else if (arg == "--has-header") {
       options->has_header = true;
+    } else if (arg == "--host") {
+      if (!cli::ParseString(argc, argv, &i, "--host", &options->host))
+        return false;
+    } else if (arg == "--port") {
+      if (!cli::ParseInt(argc, argv, &i, "--port", 0, &options->port))
+        return false;
+    } else if (arg == "--max-batch-rows") {
+      if (!cli::ParseSize(argc, argv, &i, "--max-batch-rows", 1,
+                          &options->max_batch_rows))
+        return false;
+    } else if (arg == "--max-delay-us") {
+      if (!cli::ParseLong(argc, argv, &i, "--max-delay-us", 0,
+                          &options->max_delay_us))
+        return false;
+    } else if (arg == "--max-queue-rows") {
+      if (!cli::ParseSize(argc, argv, &i, "--max-queue-rows", 1,
+                          &options->max_queue_rows))
+        return false;
+    } else if (arg == "--use-poll") {
+      options->use_poll = true;
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -134,51 +171,6 @@ bool ParseArgs(int argc, char** argv, Options* options) {
   if (options->mode == "score" &&
       (options->in.empty() || options->out.empty())) {
     std::fprintf(stderr, "error: score mode needs --in and --out\n");
-    return false;
-  }
-  return true;
-}
-
-/// Parses one CSV line into doubles. Returns false (with a reason) on a
-/// non-numeric cell; the caller decides what a bad row means.
-bool ParseRow(const std::string& line, std::vector<double>* cells,
-              std::string* reason) {
-  cells->clear();
-  size_t start = 0;
-  while (true) {
-    size_t comma = line.find(',', start);
-    std::string cell = line.substr(
-        start, comma == std::string::npos ? std::string::npos : comma - start);
-    // Trim surrounding whitespace so "1.0, 2.0" parses.
-    size_t first = cell.find_first_not_of(" \t\r");
-    size_t last = cell.find_last_not_of(" \t\r");
-    if (first == std::string::npos) {
-      *reason = "empty cell";
-      return false;
-    }
-    cell = cell.substr(first, last - first + 1);
-    errno = 0;
-    char* end = nullptr;
-    double value = std::strtod(cell.c_str(), &end);
-    if (end != cell.c_str() + cell.size() || errno == ERANGE) {
-      *reason = "non-numeric cell '" + cell + "'";
-      return false;
-    }
-    cells->push_back(value);
-    if (comma == std::string::npos) break;
-    start = comma + 1;
-  }
-  return true;
-}
-
-/// Checks a parsed row against the artifact schema. Rows may carry one
-/// trailing extra column (the training label) which is dropped.
-bool CheckWidth(std::vector<double>* cells, uint64_t input_cols,
-                std::string* reason) {
-  if (cells->size() == input_cols + 1) cells->pop_back();
-  if (cells->size() != input_cols) {
-    *reason = "expected " + std::to_string(input_cols) + " columns, got " +
-              std::to_string(cells->size());
     return false;
   }
   return true;
@@ -214,15 +206,20 @@ int RunScore(const Options& options, const Predictor& predictor) {
     }
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     std::string reason;
-    if (!ParseRow(line, &cells, &reason) ||
-        !CheckWidth(&cells, input_cols, &reason)) {
+    Matrix row;
+    if (ParseCsvRow(line, &cells, &reason)) {
+      row.Resize(1, cells.size());
+      std::copy(cells.begin(), cells.end(), row.RowPtr(0));
+    }
+    if (reason.empty() && !FitRowsToSchema(&row, input_cols, &reason)) {
+      // reason is set by FitRowsToSchema.
+    }
+    if (!reason.empty()) {
       std::fprintf(stderr, "warning: skipping line %ld: %s\n", line_number,
                    reason.c_str());
       ++skipped;
       continue;
     }
-    Matrix row(1, input_cols);
-    std::copy(cells.begin(), cells.end(), row.RowPtr(0));
     rows.AppendRows(std::move(row));
   }
   if (in.bad()) {
@@ -262,12 +259,14 @@ int RunScore(const Options& options, const Predictor& predictor) {
   return 0;
 }
 
-int RunServe(const Predictor& predictor) {
-  const uint64_t input_cols = predictor.schema().input_cols;
+/// The stdin request loop, running each line through the same
+/// ServeRequest/ServeResponse surface as the socket server.
+int RunServe(const Options& options, const Predictor& predictor) {
   std::fprintf(stderr,
                "serving artifact for dataset '%s' (%" PRIu64
                " feature columns, %d classes); one CSV row per line\n",
-               predictor.schema().dataset_name.c_str(), input_cols,
+               predictor.schema().dataset_name.c_str(),
+               predictor.schema().input_cols,
                predictor.schema().num_classes);
   std::string line;
   std::vector<double> cells;
@@ -275,19 +274,21 @@ int RunServe(const Predictor& predictor) {
   while (g_stop_requested == 0 && std::getline(std::cin, line)) {
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     std::string reason;
-    if (!ParseRow(line, &cells, &reason) ||
-        !CheckWidth(&cells, input_cols, &reason)) {
-      std::printf("ERR %s\n", reason.c_str());
-      std::fflush(stdout);
-      continue;
-    }
-    Matrix row(1, input_cols);
-    std::copy(cells.begin(), cells.end(), row.RowPtr(0));
-    Result<std::vector<int>> prediction = predictor.Predict(row);
-    if (!prediction.ok()) {
-      std::printf("ERR %s\n", prediction.status().message().c_str());
+    ServeResponse response;
+    if (!ParseCsvRow(line, &cells, &reason)) {
+      response = ServeResponse::Error(ServeError::kMalformedBody, reason);
     } else {
-      std::printf("%d\n", prediction.value()[0]);
+      ServeRequest request;
+      request.type = FrameType::kPredictDense;
+      request.rows.Resize(1, cells.size());
+      std::copy(cells.begin(), cells.end(), request.rows.RowPtr(0));
+      response = ExecuteRequest(&predictor, request, options.batch);
+    }
+    if (!response.ok()) {
+      std::printf("ERR [%s] %s\n", ServeErrorName(response.error),
+                  response.message.c_str());
+    } else {
+      std::printf("%d\n", response.predictions[0]);
     }
     std::fflush(stdout);
     ++answered;
@@ -297,6 +298,65 @@ int RunServe(const Predictor& predictor) {
   std::fprintf(stderr, "served %ld requests\n", answered);
   PrintStats(predictor);
   return g_stop_requested != 0 ? 3 : 0;
+}
+
+/// The socket front end: registry + concurrent server, running until a
+/// stop signal drains it. SIGHUP queues an artifact reload.
+int RunListen(const Options& options) {
+  Predictor::Options predictor_options;
+  predictor_options.num_threads = options.threads;
+  ArtifactRegistry registry(predictor_options);
+  Status swapped = registry.Swap(options.artifact);
+  if (!swapped.ok()) {
+    std::fprintf(stderr, "error: cannot load artifact %s: %s\n",
+                 options.artifact.c_str(), swapped.message().c_str());
+    return 1;
+  }
+  const RegistryInfo info = registry.Info();
+  std::fprintf(stderr, "loaded artifact: pipeline [%s], model %s\n",
+               info.pipeline.c_str(), info.model.c_str());
+
+  ServerOptions server_options;
+  server_options.host = options.host;
+  server_options.port = options.port;
+  server_options.max_batch_rows = options.max_batch_rows;
+  server_options.max_delay_us = options.max_delay_us;
+  server_options.max_queue_rows = options.max_queue_rows;
+  server_options.shard_rows = options.batch;
+  server_options.use_poll = options.use_poll;
+  ServeSocketServer server(&registry, server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "error: %s\n", started.message().c_str());
+    return 1;
+  }
+  std::signal(SIGHUP, HandleReloadSignal);
+  std::fprintf(stderr, "listening on %s:%d\n", options.host.c_str(),
+               server.port());
+  std::fflush(stderr);
+
+  while (g_stop_requested == 0) {
+    if (g_reload_requested != 0) {
+      g_reload_requested = 0;
+      server.RequestReload();
+    }
+    struct timespec nap = {0, 50 * 1000 * 1000};  // 50 ms
+    ::nanosleep(&nap, nullptr);
+  }
+  server.Stop();
+
+  const ServerCounters counts = server.counters();
+  std::fprintf(stderr,
+               "served %ld requests (%ld rows) over %ld connections: "
+               "%ld micro-batches, %ld coalesced, %ld busy-shed, "
+               "%ld protocol errors, %ld swaps\n",
+               counts.predict_requests, counts.predict_rows,
+               counts.connections_accepted, counts.micro_batches,
+               counts.coalesced_requests, counts.busy_shed,
+               counts.protocol_errors, counts.swaps);
+  std::shared_ptr<const Predictor> live = registry.Acquire();
+  if (live != nullptr) PrintStats(*live);
+  return 3;
 }
 
 }  // namespace
@@ -309,22 +369,22 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  if (options.mode == "listen") return RunListen(options);
 
   Predictor::Options predictor_options;
   predictor_options.num_threads = options.threads;
   Predictor::LoadResult loaded =
       Predictor::Load(options.artifact, predictor_options);
   if (!loaded.ok()) {
-    std::fprintf(stderr, "error: cannot load artifact %s: [%s] %s\n",
-                 options.artifact.c_str(), ArtifactErrorName(loaded.error),
-                 loaded.status.message().c_str());
+    std::fprintf(stderr, "error: cannot load artifact %s: %s\n",
+                 options.artifact.c_str(), loaded.status().message().c_str());
     return 1;
   }
-  const Predictor& predictor = *loaded.predictor;
+  const Predictor& predictor = loaded.predictor();
   std::fprintf(stderr, "loaded artifact: pipeline [%s], model %s\n",
                predictor.spec().ToString().c_str(),
                ModelKindName(predictor.model_config().kind).c_str());
 
   return options.mode == "score" ? RunScore(options, predictor)
-                                 : RunServe(predictor);
+                                 : RunServe(options, predictor);
 }
