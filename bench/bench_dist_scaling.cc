@@ -1,0 +1,167 @@
+/// Distributed-evaluation scaling: evaluations/sec of one fixed request
+/// batch under the two concurrency engines — in-process threads
+/// (ParallelEvaluator) and forked worker processes (DistributedEvaluator
+/// over InProcessWorkerSpawner, the same lease/wire machinery as
+/// `autofp --workers N` minus exec) — at 1/2/4/8 ways.
+///
+/// What to look for: threads win on this scale of dataset (no
+/// serialization, shared transform cache possible), and the gap is the
+/// price of the process boundary — framing, journal-grade result
+/// encoding, no shared scratch. Workers only pay off when evaluation
+/// cost dominates (bigger data, heavier models) or when crash isolation
+/// is the point (a worker segfault costs a lease, not the run). Run
+/// after touching src/dist/ or the parallel evaluator; `--json FILE`
+/// writes the committed BENCH_dist.json snapshot
+/// (scripts/bench_snapshot.sh).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/parallel_evaluator.h"
+#include "core/run_journal.h"
+#include "dist/coordinator.h"
+#include "dist/worker.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace autofp;
+using bench::PrintHeader;
+
+/// A deterministic batch covering depths 1-3 over a small kind set —
+/// the shape of one evolutionary generation.
+std::vector<EvalRequest> MakeBatch(size_t count) {
+  const PreprocessorKind kinds[] = {
+      PreprocessorKind::kStandardScaler, PreprocessorKind::kMinMaxScaler,
+      PreprocessorKind::kMaxAbsScaler,   PreprocessorKind::kNormalizer,
+      PreprocessorKind::kBinarizer,      PreprocessorKind::kPowerTransformer};
+  constexpr size_t kNumKinds = sizeof(kinds) / sizeof(kinds[0]);
+  std::vector<EvalRequest> requests;
+  for (size_t i = 0; i < count; ++i) {
+    std::vector<PreprocessorKind> steps;
+    for (size_t depth = 0; depth <= i % 3; ++depth) {
+      steps.push_back(kinds[(i * 5 + depth * 7) % kNumKinds]);
+    }
+    EvalRequest request;
+    request.pipeline = PipelineSpec::FromKinds(steps);
+    request.seed = EvalRequest::DeriveSeed(17, request.pipeline,
+                                           request.budget_fraction, 0);
+    requests.push_back(std::move(request));
+  }
+  return requests;
+}
+
+struct Cell {
+  const char* mode = "";
+  int ways = 0;
+  double evals_per_sec = 0.0;
+  double speedup = 0.0;
+};
+
+double TimeBatch(EvaluatorInterface* engine,
+                 const std::vector<EvalRequest>& batch, int repeats) {
+  Stopwatch wall;
+  size_t completed = 0;
+  for (int r = 0; r < repeats; ++r) {
+    std::vector<Evaluation> results = engine->EvaluateAll(batch);
+    AUTOFP_CHECK_EQ(results.size(), batch.size());
+    completed += results.size();
+  }
+  return static_cast<double>(completed) / wall.ElapsedSeconds();
+}
+
+void WriteJson(const std::string& path, const std::vector<Cell>& cells,
+               size_t batch_size) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"dist_scaling\",\n  \"batch_size\": " << batch_size
+      << ",\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < cells.size(); ++i) {
+    const Cell& cell = cells[i];
+    out << "    {\"mode\": \"" << cell.mode << "\", \"ways\": " << cell.ways
+        << ", \"evals_per_sec\": " << static_cast<long>(cell.evals_per_sec)
+        << ", \"speedup\": " << cell.speedup << "}"
+        << (i + 1 < cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    }
+  }
+  PrintHeader("Distributed scaling", "distributed search (DESIGN.md)",
+              "evaluations/sec of one fixed batch: in-process threads "
+              "(ParallelEvaluator) vs forked worker processes "
+              "(DistributedEvaluator) at 1/2/4/8 ways");
+
+  TrainValidSplit split = bench::PrepareScenario("sylvine_syn", 8, 1500);
+  PipelineEvaluator local(split.train, split.valid,
+                          bench::BenchModel(ModelKind::kLogisticRegression));
+  const uint64_t fingerprint = DatasetFingerprint(split.train);
+  const std::vector<EvalRequest> batch = MakeBatch(48);
+  constexpr int kRepeats = 4;
+
+  std::printf("\n%zu requests/batch x %d batches | %zu train rows x %zu "
+              "cols | LR\n\n",
+              batch.size(), kRepeats, split.train.num_rows(),
+              split.train.num_cols());
+  std::printf("%10s %6s %14s %10s\n", "mode", "ways", "evals/s", "speedup");
+
+  std::vector<Cell> cells;
+  double thread_base = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    ParallelEvaluator engine(&local, threads);
+    Cell cell;
+    cell.mode = "threads";
+    cell.ways = threads;
+    cell.evals_per_sec = TimeBatch(&engine, batch, kRepeats);
+    if (threads == 1) thread_base = cell.evals_per_sec;
+    cell.speedup = cell.evals_per_sec / thread_base;
+    std::printf("%10s %6d %14.1f %9.2fx\n", cell.mode, cell.ways,
+                cell.evals_per_sec, cell.speedup);
+    cells.push_back(cell);
+  }
+
+  double worker_base = 0.0;
+  for (int num_workers : {1, 2, 4, 8}) {
+    DistOptions options;
+    options.num_workers = num_workers;
+    options.lease_size = 4;
+    options.expected_dataset_fingerprint = fingerprint;
+    // Workers are forked, not exec'd: they inherit the fitted local
+    // evaluator by copy-on-write, exactly what `autofp --workers N`
+    // reconstructs from the shared-dataset file.
+    DistributedEvaluator engine(
+        &local, InProcessWorkerSpawner([&local, fingerprint](
+                                           int fd, int worker_index) {
+          return RunDistWorker(fd, worker_index, fingerprint, &local,
+                               WorkerHooks{});
+        }),
+        options);
+    Cell cell;
+    cell.mode = "workers";
+    cell.ways = num_workers;
+    cell.evals_per_sec = TimeBatch(&engine, batch, kRepeats);
+    if (num_workers == 1) worker_base = cell.evals_per_sec;
+    cell.speedup = cell.evals_per_sec / worker_base;
+    std::printf("%10s %6d %14.1f %9.2fx\n", cell.mode, cell.ways,
+                cell.evals_per_sec, cell.speedup);
+    engine.Shutdown();
+    cells.push_back(cell);
+  }
+
+  if (!json_path.empty()) {
+    WriteJson(json_path, cells, batch.size());
+    std::printf("\nwrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

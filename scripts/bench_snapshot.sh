@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Regenerates the committed serving-perf baseline (BENCH_serve.json):
-# socket round-trip rows/sec and p50/p95/p99 latency at 1/4/16
-# connections, measured by bench_serve_throughput's network section
-# (in-process ServeSocketServer + closed-loop BlockingFrameClient
-# workers — the same stack as `autofp_serve listen` + autofp_loadgen).
+# Regenerates the committed perf baselines:
+#   BENCH_serve.json — socket round-trip rows/sec and p50/p95/p99
+#     latency at 1/4/16 connections, measured by
+#     bench_serve_throughput's network section (in-process
+#     ServeSocketServer + closed-loop BlockingFrameClient workers — the
+#     same stack as `autofp_serve listen` + autofp_loadgen).
+#   BENCH_dist.json — evaluations/sec of one fixed batch under
+#     in-process threads vs forked worker processes at 1/2/4/8 ways
+#     (bench_dist_scaling).
 #
-# Numbers are machine-dependent; the committed file is a reference
-# point for spotting order-of-magnitude regressions after touching the
-# epoll front end or the micro-batcher, not a CI gate.
+# Numbers are machine-dependent; the committed files are reference
+# points for spotting order-of-magnitude regressions after touching
+# the epoll front end, the micro-batcher, the parallel evaluator or
+# the distributed runtime — not a CI gate.
 #
 # Usage: scripts/bench_snapshot.sh [build-dir]
 set -euo pipefail
@@ -15,8 +20,13 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
-cmake --build "${build_dir}" -j --target bench_serve_throughput
+cmake --build "${build_dir}" -j \
+  --target bench_serve_throughput bench_dist_scaling
 
 "${build_dir}/bench/bench_serve_throughput" --net-only \
   --json "${repo_root}/BENCH_serve.json"
 echo "wrote ${repo_root}/BENCH_serve.json"
+
+"${build_dir}/bench/bench_dist_scaling" \
+  --json "${repo_root}/BENCH_dist.json"
+echo "wrote ${repo_root}/BENCH_dist.json"

@@ -35,4 +35,11 @@ echo "=== serve: network round trip, hot swap, drain ==="
 echo "=== crash: kill-and-resume determinism ==="
 "${repo_root}/scripts/check_crash.sh" --binary "${repo_root}/build/tools/autofp"
 
+echo "=== dist: multi-process chaos (crashes, stragglers, orphans) ==="
+"${repo_root}/scripts/check_dist.sh" --binary "${repo_root}/build/tools/autofp"
+
+echo "=== dist: chaos quick pass under the TSan build ==="
+"${repo_root}/scripts/check_dist.sh" \
+  --binary "${repo_root}/build-tsan/tools/autofp" --quick
+
 echo "CI passed."

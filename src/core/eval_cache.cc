@@ -44,6 +44,43 @@ Evaluation CachingEvaluator::Evaluate(const EvalRequest& request,
   return evaluation;
 }
 
+std::vector<Evaluation> CachingEvaluator::EvaluateAll(
+    const std::vector<EvalRequest>& requests) {
+  std::vector<Evaluation> results(requests.size());
+  std::vector<EvalRequest> missed;
+  std::vector<size_t> missed_slot;
+  std::vector<std::string> missed_key;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < requests.size(); ++i) {
+      std::string key = KeyFor(requests[i]);
+      auto found = cache_.find(key);
+      if (found != cache_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        results[i] = found->second;
+        continue;
+      }
+      missed.push_back(requests[i]);
+      missed_slot.push_back(i);
+      missed_key.push_back(std::move(key));
+    }
+  }
+  if (missed.empty()) return results;
+  misses_.fetch_add(static_cast<long>(missed.size()),
+                    std::memory_order_relaxed);
+  std::vector<Evaluation> fresh = inner_->EvaluateAll(missed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t k = 0; k < fresh.size(); ++k) {
+      if (fresh[k].failure != EvalFailure::kDeadlineExceeded) {
+        cache_.emplace(std::move(missed_key[k]), fresh[k]);
+      }
+      results[missed_slot[k]] = std::move(fresh[k]);
+    }
+  }
+  return results;
+}
+
 size_t CachingEvaluator::size() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return cache_.size();

@@ -38,6 +38,14 @@ class CachingEvaluator : public EvaluatorInterface {
   /// On a miss, lends `scratch` to the inner evaluator.
   Evaluation Evaluate(const EvalRequest& request,
                       TransformScratch* scratch) override;
+  /// Serves hits from the cache and forwards the misses as one sub-batch
+  /// to the inner evaluator, so batch engines (thread pool, distributed
+  /// workers) under the cache still see whole batches.
+  std::vector<Evaluation> EvaluateAll(
+      const std::vector<EvalRequest>& requests) override;
+  bool SupportsConcurrentBatches() const override {
+    return inner_->SupportsConcurrentBatches();
+  }
   double BaselineAccuracy() override { return inner_->BaselineAccuracy(); }
 
   long hits() const { return hits_.load(std::memory_order_relaxed); }

@@ -100,6 +100,26 @@ class EvaluatorInterface {
     return Evaluate(request);
   }
 
+  /// Batch form: evaluates every request and returns results in request
+  /// order. The default runs the batch sequentially through Evaluate();
+  /// engines that can overlap work (thread pools, distributed workers)
+  /// override it and report so via SupportsConcurrentBatches(), letting
+  /// the search framework hand them whole generations at once.
+  virtual std::vector<Evaluation> EvaluateAll(
+      const std::vector<EvalRequest>& requests) {
+    std::vector<Evaluation> results;
+    results.reserve(requests.size());
+    for (const EvalRequest& request : requests) {
+      results.push_back(Evaluate(request));
+    }
+    return results;
+  }
+
+  /// True when EvaluateAll() actually overlaps evaluations (so batching
+  /// through it beats the caller's own sequential loop). Decorators
+  /// forward their inner evaluator's answer.
+  virtual bool SupportsConcurrentBatches() const { return false; }
+
   /// Accuracy of the empty (no-FP) pipeline.
   virtual double BaselineAccuracy() = 0;
 };

@@ -20,6 +20,8 @@ const char* EvalFailureName(EvalFailure failure) {
       return "DeadlineExceeded";
     case EvalFailure::kInjected:
       return "Injected";
+    case EvalFailure::kWorkerLost:
+      return "WorkerLost";
   }
   return "Unknown";
 }

@@ -34,6 +34,11 @@ enum class EvalFailure : int {
   kDeadlineExceeded,
   /// Synthetic failure injected by a FaultInjector.
   kInjected,
+  /// The distributed worker holding this evaluation's lease died (or was
+  /// revoked as a straggler) and every re-lease attempt was exhausted.
+  /// Transient: the pipeline itself is not implicated, so the search
+  /// framework's retry rounds may still evaluate it elsewhere.
+  kWorkerLost,
 };
 
 /// Human-readable name ("NonFiniteOutput" etc.; "OK" for kNone).
@@ -44,7 +49,8 @@ const char* EvalFailureName(EvalFailure failure);
 /// deterministic properties of the pipeline and are quarantined instead.
 inline bool IsTransientFailure(EvalFailure failure) {
   return failure == EvalFailure::kInjected ||
-         failure == EvalFailure::kDeadlineExceeded;
+         failure == EvalFailure::kDeadlineExceeded ||
+         failure == EvalFailure::kWorkerLost;
 }
 
 /// Score recorded for a failed evaluation: the worst possible accuracy, so

@@ -49,7 +49,8 @@ class ParallelEvaluator : public EvaluatorInterface {
   /// submitting thread at a time per batch; concurrent batches simply
   /// share the workers.
   std::vector<Evaluation> EvaluateAll(
-      const std::vector<EvalRequest>& requests);
+      const std::vector<EvalRequest>& requests) override;
+  bool SupportsConcurrentBatches() const override { return true; }
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
   EvaluatorInterface* inner() { return inner_; }

@@ -13,6 +13,7 @@
 
 #include "core/search_framework.h"
 #include "preprocess/pipeline_parse.h"
+#include "util/fs.h"
 
 namespace autofp {
 namespace {
@@ -69,43 +70,6 @@ std::string EncodeHeader(const JournalHeader& header) {
   AppendString(&body, header.meta);
   AppendPod<uint32_t>(&body, Crc32(body.data(), body.size()));
   return body;
-}
-
-std::string EncodeRecordPayload(const JournalRecord& record) {
-  std::string payload;
-  AppendPod<double>(&payload, record.accuracy);
-  AppendPod<double>(&payload, record.budget_fraction);
-  AppendPod<uint64_t>(&payload, record.seed);
-  AppendPod<double>(&payload, record.elapsed_seconds);
-  AppendPod<double>(&payload, record.prep_seconds);
-  AppendPod<double>(&payload, record.train_seconds);
-  AppendPod<int32_t>(&payload, static_cast<int32_t>(record.failure));
-  AppendPod<int32_t>(&payload, record.attempts);
-  AppendPod<int32_t>(&payload, record.status_code);
-  AppendString(&payload, record.pipeline);
-  AppendString(&payload, record.status_message);
-  return payload;
-}
-
-bool DecodeRecordPayload(const char* data, size_t size,
-                         JournalRecord* record) {
-  ByteReader reader{data, size};
-  int32_t failure = 0, attempts = 0, status_code = 0;
-  if (!reader.ReadPod(&record->accuracy) ||
-      !reader.ReadPod(&record->budget_fraction) ||
-      !reader.ReadPod(&record->seed) ||
-      !reader.ReadPod(&record->elapsed_seconds) ||
-      !reader.ReadPod(&record->prep_seconds) ||
-      !reader.ReadPod(&record->train_seconds) || !reader.ReadPod(&failure) ||
-      !reader.ReadPod(&attempts) || !reader.ReadPod(&status_code) ||
-      !reader.ReadString(&record->pipeline) ||
-      !reader.ReadString(&record->status_message)) {
-    return false;
-  }
-  record->failure = static_cast<EvalFailure>(failure);
-  record->attempts = attempts;
-  record->status_code = status_code;
-  return reader.pos == size;
 }
 
 // Writes the whole buffer, restarting on EINTR and short writes: ::write
@@ -218,6 +182,43 @@ const char* JournalErrorName(JournalError error) {
       return "DatasetMismatch";
   }
   return "Unknown";
+}
+
+std::string EncodeJournalRecordPayload(const JournalRecord& record) {
+  std::string payload;
+  AppendPod<double>(&payload, record.accuracy);
+  AppendPod<double>(&payload, record.budget_fraction);
+  AppendPod<uint64_t>(&payload, record.seed);
+  AppendPod<double>(&payload, record.elapsed_seconds);
+  AppendPod<double>(&payload, record.prep_seconds);
+  AppendPod<double>(&payload, record.train_seconds);
+  AppendPod<int32_t>(&payload, static_cast<int32_t>(record.failure));
+  AppendPod<int32_t>(&payload, record.attempts);
+  AppendPod<int32_t>(&payload, record.status_code);
+  AppendString(&payload, record.pipeline);
+  AppendString(&payload, record.status_message);
+  return payload;
+}
+
+bool DecodeJournalRecordPayload(const char* data, size_t size,
+                                JournalRecord* record) {
+  ByteReader reader{data, size};
+  int32_t failure = 0, attempts = 0, status_code = 0;
+  if (!reader.ReadPod(&record->accuracy) ||
+      !reader.ReadPod(&record->budget_fraction) ||
+      !reader.ReadPod(&record->seed) ||
+      !reader.ReadPod(&record->elapsed_seconds) ||
+      !reader.ReadPod(&record->prep_seconds) ||
+      !reader.ReadPod(&record->train_seconds) || !reader.ReadPod(&failure) ||
+      !reader.ReadPod(&attempts) || !reader.ReadPod(&status_code) ||
+      !reader.ReadString(&record->pipeline) ||
+      !reader.ReadString(&record->status_message)) {
+    return false;
+  }
+  record->failure = static_cast<EvalFailure>(failure);
+  record->attempts = attempts;
+  record->status_code = status_code;
+  return reader.pos == size;
 }
 
 JournalRecord MakeJournalRecord(const Evaluation& evaluation,
@@ -349,7 +350,7 @@ JournalReadResult ReadRunJournal(const std::string& path) {
     const bool at_tail = reader.pos == bytes.size();
     JournalRecord record;
     if (Crc32(payload, payload_length) != stored_crc ||
-        !DecodeRecordPayload(payload, payload_length, &record)) {
+        !DecodeJournalRecordPayload(payload, payload_length, &record)) {
       if (at_tail) {
         // Torn final record (partial overwrite inside its extent).
         torn_tail();
@@ -417,7 +418,18 @@ Result<std::unique_ptr<RunJournalWriter>> RunJournalWriter::Create(
     return Status::IoError("cannot write journal header to '" + path +
                            "': " + std::strerror(errno));
   }
-  if (options.fsync_each_record) ::fsync(fd);
+  if (options.fsync_each_record) {
+    ::fsync(fd);
+    // The header fsync above persists the file's *content*; its
+    // directory entry lives in the parent directory and needs its own
+    // fsync, or a machine crash (not just a process crash) right after
+    // creation can lose the freshly created journal entirely.
+    Status dir_synced = FsyncParentDirectory(path);
+    if (!dir_synced.ok()) {
+      ::close(fd);
+      return dir_synced;
+    }
+  }
   return std::unique_ptr<RunJournalWriter>(
       new RunJournalWriter(fd, path, options));
 }
@@ -456,7 +468,7 @@ Result<std::unique_ptr<RunJournalWriter>> RunJournalWriter::OpenForAppend(
 }
 
 Status RunJournalWriter::Append(const JournalRecord& record) {
-  std::string payload = EncodeRecordPayload(record);
+  std::string payload = EncodeJournalRecordPayload(record);
   std::string bytes;
   bytes.reserve(payload.size() + 2 * sizeof(uint32_t));
   AppendPod<uint32_t>(&bytes, static_cast<uint32_t>(payload.size()));

@@ -52,9 +52,10 @@ uint64_t HashCombine(uint64_t h, uint64_t value);
 uint64_t DatasetFingerprint(const Dataset& dataset);
 
 /// Fingerprint of the determinism-relevant SearchOptions fields: seed,
-/// budget axes and retry/quarantine policy. num_threads and cache_bytes
-/// are deliberately excluded — history is thread-count- and
-/// cache-invariant, so a run may be resumed at a different thread count.
+/// budget axes and retry/quarantine policy. num_threads, num_workers and
+/// cache_bytes are deliberately excluded — history is thread-count-,
+/// worker-count- and cache-invariant, so a run may be resumed at a
+/// different thread or worker count.
 uint64_t SearchOptionsFingerprint(const SearchOptions& options);
 
 /// Why a journal could not be opened/validated. kNone means success.
@@ -116,6 +117,15 @@ struct JournalRecord {
 JournalRecord MakeJournalRecord(const Evaluation& evaluation,
                                 uint64_t request_seed,
                                 double elapsed_seconds);
+
+/// The record payload codec, exposed so the distributed wire protocol
+/// (dist/wire.h) ships evaluator outcomes in exactly the journal's
+/// encoding — one serialization of an outcome, whether it crosses a
+/// process boundary or lands on disk. Decode returns false on any layout
+/// mismatch or trailing bytes.
+std::string EncodeJournalRecordPayload(const JournalRecord& record);
+bool DecodeJournalRecordPayload(const char* data, size_t size,
+                                JournalRecord* record);
 
 /// Reconstructs the Evaluation a record describes (pipeline re-parsed,
 /// status re-typed). Aborts on an unparseable pipeline string — records

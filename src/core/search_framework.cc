@@ -21,6 +21,9 @@ SearchContext::SearchContext(const SearchSpace* space,
   AUTOFP_CHECK(evaluator != nullptr);
   AUTOFP_CHECK(budget_.limited()) << "unlimited budget would never terminate";
   AUTOFP_CHECK_GE(options.num_threads, 1);
+  AUTOFP_CHECK(options.num_workers <= 0 || options.num_threads == 1)
+      << "distributed workers and in-process evaluation threads are "
+         "mutually exclusive (the coordinator submits from one thread)";
 
   // Decorator chain: user evaluator -> result cache -> thread pool. The
   // per-request deadline rides in each EvalRequest, so no decorator needs
@@ -85,8 +88,11 @@ void SearchContext::EvaluateWithRetries(std::vector<EvalRequest> requests,
     round.reserve(active.size());
     for (size_t index : active) round.push_back(requests[index]);
     std::vector<Evaluation> round_results;
-    if (pool_ != nullptr) {
-      round_results = pool_->EvaluateAll(round);
+    if (evaluator_->SupportsConcurrentBatches()) {
+      // Concurrent engine at the top of the chain (thread pool, caching
+      // over a pool, or a distributed coordinator): hand it the whole
+      // round at once.
+      round_results = evaluator_->EvaluateAll(round);
     } else {
       round_results.reserve(round.size());
       for (const EvalRequest& request : round) {
@@ -366,6 +372,7 @@ SearchResult RunSearch(SearchAlgorithm* algorithm,
   result.num_replayed = context.num_replayed();
   result.interrupted = context.interrupted();
   result.num_threads = options.num_threads;
+  result.num_workers = options.num_workers;
   if (context.result_cache() != nullptr) {
     result.result_cache_hits = context.result_cache()->hits();
     result.result_cache_misses = context.result_cache()->misses();

@@ -37,6 +37,13 @@ struct SearchOptions {
   /// Worker threads for batch evaluation (EvaluateBatch); 1 = evaluate
   /// batches inline on the caller. Results are thread-count-invariant.
   int num_threads = 1;
+  /// Worker *processes* behind the evaluator (reporting only: the caller
+  /// builds the DistributedEvaluator and passes it as the evaluator —
+  /// see dist/coordinator.h). Excluded from SearchOptionsFingerprint for
+  /// the same reason as num_threads: history is worker-count-invariant,
+  /// so a journaled run may be resumed at any worker count. Mutually
+  /// exclusive with num_threads > 1 (the coordinator is single-threaded).
+  int num_workers = 0;
   /// Byte budget for the evaluation caches; 0 disables caching. When set,
   /// a prefix TransformCache of this size is attached to the evaluator (if
   /// it is a PipelineEvaluator without one) and full Evaluations are
@@ -258,9 +265,10 @@ struct SearchResult {
   /// History entries that did not fail; 0 means every evaluation failed
   /// and `best_accuracy` is only the baseline/penalty fallback.
   long num_successes = 0;
-  /// Evaluation-engine report: worker threads used and cache traffic
-  /// (zero when the run used no cache).
+  /// Evaluation-engine report: worker threads/processes used and cache
+  /// traffic (zero when the run used no cache).
   int num_threads = 1;
+  int num_workers = 0;
   long result_cache_hits = 0;
   long result_cache_misses = 0;
   long transform_cache_hits = 0;

@@ -1,0 +1,87 @@
+#include "dist/lease.h"
+
+#include <utility>
+
+namespace autofp {
+
+std::vector<size_t> Lease::RemainingSlots() const {
+  std::vector<size_t> remaining;
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!done[i]) remaining.push_back(slots[i]);
+  }
+  return remaining;
+}
+
+bool Lease::AllDone() const {
+  for (bool d : done) {
+    if (!d) return false;
+  }
+  return true;
+}
+
+const Lease& LeaseTable::Issue(std::vector<size_t> slots, int worker_index,
+                               double deadline, int batch_attempts) {
+  Lease lease;
+  lease.id = next_id_++;
+  lease.generation = next_generation_++;
+  lease.worker_index = worker_index;
+  lease.done.assign(slots.size(), false);
+  lease.slots = std::move(slots);
+  lease.deadline = deadline;
+  lease.batch_attempts = batch_attempts;
+  uint64_t id = lease.id;
+  return leases_.emplace(id, std::move(lease)).first->second;
+}
+
+const Lease* LeaseTable::Find(uint64_t id) const {
+  auto it = leases_.find(id);
+  return it == leases_.end() ? nullptr : &it->second;
+}
+
+std::optional<size_t> LeaseTable::AcceptResult(uint64_t id,
+                                               uint64_t generation,
+                                               uint32_t offset) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return std::nullopt;
+  Lease& lease = it->second;
+  if (lease.generation != generation) return std::nullopt;
+  if (offset >= lease.slots.size()) return std::nullopt;
+  if (lease.done[offset]) return std::nullopt;
+  lease.done[offset] = true;
+  return lease.slots[offset];
+}
+
+std::optional<Lease> LeaseTable::Release(uint64_t id, uint64_t generation) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return std::nullopt;
+  if (it->second.generation != generation) return std::nullopt;
+  Lease lease = std::move(it->second);
+  leases_.erase(it);
+  return lease;
+}
+
+std::optional<Lease> LeaseTable::Revoke(uint64_t id) {
+  auto it = leases_.find(id);
+  if (it == leases_.end()) return std::nullopt;
+  Lease lease = std::move(it->second);
+  leases_.erase(it);
+  return lease;
+}
+
+std::vector<uint64_t> LeaseTable::ExpiredLeases(double now) const {
+  std::vector<uint64_t> expired;
+  for (const auto& [id, lease] : leases_) {
+    if (lease.deadline <= now) expired.push_back(id);
+  }
+  return expired;
+}
+
+std::optional<double> LeaseTable::NextDeadline() const {
+  std::optional<double> next;
+  for (const auto& [id, lease] : leases_) {
+    if (!next.has_value() || lease.deadline < *next) next = lease.deadline;
+  }
+  return next;
+}
+
+}  // namespace autofp

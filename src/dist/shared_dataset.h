@@ -1,0 +1,42 @@
+#ifndef AUTOFP_DIST_SHARED_DATASET_H_
+#define AUTOFP_DIST_SHARED_DATASET_H_
+
+/// The dataset hand-off between a coordinator and its worker processes:
+/// the coordinator writes the loaded dataset once (atomically, fsync'd)
+/// and every worker maps it read-only instead of re-parsing CSV. The
+/// file is CRC-protected and host-endian (machine-local hand-off, like
+/// the artifact format, never interchange); a worker that maps a
+/// corrupt, truncated or foreign file gets a typed error and exits
+/// before HELLO — the coordinator additionally cross-checks the
+/// worker's DatasetFingerprint at HELLO, so a worker can never evaluate
+/// against different data than the journal fingerprints.
+///
+/// Layout:
+///   "AFPD" | u32 version | u64 dataset_fingerprint | u32 num_classes |
+///   u64 rows | u64 cols | u32 name_len | name |
+///   rows*cols f64 features (row-major) | rows i32 labels |
+///   u32 crc32(everything above)
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace autofp {
+
+inline constexpr uint32_t kSharedDatasetMagic = 0x44504641;  // "AFPD"
+inline constexpr uint32_t kSharedDatasetVersion = 1;
+
+/// Writes `dataset` to `path` atomically and durably (temp + rename +
+/// parent-dir fsync, util/fs.h).
+Status WriteSharedDataset(const std::string& path, const Dataset& dataset);
+
+/// Maps `path` read-only (mmap) and materializes the Dataset it holds.
+/// Every structural problem — short file, bad magic/version, CRC
+/// mismatch, inconsistent lengths — is a typed error, never a partial
+/// dataset.
+Result<Dataset> MapSharedDataset(const std::string& path);
+
+}  // namespace autofp
+
+#endif  // AUTOFP_DIST_SHARED_DATASET_H_

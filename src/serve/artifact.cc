@@ -8,6 +8,7 @@
 
 #include "core/run_journal.h"  // Crc32, Fnv1a64, HashCombine, DatasetFingerprint
 #include "preprocess/pipeline_parse.h"
+#include "util/fs.h"
 #include "util/serialize.h"
 
 namespace autofp {
@@ -166,19 +167,15 @@ Status WriteArtifact(const std::string& path, const ArtifactSchema& schema,
   preamble.append(reinterpret_cast<const char*>(&preamble_crc),
                   sizeof(preamble_crc));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) {
-    return Status::IoError("cannot open artifact for writing: " + path);
-  }
-  out << preamble;
-  out << EncodeSection(kSchemaSection, schema_payload.str());
-  out << EncodeSection(kPipelineSection, pipeline_payload.str());
-  out << EncodeSection(kModelSection, model_payload.str());
-  out.flush();
-  if (!out.good()) {
-    return Status::IoError("short write while writing artifact: " + path);
-  }
-  return Status::OK();
+  // Atomic + durable: a crash mid-export must leave either no artifact
+  // or the complete previous one — a registry watching `path` (SIGHUP
+  // reload, SWAP) must never load a torn file. rename + parent-dir fsync
+  // give the same existence guarantee the run journal gets on Create.
+  std::string bytes = std::move(preamble);
+  bytes += EncodeSection(kSchemaSection, schema_payload.str());
+  bytes += EncodeSection(kPipelineSection, pipeline_payload.str());
+  bytes += EncodeSection(kModelSection, model_payload.str());
+  return WriteFileAtomic(path, bytes);
 }
 
 ArtifactReadResult ReadArtifact(const std::string& path) {

@@ -412,9 +412,12 @@ void ServeSocketServer::HandleReadable(int fd) {
     }
     // Peer closed (or hard error). A close mid-frame is a typed protocol
     // error; there is no one left to answer, so it is only counted.
-    if (n == 0 && conn->decoder.HasPartialFrame()) {
+    {
       std::lock_guard<std::mutex> lock(counters_mutex_);
-      ++counters_.protocol_errors;
+      if (n == 0 && conn->decoder.HasPartialFrame()) {
+        ++counters_.protocol_errors;
+      }
+      ++counters_.peer_disconnects;
     }
     CloseConnection(fd);
     return;
@@ -547,6 +550,13 @@ void ServeSocketServer::FlushConnection(Connection* conn) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      // EPIPE/ECONNRESET: the client went away without reading its
+      // responses. MSG_NOSIGNAL (plus the process-wide SIGPIPE ignore)
+      // turns that into a typed, counted close instead of a signal.
+      if (errno == EPIPE || errno == ECONNRESET) {
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        ++counters_.peer_disconnects;
+      }
       CloseConnection(conn->fd);
       return;
     }

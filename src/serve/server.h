@@ -75,6 +75,11 @@ struct ServerCounters {
   long busy_shed = 0;        ///< requests rejected by admission control.
   long protocol_errors = 0;  ///< malformed frames (fatal and non-fatal).
   long swaps = 0;            ///< SWAP/reload requests that succeeded.
+  /// Connections the peer closed — EOF on read, or EPIPE/ECONNRESET on
+  /// write (a client that vanished without reading its responses). A
+  /// typed, counted connection close: with SIGPIPE ignored process-wide
+  /// it can never kill the server, and it is not a protocol error.
+  long peer_disconnects = 0;
 };
 
 class ServeSocketServer {

@@ -7,6 +7,7 @@
 /// old-artifact or new-artifact answers, never a torn mix.
 
 #include <atomic>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -94,6 +95,52 @@ TEST(Registry, SwapPublishesAndFailedSwapKeepsOld) {
   EXPECT_NE(registry.Acquire(), live);  // fresh load
   Matrix probe = ProbeRows(data, 4);
   EXPECT_TRUE(live->PredictSharded(probe, 2).ok());
+}
+
+TEST(Registry, CorruptOrTruncatedSwapKeepsOldPredictorServing) {
+  Dataset data = TestData();
+  const std::string good = ExportTestArtifact(
+      data, PreprocessorKind::kStandardScaler, "reg_swap_good.afpa");
+  ArtifactRegistry registry;
+  ASSERT_TRUE(registry.Swap(good).ok());
+  std::shared_ptr<const Predictor> live = registry.Acquire();
+  ASSERT_NE(live, nullptr);
+
+  // Garbage bytes: typed corruption error, generation frozen, the
+  // already-published predictor object keeps serving untouched.
+  const std::string corrupt = TempPath("reg_swap_corrupt.afpa");
+  {
+    std::ofstream out(corrupt, std::ios::binary);
+    out << std::string(512, 'x');
+  }
+  Status corrupt_swap = registry.Swap(corrupt);
+  ASSERT_FALSE(corrupt_swap.ok());
+  EXPECT_EQ(corrupt_swap.code(), StatusCode::kInvalidArgument)
+      << corrupt_swap.ToString();
+  EXPECT_EQ(registry.Info().generation, 1);
+  EXPECT_EQ(registry.Acquire(), live);
+
+  // A torn copy of a real artifact (valid preamble, truncated section):
+  // same guarantee.
+  std::ifstream in(good, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  ASSERT_GT(bytes.size(), 64u);
+  const std::string truncated = TempPath("reg_swap_truncated.afpa");
+  {
+    std::ofstream out(truncated, std::ios::binary);
+    out << bytes.substr(0, bytes.size() / 2);
+  }
+  Status truncated_swap = registry.Swap(truncated);
+  ASSERT_FALSE(truncated_swap.ok());
+  EXPECT_EQ(truncated_swap.code(), StatusCode::kInvalidArgument)
+      << truncated_swap.ToString();
+  EXPECT_EQ(registry.Info().generation, 1);
+  EXPECT_EQ(registry.Acquire(), live);
+
+  // The survivor still scores.
+  Matrix probe = ProbeRows(data, 4);
+  EXPECT_TRUE(registry.Acquire()->PredictSharded(probe, 2).ok());
 }
 
 TEST(Registry, ReloadNeedsALoadedArtifact) {
@@ -312,6 +359,42 @@ TEST(ServeNet, GarbageGetsTypedErrorThenClose) {
   EncodePing(&ping);
   ASSERT_TRUE(fresh.RoundTrip(ping, &response).ok());
   EXPECT_TRUE(response.ok());
+}
+
+TEST(ServeNet, DeadClientIsATypedDisconnectNotAnError) {
+  Dataset data = TestData();
+  const std::string path = ExportTestArtifact(
+      data, PreprocessorKind::kStandardScaler, "net_dead.afpa");
+  TestServer harness(path);
+  Matrix probe = ProbeRows(data, 32);
+  std::string request;
+  EncodePredictDense(probe, &request);
+
+  // A client that sends a pipelined burst and vanishes without reading a
+  // byte back: the server's answer writes hit EPIPE/ECONNRESET. With
+  // SIGPIPE ignored that must be a counted peer disconnect, never a
+  // protocol error or a server death.
+  {
+    BlockingFrameClient deserter;
+    ASSERT_TRUE(deserter.Connect("127.0.0.1", harness.server->port()).ok());
+    std::string burst;
+    for (int i = 0; i < 8; ++i) burst += request;
+    ASSERT_TRUE(deserter.SendBytes(burst).ok());
+    deserter.Close();
+  }
+  for (int i = 0;
+       i < 500 && harness.server->counters().peer_disconnects < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(harness.server->counters().peer_disconnects, 1);
+  EXPECT_EQ(harness.server->counters().protocol_errors, 0);
+
+  // The server is unharmed: a well-behaved client still gets answers.
+  BlockingFrameClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", harness.server->port()).ok());
+  ServeResponse response;
+  ASSERT_TRUE(client.RoundTrip(request, &response).ok());
+  EXPECT_TRUE(response.ok()) << response.message;
 }
 
 TEST(ServeNet, SwapFrameSwapsAndFailedSwapKeepsServing) {

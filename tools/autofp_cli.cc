@@ -30,6 +30,8 @@
 /// error; 2 usage error; 3 interrupted by signal; 4 completed but every
 /// evaluation failed; 86 injected crash point.
 
+#include <unistd.h>
+
 #include <bit>
 #include <cinttypes>
 #include <csignal>
@@ -37,8 +39,12 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/auto_fp.h"
+#include "dist/coordinator.h"
+#include "dist/shared_dataset.h"
+#include "dist/worker.h"
 #include "serve/artifact.h"
 #include "preprocess/pipeline_parse.h"
 #include "cli_flags.h"
@@ -72,7 +78,16 @@ struct Options {
   int max_retries = 2;
   int threads = 1;
   double cache_mb = 0.0;
+  int workers = 0;          ///< > 0: distributed multi-process evaluation.
+  size_t lease_size = 4;    ///< requests per worker lease.
+  double lease_deadline = 30.0;  ///< straggler revocation deadline (s).
   bool list = false;
+  // Internal worker entrypoint (spawned by the coordinator, never typed
+  // by a user): run the dist worker loop on an inherited socketpair fd.
+  bool dist_worker = false;
+  int worker_fd = -1;
+  int worker_index = 0;
+  std::string worker_dataset;  ///< shared-dataset file to map.
   std::string apply;  ///< pipeline to apply instead of searching.
   std::string out;    ///< output CSV for --apply.
   std::string export_artifact;  ///< serve artifact path (after search).
@@ -100,6 +115,10 @@ void PrintUsage() {
       "  --max-retries N          retries for transient faults (default 2)\n"
       "  --threads N              parallel evaluation threads (default 1)\n"
       "  --cache-mb MB            evaluation-cache budget in MiB (default 0)\n"
+      "  --workers N              evaluate on N worker processes (crash/\n"
+      "                           straggler tolerant; excludes --threads)\n"
+      "  --lease-size N           requests per worker lease (default 4)\n"
+      "  --lease-deadline S       straggler revocation deadline (default 30)\n"
       "  --export-artifact FILE   after the search, refit the winning\n"
       "                           pipeline on the full dataset, train the\n"
       "                           downstream model, and write a serving\n"
@@ -176,6 +195,31 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     } else if (arg == "--cache-mb") {
       if (!cli::ParseDouble(argc, argv, &i, "--cache-mb", &options->cache_mb))
         return false;
+    } else if (arg == "--workers") {
+      if (!cli::ParseInt(argc, argv, &i, "--workers", 0, &options->workers))
+        return false;
+    } else if (arg == "--lease-size") {
+      if (!cli::ParseSize(argc, argv, &i, "--lease-size", 1,
+                          &options->lease_size))
+        return false;
+    } else if (arg == "--lease-deadline") {
+      if (!cli::ParseDouble(argc, argv, &i, "--lease-deadline",
+                            &options->lease_deadline))
+        return false;
+    } else if (arg == "--dist-worker") {
+      options->dist_worker = true;
+    } else if (arg == "--worker-fd") {
+      if (!cli::ParseInt(argc, argv, &i, "--worker-fd", 0,
+                         &options->worker_fd))
+        return false;
+    } else if (arg == "--worker-index") {
+      if (!cli::ParseInt(argc, argv, &i, "--worker-index", 0,
+                         &options->worker_index))
+        return false;
+    } else if (arg == "--worker-dataset") {
+      if (!cli::ParseString(argc, argv, &i, "--worker-dataset",
+                            &options->worker_dataset))
+        return false;
     } else if (arg == "--export-artifact") {
       if (!cli::ParseString(argc, argv, &i, "--export-artifact",
                             &options->export_artifact))
@@ -230,6 +274,97 @@ uint64_t CliConfigFingerprint(const Options& options,
   hash = HashCombine(hash, std::bit_cast<uint64_t>(options.slowdown_rate));
   hash = HashCombine(hash, std::bit_cast<uint64_t>(options.slowdown_seconds));
   return hash;
+}
+
+bool ParseModelKind(const std::string& name, ModelKind* kind) {
+  if (name == "LR") {
+    *kind = ModelKind::kLogisticRegression;
+  } else if (name == "XGB") {
+    *kind = ModelKind::kXgboost;
+  } else if (name == "MLP") {
+    *kind = ModelKind::kMlp;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Builds the pipeline evaluator exactly as the single-process search
+/// does — same seeded split, same train fraction, same fault injector —
+/// shared by the search path and the dist worker entrypoint so a worker
+/// evaluates byte-identically to an in-process run.
+std::unique_ptr<PipelineEvaluator> MakeEvaluator(const Options& options,
+                                                 const Dataset& dataset,
+                                                 ModelKind model_kind) {
+  Rng rng(options.seed);
+  TrainValidSplit split = SplitTrainValid(dataset, 0.8, &rng);
+  auto evaluator = std::make_unique<PipelineEvaluator>(
+      split.train, split.valid, ModelConfig::Defaults(model_kind));
+  if (options.train_fraction < 1.0) {
+    evaluator->set_global_train_fraction(options.train_fraction);
+  }
+  if (options.fault_rate > 0.0 || options.slowdown_rate > 0.0) {
+    FaultInjectorConfig injector;
+    injector.fault_rate = options.fault_rate;
+    injector.slowdown_rate = options.slowdown_rate;
+    injector.slowdown_seconds = options.slowdown_seconds;
+    injector.seed = options.seed ^ 0x5EEDFA17;
+    evaluator->AttachFaultInjector(injector);
+  }
+  return evaluator;
+}
+
+/// Full-precision double formatting for flags forwarded to exec'd
+/// workers (std::to_string truncates to 6 digits and would desync the
+/// worker's fault injector from the coordinator's fingerprint).
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Path of the running binary for spawning workers; /proc/self/exe works
+/// regardless of how the coordinator was invoked (PATH lookup, relative
+/// cwd), argv[0] is the fallback.
+std::string WorkerExecutablePath(const char* argv0) {
+  char buffer[4096];
+  ssize_t n = ::readlink("/proc/self/exe", buffer, sizeof(buffer) - 1);
+  if (n > 0) {
+    buffer[n] = '\0';
+    return buffer;
+  }
+  return argv0;
+}
+
+/// The internal worker entrypoint (--dist-worker): map the shared
+/// dataset, rebuild the evaluator, and serve leases until the
+/// coordinator shuts down or disappears.
+int RunWorkerMode(const Options& options) {
+  std::signal(SIGPIPE, SIG_IGN);
+  if (options.worker_fd < 0 || options.worker_dataset.empty()) {
+    std::fprintf(stderr,
+                 "error: --dist-worker requires --worker-fd and "
+                 "--worker-dataset\n");
+    return 2;
+  }
+  ModelKind model_kind;
+  if (!ParseModelKind(options.model, &model_kind)) {
+    std::fprintf(stderr, "error: unknown model '%s'\n",
+                 options.model.c_str());
+    return 2;
+  }
+  Result<Dataset> dataset = MapSharedDataset(options.worker_dataset);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "worker %d: %s\n", options.worker_index,
+                 dataset.status().ToString().c_str());
+    return 1;
+  }
+  const uint64_t fingerprint = DatasetFingerprint(dataset.value());
+  std::unique_ptr<PipelineEvaluator> evaluator =
+      MakeEvaluator(options, dataset.value(), model_kind);
+  WorkerHooks hooks = WorkerHooksFromEnv(options.worker_index);
+  return RunDistWorker(options.worker_fd, options.worker_index, fingerprint,
+                       evaluator.get(), hooks);
 }
 
 /// Canonical, machine-comparable journal listing. Timing fields are
@@ -287,6 +422,7 @@ int main(int argc, char** argv) {
     std::printf("\n");
     return 0;
   }
+  if (options.dist_worker) return RunWorkerMode(options);
   if (!options.dump_journal.empty()) return DumpJournal(options.dump_journal);
   if (options.resume && options.journal.empty()) {
     std::fprintf(stderr, "error: --resume requires --journal\n");
@@ -352,31 +488,14 @@ int main(int argc, char** argv) {
   }
 
   ModelKind model_kind = ModelKind::kLogisticRegression;
-  if (options.model == "XGB") {
-    model_kind = ModelKind::kXgboost;
-  } else if (options.model == "MLP") {
-    model_kind = ModelKind::kMlp;
-  } else if (options.model != "LR") {
+  if (!ParseModelKind(options.model, &model_kind)) {
     std::fprintf(stderr, "error: unknown model '%s'\n",
                  options.model.c_str());
     return 2;
   }
 
-  Rng rng(options.seed);
-  TrainValidSplit split = SplitTrainValid(dataset.value(), 0.8, &rng);
-  PipelineEvaluator evaluator(split.train, split.valid,
-                              ModelConfig::Defaults(model_kind));
-  if (options.train_fraction < 1.0) {
-    evaluator.set_global_train_fraction(options.train_fraction);
-  }
-  if (options.fault_rate > 0.0 || options.slowdown_rate > 0.0) {
-    FaultInjectorConfig injector;
-    injector.fault_rate = options.fault_rate;
-    injector.slowdown_rate = options.slowdown_rate;
-    injector.slowdown_seconds = options.slowdown_seconds;
-    injector.seed = options.seed ^ 0x5EEDFA17;
-    evaluator.AttachFaultInjector(injector);
-  }
+  std::unique_ptr<PipelineEvaluator> evaluator =
+      MakeEvaluator(options, dataset.value(), model_kind);
   Budget budget = options.seconds > 0.0 ? Budget::Seconds(options.seconds)
                                         : Budget::Evaluations(options.budget);
   if (options.eval_deadline > 0.0) {
@@ -390,12 +509,75 @@ int main(int argc, char** argv) {
   search_options.cache_bytes =
       static_cast<size_t>(options.cache_mb * 1024.0 * 1024.0);
 
+  // Distributed evaluation: spawn --workers worker processes over a
+  // shared read-only dataset file; the search journals their merged
+  // outcomes through the same coordinator-side choke point, so the
+  // journal is byte-identical to a single-process run.
+  std::unique_ptr<DistributedEvaluator> dist;
+  std::string shared_dataset_path;
+  if (options.workers > 0) {
+    if (options.threads > 1) {
+      std::fprintf(stderr,
+                   "error: --workers and --threads are mutually "
+                   "exclusive (workers already evaluate in parallel)\n");
+      return 2;
+    }
+    const char* tmpdir = std::getenv("TMPDIR");
+    shared_dataset_path =
+        std::string(tmpdir != nullptr && *tmpdir != '\0' ? tmpdir : "/tmp") +
+        "/autofp_dist_" + std::to_string(static_cast<long>(::getpid())) +
+        ".ds";
+    Status written = WriteSharedDataset(shared_dataset_path, dataset.value());
+    if (!written.ok()) {
+      std::fprintf(stderr, "error writing shared dataset: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::vector<std::string> argv_prefix;
+    argv_prefix.push_back(WorkerExecutablePath(argv[0]));
+    argv_prefix.push_back("--dist-worker");
+    argv_prefix.push_back("--worker-dataset");
+    argv_prefix.push_back(shared_dataset_path);
+    argv_prefix.push_back("--model");
+    argv_prefix.push_back(options.model);
+    argv_prefix.push_back("--seed");
+    argv_prefix.push_back(std::to_string(options.seed));
+    if (options.train_fraction < 1.0) {
+      argv_prefix.push_back("--train-fraction");
+      argv_prefix.push_back(FormatDouble(options.train_fraction));
+    }
+    if (options.fault_rate > 0.0 || options.slowdown_rate > 0.0) {
+      argv_prefix.push_back("--fault-rate");
+      argv_prefix.push_back(FormatDouble(options.fault_rate));
+      argv_prefix.push_back("--slowdown-rate");
+      argv_prefix.push_back(FormatDouble(options.slowdown_rate));
+      argv_prefix.push_back("--slowdown-seconds");
+      argv_prefix.push_back(FormatDouble(options.slowdown_seconds));
+    }
+    DistOptions dist_options;
+    dist_options.num_workers = options.workers;
+    dist_options.lease_size = options.lease_size;
+    dist_options.lease_deadline_seconds = options.lease_deadline;
+    dist_options.expected_dataset_fingerprint =
+        DatasetFingerprint(dataset.value());
+    dist = std::make_unique<DistributedEvaluator>(
+        evaluator.get(), ExecWorkerSpawner(std::move(argv_prefix)),
+        dist_options);
+    search_options.num_workers = options.workers;
+  }
+  EvaluatorInterface* search_evaluator =
+      dist != nullptr ? static_cast<EvaluatorInterface*>(dist.get())
+                      : evaluator.get();
+
   // Graceful shutdown: SIGINT/SIGTERM stop the search at the next
   // evaluation boundary; the report below still prints and the journal
-  // (already fsync'd per record) is complete up to the stop.
+  // (already fsync'd per record) is complete up to the stop. SIGPIPE is
+  // ignored process-wide so a worker pipe closing mid-write surfaces as
+  // a typed EPIPE, never a silent kill.
   search_options.stop_flag = &g_stop_requested;
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  std::signal(SIGPIPE, SIG_IGN);
 
   // Durable run: open (or resume) the write-ahead journal.
   std::unique_ptr<RunJournalWriter> journal;
@@ -478,7 +660,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     SearchSpace space = SearchSpace::Default(options.max_length);
-    result = RunSearch(algorithm.value().get(), &evaluator, space,
+    result = RunSearch(algorithm.value().get(), search_evaluator, space,
                        search_options);
   } else {
     ParameterSpace parameters = options.space == "low"
@@ -493,9 +675,10 @@ int main(int argc, char** argv) {
       TwoStepConfig config;
       config.algorithm = options.algorithm;
       config.max_pipeline_length = options.max_length;
-      result = RunTwoStep(config, &evaluator, parameters, search_options);
+      result = RunTwoStep(config, search_evaluator, parameters,
+                          search_options);
     } else {
-      result = RunOneStep(options.algorithm, &evaluator, parameters,
+      result = RunOneStep(options.algorithm, search_evaluator, parameters,
                           search_options, options.max_length);
     }
   }
@@ -526,6 +709,18 @@ int main(int argc, char** argv) {
     std::printf("journal        : %ld replayed, %ld appended -> %s\n",
                 result.num_replayed, journal->num_appends(),
                 journal->path().c_str());
+  }
+  if (dist != nullptr) {
+    dist->Shutdown();
+    const DistStats& ds = dist->stats();
+    std::printf("workers        : %d workers | %ld spawned, %ld crashes, "
+                "%ld stragglers, %ld corrupt, %ld re-leases, %ld stale, "
+                "%ld local-fallback, %ld worker-lost\n",
+                options.workers, ds.workers_spawned, ds.worker_crashes,
+                ds.straggler_revocations, ds.corrupt_frame_revocations,
+                ds.re_leases, ds.stale_results, ds.local_fallback_evals,
+                ds.worker_lost_evals);
+    ::unlink(shared_dataset_path.c_str());
   }
   // Deployment: refit the winning pipeline on the full dataset (train +
   // valid -- all the data the search saw), train the downstream model on

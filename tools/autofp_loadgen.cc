@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
@@ -336,6 +337,9 @@ double Percentile(std::vector<double>* sorted, double p) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // A server that dies mid-run must surface as a typed send/recv error on
+  // the affected connection, not a SIGPIPE kill of the whole load run.
+  std::signal(SIGPIPE, SIG_IGN);
   Options options;
   if (!ParseArgs(argc, argv, &options)) {
     PrintUsage();

@@ -291,6 +291,13 @@ int RunServe(const Options& options, const Predictor& predictor) {
       std::printf("%d\n", response.predictions[0]);
     }
     std::fflush(stdout);
+    if (std::ferror(stdout)) {
+      // The consumer of our answers closed its end (EPIPE, surfaced as a
+      // stream error because SIGPIPE is ignored): a connection close,
+      // not a crash. Drain like EOF and report.
+      std::fprintf(stderr, "stdout closed by peer; draining\n");
+      break;
+    }
     ++answered;
   }
   // Graceful drain: the in-flight request above already finished; report
@@ -349,11 +356,12 @@ int RunListen(const Options& options) {
   std::fprintf(stderr,
                "served %ld requests (%ld rows) over %ld connections: "
                "%ld micro-batches, %ld coalesced, %ld busy-shed, "
-               "%ld protocol errors, %ld swaps\n",
+               "%ld protocol errors, %ld swaps, %ld peer disconnects\n",
                counts.predict_requests, counts.predict_rows,
                counts.connections_accepted, counts.micro_batches,
                counts.coalesced_requests, counts.busy_shed,
-               counts.protocol_errors, counts.swaps);
+               counts.protocol_errors, counts.swaps,
+               counts.peer_disconnects);
   std::shared_ptr<const Predictor> live = registry.Acquire();
   if (live != nullptr) PrintStats(*live);
   return 3;
@@ -369,6 +377,9 @@ int main(int argc, char** argv) {
   }
   std::signal(SIGINT, HandleStopSignal);
   std::signal(SIGTERM, HandleStopSignal);
+  // A peer (socket client, stdout consumer) closing mid-write must be a
+  // typed EPIPE we can report and survive, never a silent SIGPIPE kill.
+  std::signal(SIGPIPE, SIG_IGN);
   if (options.mode == "listen") return RunListen(options);
 
   Predictor::Options predictor_options;
