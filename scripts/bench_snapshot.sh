@@ -8,6 +8,10 @@
 #   BENCH_dist.json — evaluations/sec of one fixed batch under
 #     in-process threads vs forked worker processes at 1/2/4/8 ways
 #     (bench_dist_scaling).
+#   BENCH_stream.json — rows/sec through each streaming-observer
+#     component (running moments, P2 quantile sketches, reservoir,
+#     drift monitor); all should dwarf the socket front end's
+#     throughput (bench_stream_overhead).
 #
 # Numbers are machine-dependent; the committed files are reference
 # points for spotting order-of-magnitude regressions after touching
@@ -21,7 +25,7 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
 cmake --build "${build_dir}" -j \
-  --target bench_serve_throughput bench_dist_scaling
+  --target bench_serve_throughput bench_dist_scaling bench_stream_overhead
 
 "${build_dir}/bench/bench_serve_throughput" --net-only \
   --json "${repo_root}/BENCH_serve.json"
@@ -30,3 +34,7 @@ echo "wrote ${repo_root}/BENCH_serve.json"
 "${build_dir}/bench/bench_dist_scaling" \
   --json "${repo_root}/BENCH_dist.json"
 echo "wrote ${repo_root}/BENCH_dist.json"
+
+"${build_dir}/bench/bench_stream_overhead" \
+  --json "${repo_root}/BENCH_stream.json"
+echo "wrote ${repo_root}/BENCH_stream.json"

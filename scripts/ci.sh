@@ -2,8 +2,9 @@
 # One-shot CI entry point: tier-1 build + ctest, the ThreadSanitizer
 # concurrency suites, the AddressSanitizer data-plane suites, the
 # artifact/serving round trip, the network serving end-to-end leg
-# (hot swap under load, malformed frames, signal handling), and the
-# kill-point crash-injection matrix.
+# (hot swap under load, malformed frames, signal handling), the
+# streaming drift loop (drift-triggered background re-search and hot
+# swap), and the kill-point crash-injection matrix.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -28,6 +29,12 @@ echo "=== serve: export -> score round trip ==="
 
 echo "=== serve: network round trip, hot swap, drain ==="
 "${repo_root}/scripts/check_serve_net.sh" \
+  --cli "${repo_root}/build/tools/autofp" \
+  --serve "${repo_root}/build/tools/autofp_serve" \
+  --loadgen "${repo_root}/build/tools/autofp_loadgen"
+
+echo "=== stream: drift loop, background re-search, hot swap ==="
+"${repo_root}/scripts/check_stream.sh" \
   --cli "${repo_root}/build/tools/autofp" \
   --serve "${repo_root}/build/tools/autofp_serve" \
   --loadgen "${repo_root}/build/tools/autofp_loadgen"

@@ -21,6 +21,16 @@ void MaxAbsScaler::Fit(const Matrix& data) {
   fitted_ = true;
 }
 
+void MaxAbsScaler::FitFromScales(const std::vector<double>& max_abs) {
+  AUTOFP_CHECK_GT(max_abs.size(), 0u);
+  scales_ = max_abs;
+  for (double& scale : scales_) {
+    scale = std::abs(scale);
+    if (scale == 0.0) scale = 1.0;
+  }
+  fitted_ = true;
+}
+
 void MaxAbsScaler::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "MaxAbsScaler::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), scales_.size());

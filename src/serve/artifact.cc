@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -20,6 +21,7 @@ constexpr char kMagic[4] = {'A', 'F', 'P', 'A'};
 constexpr uint32_t kSchemaSection = 1;
 constexpr uint32_t kPipelineSection = 2;
 constexpr uint32_t kModelSection = 3;
+constexpr uint32_t kStatsSection = 4;
 
 // Upper bound on one section's payload; a declared length beyond it is
 // corruption, not data (even a KNN model storing its training matrix
@@ -111,6 +113,33 @@ const char* ArtifactErrorName(ArtifactError error) {
   return "?";
 }
 
+ReferenceStats ComputeReferenceStats(const Matrix& features) {
+  ReferenceStats stats;
+  const size_t cols = features.cols();
+  if (cols == 0) return stats;
+  stats.mean.assign(cols, 0.0);
+  stats.m2.assign(cols, 0.0);
+  stats.min.assign(cols, std::numeric_limits<double>::infinity());
+  stats.max.assign(cols, -std::numeric_limits<double>::infinity());
+  for (size_t r = 0; r < features.rows(); ++r) {
+    const double* row = features.RowPtr(r);
+    const double n = static_cast<double>(++stats.rows);
+    for (size_t c = 0; c < cols; ++c) {
+      const double value = row[c];
+      const double delta = value - stats.mean[c];
+      stats.mean[c] += delta / n;
+      stats.m2[c] += delta * (value - stats.mean[c]);
+      if (value < stats.min[c]) stats.min[c] = value;
+      if (value > stats.max[c]) stats.max[c] = value;
+    }
+  }
+  if (stats.rows == 0) {
+    stats.min.assign(cols, 0.0);
+    stats.max.assign(cols, 0.0);
+  }
+  return stats;
+}
+
 uint64_t SchemaFingerprint(const ArtifactSchema& schema) {
   uint64_t hash = Fnv1a64("afp-schema", 10);
   hash = HashCombine(hash, schema.input_cols);
@@ -122,7 +151,16 @@ uint64_t SchemaFingerprint(const ArtifactSchema& schema) {
 Status WriteArtifact(const std::string& path, const ArtifactSchema& schema,
                      const FittedPipeline& pipeline,
                      const ModelConfig& model_config, const Classifier& model,
+                     const ReferenceStats& reference_stats,
                      const ArtifactWriteOptions& options) {
+  if (!reference_stats.empty() &&
+      (reference_stats.cols() != schema.input_cols ||
+       reference_stats.m2.size() != reference_stats.cols() ||
+       reference_stats.min.size() != reference_stats.cols() ||
+       reference_stats.max.size() != reference_stats.cols())) {
+    return Status::InvalidArgument(
+        "reference stats column count disagrees with the schema");
+  }
   const uint64_t schema_fp = SchemaFingerprint(schema);
   const uint64_t section_fp = options.override_section_fingerprint != 0
                                   ? options.override_section_fingerprint
@@ -156,10 +194,18 @@ Status WriteArtifact(const std::string& path, const ArtifactSchema& schema,
     WriteString(model_payload, blob.str());
   }
 
+  std::ostringstream stats_payload(std::ios::binary);
+  WritePod<uint64_t>(stats_payload, section_fp);
+  WritePod<uint64_t>(stats_payload, reference_stats.rows);
+  WriteVec(stats_payload, reference_stats.mean);
+  WriteVec(stats_payload, reference_stats.m2);
+  WriteVec(stats_payload, reference_stats.min);
+  WriteVec(stats_payload, reference_stats.max);
+
   std::string preamble;
   preamble.append(kMagic, sizeof(kMagic));
   const uint32_t version = kArtifactVersion;
-  const uint32_t num_sections = 3;
+  const uint32_t num_sections = 4;
   preamble.append(reinterpret_cast<const char*>(&version), sizeof(version));
   preamble.append(reinterpret_cast<const char*>(&num_sections),
                   sizeof(num_sections));
@@ -175,6 +221,7 @@ Status WriteArtifact(const std::string& path, const ArtifactSchema& schema,
   bytes += EncodeSection(kSchemaSection, schema_payload.str());
   bytes += EncodeSection(kPipelineSection, pipeline_payload.str());
   bytes += EncodeSection(kModelSection, model_payload.str());
+  bytes += EncodeSection(kStatsSection, stats_payload.str());
   return WriteFileAtomic(path, bytes);
 }
 
@@ -394,6 +441,37 @@ ArtifactReadResult ReadArtifact(const std::string& path) {
       return Fail(ArtifactError::kBadState, loaded.message());
     }
   }
+
+  // Reference-stats section.
+  const std::string* stats_payload = find_section(kStatsSection);
+  if (stats_payload == nullptr) {
+    return Fail(ArtifactError::kMissingSection,
+                "reference-stats section missing or duplicated");
+  }
+  {
+    std::istringstream in(*stats_payload, std::ios::binary);
+    uint64_t section_fp = 0;
+    ReferenceStats& stats = artifact.reference_stats;
+    if (!ReadPod(in, &section_fp)) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "reference-stats section does not parse");
+    }
+    if (section_fp != schema_fp) {
+      return Fail(ArtifactError::kSchemaMismatch,
+                  "reference-stats section was written for a different "
+                  "schema (fingerprint mismatch)");
+    }
+    if (!ReadPod(in, &stats.rows) || !ReadVec(in, &stats.mean) ||
+        !ReadVec(in, &stats.m2) || !ReadVec(in, &stats.min) ||
+        !ReadVec(in, &stats.max) || in.peek() != EOF ||
+        stats.m2.size() != stats.mean.size() ||
+        stats.min.size() != stats.mean.size() ||
+        stats.max.size() != stats.mean.size() ||
+        (!stats.empty() && stats.cols() != artifact.schema.input_cols)) {
+      return Fail(ArtifactError::kMalformedSection,
+                  "reference-stats section does not parse");
+    }
+  }
   return result;
 }
 
@@ -422,8 +500,10 @@ Result<ArtifactSchema> ExportArtifact(const std::string& path,
   schema.num_classes = data.num_classes;
   schema.transformed_cols = transformed.cols();
   schema.dataset_fingerprint = DatasetFingerprint(data);
-  Status written =
-      WriteArtifact(path, schema, pipeline, model_config, *model);
+  // The drift baseline is computed on the *input* features (pre-pipeline):
+  // the serve loop compares raw serving rows against it.
+  Status written = WriteArtifact(path, schema, pipeline, model_config, *model,
+                                 ComputeReferenceStats(data.features));
   if (!written.ok()) return written;
   return schema;
 }

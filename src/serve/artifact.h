@@ -23,6 +23,8 @@
 ///   kSchemaSection   dataset name/shape/classes + fingerprints
 ///   kPipelineSection pipeline spec string + per-step SaveState blobs
 ///   kModelSection    ModelConfig + the trained model's SaveState blob
+///   kStatsSection    per-column reference moments of the export features
+///                    (the drift monitor's baseline — see src/stream/)
 
 #include <cstdint>
 #include <memory>
@@ -39,7 +41,8 @@ namespace autofp {
 /// Artifact format version; bumped on any layout change. Readers reject
 /// other versions with kVersionMismatch — there is no cross-version
 /// migration (re-export from the search instead; see DESIGN.md).
-inline constexpr uint32_t kArtifactVersion = 1;
+/// Version 2 added the reference-stats section (streaming drift baseline).
+inline constexpr uint32_t kArtifactVersion = 2;
 
 /// Why an artifact could not be read/validated. kNone means success.
 enum class ArtifactError : int {
@@ -92,6 +95,32 @@ struct ArtifactSchema {
 /// (input_cols, num_classes, transformed_cols).
 uint64_t SchemaFingerprint(const ArtifactSchema& schema);
 
+/// Per-column reference moments of the features the artifact was exported
+/// on, in Welford form (count, mean, sum of squared deviations, min, max)
+/// so a streaming accumulator can resume from — or be compared against —
+/// them exactly (src/stream/moments.h converts both ways). An empty value
+/// (no columns) means "no stats recorded"; drift monitoring is then
+/// unavailable for the artifact.
+struct ReferenceStats {
+  uint64_t rows = 0;
+  /// Parallel per-column vectors, all of length input_cols (or all empty).
+  std::vector<double> mean;
+  std::vector<double> m2;  ///< sum of squared deviations from the mean.
+  std::vector<double> min;
+  std::vector<double> max;
+
+  size_t cols() const { return mean.size(); }
+  bool empty() const { return mean.empty(); }
+  /// Population variance of column c (0 for fewer than 1 row).
+  double Variance(size_t c) const {
+    return rows > 0 ? m2[c] / static_cast<double>(rows) : 0.0;
+  }
+};
+
+/// One exact pass over `features` (Welford's update per column), producing
+/// the stats ExportArtifact stamps into the kStatsSection.
+ReferenceStats ComputeReferenceStats(const Matrix& features);
+
 /// Writer knobs. The fingerprint override exists only so tests can
 /// manufacture the kSchemaMismatch corruption case with valid CRCs.
 struct ArtifactWriteOptions {
@@ -100,12 +129,14 @@ struct ArtifactWriteOptions {
   uint64_t override_section_fingerprint = 0;
 };
 
-/// Serializes (schema, fitted pipeline, model config, trained model) to
-/// `path`, overwriting it. The pipeline must be fitted and the model
-/// trained; both are only read.
+/// Serializes (schema, fitted pipeline, model config, trained model,
+/// reference stats) to `path`, overwriting it. The pipeline must be fitted
+/// and the model trained; both are only read. `reference_stats` must be
+/// empty or have exactly schema.input_cols columns.
 Status WriteArtifact(const std::string& path, const ArtifactSchema& schema,
                      const FittedPipeline& pipeline,
                      const ModelConfig& model_config, const Classifier& model,
+                     const ReferenceStats& reference_stats = {},
                      const ArtifactWriteOptions& options = {});
 
 /// A fully deserialized artifact: fitted steps and trained model ready to
@@ -117,6 +148,8 @@ struct LoadedArtifact {
   std::vector<std::unique_ptr<Preprocessor>> fitted_steps;
   ModelConfig model_config;
   std::unique_ptr<Classifier> model;
+  /// Drift baseline from the kStatsSection (empty = none recorded).
+  ReferenceStats reference_stats;
 };
 
 /// Outcome of reading an artifact. On success (`ok()`), `artifact` holds

@@ -80,7 +80,8 @@ Predictor::Predictor(LoadedArtifact artifact, const Options& options)
       pipeline_(FittedPipeline::FromFittedSteps(
           std::move(artifact.spec), std::move(artifact.fitted_steps))),
       model_config_(artifact.model_config),
-      model_(std::move(artifact.model)) {
+      model_(std::move(artifact.model)),
+      reference_stats_(std::move(artifact.reference_stats)) {
   AUTOFP_CHECK(model_ != nullptr);
   const int num_workers = std::max(options.num_threads, 1) - 1;
   workers_.reserve(static_cast<size_t>(num_workers));

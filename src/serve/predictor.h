@@ -146,6 +146,9 @@ class Predictor {
   const ArtifactSchema& schema() const { return schema_; }
   const PipelineSpec& spec() const { return pipeline_.spec(); }
   const ModelConfig& model_config() const { return model_config_; }
+  /// Drift baseline stamped at export time (empty = none recorded; drift
+  /// monitoring is then unavailable for this artifact).
+  const ReferenceStats& reference_stats() const { return reference_stats_; }
   int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
 
   /// Latency histogram over every batch scored so far.
@@ -169,6 +172,7 @@ class Predictor {
   FittedPipeline pipeline_;
   ModelConfig model_config_;
   std::unique_ptr<Classifier> model_;
+  ReferenceStats reference_stats_;
   mutable LatencyRecorder latency_;
 
   // Fixed worker pool (parallel_evaluator pattern). The queue holds

@@ -697,6 +697,12 @@ void ServeSocketServer::ExecuteBatch(std::vector<Pending> batch) {
   }
   ServeResponse scored =
       ExecutePredictRows(*predictor, *rows, options_.shard_rows);
+  if (scored.ok() && options_.batch_observer != nullptr) {
+    // Batch-thread-synchronous tap: rows/predictions are borrowed for the
+    // duration of the call only (rows may alias the reusable scratch).
+    options_.batch_observer->OnBatchScored(*rows, scored.predictions,
+                                           *predictor);
+  }
   if (!scored.ok()) {
     // The whole batch shares one width, so a schema failure (e.g. a swap
     // changed the input width between admission and scoring) applies to

@@ -40,6 +40,22 @@
 
 namespace autofp {
 
+/// Post-scoring tap on the batch thread: called once per successfully
+/// scored micro-batch with the batch's input rows, the predictions, and
+/// the predictor that produced them (the one Acquire() covering the whole
+/// batch). Implementations run synchronously on the batch thread — keep
+/// them cheap (the streaming drift monitor is O(rows * cols) counter
+/// updates) and do not block. Defined here, implemented by src/stream/'s
+/// StreamController, so the serve layer never depends on the stream
+/// layer.
+class ServeBatchObserver {
+ public:
+  virtual ~ServeBatchObserver() = default;
+  virtual void OnBatchScored(const Matrix& rows,
+                             const std::vector<int>& predictions,
+                             const Predictor& predictor) = 0;
+};
+
 struct ServerOptions {
   /// Bind address. Port 0 binds an ephemeral port (read it back with
   /// port() after Start()).
@@ -62,6 +78,8 @@ struct ServerOptions {
   /// Force the portable poll(2) event loop even where epoll is available
   /// (the fallback is always used on non-Linux builds).
   bool use_poll = false;
+  /// Optional post-scoring tap (non-owning; must outlive the server).
+  ServeBatchObserver* batch_observer = nullptr;
 };
 
 /// Monotonic counters over the server's lifetime.

@@ -1,0 +1,132 @@
+#include "stream/moments.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace autofp {
+
+void RunningMoments::Reset(size_t cols) {
+  rows_ = 0;
+  mean_.assign(cols, 0.0);
+  m2_.assign(cols, 0.0);
+  min_.assign(cols, std::numeric_limits<double>::infinity());
+  max_.assign(cols, -std::numeric_limits<double>::infinity());
+}
+
+void RunningMoments::ObserveRow(const double* row, size_t cols) {
+  AUTOFP_CHECK_EQ(cols, mean_.size());
+  ++rows_;
+  const double inv_rows = 1.0 / static_cast<double>(rows_);
+  for (size_t c = 0; c < cols; ++c) {
+    const double value = row[c];
+    const double delta = value - mean_[c];
+    mean_[c] += delta * inv_rows;
+    m2_[c] += delta * (value - mean_[c]);
+    if (value < min_[c]) min_[c] = value;
+    if (value > max_[c]) max_[c] = value;
+  }
+}
+
+void RunningMoments::Observe(const Matrix& rows) {
+  for (size_t r = 0; r < rows.rows(); ++r) {
+    ObserveRow(rows.RowPtr(r), rows.cols());
+  }
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.rows_ == 0) return;
+  if (rows_ == 0) {
+    *this = other;
+    return;
+  }
+  AUTOFP_CHECK_EQ(cols(), other.cols());
+  const double n_a = static_cast<double>(rows_);
+  const double n_b = static_cast<double>(other.rows_);
+  const double n = n_a + n_b;
+  for (size_t c = 0; c < cols(); ++c) {
+    const double delta = other.mean_[c] - mean_[c];
+    // Chan et al.: combined mean is the count-weighted mean; combined M2
+    // gains the between-stream term delta^2 * n_a*n_b/n.
+    mean_[c] += delta * (n_b / n);
+    m2_[c] += other.m2_[c] + delta * delta * (n_a * n_b / n);
+    if (other.min_[c] < min_[c]) min_[c] = other.min_[c];
+    if (other.max_[c] > max_[c]) max_[c] = other.max_[c];
+  }
+  rows_ += other.rows_;
+}
+
+double RunningMoments::StdDev(size_t c) const {
+  return std::sqrt(Variance(c));
+}
+
+double RunningMoments::MaxAbs(size_t c) const {
+  if (rows_ == 0) return 0.0;
+  return std::max(std::fabs(min_[c]), std::fabs(max_[c]));
+}
+
+std::vector<double> RunningMoments::StdDevs() const {
+  std::vector<double> out(cols());
+  for (size_t c = 0; c < cols(); ++c) out[c] = StdDev(c);
+  return out;
+}
+
+std::vector<double> RunningMoments::MaxAbses() const {
+  std::vector<double> out(cols());
+  for (size_t c = 0; c < cols(); ++c) out[c] = MaxAbs(c);
+  return out;
+}
+
+ReferenceStats RunningMoments::ToReferenceStats() const {
+  ReferenceStats stats;
+  stats.rows = rows_;
+  stats.mean = mean_;
+  stats.m2 = m2_;
+  if (rows_ == 0) {
+    // Match ComputeReferenceStats on empty input: finite sentinels, not
+    // the +/-inf the accumulator uses internally.
+    stats.min.assign(cols(), 0.0);
+    stats.max.assign(cols(), 0.0);
+  } else {
+    stats.min = min_;
+    stats.max = max_;
+  }
+  return stats;
+}
+
+RunningMoments RunningMoments::FromReferenceStats(const ReferenceStats& stats) {
+  RunningMoments moments(stats.cols());
+  if (stats.rows == 0) return moments;
+  moments.rows_ = stats.rows;
+  moments.mean_ = stats.mean;
+  moments.m2_ = stats.m2;
+  moments.min_ = stats.min;
+  moments.max_ = stats.max;
+  return moments;
+}
+
+void RunningMoments::SaveState(std::ostream& out) const {
+  WritePod<uint64_t>(out, rows_);
+  WriteVec(out, mean_);
+  WriteVec(out, m2_);
+  WriteVec(out, min_);
+  WriteVec(out, max_);
+}
+
+Status RunningMoments::LoadState(std::istream& in) {
+  RunningMoments loaded;
+  if (!ReadPod(in, &loaded.rows_) || !ReadVec(in, &loaded.mean_) ||
+      !ReadVec(in, &loaded.m2_) || !ReadVec(in, &loaded.min_) ||
+      !ReadVec(in, &loaded.max_) ||
+      loaded.m2_.size() != loaded.mean_.size() ||
+      loaded.min_.size() != loaded.mean_.size() ||
+      loaded.max_.size() != loaded.mean_.size()) {
+    return Status::InvalidArgument("RunningMoments: malformed state blob");
+  }
+  *this = std::move(loaded);
+  return Status::OK();
+}
+
+}  // namespace autofp

@@ -1,0 +1,92 @@
+#ifndef AUTOFP_STREAM_MOMENTS_H_
+#define AUTOFP_STREAM_MOMENTS_H_
+
+/// Incremental per-column statistics (see DESIGN.md "Streaming and
+/// drift"): Welford's online algorithm over row batches, with Chan's
+/// parallel merge so partial accumulators from different windows/workers
+/// combine exactly. A RunningMoments converts losslessly to and from the
+/// artifact's ReferenceStats (serve/artifact.h), so the drift baseline
+/// stamped at export time is literally a saved accumulator, and the
+/// scaler refit hooks (StandardScaler::FitFromMoments,
+/// MinMaxScaler::FitFromRanges, MaxAbsScaler::FitFromScales) can be fed
+/// from a live stream without ever materializing the data.
+
+#include <cstddef>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "serve/artifact.h"
+#include "util/matrix.h"
+#include "util/status.h"
+
+namespace autofp {
+
+/// Per-column running (count, mean, M2, min, max) in Welford form.
+/// Numerically stable: M2 accumulates squared deviations from the running
+/// mean, never raw sums of squares. Not thread-safe; give each producer
+/// its own accumulator and Merge().
+class RunningMoments {
+ public:
+  RunningMoments() = default;
+  explicit RunningMoments(size_t cols) { Reset(cols); }
+
+  /// Drops all state and fixes the column count.
+  void Reset(size_t cols);
+
+  /// One Welford update per column. `cols` must equal cols().
+  void ObserveRow(const double* row, size_t cols);
+  /// Batch form: one ObserveRow per matrix row.
+  void Observe(const Matrix& rows);
+
+  /// Chan's parallel merge: afterwards *this summarizes the union of both
+  /// streams exactly (same count/mean/M2/min/max as one sequential pass,
+  /// up to floating-point rounding). Column counts must match; merging an
+  /// empty accumulator is a no-op.
+  void Merge(const RunningMoments& other);
+
+  size_t cols() const { return mean_.size(); }
+  uint64_t rows() const { return rows_; }
+  bool empty() const { return rows_ == 0; }
+
+  double Mean(size_t c) const { return mean_[c]; }
+  double M2(size_t c) const { return m2_[c]; }
+  /// Population variance (0 with no rows).
+  double Variance(size_t c) const {
+    return rows_ > 0 ? m2_[c] / static_cast<double>(rows_) : 0.0;
+  }
+  double StdDev(size_t c) const;
+  double Min(size_t c) const { return min_[c]; }
+  double Max(size_t c) const { return max_[c]; }
+  /// Largest absolute observed value of column c (0 with no rows).
+  double MaxAbs(size_t c) const;
+
+  /// Per-column vectors in the shape the refit hooks take.
+  std::vector<double> Means() const { return mean_; }
+  std::vector<double> StdDevs() const;
+  std::vector<double> Mins() const { return min_; }
+  std::vector<double> Maxs() const { return max_; }
+  std::vector<double> MaxAbses() const;
+
+  /// Lossless conversion to/from the artifact's drift-baseline section.
+  ReferenceStats ToReferenceStats() const;
+  static RunningMoments FromReferenceStats(const ReferenceStats& stats);
+
+  /// Serialization in the fitted-state-blob convention (util/serialize.h):
+  /// SaveState writes the full accumulator; LoadState rejects malformed
+  /// blobs with InvalidArgument and leaves *this unchanged on failure.
+  void SaveState(std::ostream& out) const;
+  Status LoadState(std::istream& in);
+
+ private:
+  uint64_t rows_ = 0;
+  std::vector<double> mean_;
+  std::vector<double> m2_;
+  std::vector<double> min_;
+  std::vector<double> max_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_STREAM_MOMENTS_H_

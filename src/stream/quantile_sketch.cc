@@ -1,0 +1,249 @@
+#include "stream/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/serialize.h"
+
+namespace autofp {
+
+P2QuantileSketch::P2QuantileSketch(int markers) : num_markers_(markers) {
+  AUTOFP_CHECK_GE(markers, 3);
+  buffer_.reserve(static_cast<size_t>(markers));
+}
+
+void P2QuantileSketch::InitializeMarkers() {
+  // The first num_markers_ observations become the markers verbatim:
+  // marker i starts at stream position i+1 with height = i-th order
+  // statistic, which is exactly where P² wants it.
+  std::sort(buffer_.begin(), buffer_.end());
+  heights_ = std::move(buffer_);
+  buffer_.clear();
+  positions_.resize(static_cast<size_t>(num_markers_));
+  for (int i = 0; i < num_markers_; ++i) {
+    positions_[static_cast<size_t>(i)] = static_cast<double>(i + 1);
+  }
+}
+
+void P2QuantileSketch::Observe(double value) {
+  ++count_;
+  if (count_ <= static_cast<uint64_t>(num_markers_)) {
+    buffer_.push_back(value);
+    if (count_ == static_cast<uint64_t>(num_markers_)) InitializeMarkers();
+    return;
+  }
+
+  const size_t m = heights_.size();
+  // Find the cell k with heights_[k] <= value < heights_[k+1], extending
+  // the extreme markers when the value falls outside them.
+  size_t k;
+  if (value < heights_[0]) {
+    heights_[0] = value;
+    k = 0;
+  } else if (value >= heights_[m - 1]) {
+    if (value > heights_[m - 1]) heights_[m - 1] = value;
+    k = m - 2;
+  } else {
+    k = static_cast<size_t>(
+            std::upper_bound(heights_.begin(), heights_.end(), value) -
+            heights_.begin()) -
+        1;
+  }
+  for (size_t j = k + 1; j < m; ++j) positions_[j] += 1.0;
+
+  // Nudge each interior marker toward its desired position
+  // 1 + i*(count-1)/(M-1), by one step at most, adjusting its height
+  // with the piecewise-parabolic prediction (linear fallback when the
+  // parabola would break monotonicity).
+  const double span = static_cast<double>(count_ - 1) /
+                      static_cast<double>(num_markers_ - 1);
+  for (size_t i = 1; i + 1 < m; ++i) {
+    const double desired = 1.0 + static_cast<double>(i) * span;
+    double d = desired - positions_[i];
+    if ((d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0) ||
+        (d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0)) {
+      d = d >= 0.0 ? 1.0 : -1.0;
+      const double np = positions_[i - 1];
+      const double nc = positions_[i];
+      const double nn = positions_[i + 1];
+      const double qp = heights_[i - 1];
+      const double qc = heights_[i];
+      const double qn = heights_[i + 1];
+      double candidate =
+          qc + d / (nn - np) *
+                   ((nc - np + d) * (qn - qc) / (nn - nc) +
+                    (nn - nc - d) * (qc - qp) / (nc - np));
+      if (!(qp < candidate && candidate < qn)) {
+        // Linear prediction toward the neighbor in the step direction.
+        const size_t j = d > 0.0 ? i + 1 : i - 1;
+        candidate = qc + d * (heights_[j] - qc) / (positions_[j] - nc);
+      }
+      heights_[i] = candidate;
+      positions_[i] += d;
+    }
+  }
+}
+
+void P2QuantileSketch::SupportPoints(std::vector<double>* values,
+                                     std::vector<double>* cdfs) const {
+  values->clear();
+  cdfs->clear();
+  if (count_ == 0) return;
+  if (!buffer_.empty() || heights_.empty()) {
+    // Warm-up: the sorted observations themselves, at the exact empirical
+    // quantiles i/(n-1).
+    std::vector<double> sorted = buffer_;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t n = sorted.size();
+    for (size_t i = 0; i < n; ++i) {
+      values->push_back(sorted[i]);
+      cdfs->push_back(n > 1 ? static_cast<double>(i) /
+                                  static_cast<double>(n - 1)
+                            : 0.0);
+    }
+    if (n == 1) {
+      values->push_back(sorted[0]);
+      cdfs->push_back(1.0);
+    }
+    return;
+  }
+  const double denom = static_cast<double>(count_ - 1);
+  for (size_t i = 0; i < heights_.size(); ++i) {
+    values->push_back(heights_[i]);
+    cdfs->push_back(denom > 0.0 ? (positions_[i] - 1.0) / denom : 0.0);
+  }
+}
+
+double P2QuantileSketch::Quantile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  std::vector<double> values, cdfs;
+  SupportPoints(&values, &cdfs);
+  if (p <= cdfs.front()) return values.front();
+  if (p >= cdfs.back()) return values.back();
+  // Piecewise-linear interpolation between the bracketing support points.
+  for (size_t i = 1; i < cdfs.size(); ++i) {
+    if (p <= cdfs[i]) {
+      const double gap = cdfs[i] - cdfs[i - 1];
+      if (!(gap > 0.0)) return values[i];
+      const double fraction = (p - cdfs[i - 1]) / gap;
+      return values[i - 1] + fraction * (values[i] - values[i - 1]);
+    }
+  }
+  return values.back();
+}
+
+double P2QuantileSketch::Cdf(double value) const {
+  if (count_ == 0) return 0.0;
+  std::vector<double> values, cdfs;
+  SupportPoints(&values, &cdfs);
+  if (value <= values.front()) return 0.0;
+  if (value >= values.back()) return 1.0;
+  // Find the last support point <= value; interpolate into the next.
+  size_t hi = static_cast<size_t>(
+      std::upper_bound(values.begin(), values.end(), value) -
+      values.begin());
+  const size_t lo = hi - 1;
+  const double gap = values[hi] - values[lo];
+  if (!(gap > 0.0)) return cdfs[hi];
+  const double fraction = (value - values[lo]) / gap;
+  return cdfs[lo] + fraction * (cdfs[hi] - cdfs[lo]);
+}
+
+std::vector<double> P2QuantileSketch::References(int k) const {
+  AUTOFP_CHECK_GE(k, 2);
+  std::vector<double> refs(static_cast<size_t>(k));
+  for (int j = 0; j < k; ++j) {
+    refs[static_cast<size_t>(j)] =
+        Quantile(static_cast<double>(j) / static_cast<double>(k - 1));
+  }
+  return refs;
+}
+
+void P2QuantileSketch::Merge(const P2QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const uint64_t total = count_ + other.count_;
+  if (total <= static_cast<uint64_t>(num_markers_) && !buffer_.empty() &&
+      !other.buffer_.empty()) {
+    // Both still exact: the union is exact too.
+    buffer_.insert(buffer_.end(), other.buffer_.begin(),
+                   other.buffer_.end());
+    count_ = total;
+    if (count_ == static_cast<uint64_t>(num_markers_)) InitializeMarkers();
+    return;
+  }
+
+  // Invert the count-weighted mixture CDF at each marker quantile by
+  // binary search over the value axis (both CDFs are monotone, so the
+  // mixture is too and the resulting heights are non-decreasing).
+  const double w_self = static_cast<double>(count_) /
+                        static_cast<double>(total);
+  const double w_other = 1.0 - w_self;
+  const double lo_bound = std::min(Quantile(0.0), other.Quantile(0.0));
+  const double hi_bound = std::max(Quantile(1.0), other.Quantile(1.0));
+  const size_t m = static_cast<size_t>(num_markers_);
+  std::vector<double> merged_heights(m);
+  merged_heights[0] = lo_bound;
+  merged_heights[m - 1] = hi_bound;
+  for (size_t i = 1; i + 1 < m; ++i) {
+    const double p = static_cast<double>(i) / static_cast<double>(m - 1);
+    double lo = lo_bound, hi = hi_bound;
+    for (int iter = 0; iter < 64 && hi - lo > 0.0; ++iter) {
+      const double mid = lo + (hi - lo) / 2.0;
+      const double mixture = w_self * Cdf(mid) + w_other * other.Cdf(mid);
+      if (mixture < p) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    merged_heights[i] = std::max(hi, merged_heights[i - 1]);
+  }
+  heights_ = std::move(merged_heights);
+  positions_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    positions_[i] = 1.0 + static_cast<double>(i) *
+                              static_cast<double>(total - 1) /
+                              static_cast<double>(m - 1);
+  }
+  buffer_.clear();
+  count_ = total;
+}
+
+void P2QuantileSketch::SaveState(std::ostream& out) const {
+  WritePod<int32_t>(out, num_markers_);
+  WritePod<uint64_t>(out, count_);
+  WriteVec(out, buffer_);
+  WriteVec(out, heights_);
+  WriteVec(out, positions_);
+}
+
+Status P2QuantileSketch::LoadState(std::istream& in) {
+  int32_t markers = 0;
+  P2QuantileSketch loaded;
+  if (!ReadPod(in, &markers) || markers < 3 ||
+      !ReadPod(in, &loaded.count_) || !ReadVec(in, &loaded.buffer_) ||
+      !ReadVec(in, &loaded.heights_) || !ReadVec(in, &loaded.positions_)) {
+    return Status::InvalidArgument("P2QuantileSketch: malformed state blob");
+  }
+  loaded.num_markers_ = markers;
+  const bool warming = loaded.count_ < static_cast<uint64_t>(markers);
+  const bool shape_ok =
+      warming ? (loaded.buffer_.size() == loaded.count_ &&
+                 loaded.heights_.empty() && loaded.positions_.empty())
+              : (loaded.buffer_.empty() &&
+                 loaded.heights_.size() == static_cast<size_t>(markers) &&
+                 loaded.positions_.size() == static_cast<size_t>(markers));
+  if (!shape_ok) {
+    return Status::InvalidArgument("P2QuantileSketch: malformed state blob");
+  }
+  *this = std::move(loaded);
+  return Status::OK();
+}
+
+}  // namespace autofp

@@ -1,0 +1,54 @@
+#include "stream/reservoir.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace autofp {
+
+ReservoirSampler::ReservoirSampler(size_t capacity, size_t cols,
+                                   uint64_t seed)
+    : capacity_(capacity), cols_(cols), rng_(seed) {
+  AUTOFP_CHECK_GT(capacity, 0u);
+  AUTOFP_CHECK_GT(cols, 0u);
+  values_.reserve(capacity * cols);
+  labels_.reserve(capacity);
+}
+
+void ReservoirSampler::ObserveRow(const double* row, size_t cols,
+                                  int label) {
+  AUTOFP_CHECK_EQ(cols, cols_);
+  ++rows_seen_;
+  if (labels_.size() < capacity_) {
+    values_.insert(values_.end(), row, row + cols_);
+    labels_.push_back(label);
+    return;
+  }
+  // Algorithm R: the i-th row (1-based) replaces a uniformly random slot
+  // with probability capacity/i.
+  const uint64_t slot = rng_.UniformIndex(static_cast<size_t>(rows_seen_));
+  if (slot < capacity_) {
+    std::copy(row, row + cols_, values_.begin() +
+                                    static_cast<long>(slot * cols_));
+    labels_[slot] = label;
+  }
+}
+
+Dataset ReservoirSampler::Snapshot(const std::string& name,
+                                   int num_classes) const {
+  Dataset data;
+  data.name = name;
+  data.features = Matrix(labels_.size(), cols_);
+  data.features.data() = values_;
+  data.labels = labels_;
+  data.num_classes = num_classes;
+  return data;
+}
+
+void ReservoirSampler::Reset() {
+  rows_seen_ = 0;
+  values_.clear();
+  labels_.clear();
+}
+
+}  // namespace autofp

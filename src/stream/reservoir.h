@@ -1,0 +1,55 @@
+#ifndef AUTOFP_STREAM_RESERVOIR_H_
+#define AUTOFP_STREAM_RESERVOIR_H_
+
+/// Uniform reservoir sampling (Algorithm R) over the serving stream (see
+/// DESIGN.md "Streaming and drift"): keeps a capacity-bounded uniform
+/// sample of every (row, predicted label) pair scored so far, so a drift
+/// trigger can snapshot a representative re-search dataset without the
+/// stream ever being materialized. Labels are the live predictor's own
+/// predictions (pseudo-labels) — serving traffic carries no ground
+/// truth; see DESIGN.md for why that is the honest option here.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/matrix.h"
+#include "util/random.h"
+
+namespace autofp {
+
+/// Not thread-safe (single producer: the serve batch thread). The seed
+/// makes the sample deterministic for a given stream.
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, size_t cols, uint64_t seed);
+
+  /// Offers one scored row (`cols` values) with its predicted label.
+  void ObserveRow(const double* row, size_t cols, int label);
+
+  size_t size() const { return labels_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t rows_seen() const { return rows_seen_; }
+
+  /// Materializes the current sample as a labeled dataset (`num_classes`
+  /// comes from the serving schema, not the sample, so rare classes
+  /// absent from the reservoir keep their ids).
+  Dataset Snapshot(const std::string& name, int num_classes) const;
+
+  /// Drops the sample and the seen-count (fresh stream after a swap).
+  void Reset();
+
+ private:
+  size_t capacity_;
+  size_t cols_;
+  uint64_t rows_seen_ = 0;
+  Rng rng_;
+  /// Row-major sample buffer, size() rows of cols_ values each.
+  std::vector<double> values_;
+  std::vector<int> labels_;
+};
+
+}  // namespace autofp
+
+#endif  // AUTOFP_STREAM_RESERVOIR_H_

@@ -174,6 +174,52 @@ TEST(Artifact, WriteReadRoundTrip) {
   ASSERT_NE(read.artifact.model, nullptr);
 }
 
+TEST(Artifact, ExportStampsReferenceStatsThatRoundTrip) {
+  std::string path = WriteTestArtifact("artifact_stats.afpa");
+  ArtifactReadResult read = ReadArtifact(path);
+  ASSERT_TRUE(read.ok()) << read.status.ToString();
+
+  const Dataset data = TestData();
+  const ReferenceStats expected = ComputeReferenceStats(data.features);
+  const ReferenceStats& loaded = read.artifact.reference_stats;
+  ASSERT_EQ(loaded.cols(), data.num_cols());
+  EXPECT_EQ(loaded.rows, data.num_rows());
+  for (size_t c = 0; c < loaded.cols(); ++c) {
+    // The section stores the raw doubles, so the round trip is bit-exact.
+    EXPECT_EQ(loaded.mean[c], expected.mean[c]) << "col " << c;
+    EXPECT_EQ(loaded.m2[c], expected.m2[c]) << "col " << c;
+    EXPECT_EQ(loaded.min[c], expected.min[c]) << "col " << c;
+    EXPECT_EQ(loaded.max[c], expected.max[c]) << "col " << c;
+  }
+}
+
+TEST(Artifact, WriteRejectsStatsWithWrongColumnCount) {
+  const Dataset data = TestData();
+  FittedPipeline pipeline = FittedPipeline::Fit(
+      PipelineSpec::FromKinds({PreprocessorKind::kStandardScaler}),
+      data.features);
+  Matrix transformed = pipeline.Transform(data.features);
+  ModelConfig config = ModelConfig::Defaults(ModelKind::kLogisticRegression);
+  std::unique_ptr<Classifier> model = MakeClassifier(config);
+  model->Train(transformed, data.labels, data.num_classes);
+  ArtifactSchema schema;
+  schema.dataset_name = data.name;
+  schema.input_cols = data.num_cols();
+  schema.num_classes = data.num_classes;
+  schema.transformed_cols = transformed.cols();
+
+  ReferenceStats wrong;  // one column short of the schema.
+  wrong.rows = data.num_rows();
+  wrong.mean.assign(data.num_cols() - 1, 0.0);
+  wrong.m2.assign(data.num_cols() - 1, 0.0);
+  wrong.min.assign(data.num_cols() - 1, 0.0);
+  wrong.max.assign(data.num_cols() - 1, 0.0);
+  Status written = WriteArtifact(TempPath("artifact_bad_stats.afpa"), schema,
+                                 pipeline, config, *model, wrong);
+  EXPECT_FALSE(written.ok());
+  EXPECT_EQ(written.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Artifact, ExportRefusesNonFinitePipelineOutput) {
   Dataset data = TestData();
   // Poison the first column with values PowerTransformer overflows on.
@@ -290,7 +336,7 @@ TEST(ArtifactCorruption, SchemaFingerprintMismatch) {
   ArtifactWriteOptions options;
   options.override_section_fingerprint = 0xDEADBEEFu;
   ASSERT_TRUE(
-      WriteArtifact(path, schema, pipeline, config, *model, options).ok());
+      WriteArtifact(path, schema, pipeline, config, *model, {}, options).ok());
   ArtifactReadResult read = ReadArtifact(path);
   EXPECT_EQ(read.error, ArtifactError::kSchemaMismatch);
   EXPECT_NE(read.status.message().find("fingerprint"), std::string::npos);

@@ -33,6 +33,16 @@
 /// protocol (serve/protocol.h) with micro-batching and a hot-swap
 /// artifact registry: a SWAP frame — or SIGHUP — replaces the live
 /// artifact atomically under traffic. SIGINT/SIGTERM drain and exit 3.
+/// SIGUSR1 dumps one JSON line of server + latency + streaming counters
+/// to stderr ("stats: {...}").
+///
+/// With --candidate PATH, listen also runs the streaming control loop
+/// (see DESIGN.md "Streaming and drift"): every scored batch feeds a
+/// drift monitor built from the artifact's reference stats plus a
+/// reservoir sample of recent rows; a drifted window triggers a
+/// budget-bounded background re-search whose winning pipeline is
+/// exported to PATH and hot-swapped — the old artifact keeps serving on
+/// any failure.
 ///
 /// Exit codes: 0 ok; 1 runtime error (unreadable/corrupt artifact, I/O);
 /// 2 usage error; 3 interrupted by signal; 4 every input row malformed.
@@ -44,6 +54,7 @@
 #include <ctime>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -51,6 +62,7 @@
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "stream/controller.h"
 #include "cli_flags.h"
 
 namespace {
@@ -59,9 +71,11 @@ using namespace autofp;
 
 volatile std::sig_atomic_t g_stop_requested = 0;
 volatile std::sig_atomic_t g_reload_requested = 0;
+volatile std::sig_atomic_t g_dump_requested = 0;
 
 extern "C" void HandleStopSignal(int) { g_stop_requested = 1; }
 extern "C" void HandleReloadSignal(int) { g_reload_requested = 1; }
+extern "C" void HandleDumpSignal(int) { g_dump_requested = 1; }
 
 struct Options {
   std::string mode;  ///< "score", "serve" or "listen".
@@ -78,6 +92,18 @@ struct Options {
   long max_delay_us = 200;
   size_t max_queue_rows = 1u << 16;
   bool use_poll = false;
+  // Streaming drift + background re-search (listen mode; enabled by
+  // --candidate).
+  std::string candidate;
+  size_t drift_window = 512;
+  double drift_threshold = 0.5;
+  size_t drift_min_columns = 1;
+  size_t reservoir_rows = 2048;
+  long research_budget = 32;
+  std::string research_algorithm = "RS";
+  uint64_t research_seed = 1;
+  size_t research_min_rows = 64;
+  std::string research_journal;
 };
 
 void PrintUsage() {
@@ -108,6 +134,23 @@ void PrintUsage() {
       "  --max-delay-us N   micro-batch straggler wait (default 200)\n"
       "  --max-queue-rows N admission bound before BUSY (default 65536)\n"
       "  --use-poll         use the portable poll(2) loop, not epoll\n"
+      "  --candidate PATH   enable drift-triggered background re-search;\n"
+      "                     candidate artifacts are exported to PATH and\n"
+      "                     hot-swapped on success (listen mode only)\n"
+      "  --drift-window N   rows per drift comparison window (default 512)\n"
+      "  --drift-threshold F per-column trigger threshold in reference\n"
+      "                     stddevs (default 0.5)\n"
+      "  --drift-min-columns N columns over threshold to trigger (default 1)\n"
+      "  --reservoir-rows N rows retained for the re-search snapshot\n"
+      "                     (default 2048)\n"
+      "  --research-budget N evaluation budget per background search\n"
+      "                     (default 32)\n"
+      "  --research-algorithm NAME Table 3 search algorithm (default RS)\n"
+      "  --research-seed N  seed for the background search (default 1)\n"
+      "  --research-min-rows N refuse snapshots smaller than this\n"
+      "                     (default 64)\n"
+      "  --research-journal PATH durable-run journal for background\n"
+      "                     searches (default none)\n"
       "exit codes: 0 ok | 1 error | 2 usage | 3 interrupted | 4 all rows "
       "malformed\n");
 }
@@ -159,6 +202,46 @@ bool ParseArgs(int argc, char** argv, Options* options) {
         return false;
     } else if (arg == "--use-poll") {
       options->use_poll = true;
+    } else if (arg == "--candidate") {
+      if (!cli::ParseString(argc, argv, &i, "--candidate",
+                            &options->candidate))
+        return false;
+    } else if (arg == "--drift-window") {
+      if (!cli::ParseSize(argc, argv, &i, "--drift-window", 1,
+                          &options->drift_window))
+        return false;
+    } else if (arg == "--drift-threshold") {
+      if (!cli::ParseDouble(argc, argv, &i, "--drift-threshold",
+                            &options->drift_threshold))
+        return false;
+    } else if (arg == "--drift-min-columns") {
+      if (!cli::ParseSize(argc, argv, &i, "--drift-min-columns", 1,
+                          &options->drift_min_columns))
+        return false;
+    } else if (arg == "--reservoir-rows") {
+      if (!cli::ParseSize(argc, argv, &i, "--reservoir-rows", 1,
+                          &options->reservoir_rows))
+        return false;
+    } else if (arg == "--research-budget") {
+      if (!cli::ParseLong(argc, argv, &i, "--research-budget", 1,
+                          &options->research_budget))
+        return false;
+    } else if (arg == "--research-algorithm") {
+      if (!cli::ParseString(argc, argv, &i, "--research-algorithm",
+                            &options->research_algorithm))
+        return false;
+    } else if (arg == "--research-seed") {
+      if (!cli::ParseU64(argc, argv, &i, "--research-seed",
+                         &options->research_seed))
+        return false;
+    } else if (arg == "--research-min-rows") {
+      if (!cli::ParseSize(argc, argv, &i, "--research-min-rows", 1,
+                          &options->research_min_rows))
+        return false;
+    } else if (arg == "--research-journal") {
+      if (!cli::ParseString(argc, argv, &i, "--research-journal",
+                            &options->research_journal))
+        return false;
     } else {
       std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
       return false;
@@ -173,6 +256,14 @@ bool ParseArgs(int argc, char** argv, Options* options) {
     std::fprintf(stderr, "error: score mode needs --in and --out\n");
     return false;
   }
+  if (!options->candidate.empty() && options->mode != "listen") {
+    std::fprintf(stderr, "error: --candidate needs listen mode\n");
+    return false;
+  }
+  if (!(options->drift_threshold > 0.0)) {
+    std::fprintf(stderr, "error: --drift-threshold must be > 0\n");
+    return false;
+  }
   return true;
 }
 
@@ -183,6 +274,48 @@ void PrintStats(const Predictor& predictor) {
                "p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
                stats.batches, stats.rows, stats.rows_per_second, stats.p50_ms,
                stats.p95_ms, stats.p99_ms);
+}
+
+/// The SIGUSR1 dump: every counter the listen server has, as one JSON
+/// line on stderr (greppable as "stats: {"). The stream fragment is
+/// present only when the streaming control loop is wired in.
+void DumpStatsJson(const ServeSocketServer& server,
+                   const ArtifactRegistry& registry,
+                   const StreamController* stream) {
+  const ServerCounters counts = server.counters();
+  const RegistryInfo info = registry.Info();
+  std::string line = "stats: {";
+  char buffer[1024];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "\"generation\":%ld,\"connections_accepted\":%ld,"
+      "\"frames_received\":%ld,\"predict_requests\":%ld,"
+      "\"predict_rows\":%ld,\"micro_batches\":%ld,"
+      "\"coalesced_requests\":%ld,\"busy_shed\":%ld,"
+      "\"protocol_errors\":%ld,\"swaps\":%ld,\"peer_disconnects\":%ld",
+      info.generation, counts.connections_accepted, counts.frames_received,
+      counts.predict_requests, counts.predict_rows, counts.micro_batches,
+      counts.coalesced_requests, counts.busy_shed, counts.protocol_errors,
+      counts.swaps, counts.peer_disconnects);
+  line += buffer;
+  std::shared_ptr<const Predictor> live = registry.Acquire();
+  if (live != nullptr) {
+    const ServeStats stats = live->stats();
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"latency_batches\":%ld,\"latency_rows\":%ld,"
+                  "\"rows_per_second\":%.1f,\"p50_ms\":%.3f,"
+                  "\"p95_ms\":%.3f,\"p99_ms\":%.3f",
+                  stats.batches, stats.rows, stats.rows_per_second,
+                  stats.p50_ms, stats.p95_ms, stats.p99_ms);
+    line += buffer;
+  }
+  if (stream != nullptr) {
+    line += ",";
+    line += stream->CountersJson();
+  }
+  line += "}";
+  std::fprintf(stderr, "%s\n", line.c_str());
+  std::fflush(stderr);
 }
 
 int RunScore(const Options& options, const Predictor& predictor) {
@@ -323,6 +456,31 @@ int RunListen(const Options& options) {
   std::fprintf(stderr, "loaded artifact: pipeline [%s], model %s\n",
                info.pipeline.c_str(), info.model.c_str());
 
+  // Streaming control loop: drift monitor + reservoir + background
+  // re-search, tapped into the batch thread. Enabled by --candidate.
+  std::unique_ptr<StreamController> stream;
+  if (!options.candidate.empty()) {
+    StreamConfig stream_config;
+    stream_config.drift.window_rows = options.drift_window;
+    stream_config.drift.threshold = options.drift_threshold;
+    stream_config.drift.min_columns = options.drift_min_columns;
+    stream_config.research.budget_evaluations = options.research_budget;
+    stream_config.research.algorithm = options.research_algorithm;
+    stream_config.research.seed = options.research_seed;
+    stream_config.research.candidate_path = options.candidate;
+    stream_config.research.journal_path = options.research_journal;
+    stream_config.research.min_rows = options.research_min_rows;
+    stream_config.reservoir_rows = options.reservoir_rows;
+    stream_config.seed = options.research_seed;
+    stream = std::make_unique<StreamController>(&registry, stream_config);
+    std::fprintf(stderr,
+                 "drift: window %zu rows, threshold %.3f, re-search "
+                 "budget %ld (%s) -> %s\n",
+                 options.drift_window, options.drift_threshold,
+                 options.research_budget, options.research_algorithm.c_str(),
+                 options.candidate.c_str());
+  }
+
   ServerOptions server_options;
   server_options.host = options.host;
   server_options.port = options.port;
@@ -331,6 +489,7 @@ int RunListen(const Options& options) {
   server_options.max_queue_rows = options.max_queue_rows;
   server_options.shard_rows = options.batch;
   server_options.use_poll = options.use_poll;
+  server_options.batch_observer = stream.get();
   ServeSocketServer server(&registry, server_options);
   Status started = server.Start();
   if (!started.ok()) {
@@ -338,6 +497,7 @@ int RunListen(const Options& options) {
     return 1;
   }
   std::signal(SIGHUP, HandleReloadSignal);
+  std::signal(SIGUSR1, HandleDumpSignal);
   std::fprintf(stderr, "listening on %s:%d\n", options.host.c_str(),
                server.port());
   std::fflush(stderr);
@@ -347,10 +507,17 @@ int RunListen(const Options& options) {
       g_reload_requested = 0;
       server.RequestReload();
     }
+    if (g_dump_requested != 0) {
+      g_dump_requested = 0;
+      DumpStatsJson(server, registry, stream.get());
+    }
     struct timespec nap = {0, 50 * 1000 * 1000};  // 50 ms
     ::nanosleep(&nap, nullptr);
   }
   server.Stop();
+  // Let an in-flight background re-search finish (it may be about to
+  // swap; shutting down under it would race the registry teardown).
+  if (stream != nullptr) stream->WaitForResearch();
 
   const ServerCounters counts = server.counters();
   std::fprintf(stderr,
