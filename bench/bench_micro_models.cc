@@ -1,11 +1,24 @@
 /// Micro-benchmarks (google-benchmark): training throughput of the three
 /// downstream models — the "Train" component of the paper's Section 5.3
 /// decomposition, which the paper identifies as the dominant bottleneck.
+///
+/// `--json [path]` switches to the model-kernel roofline report instead:
+/// the SIMD primitives the model inner loops ride (Dot, Axpy, the
+/// branchless histogram binning, streaming moments accumulation) timed
+/// scalar vs vectorized, with element throughput and speedups.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/auto_fp.h"
 #include "data/synthetic.h"
+#include "stream/moments.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -92,6 +105,141 @@ void BM_FullEvaluation(benchmark::State& state) {
 BENCHMARK(BM_FullEvaluation)->Arg(0)->Arg(1)->Arg(2)
     ->Unit(benchmark::kMillisecond);
 
+// --- Model-kernel roofline report (--json) ----------------------------------
+
+/// Best-of-N nanoseconds for `body()` run over the same inputs.
+template <typename Fn>
+double BestOfNs(Fn body) {
+  constexpr int kReps = 9;  // 1 warmup + best of 8
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    body();
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    if (rep == 0) continue;
+    if (best == 0.0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+void PrintKernelLine(std::FILE* out, const char* name, double scalar_ns,
+                     double simd_ns, double elements, bool last) {
+  std::fprintf(out,
+               "    {\"kernel\": \"%s\", \"scalar_ns\": %.0f, "
+               "\"simd_ns\": %.0f, \"elements_per_s\": %.0f, "
+               "\"speedup\": %.2f}%s\n",
+               name, scalar_ns, simd_ns, elements * 1e9 / simd_ns,
+               scalar_ns / simd_ns, last ? "" : ",");
+}
+
+int RunModelRooflineReport(const char* path) {
+  constexpr size_t kN = 1024;        // one GEMM row / LR feature vector
+  constexpr size_t kBatch = 4096;    // rows per pass
+  Rng rng(23);
+  std::vector<double> a(kN), b(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    a[i] = rng.Uniform(-1.0, 1.0);
+    b[i] = rng.Uniform(-1.0, 1.0);
+  }
+
+  std::FILE* out = path != nullptr ? std::fopen(path, "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"backend\": \"%s\",\n", simd::kBackendName);
+  std::fprintf(out, "  \"double_lanes\": %zu,\n", simd::kDoubleLanes);
+  std::fprintf(out, "  \"kernels\": [\n");
+
+  // Dot: the MLP/LSTM GEMM and LR logit primitive. kBatch dots of kN.
+  double acc = 0.0;
+  const double dot_scalar = BestOfNs([&] {
+    for (size_t i = 0; i < kBatch; ++i) {
+      acc += simd::DotScalar(a.data(), b.data(), kN);
+    }
+  });
+  const double dot_simd = BestOfNs([&] {
+    for (size_t i = 0; i < kBatch; ++i) {
+      acc += simd::Dot(a.data(), b.data(), kN);
+    }
+  });
+  benchmark::DoNotOptimize(acc);
+  PrintKernelLine(out, "dot_1024", dot_scalar, dot_simd,
+                  static_cast<double>(kBatch * kN), false);
+
+  // Axpy: the backward-pass gradient accumulation primitive.
+  std::vector<double> y(kN, 0.0);
+  const double axpy_scalar = BestOfNs([&] {
+    simd::ScopedForceScalar forced(true);
+    for (size_t i = 0; i < kBatch; ++i) {
+      simd::Axpy(1e-9, a.data(), y.data(), kN);
+    }
+  });
+  const double axpy_simd = BestOfNs([&] {
+    for (size_t i = 0; i < kBatch; ++i) {
+      simd::Axpy(1e-9, a.data(), y.data(), kN);
+    }
+  });
+  benchmark::DoNotOptimize(y);
+  PrintKernelLine(out, "axpy_1024", axpy_scalar, axpy_simd,
+                  static_cast<double>(kBatch * kN), false);
+
+  // GBDT histogram binning: branchless lower-bound vs std::lower_bound
+  // over a 256-edge table (the tree builder's per-row hot path).
+  std::vector<double> edges(256);
+  for (double& e : edges) e = rng.Uniform(-3.0, 3.0);
+  std::sort(edges.begin(), edges.end());
+  std::vector<double> values(kBatch);
+  for (double& v : values) v = rng.Uniform(-4.0, 4.0);
+  size_t bins = 0;
+  const double bin_scalar = BestOfNs([&] {
+    for (double v : values) {
+      bins += static_cast<size_t>(
+          std::lower_bound(edges.begin(), edges.end(), v) - edges.begin());
+    }
+  });
+  const double bin_branchless = BestOfNs([&] {
+    for (double v : values) {
+      bins += simd::LowerBoundIndex(edges.data(), edges.size(), v);
+    }
+  });
+  benchmark::DoNotOptimize(bins);
+  PrintKernelLine(out, "histogram_binning_256", bin_scalar, bin_branchless,
+                  static_cast<double>(kBatch), false);
+
+  // Streaming moments: Welford accumulate across 16 columns per row.
+  Dataset stream_data = MakeDataset(kBatch, 2);
+  const double moments_scalar = BestOfNs([&] {
+    simd::ScopedForceScalar forced(true);
+    RunningMoments moments(stream_data.features.cols());
+    moments.Observe(stream_data.features);
+    benchmark::DoNotOptimize(moments);
+  });
+  const double moments_simd = BestOfNs([&] {
+    RunningMoments moments(stream_data.features.cols());
+    moments.Observe(stream_data.features);
+    benchmark::DoNotOptimize(moments);
+  });
+  PrintKernelLine(out, "running_moments_16col", moments_scalar, moments_simd,
+                  static_cast<double>(stream_data.features.size()), true);
+
+  std::fprintf(out, "  ]\n}\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--json") {
+    return RunModelRooflineReport(argc >= 3 ? argv[2] : nullptr);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

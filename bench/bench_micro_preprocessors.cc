@@ -2,10 +2,22 @@
 /// preprocessor and of representative pipelines, across data sizes.
 /// These quantify the "Prep" component of the paper's Section 5.3
 /// decomposition.
+///
+/// `--json [path]` switches to the kernel roofline report instead: each
+/// preprocessor's TransformInPlace timed as scalar row-major (the
+/// pre-kernel-layer reference), SIMD row-major, and SIMD col-major, with
+/// rows/s, GB/s and speedups. scripts/bench_snapshot.sh commits it as
+/// BENCH_kernels.json.
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
 #include "core/auto_fp.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -170,6 +182,93 @@ void BM_SpaceMutation(benchmark::State& state) {
 }
 BENCHMARK(BM_SpaceMutation);
 
+// --- Kernel roofline report (--json) ----------------------------------------
+
+/// Best-of-N wall time of one TransformInPlace over `source` staged in
+/// `layout`, in nanoseconds. The refresh copy is outside the timed
+/// region, so the number is the kernel alone.
+double TimeTransformNs(const Preprocessor& step, const Matrix& source,
+                       Matrix::Layout layout, bool force_scalar) {
+  constexpr int kReps = 9;  // 1 warmup + best of 8
+  Matrix staged;
+  staged.AssignWithLayout(source, layout);
+  Matrix buffer;
+  simd::ScopedForceScalar forced(force_scalar);
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    buffer = staged;
+    const auto start = std::chrono::steady_clock::now();
+    step.TransformInPlace(buffer);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ns =
+        std::chrono::duration<double, std::nano>(stop - start).count();
+    benchmark::DoNotOptimize(buffer);
+    if (rep == 0) continue;
+    if (best == 0.0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+int RunRooflineReport(const char* path) {
+  constexpr size_t kRooflineRows = 8192;
+  constexpr size_t kRooflineCols = 16;
+  const Matrix data = MakeData(kRooflineRows, kRooflineCols, 17);
+
+  std::FILE* out = path != nullptr ? std::fopen(path, "w") : stdout;
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"backend\": \"%s\",\n", simd::kBackendName);
+  std::fprintf(out, "  \"double_lanes\": %zu,\n", simd::kDoubleLanes);
+  std::fprintf(out, "  \"rows\": %zu,\n", kRooflineRows);
+  std::fprintf(out, "  \"cols\": %zu,\n", kRooflineCols);
+  std::fprintf(out, "  \"kernels\": [\n");
+
+  const auto kinds = AllPreprocessorKinds();
+  // Read + write of the whole buffer per pass: the elementwise kernels'
+  // minimum traffic, making gb_per_s comparable across kernels.
+  const double bytes_per_pass =
+      2.0 * static_cast<double>(kRooflineRows * kRooflineCols) *
+      sizeof(double);
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    const PreprocessorKind kind = kinds[i];
+    auto step = MakePreprocessor(kind);
+    step->Fit(data);
+    const double scalar_ns =
+        TimeTransformNs(*step, data, Matrix::Layout::kRowMajor, true);
+    const double simd_row_ns =
+        TimeTransformNs(*step, data, Matrix::Layout::kRowMajor, false);
+    const double simd_col_ns =
+        TimeTransformNs(*step, data, Matrix::Layout::kColMajor, false);
+    const double best_ns = std::min(simd_row_ns, simd_col_ns);
+    std::fprintf(
+        out,
+        "    {\"kernel\": \"%s\", \"scalar_row_major_ns\": %.0f, "
+        "\"simd_row_major_ns\": %.0f, \"simd_col_major_ns\": %.0f, "
+        "\"rows_per_s\": %.0f, \"gb_per_s\": %.2f, "
+        "\"speedup_simd_row\": %.2f, \"speedup_simd_col\": %.2f}%s\n",
+        KindName(kind).c_str(), scalar_ns, simd_row_ns, simd_col_ns,
+        static_cast<double>(kRooflineRows) * 1e9 / best_ns,
+        bytes_per_pass / best_ns,  // bytes/ns == GB/s
+        scalar_ns / simd_row_ns, scalar_ns / simd_col_ns,
+        i + 1 < kinds.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "--json") {
+    return RunRooflineReport(argc >= 3 ? argv[2] : nullptr);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -12,6 +12,13 @@
 #     component (running moments, P2 quantile sketches, reservoir,
 #     drift monitor); all should dwarf the socket front end's
 #     throughput (bench_stream_overhead).
+#   BENCH_kernels.json — preprocessor-kernel roofline: each
+#     TransformInPlace timed scalar row-major vs SIMD row-major vs
+#     SIMD col-major, with rows/s, GB/s and speedups
+#     (bench_micro_preprocessors --json).
+#   BENCH_model_kernels.json — the model-side SIMD primitives (Dot,
+#     Axpy, histogram binning, running moments), scalar vs vectorized
+#     (bench_micro_models --json).
 #
 # Numbers are machine-dependent; the committed files are reference
 # points for spotting order-of-magnitude regressions after touching
@@ -25,7 +32,8 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-${repo_root}/build}"
 
 cmake --build "${build_dir}" -j \
-  --target bench_serve_throughput bench_dist_scaling bench_stream_overhead
+  --target bench_serve_throughput bench_dist_scaling bench_stream_overhead \
+  bench_micro_preprocessors bench_micro_models
 
 "${build_dir}/bench/bench_serve_throughput" --net-only \
   --json "${repo_root}/BENCH_serve.json"
@@ -38,3 +46,11 @@ echo "wrote ${repo_root}/BENCH_dist.json"
 "${build_dir}/bench/bench_stream_overhead" \
   --json "${repo_root}/BENCH_stream.json"
 echo "wrote ${repo_root}/BENCH_stream.json"
+
+"${build_dir}/bench/bench_micro_preprocessors" \
+  --json "${repo_root}/BENCH_kernels.json"
+echo "wrote ${repo_root}/BENCH_kernels.json"
+
+"${build_dir}/bench/bench_micro_models" \
+  --json "${repo_root}/BENCH_model_kernels.json"
+echo "wrote ${repo_root}/BENCH_model_kernels.json"

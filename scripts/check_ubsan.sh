@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds with -fsanitize=undefined and runs the kernel-layer suites:
+# the SIMD wrapper primitives, the layout-aware preprocessor kernels,
+# the matrix layout/view machinery, and the pipeline data plane built
+# on them. UBSan is the check that the vectorized remainder handling,
+# the branchless table lookups (index arithmetic, gathers) and the
+# borrowed-view aliasing never rely on undefined behavior — misaligned
+# casts, signed overflow, out-of-range shifts.
+#
+# Usage: scripts/check_ubsan.sh [ctest-regex]
+#   ctest-regex  optional test-name filter; defaults to the kernel
+#                suites. Pass '.' to run everything under UBSan.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-ubsan"
+filter="${1:-Simd|Kernels|Matrix|InPlace|Pipeline|Preprocessor}"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DAUTOFP_SANITIZE=undefined
+cmake --build "${build_dir}" -j \
+  --target test_simd test_kernels test_matrix test_inplace test_pipeline \
+  test_preprocessors
+
+cd "${build_dir}"
+UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  ctest --output-on-failure -R "${filter}"
+echo "UBSan check passed."

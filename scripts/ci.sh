@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # One-shot CI entry point: tier-1 build + ctest, the ThreadSanitizer
 # concurrency suites, the AddressSanitizer data-plane suites, the
-# artifact/serving round trip, the network serving end-to-end leg
-# (hot swap under load, malformed frames, signal handling), the
-# streaming drift loop (drift-triggered background re-search and hot
-# swap), and the kill-point crash-injection matrix.
+# UndefinedBehaviorSanitizer kernel-layer suites, a full forced-scalar
+# run (AUTOFP_DISABLE_SIMD=ON — the kernel layer's portable fallback
+# must pass everything the SIMD build does), the artifact/serving round
+# trip, the network serving end-to-end leg (hot swap under load,
+# malformed frames, signal handling), the streaming drift loop
+# (drift-triggered background re-search and hot swap), and the
+# kill-point crash-injection matrix.
 #
 # Usage: scripts/ci.sh
 set -euo pipefail
@@ -21,6 +24,15 @@ echo "=== tsan: concurrency suites ==="
 
 echo "=== asan: data-plane suites ==="
 "${repo_root}/scripts/check_asan.sh"
+
+echo "=== ubsan: kernel-layer suites ==="
+"${repo_root}/scripts/check_ubsan.sh"
+
+echo "=== forced-scalar: full ctest with SIMD disabled ==="
+cmake -B "${repo_root}/build-scalar" -S "${repo_root}" \
+  -DAUTOFP_DISABLE_SIMD=ON
+cmake --build "${repo_root}/build-scalar" -j
+(cd "${repo_root}/build-scalar" && ctest --output-on-failure -j)
 
 echo "=== serve: export -> score round trip ==="
 "${repo_root}/scripts/check_serve.sh" \

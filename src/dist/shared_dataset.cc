@@ -48,7 +48,7 @@ Status WriteSharedDataset(const std::string& path, const Dataset& dataset) {
   std::string bytes;
   const uint64_t rows = dataset.features.rows();
   const uint64_t cols = dataset.features.cols();
-  bytes.reserve(64 + dataset.name.size() + rows * cols * sizeof(double) +
+  bytes.reserve(128 + dataset.name.size() + rows * cols * sizeof(double) +
                 rows * sizeof(int32_t));
   AppendPod(&bytes, kSharedDatasetMagic);
   AppendPod(&bytes, kSharedDatasetVersion);
@@ -58,9 +58,22 @@ Status WriteSharedDataset(const std::string& path, const Dataset& dataset) {
   AppendPod(&bytes, cols);
   AppendPod(&bytes, static_cast<uint32_t>(dataset.name.size()));
   bytes.append(dataset.name);
-  bytes.append(
-      reinterpret_cast<const char*>(dataset.features.data().data()),
-      static_cast<size_t>(rows * cols) * sizeof(double));
+  // Pad so the feature block sits at a 64-byte file offset (the reader
+  // maps it in place; see the header layout doc). Derivable from the
+  // header, so nothing extra is stored.
+  bytes.append((kSharedDatasetAlign - bytes.size() % kSharedDatasetAlign) %
+                   kSharedDatasetAlign,
+               '\0');
+  if (dataset.features.layout() == Matrix::Layout::kRowMajor) {
+    bytes.append(reinterpret_cast<const char*>(dataset.features.Raw()),
+                 static_cast<size_t>(rows * cols) * sizeof(double));
+  } else {
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t c = 0; c < cols; ++c) {
+        AppendPod(&bytes, dataset.features(r, c));
+      }
+    }
+  }
   for (int label : dataset.labels) {
     AppendPod(&bytes, static_cast<int32_t>(label));
   }
@@ -93,10 +106,14 @@ Result<Dataset> MapSharedDataset(const std::string& path) {
     return Status::IoError("cannot mmap shared dataset '" + path +
                            "': " + std::strerror(errno));
   }
+  // The mapping's owner from here on: released when the last reference
+  // (an error path below, or the returned feature matrix's backing)
+  // goes away.
+  std::shared_ptr<const void> backing(
+      mapped, [size](const void* p) { ::munmap(const_cast<void*>(p), size); });
   const char* data = static_cast<const char*>(mapped);
 
   auto fail = [&](const std::string& message) -> Result<Dataset> {
-    ::munmap(mapped, size);
     return Status::InvalidArgument("shared dataset '" + path +
                                    "': " + message);
   };
@@ -134,12 +151,25 @@ Result<Dataset> MapSharedDataset(const std::string& path) {
   dataset.num_classes = static_cast<int>(num_classes);
   const uint64_t cells = rows * cols;
   if (cols != 0 && cells / cols != rows) return fail("shape overflow");
-  dataset.features.Resize(static_cast<size_t>(rows),
-                          static_cast<size_t>(cols));
-  if (!cursor.ReadBytes(dataset.features.data().data(),
-                        static_cast<size_t>(cells) * sizeof(double))) {
+  // Skip the writer's alignment padding (all zeros by construction, not
+  // re-checked: the CRC already covered it).
+  const size_t pad = (kSharedDatasetAlign - cursor.pos % kSharedDatasetAlign) %
+                     kSharedDatasetAlign;
+  if (cursor.size - cursor.pos < pad) return fail("truncated padding");
+  cursor.pos += pad;
+  const size_t feature_bytes = static_cast<size_t>(cells) * sizeof(double);
+  if (cursor.size - cursor.pos < feature_bytes) {
     return fail("truncated feature block");
   }
+  // Zero-copy: the feature matrix is a read-only view straight into the
+  // mapping, whose lifetime the backing now carries. The 64-byte file
+  // alignment plus the page-aligned mapping make the block cache-line
+  // aligned in memory.
+  const auto* features =
+      reinterpret_cast<const double*>(data + cursor.pos);
+  cursor.pos += feature_bytes;
+  dataset.features = Matrix::WrapConstRowMajor(
+      features, static_cast<size_t>(rows), static_cast<size_t>(cols), backing);
   dataset.labels.resize(static_cast<size_t>(rows));
   for (size_t i = 0; i < dataset.labels.size(); ++i) {
     int32_t label = 0;
@@ -147,7 +177,6 @@ Result<Dataset> MapSharedDataset(const std::string& path) {
     dataset.labels[i] = label;
   }
   if (cursor.pos != cursor.size) return fail("trailing bytes");
-  ::munmap(mapped, size);
 
   // Belt and braces: the fingerprint the writer computed must match what
   // this process computes over the materialized dataset — it is what the

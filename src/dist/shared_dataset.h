@@ -11,11 +11,21 @@
 /// worker's DatasetFingerprint at HELLO, so a worker can never evaluate
 /// against different data than the journal fingerprints.
 ///
-/// Layout:
+/// Layout (version 2):
 ///   "AFPD" | u32 version | u64 dataset_fingerprint | u32 num_classes |
 ///   u64 rows | u64 cols | u32 name_len | name |
+///   zero padding to the next 64-byte file offset |
 ///   rows*cols f64 features (row-major) | rows i32 labels |
 ///   u32 crc32(everything above)
+///
+/// The padding 64-byte-aligns the feature block within the file; since
+/// mmap returns page-aligned addresses, the mapped block is 64-byte
+/// aligned in memory. MapSharedDataset exploits that: after the CRC
+/// passes, the returned Dataset's feature matrix is a zero-copy
+/// read-only view straight into the mapping (Matrix::WrapConstRowMajor),
+/// with the mapping's lifetime owned by the matrix backing. The CRC is
+/// verified over the whole file before the first use, so a worker never
+/// computes on corrupt bytes.
 
 #include <string>
 
@@ -25,7 +35,11 @@
 namespace autofp {
 
 inline constexpr uint32_t kSharedDatasetMagic = 0x44504641;  // "AFPD"
-inline constexpr uint32_t kSharedDatasetVersion = 1;
+inline constexpr uint32_t kSharedDatasetVersion = 2;
+
+/// Alignment of the feature block inside the file (and therefore in the
+/// mapping): one cache line, enough for any SIMD load width we use.
+inline constexpr size_t kSharedDatasetAlign = 64;
 
 /// Writes `dataset` to `path` atomically and durably (temp + rename +
 /// parent-dir fsync, util/fs.h).

@@ -64,6 +64,9 @@ class GbdtClassifier : public Classifier {
   std::vector<Tree> trees_;
   /// bins_[feature] = ascending bin upper edges (histogram split points).
   std::vector<std::vector<double>> bins_;
+  /// Interleaved [g, h] split histogram, reused across features and
+  /// nodes by BuildTree (training-only scratch).
+  std::vector<double> hist_;
 };
 
 }  // namespace autofp

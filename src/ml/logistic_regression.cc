@@ -1,6 +1,7 @@
 #include "ml/logistic_regression.h"
 
 #include "util/serialize.h"
+#include "util/simd.h"
 
 #include <algorithm>
 #include <cmath>
@@ -32,8 +33,7 @@ void LogisticRegression::Train(const Matrix& features,
       double max_logit = -1e300;
       for (int k = 0; k < num_classes; ++k) {
         const double* w = params.value.data() + k * stride;
-        double sum = w[d];
-        for (size_t j = 0; j < d; ++j) sum += w[j] * row[j];
+        const double sum = w[d] + simd::Dot(w, row, d);
         logits[k] = sum;
         if (sum > max_logit) max_logit = sum;
       }
@@ -47,7 +47,7 @@ void LogisticRegression::Train(const Matrix& features,
         residual *= inv_n;
         if (residual == 0.0) continue;
         double* g = params.grad.data() + k * stride;
-        for (size_t j = 0; j < d; ++j) g[j] += residual * row[j];
+        simd::Axpy(residual, row, g, d);
         g[d] += residual;
       }
     }
@@ -56,7 +56,7 @@ void LogisticRegression::Train(const Matrix& features,
       for (int k = 0; k < num_classes; ++k) {
         double* g = params.grad.data() + k * stride;
         const double* w = params.value.data() + k * stride;
-        for (size_t j = 0; j < d; ++j) g[j] += config_.lr_l2 * w[j];
+        simd::Axpy(config_.lr_l2, w, g, d);
       }
     }
     params.AdamStep(adam, epoch + 1);
@@ -72,9 +72,7 @@ std::vector<double> LogisticRegression::DecisionFunction(const double* row,
   std::vector<double> scores(num_classes_);
   for (int k = 0; k < num_classes_; ++k) {
     const double* w = weights_.data() + k * stride;
-    double sum = w[num_features_];
-    for (size_t j = 0; j < num_features_; ++j) sum += w[j] * row[j];
-    scores[k] = sum;
+    scores[k] = w[num_features_] + simd::Dot(w, row, num_features_);
   }
   return scores;
 }

@@ -1,5 +1,7 @@
 #include "nn/lstm.h"
 
+#include "util/simd.h"
+
 #include <cmath>
 
 namespace autofp {
@@ -49,10 +51,8 @@ std::vector<std::vector<double>> LstmNet::Forward(
     for (size_t g = 0; g < 4 * h; ++g) {
       const double* wi = w_input_.value.data() + g * e;
       const double* wh = w_hidden_.value.data() + g * h;
-      double sum = bias_.value[g];
-      for (size_t i = 0; i < e; ++i) sum += wi[i] * cache.x[i];
-      for (size_t i = 0; i < h; ++i) sum += wh[i] * h_prev[i];
-      z[g] = sum;
+      z[g] = bias_.value[g] + simd::Dot(wi, cache.x.data(), e) +
+             simd::Dot(wh, h_prev.data(), h);
     }
     cache.gates.resize(4 * h);
     cache.c.resize(h);
@@ -74,9 +74,7 @@ std::vector<std::vector<double>> LstmNet::Forward(
     std::vector<double> y(config_.output_dim);
     for (size_t o = 0; o < config_.output_dim; ++o) {
       const double* w = w_out_.value.data() + o * h;
-      double sum = b_out_.value[o];
-      for (size_t i = 0; i < h; ++i) sum += w[i] * cache.h[i];
-      y[o] = sum;
+      y[o] = b_out_.value[o] + simd::Dot(w, cache.h.data(), h);
     }
     h_prev = cache.h;
     c_prev = cache.c;
@@ -108,10 +106,8 @@ void LstmNet::Backward(const std::vector<int>& tokens,
       if (dy[o] == 0.0) continue;
       double* wg = w_out_.grad.data() + o * h;
       const double* w = w_out_.value.data() + o * h;
-      for (size_t i = 0; i < h; ++i) {
-        wg[i] += dy[o] * cache.h[i];
-        dh[i] += dy[o] * w[i];
-      }
+      simd::Axpy(dy[o], cache.h.data(), wg, h);
+      simd::Axpy(dy[o], w, dh.data(), h);
       b_out_.grad[o] += dy[o];
     }
     // Cell / gate gradients.
@@ -142,18 +138,14 @@ void LstmNet::Backward(const std::vector<int>& tokens,
       double* whg = w_hidden_.grad.data() + g * h;
       const double* wi = w_input_.value.data() + g * e;
       const double* wh = w_hidden_.value.data() + g * h;
-      for (size_t i = 0; i < e; ++i) {
-        wig[i] += dz[g] * cache.x[i];
-        dx[i] += dz[g] * wi[i];
-      }
-      for (size_t i = 0; i < h; ++i) {
-        whg[i] += dz[g] * h_prev[i];
-        dh_prev[i] += dz[g] * wh[i];
-      }
+      simd::Axpy(dz[g], cache.x.data(), wig, e);
+      simd::Axpy(dz[g], wi, dx.data(), e);
+      simd::Axpy(dz[g], h_prev.data(), whg, h);
+      simd::Axpy(dz[g], wh, dh_prev.data(), h);
       bias_.grad[g] += dz[g];
     }
     double* eg = embed_.grad.data() + tokens[t] * e;
-    for (size_t i = 0; i < e; ++i) eg[i] += dx[i];
+    simd::Axpy(1.0, dx.data(), eg, e);
     // Carry to t-1.
     dh_next = std::move(dh_prev);
     for (size_t i = 0; i < h; ++i) {

@@ -1,6 +1,7 @@
 #include "nn/mlp_net.h"
 
 #include "util/serialize.h"
+#include "util/simd.h"
 
 #include <algorithm>
 
@@ -38,8 +39,8 @@ Matrix MlpNet::Forward(const Matrix& inputs) {
       double* out_row = out.RowPtr(r);
       for (size_t o = 0; o < layer.out_dim; ++o) {
         const double* w = layer.weights.value.data() + o * layer.in_dim;
-        double sum = layer.bias.value[o];
-        for (size_t i = 0; i < layer.in_dim; ++i) sum += w[i] * in_row[i];
+        const double sum =
+            layer.bias.value[o] + simd::Dot(w, in_row, layer.in_dim);
         out_row[o] = is_last ? sum : std::max(sum, 0.0);
       }
     }
@@ -60,8 +61,8 @@ Matrix MlpNet::Infer(const Matrix& inputs) const {
       double* out_row = out.RowPtr(r);
       for (size_t o = 0; o < layer.out_dim; ++o) {
         const double* w = layer.weights.value.data() + o * layer.in_dim;
-        double sum = layer.bias.value[o];
-        for (size_t i = 0; i < layer.in_dim; ++i) sum += w[i] * in_row[i];
+        const double sum =
+            layer.bias.value[o] + simd::Dot(w, in_row, layer.in_dim);
         out_row[o] = is_last ? sum : std::max(sum, 0.0);
       }
     }
@@ -98,7 +99,7 @@ void MlpNet::Backward(const Matrix& grad_outputs) {
       for (size_t o = 0; o < layer.out_dim; ++o) {
         if (g[o] == 0.0) continue;
         double* wg = layer.weights.grad.data() + o * layer.in_dim;
-        for (size_t i = 0; i < layer.in_dim; ++i) wg[i] += g[o] * in_row[i];
+        simd::Axpy(g[o], in_row, wg, layer.in_dim);
         layer.bias.grad[o] += g[o];
       }
     }
@@ -111,7 +112,7 @@ void MlpNet::Backward(const Matrix& grad_outputs) {
         for (size_t o = 0; o < layer.out_dim; ++o) {
           if (g[o] == 0.0) continue;
           const double* w = layer.weights.value.data() + o * layer.in_dim;
-          for (size_t i = 0; i < layer.in_dim; ++i) gi[i] += g[o] * w[i];
+          simd::Axpy(g[o], w, gi, layer.in_dim);
         }
       }
       grad = std::move(grad_in);

@@ -1,13 +1,12 @@
 #include "preprocess/binarizer.h"
 
+#include "preprocess/kernels.h"
+
 namespace autofp {
 
 void Binarizer::TransformInPlace(Matrix& data) const {
-  const double threshold = config_.threshold;
   // Elementwise with no per-column state: one flat pass over the storage.
-  for (double& value : data.data()) {
-    value = value > threshold ? 1.0 : 0.0;
-  }
+  kernels::Binarize(data, config_.threshold);
 }
 
 }  // namespace autofp

@@ -1,0 +1,77 @@
+#ifndef AUTOFP_PREPROCESS_KERNELS_H_
+#define AUTOFP_PREPROCESS_KERNELS_H_
+
+/// Layout-aware, vectorized inner loops for the seven preprocessors.
+/// Each kernel dispatches on the matrix's storage layout and on
+/// simd::ForceScalarEnabled():
+///
+///   - kRowMajor + SIMD: vectorize ACROSS COLUMNS within each row, with
+///     the per-column parameter arrays loaded as vectors. Contiguous
+///     loads, exact per element.
+///   - kColMajor + SIMD: vectorize DOWN each contiguous column with the
+///     column's parameters broadcast. This is the transform data plane's
+///     fast path.
+///   - otherwise: the scalar reference — a column-strided loop identical
+///     to the pre-kernel-layer implementation. The property tests compare
+///     the SIMD paths against this reference bit for bit.
+///
+/// Exactness: every transform kernel here is bit-identical across
+/// backends and layouts (see util/simd.h's contract) because each element
+/// is produced by the same sequence of correctly-rounded IEEE ops and
+/// per-column/per-row accumulation order is preserved. The fit reductions
+/// (ColumnSums etc.) preserve the row-ascending accumulation order per
+/// column for the same reason. The transcendental element functions
+/// (Yeo-Johnson's log1p/expm1, the normal inverse CDF) stay scalar libm
+/// calls — identical on every path — so Power/Quantile remain exact too.
+
+#include <vector>
+
+#include "preprocess/preprocessor.h"
+#include "util/matrix.h"
+
+namespace autofp {
+namespace kernels {
+
+/// value > threshold ? 1.0 : 0.0, elementwise over the whole storage.
+void Binarize(Matrix& data, double threshold);
+
+/// data(r, c) /= scales[c].
+void ScaleColumns(Matrix& data, const std::vector<double>& scales);
+
+/// data(r, c) = (data(r, c) - shifts[c]) / scales[c].
+void ShiftScaleColumns(Matrix& data, const std::vector<double>& shifts,
+                       const std::vector<double>& scales);
+
+/// Divides each row by its L1/L2/max norm (zero norms divide by 1).
+void NormalizeRows(Matrix& data, NormKind kind);
+
+/// Yeo-Johnson per column, optionally standardized:
+/// data(r, c) = ClampFinite((YJ(x, lambdas[c]) - means[c]) / stddevs[c]).
+void PowerTransformColumns(Matrix& data, const std::vector<double>& lambdas,
+                           const std::vector<double>& means,
+                           const std::vector<double>& stddevs,
+                           bool standardize);
+
+/// Maps each value through its column's empirical CDF (piecewise-linear
+/// over `references[c]`, a sorted table of >= 2 entries), optionally
+/// through the normal inverse CDF. The table walk is the branchless
+/// simd::UpperBoundIndex, gathered lane-parallel on the columnar path.
+void QuantileTransformColumns(
+    Matrix& data, const std::vector<std::vector<double>>& references,
+    bool to_normal);
+
+/// Fit reductions. All accumulate per column in row-ascending order on
+/// every path, so fitted parameters are bit-identical across layouts and
+/// backends. Output vectors are assigned (not accumulated into).
+void ColumnAbsMax(const Matrix& data, std::vector<double>* out);
+void ColumnMinMax(const Matrix& data, std::vector<double>* mins,
+                  std::vector<double>* maxs);
+void ColumnSums(const Matrix& data, std::vector<double>* out);
+void ColumnSquaredDevSums(const Matrix& data,
+                          const std::vector<double>& means,
+                          std::vector<double>* out);
+
+}  // namespace kernels
+}  // namespace autofp
+
+#endif  // AUTOFP_PREPROCESS_KERNELS_H_

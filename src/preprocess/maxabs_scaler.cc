@@ -1,5 +1,6 @@
 #include "preprocess/maxabs_scaler.h"
 
+#include "preprocess/kernels.h"
 #include "util/serialize.h"
 
 #include <cmath>
@@ -7,14 +8,7 @@
 namespace autofp {
 
 void MaxAbsScaler::Fit(const Matrix& data) {
-  scales_.assign(data.cols(), 0.0);
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* row = data.RowPtr(r);
-    for (size_t c = 0; c < data.cols(); ++c) {
-      double abs_value = std::abs(row[c]);
-      if (abs_value > scales_[c]) scales_[c] = abs_value;
-    }
-  }
+  kernels::ColumnAbsMax(data, &scales_);
   for (double& scale : scales_) {
     if (scale == 0.0) scale = 1.0;
   }
@@ -34,16 +28,7 @@ void MaxAbsScaler::FitFromScales(const std::vector<double>& max_abs) {
 void MaxAbsScaler::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "MaxAbsScaler::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), scales_.size());
-  const size_t rows = data.rows();
-  const size_t cols = data.cols();
-  // Column-strided: hoist the per-column scale out of the row loop.
-  for (size_t c = 0; c < cols; ++c) {
-    const double scale = scales_[c];
-    double* p = data.data().data() + c;
-    for (size_t r = 0; r < rows; ++r, p += cols) {
-      *p /= scale;
-    }
-  }
+  kernels::ScaleColumns(data, scales_);
 }
 
 void MaxAbsScaler::SaveState(std::ostream& out) const {

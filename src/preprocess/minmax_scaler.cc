@@ -1,5 +1,6 @@
 #include "preprocess/minmax_scaler.h"
 
+#include "preprocess/kernels.h"
 #include "util/serialize.h"
 
 #include <limits>
@@ -8,16 +9,8 @@ namespace autofp {
 
 void MinMaxScaler::Fit(const Matrix& data) {
   AUTOFP_CHECK_GT(data.rows(), 0u);
-  mins_.assign(data.cols(), std::numeric_limits<double>::infinity());
-  std::vector<double> maxs(data.cols(),
-                           -std::numeric_limits<double>::infinity());
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* row = data.RowPtr(r);
-    for (size_t c = 0; c < data.cols(); ++c) {
-      if (row[c] < mins_[c]) mins_[c] = row[c];
-      if (row[c] > maxs[c]) maxs[c] = row[c];
-    }
-  }
+  std::vector<double> maxs;
+  kernels::ColumnMinMax(data, &mins_, &maxs);
   ranges_.resize(data.cols());
   for (size_t c = 0; c < data.cols(); ++c) {
     double range = maxs[c] - mins_[c];
@@ -42,17 +35,7 @@ void MinMaxScaler::FitFromRanges(const std::vector<double>& mins,
 void MinMaxScaler::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "MinMaxScaler::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), mins_.size());
-  const size_t rows = data.rows();
-  const size_t cols = data.cols();
-  // Column-strided: hoist the per-column min/range out of the row loop.
-  for (size_t c = 0; c < cols; ++c) {
-    const double min = mins_[c];
-    const double range = ranges_[c];
-    double* p = data.data().data() + c;
-    for (size_t r = 0; r < rows; ++r, p += cols) {
-      *p = (*p - min) / range;
-    }
-  }
+  kernels::ShiftScaleColumns(data, mins_, ranges_);
 }
 
 void MinMaxScaler::SaveState(std::ostream& out) const {

@@ -1,35 +1,14 @@
 #include "preprocess/normalizer.h"
 
-#include <cmath>
+#include "preprocess/kernels.h"
 
 namespace autofp {
 
 void Normalizer::TransformInPlace(Matrix& data) const {
-  const size_t cols = data.cols();
-  const NormKind kind = config_.norm;
-  // Row-wise by definition: the norm is a per-sample reduction, so the
-  // natural row-major pass is also the cache-friendly one.
-  for (size_t r = 0; r < data.rows(); ++r) {
-    double* row = data.RowPtr(r);
-    double norm = 0.0;
-    switch (kind) {
-      case NormKind::kL1:
-        for (size_t c = 0; c < cols; ++c) norm += std::abs(row[c]);
-        break;
-      case NormKind::kL2:
-        for (size_t c = 0; c < cols; ++c) norm += row[c] * row[c];
-        norm = std::sqrt(norm);
-        break;
-      case NormKind::kMax:
-        for (size_t c = 0; c < cols; ++c) {
-          double abs_value = std::abs(row[c]);
-          if (abs_value > norm) norm = abs_value;
-        }
-        break;
-    }
-    if (norm == 0.0) norm = 1.0;
-    for (size_t c = 0; c < cols; ++c) row[c] /= norm;
-  }
+  // Row-wise by definition: the norm is a per-sample reduction. The
+  // kernel keeps the reduction order fixed in both layouts, so the
+  // output stays bit-identical either way.
+  kernels::NormalizeRows(data, config_.norm);
 }
 
 }  // namespace autofp

@@ -11,8 +11,9 @@ namespace autofp {
 namespace {
 
 bool AllFinite(const Matrix& matrix) {
-  for (double value : matrix.data()) {
-    if (!std::isfinite(value)) return false;
+  const double* p = matrix.Raw();
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    if (!std::isfinite(p[i])) return false;
   }
   return true;
 }
@@ -21,9 +22,10 @@ bool AllFinite(const Matrix& matrix) {
 /// matrix): no feature carries any information.
 bool IsCollapsed(const Matrix& matrix) {
   if (matrix.empty()) return true;
-  const double first = matrix.data().front();
-  for (double value : matrix.data()) {
-    if (value != first) return false;
+  const double* p = matrix.Raw();
+  const double first = p[0];
+  for (size_t i = 0; i < matrix.size(); ++i) {
+    if (p[i] != first) return false;
   }
   return true;
 }
@@ -94,13 +96,23 @@ PipelineSpec PipelineSpec::FromKinds(
   return spec;
 }
 
+Matrix::Layout ChooseWorkingLayout(const PipelineSpec& spec, size_t rows) {
+  // The columnar staging pays for two transpose copies; below a few
+  // hundred rows the strided row-major kernels win outright.
+  if (spec.empty() || rows < 256) return Matrix::Layout::kRowMajor;
+  return Matrix::Layout::kColMajor;
+}
+
 FittedPipeline FittedPipeline::Fit(const PipelineSpec& spec,
                                    const Matrix& train) {
   FittedPipeline pipeline;
   pipeline.spec_ = spec;
   // One working copy threaded through the whole chain: each step fits on
-  // the previous step's output, then transforms it in place.
-  Matrix current = train;
+  // the previous step's output, then transforms it in place. The copy is
+  // discarded afterwards, so it can use whichever layout the kernels
+  // prefer — the fitted parameters are bit-identical either way.
+  Matrix current;
+  current.AssignWithLayout(train, ChooseWorkingLayout(spec, train.rows()));
   for (const PreprocessorConfig& config : spec.steps) {
     std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
     step->Fit(current);
@@ -147,6 +159,20 @@ TransformedPair FitTransformPair(const PipelineSpec& spec, const Matrix& train,
   // One working copy per matrix threaded through the whole chain: fitting
   // transforms train step-by-step anyway, and valid follows in lockstep.
   TransformedPair out;
+  if (ChooseWorkingLayout(spec, train.rows()) == Matrix::Layout::kColMajor) {
+    Matrix stage_train, stage_valid;
+    stage_train.AssignWithLayout(train, Matrix::Layout::kColMajor);
+    stage_valid.AssignWithLayout(valid, Matrix::Layout::kColMajor);
+    for (const PreprocessorConfig& config : spec.steps) {
+      std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
+      step->Fit(stage_train);
+      step->TransformInPlace(stage_train);
+      step->TransformInPlace(stage_valid);
+    }
+    out.train.AssignWithLayout(stage_train, Matrix::Layout::kRowMajor);
+    out.valid.AssignWithLayout(stage_valid, Matrix::Layout::kRowMajor);
+    return out;
+  }
   out.train = train;
   out.valid = valid;
   for (const PreprocessorConfig& config : spec.steps) {
@@ -180,16 +206,34 @@ Result<SharedTransformedPair> CheckedFitTransformPairCached(
     // Uncached path: thread the chain through the scratch buffers (or
     // locals when the caller brought none), then hand out views. With
     // scratch, the steady state allocates nothing and the result aliases
-    // the scratch buffers — see the header contract.
+    // the scratch buffers — see the header contract. When the layout
+    // policy picks columnar, the chain runs through the stage_* buffers
+    // and only the final transpose-out touches train/valid.
     TransformScratch local;
     TransformScratch& work = scratch != nullptr ? *scratch : local;
-    work.train = train;
-    work.valid = valid;
-    for (const PreprocessorConfig& config : spec.steps) {
-      std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
-      step->Fit(work.train);
-      step->TransformInPlace(work.train);
-      step->TransformInPlace(work.valid);
+    if (ChooseWorkingLayout(spec, train.rows()) ==
+        Matrix::Layout::kColMajor) {
+      work.stage_train.AssignWithLayout(train, Matrix::Layout::kColMajor);
+      work.stage_valid.AssignWithLayout(valid, Matrix::Layout::kColMajor);
+      for (const PreprocessorConfig& config : spec.steps) {
+        std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
+        step->Fit(work.stage_train);
+        step->TransformInPlace(work.stage_train);
+        step->TransformInPlace(work.stage_valid);
+      }
+      work.train.AssignWithLayout(work.stage_train,
+                                  Matrix::Layout::kRowMajor);
+      work.valid.AssignWithLayout(work.stage_valid,
+                                  Matrix::Layout::kRowMajor);
+    } else {
+      work.train = train;
+      work.valid = valid;
+      for (const PreprocessorConfig& config : spec.steps) {
+        std::unique_ptr<Preprocessor> step = MakePreprocessor(config);
+        step->Fit(work.train);
+        step->TransformInPlace(work.train);
+        step->TransformInPlace(work.valid);
+      }
     }
     Status status = CheckTransformed(spec, work.train, work.valid);
     if (!status.ok()) return status;

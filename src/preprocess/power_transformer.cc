@@ -1,5 +1,6 @@
 #include "preprocess/power_transformer.h"
 
+#include "preprocess/kernels.h"
 #include "util/serialize.h"
 
 #include <algorithm>
@@ -138,26 +139,8 @@ void PowerTransformer::Fit(const Matrix& data) {
 void PowerTransformer::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "PowerTransformer::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), lambdas_.size());
-  const size_t rows = data.rows();
-  const size_t cols = data.cols();
-  const bool standardize = config_.standardize;
-  // Column-strided: hoist lambda and the standardization params (and the
-  // standardize branch) out of the row loop.
-  for (size_t c = 0; c < cols; ++c) {
-    const double lambda = lambdas_[c];
-    const double mean = means_[c];
-    const double stddev = stddevs_[c];
-    double* p = data.data().data() + c;
-    if (standardize) {
-      for (size_t r = 0; r < rows; ++r, p += cols) {
-        *p = ClampFinite((YeoJohnson(*p, lambda) - mean) / stddev);
-      }
-    } else {
-      for (size_t r = 0; r < rows; ++r, p += cols) {
-        *p = ClampFinite(YeoJohnson(*p, lambda));
-      }
-    }
-  }
+  kernels::PowerTransformColumns(data, lambdas_, means_, stddevs_,
+                                 config_.standardize);
 }
 
 void PowerTransformer::SaveState(std::ostream& out) const {

@@ -1,5 +1,6 @@
 #include "preprocess/quantile_transformer.h"
 
+#include "preprocess/kernels.h"
 #include "util/serialize.h"
 
 #include <algorithm>
@@ -46,45 +47,9 @@ void QuantileTransformer::FitFromReferences(
 void QuantileTransformer::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "QuantileTransformer::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), references_.size());
-  const bool to_normal =
-      config_.output_distribution == OutputDistribution::kNormal;
-  // Clip CDF values away from {0,1} before the normal inverse, matching
-  // scikit-learn's bounded output (~±5.2 sigma).
-  const double cdf_eps = 1e-7;
-  const size_t rows = data.rows();
-  const size_t cols = data.cols();
-  const double denom = static_cast<double>(effective_quantiles_ - 1);
-  // Column-strided: hoist the per-column reference table (front/back and
-  // the search bounds) out of the row loop.
-  for (size_t c = 0; c < cols; ++c) {
-    const std::vector<double>& refs = references_[c];
-    const double lo_ref = refs.front();
-    const double hi_ref = refs.back();
-    double* p = data.data().data() + c;
-    for (size_t r = 0; r < rows; ++r, p += cols) {
-      const double value = *p;
-      double cdf;
-      if (value <= lo_ref) {
-        cdf = 0.0;
-      } else if (value >= hi_ref) {
-        cdf = 1.0;
-      } else {
-        // Binary search for the bracketing references, then interpolate.
-        auto it = std::upper_bound(refs.begin(), refs.end(), value);
-        size_t hi = static_cast<size_t>(it - refs.begin());
-        size_t lo = hi - 1;
-        double gap = refs[hi] - refs[lo];
-        double fraction = gap > 0.0 ? (value - refs[lo]) / gap : 0.0;
-        cdf = (static_cast<double>(lo) + fraction) / denom;
-      }
-      if (to_normal) {
-        cdf = std::clamp(cdf, cdf_eps, 1.0 - cdf_eps);
-        *p = NormalInverseCdf(cdf);
-      } else {
-        *p = cdf;
-      }
-    }
-  }
+  kernels::QuantileTransformColumns(
+      data, references_,
+      config_.output_distribution == OutputDistribution::kNormal);
 }
 
 void QuantileTransformer::SaveState(std::ostream& out) const {

@@ -1,5 +1,6 @@
 #include "preprocess/standard_scaler.h"
 
+#include "preprocess/kernels.h"
 #include "util/serialize.h"
 
 #include <cmath>
@@ -9,21 +10,10 @@ namespace autofp {
 void StandardScaler::Fit(const Matrix& data) {
   AUTOFP_CHECK_GT(data.rows(), 0u);
   const size_t cols = data.cols();
-  means_.assign(cols, 0.0);
-  stddevs_.assign(cols, 0.0);
   const double n = static_cast<double>(data.rows());
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* row = data.RowPtr(r);
-    for (size_t c = 0; c < cols; ++c) means_[c] += row[c];
-  }
+  kernels::ColumnSums(data, &means_);
   for (size_t c = 0; c < cols; ++c) means_[c] /= n;
-  for (size_t r = 0; r < data.rows(); ++r) {
-    const double* row = data.RowPtr(r);
-    for (size_t c = 0; c < cols; ++c) {
-      double d = row[c] - means_[c];
-      stddevs_[c] += d * d;
-    }
-  }
+  kernels::ColumnSquaredDevSums(data, means_, &stddevs_);
   for (size_t c = 0; c < cols; ++c) {
     stddevs_[c] = std::sqrt(stddevs_[c] / n);
     if (stddevs_[c] == 0.0) stddevs_[c] = 1.0;
@@ -46,18 +36,12 @@ void StandardScaler::FitFromMoments(const std::vector<double>& means,
 void StandardScaler::TransformInPlace(Matrix& data) const {
   AUTOFP_CHECK(fitted_) << "StandardScaler::Transform before Fit";
   AUTOFP_CHECK_EQ(data.cols(), means_.size());
-  const size_t rows = data.rows();
-  const size_t cols = data.cols();
-  const bool with_mean = config_.with_mean;
-  // Column-strided: hoist the per-column mean/stddev (and the with_mean
-  // branch) out of the row loop.
-  for (size_t c = 0; c < cols; ++c) {
-    const double mean = with_mean ? means_[c] : 0.0;
-    const double stddev = stddevs_[c];
-    double* p = data.data().data() + c;
-    for (size_t r = 0; r < rows; ++r, p += cols) {
-      *p = (*p - mean) / stddev;
-    }
+  // x - 0.0 == x bit-for-bit in round-to-nearest, so the no-centering
+  // config is a pure column scale.
+  if (config_.with_mean) {
+    kernels::ShiftScaleColumns(data, means_, stddevs_);
+  } else {
+    kernels::ScaleColumns(data, stddevs_);
   }
 }
 

@@ -8,7 +8,7 @@ TransformCache::TransformCache(size_t max_bytes) : max_bytes_(max_bytes) {}
 
 size_t TransformCache::PayloadBytes(const std::string& key,
                                     const Matrix& train, const Matrix& valid) {
-  return (train.data().size() + valid.data().size()) * sizeof(double) +
+  return (train.size() + valid.size()) * sizeof(double) +
          key.size() + sizeof(Entry);
 }
 

@@ -483,7 +483,8 @@ Result<ArtifactSchema> ExportArtifact(const std::string& path,
   if (!valid.ok()) return valid;
   FittedPipeline pipeline = FittedPipeline::Fit(spec, data.features);
   Matrix transformed = pipeline.Transform(data.features);
-  for (double value : transformed.data()) {
+  for (size_t i = 0; i < transformed.size(); ++i) {
+    const double value = transformed.Raw()[i];
     if (!std::isfinite(value)) {
       return Status::OutOfRange(
           "pipeline '" + spec.ToString() +

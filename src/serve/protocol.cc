@@ -128,8 +128,8 @@ void EncodePredictDense(const Matrix& rows, std::string* out) {
   payload.reserve(8 + rows.rows() * rows.cols() * sizeof(double));
   AppendPod(&payload, static_cast<uint32_t>(rows.rows()));
   AppendPod(&payload, static_cast<uint32_t>(rows.cols()));
-  payload.append(reinterpret_cast<const char*>(rows.data().data()),
-                 rows.data().size() * sizeof(double));
+  payload.append(reinterpret_cast<const char*>(rows.Raw()),
+                 rows.size() * sizeof(double));
   EncodeFrame(FrameType::kPredictDense, payload, out);
 }
 
@@ -408,7 +408,7 @@ ServeError ParseRequestFrame(const Frame& frame, ServeRequest* request,
         return ServeError::kMalformedBody;
       }
       request->rows.Resize(rows, cols);
-      std::memcpy(request->rows.data().data(), frame.payload.data() + pos,
+      std::memcpy(request->rows.MutableRaw(), frame.payload.data() + pos,
                   cells * sizeof(double));
       return ServeError::kNone;
     }

@@ -689,7 +689,7 @@ void ServeSocketServer::ExecuteBatch(std::vector<Pending> batch) {
     size_t at = 0;
     for (const Pending& item : batch) {
       const Matrix& part = item.request.rows;
-      std::copy(part.data().begin(), part.data().end(),
+      std::copy(part.Raw(), part.Raw() + part.size(),
                 batch_scratch_.RowPtr(at));
       at += item.rows;
     }

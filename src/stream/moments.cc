@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/serialize.h"
+#include "util/simd.h"
 
 namespace autofp {
 
@@ -20,7 +21,29 @@ void RunningMoments::ObserveRow(const double* row, size_t cols) {
   AUTOFP_CHECK_EQ(cols, mean_.size());
   ++rows_;
   const double inv_rows = 1.0 / static_cast<double>(rows_);
-  for (size_t c = 0; c < cols; ++c) {
+  using simd::VecD;
+  size_t c = 0;
+  if (simd::kDoubleLanes > 1 && !simd::ForceScalarEnabled()) {
+    // Welford's update is independent per column, so vector lanes across
+    // columns reproduce the scalar loop bit for bit (each lane performs
+    // the identical op sequence; the strict-comparison Selects keep the
+    // scalar min/max tie behavior).
+    const VecD v_inv = VecD::Set1(inv_rows);
+    for (; c + simd::kDoubleLanes <= cols; c += simd::kDoubleLanes) {
+      const VecD value = VecD::Load(row + c);
+      VecD mean = VecD::Load(mean_.data() + c);
+      const VecD delta = value - mean;
+      mean = mean + delta * v_inv;
+      mean.Store(mean_.data() + c);
+      (VecD::Load(m2_.data() + c) + delta * (value - mean))
+          .Store(m2_.data() + c);
+      const VecD lo = VecD::Load(min_.data() + c);
+      const VecD hi = VecD::Load(max_.data() + c);
+      VecD::Select(VecD::Gt(lo, value), value, lo).Store(min_.data() + c);
+      VecD::Select(VecD::Gt(value, hi), value, hi).Store(max_.data() + c);
+    }
+  }
+  for (; c < cols; ++c) {
     const double value = row[c];
     const double delta = value - mean_[c];
     mean_[c] += delta * inv_rows;

@@ -39,7 +39,7 @@ Dataset ReservoirSampler::Snapshot(const std::string& name,
   Dataset data;
   data.name = name;
   data.features = Matrix(labels_.size(), cols_);
-  data.features.data() = values_;
+  data.features.data().assign(values_.begin(), values_.end());
   data.labels = labels_;
   data.num_classes = num_classes;
   return data;

@@ -37,8 +37,8 @@ bool ReadPod(std::istream& in, T* value) {
   return in.gcount() == static_cast<std::streamsize>(sizeof(T));
 }
 
-template <typename T>
-void WriteVec(std::ostream& out, const std::vector<T>& values) {
+template <typename T, typename Alloc>
+void WriteVec(std::ostream& out, const std::vector<T, Alloc>& values) {
   static_assert(std::is_trivially_copyable_v<T>);
   WritePod<uint64_t>(out, values.size());
   if (!values.empty()) {
@@ -47,8 +47,8 @@ void WriteVec(std::ostream& out, const std::vector<T>& values) {
   }
 }
 
-template <typename T>
-bool ReadVec(std::istream& in, std::vector<T>* values) {
+template <typename T, typename Alloc>
+bool ReadVec(std::istream& in, std::vector<T, Alloc>* values) {
   static_assert(std::is_trivially_copyable_v<T>);
   uint64_t count = 0;
   if (!ReadPod(in, &count) || count > kMaxSerializedElements) return false;
@@ -74,24 +74,43 @@ inline bool ReadString(std::istream& in, std::string* value) {
   return in.gcount() == static_cast<std::streamsize>(size);
 }
 
+/// Matrices serialize in row-major element order regardless of the
+/// in-memory layout, so artifacts stay byte-stable when the data plane
+/// stages column-major working copies.
 inline void WriteMatrix(std::ostream& out, const Matrix& matrix) {
   WritePod<uint64_t>(out, matrix.rows());
   WritePod<uint64_t>(out, matrix.cols());
-  WriteVec(out, matrix.data());
+  WritePod<uint64_t>(out, matrix.size());
+  if (matrix.empty()) return;
+  if (matrix.layout() == Matrix::Layout::kRowMajor) {
+    out.write(reinterpret_cast<const char*>(matrix.Raw()),
+              static_cast<std::streamsize>(matrix.size() * sizeof(double)));
+    return;
+  }
+  for (size_t r = 0; r < matrix.rows(); ++r) {
+    for (size_t c = 0; c < matrix.cols(); ++c) {
+      WritePod<double>(out, matrix(r, c));
+    }
+  }
 }
 
 inline bool ReadMatrix(std::istream& in, Matrix* matrix) {
-  uint64_t rows = 0, cols = 0;
-  std::vector<double> data;
-  if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || !ReadVec(in, &data)) {
+  uint64_t rows = 0, cols = 0, count = 0;
+  if (!ReadPod(in, &rows) || !ReadPod(in, &cols) || !ReadPod(in, &count)) {
     return false;
   }
-  if (rows * cols != data.size() ||
+  if (count > kMaxSerializedElements || rows * cols != count ||
       (cols != 0 && rows > kMaxSerializedElements / cols)) {
     return false;
   }
-  Matrix out_matrix(rows, cols);
-  out_matrix.data() = std::move(data);
+  Matrix out_matrix;
+  out_matrix.Resize(rows, cols, Matrix::Layout::kRowMajor);
+  if (count != 0) {
+    const std::streamsize bytes =
+        static_cast<std::streamsize>(count * sizeof(double));
+    in.read(reinterpret_cast<char*>(out_matrix.MutableRaw()), bytes);
+    if (in.gcount() != bytes) return false;
+  }
   *matrix = std::move(out_matrix);
   return true;
 }

@@ -1,0 +1,33 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace autofp {
+namespace simd {
+
+namespace {
+
+/// Relaxed is enough: the flag is a test/bench toggle flipped while no
+/// kernels run concurrently; production never touches it.
+std::atomic<bool>& ForceScalarFlag() {
+  static std::atomic<bool> flag = [] {
+    const char* env = std::getenv("AUTOFP_FORCE_SCALAR");
+    return env != nullptr && std::strcmp(env, "0") != 0;
+  }();
+  return flag;
+}
+
+}  // namespace
+
+bool ForceScalarEnabled() {
+  return ForceScalarFlag().load(std::memory_order_relaxed);
+}
+
+void SetForceScalar(bool force) {
+  ForceScalarFlag().store(force, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace autofp

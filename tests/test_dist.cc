@@ -256,7 +256,11 @@ TEST(SharedDataset, RoundTripPreservesEverything) {
   EXPECT_EQ(copy.labels, data.labels);
   ASSERT_EQ(copy.features.rows(), data.features.rows());
   ASSERT_EQ(copy.features.cols(), data.features.cols());
-  EXPECT_EQ(copy.features.data(), data.features.data());
+  EXPECT_TRUE(copy.features == data.features);
+  // The mapped dataset is a zero-copy view into the mapping, with the
+  // feature block cache-line aligned by the v2 file padding.
+  EXPECT_TRUE(copy.features.borrowed());
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(copy.features.Raw()) % 64, 0u);
   EXPECT_EQ(DatasetFingerprint(copy), DatasetFingerprint(data));
   std::remove(path.c_str());
 }

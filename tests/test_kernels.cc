@@ -1,0 +1,313 @@
+#include "preprocess/kernels.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "preprocess/pipeline.h"
+#include "preprocess/preprocessor.h"
+#include "util/random.h"
+#include "util/simd.h"
+
+namespace autofp {
+namespace {
+
+/// The property-test widths from the kernel layer's contract: every
+/// remainder-lane count around the vector width, one aligned width, and
+/// one wide enough to stress the strided paths. Odd widths also make
+/// every row pointer unaligned, covering the unaligned-offset cases.
+const size_t kWidths[] = {1,  2,  3,  4,  5,  6,  7,  8,  9, 10,
+                          11, 12, 13, 14, 15, 16, 17, 64, 1000};
+constexpr size_t kRows = 33;  // odd: remainder lanes down columns too.
+
+::testing::AssertionResult BitEqual(double a, double b) {
+  if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b)) {
+    return ::testing::AssertionSuccess();
+  }
+  return ::testing::AssertionFailure()
+         << a << " != " << b << " (bits " << std::hex
+         << std::bit_cast<uint64_t>(a) << " vs "
+         << std::bit_cast<uint64_t>(b) << ")";
+}
+
+void ExpectBitIdentical(const Matrix& actual, const Matrix& expected,
+                        const char* label) {
+  ASSERT_EQ(actual.rows(), expected.rows());
+  ASSERT_EQ(actual.cols(), expected.cols());
+  for (size_t r = 0; r < actual.rows(); ++r) {
+    for (size_t c = 0; c < actual.cols(); ++c) {
+      ASSERT_TRUE(BitEqual(actual(r, c), expected(r, c)))
+          << label << " at (" << r << ", " << c << "), cols="
+          << actual.cols();
+    }
+  }
+}
+
+Matrix RandomMatrix(Rng& rng, size_t rows, size_t cols) {
+  Matrix out(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      switch (rng.UniformInt(0, 9)) {
+        case 0: out(r, c) = 0.0; break;
+        case 1: out(r, c) = -0.0; break;
+        case 2: out(r, c) = static_cast<double>(rng.UniformInt(-2, 2)); break;
+        default: out(r, c) = rng.Uniform(-10.0, 10.0); break;
+      }
+    }
+  }
+  return out;
+}
+
+/// Runs `apply` on four (layout, backend) combinations and requires all
+/// of them to agree bit for bit with the scalar row-major reference —
+/// the kernel layer's central exactness property.
+template <typename Fn>
+void CheckAllPaths(const Matrix& input, Fn apply, const char* label) {
+  Matrix reference = input;
+  {
+    simd::ScopedForceScalar forced(true);
+    apply(reference);
+  }
+  Matrix simd_row = input;
+  apply(simd_row);
+  ExpectBitIdentical(simd_row, reference, label);
+
+  Matrix simd_col;
+  simd_col.AssignWithLayout(input, Matrix::Layout::kColMajor);
+  apply(simd_col);
+  ExpectBitIdentical(simd_col, reference, label);
+
+  Matrix scalar_col;
+  scalar_col.AssignWithLayout(input, Matrix::Layout::kColMajor);
+  {
+    simd::ScopedForceScalar forced(true);
+    apply(scalar_col);
+  }
+  ExpectBitIdentical(scalar_col, reference, label);
+}
+
+TEST(Kernels, BinarizeBitIdenticalAcrossPaths) {
+  Rng rng(1);
+  for (size_t cols : kWidths) {
+    const Matrix input = RandomMatrix(rng, kRows, cols);
+    CheckAllPaths(
+        input, [](Matrix& m) { kernels::Binarize(m, 0.25); }, "binarize");
+  }
+}
+
+TEST(Kernels, ScaleColumnsBitIdenticalAcrossPaths) {
+  Rng rng(2);
+  for (size_t cols : kWidths) {
+    const Matrix input = RandomMatrix(rng, kRows, cols);
+    std::vector<double> scales(cols);
+    for (double& s : scales) s = rng.Uniform(0.5, 3.0);
+    CheckAllPaths(
+        input, [&](Matrix& m) { kernels::ScaleColumns(m, scales); },
+        "scale_columns");
+  }
+}
+
+TEST(Kernels, ShiftScaleColumnsBitIdenticalAcrossPaths) {
+  Rng rng(3);
+  for (size_t cols : kWidths) {
+    const Matrix input = RandomMatrix(rng, kRows, cols);
+    std::vector<double> shifts(cols), scales(cols);
+    for (double& s : shifts) s = rng.Uniform(-5.0, 5.0);
+    for (double& s : scales) s = rng.Uniform(0.5, 3.0);
+    CheckAllPaths(
+        input,
+        [&](Matrix& m) { kernels::ShiftScaleColumns(m, shifts, scales); },
+        "shift_scale_columns");
+  }
+}
+
+TEST(Kernels, NormalizeRowsBitIdenticalAcrossPaths) {
+  Rng rng(4);
+  for (size_t cols : kWidths) {
+    const Matrix input = RandomMatrix(rng, kRows, cols);
+    for (NormKind kind : {NormKind::kL1, NormKind::kL2, NormKind::kMax}) {
+      CheckAllPaths(
+          input, [&](Matrix& m) { kernels::NormalizeRows(m, kind); },
+          "normalize_rows");
+    }
+  }
+}
+
+TEST(Kernels, PowerTransformBitIdenticalAcrossPaths) {
+  Rng rng(5);
+  for (size_t cols : kWidths) {
+    const Matrix input = RandomMatrix(rng, kRows, cols);
+    std::vector<double> lambdas(cols), means(cols), stddevs(cols);
+    for (double& l : lambdas) l = rng.Uniform(-2.0, 3.0);
+    for (double& m : means) m = rng.Uniform(-1.0, 1.0);
+    for (double& s : stddevs) s = rng.Uniform(0.5, 2.0);
+    for (bool standardize : {false, true}) {
+      CheckAllPaths(
+          input,
+          [&](Matrix& m) {
+            kernels::PowerTransformColumns(m, lambdas, means, stddevs,
+                                           standardize);
+          },
+          "power_transform");
+    }
+  }
+}
+
+TEST(Kernels, QuantileTransformBitIdenticalAcrossPaths) {
+  Rng rng(6);
+  for (size_t cols : kWidths) {
+    const Matrix input = RandomMatrix(rng, kRows, cols);
+    std::vector<std::vector<double>> references(cols);
+    for (auto& table : references) {
+      table.resize(static_cast<size_t>(rng.UniformInt(2, 12)));
+      for (double& x : table) x = rng.Uniform(-12.0, 12.0);
+      std::sort(table.begin(), table.end());
+    }
+    for (bool to_normal : {false, true}) {
+      CheckAllPaths(
+          input,
+          [&](Matrix& m) {
+            kernels::QuantileTransformColumns(m, references, to_normal);
+          },
+          "quantile_transform");
+    }
+  }
+}
+
+TEST(Kernels, FitReductionsBitIdenticalAcrossPaths) {
+  Rng rng(7);
+  for (size_t cols : kWidths) {
+    const Matrix input = RandomMatrix(rng, kRows, cols);
+    std::vector<double> means(cols);
+    for (double& m : means) m = rng.Uniform(-1.0, 1.0);
+
+    // Scalar row-major reference for each reduction.
+    std::vector<double> ref_absmax, ref_mins, ref_maxs, ref_sums, ref_sq;
+    {
+      simd::ScopedForceScalar forced(true);
+      kernels::ColumnAbsMax(input, &ref_absmax);
+      kernels::ColumnMinMax(input, &ref_mins, &ref_maxs);
+      kernels::ColumnSums(input, &ref_sums);
+      kernels::ColumnSquaredDevSums(input, means, &ref_sq);
+    }
+
+    Matrix col_major;
+    col_major.AssignWithLayout(input, Matrix::Layout::kColMajor);
+    const Matrix* const paths[] = {&input, &col_major};
+    for (const Matrix* m : paths) {
+      std::vector<double> absmax, mins, maxs, sums, sq;
+      kernels::ColumnAbsMax(*m, &absmax);
+      kernels::ColumnMinMax(*m, &mins, &maxs);
+      kernels::ColumnSums(*m, &sums);
+      kernels::ColumnSquaredDevSums(*m, means, &sq);
+      for (size_t c = 0; c < cols; ++c) {
+        EXPECT_TRUE(BitEqual(absmax[c], ref_absmax[c])) << "cols=" << cols;
+        EXPECT_TRUE(BitEqual(mins[c], ref_mins[c]));
+        EXPECT_TRUE(BitEqual(maxs[c], ref_maxs[c]));
+        EXPECT_TRUE(BitEqual(sums[c], ref_sums[c]));
+        EXPECT_TRUE(BitEqual(sq[c], ref_sq[c]));
+      }
+    }
+  }
+}
+
+TEST(Kernels, FitReductionsPreserveSignedZeroTies) {
+  // A column of all -0.0 with one +0.0: the scalar strict-comparison
+  // updates keep the first-seen -0.0 as both min and max; the vector
+  // paths must reproduce that exactly (Min/Max intrinsics would not).
+  Matrix data(kRows, simd::kDoubleLanes * 2 + 1);
+  for (size_t r = 0; r < data.rows(); ++r) {
+    for (size_t c = 0; c < data.cols(); ++c) data(r, c) = -0.0;
+  }
+  for (size_t c = 0; c < data.cols(); ++c) data(kRows / 2, c) = 0.0;
+  std::vector<double> mins, maxs;
+  kernels::ColumnMinMax(data, &mins, &maxs);
+  for (size_t c = 0; c < data.cols(); ++c) {
+    EXPECT_TRUE(BitEqual(mins[c], -0.0));
+    EXPECT_TRUE(BitEqual(maxs[c], -0.0));
+  }
+}
+
+// --- Full preprocessors across layouts and backends -------------------------
+
+TEST(Kernels, PreprocessorsFitTransformBitIdenticalAcrossPaths) {
+  Rng rng(8);
+  for (int kind_index = 0; kind_index < kNumPreprocessorKinds; ++kind_index) {
+    const auto kind = static_cast<PreprocessorKind>(kind_index);
+    const Matrix train = RandomMatrix(rng, kRows, 9);
+    const Matrix apply = RandomMatrix(rng, 11, 9);
+
+    Matrix ref_train = train, ref_apply = apply;
+    {
+      simd::ScopedForceScalar forced(true);
+      auto step = MakePreprocessor(kind);
+      step->Fit(ref_train);
+      step->TransformInPlace(ref_train);
+      step->TransformInPlace(ref_apply);
+    }
+
+    // SIMD row-major, and SIMD col-major fitted on a col-major copy.
+    for (Matrix::Layout layout :
+         {Matrix::Layout::kRowMajor, Matrix::Layout::kColMajor}) {
+      Matrix fit_train, fit_apply;
+      fit_train.AssignWithLayout(train, layout);
+      fit_apply.AssignWithLayout(apply, layout);
+      auto step = MakePreprocessor(kind);
+      step->Fit(fit_train);
+      step->TransformInPlace(fit_train);
+      step->TransformInPlace(fit_apply);
+      ExpectBitIdentical(fit_train, ref_train, "preprocessor train");
+      ExpectBitIdentical(fit_apply, ref_apply, "preprocessor apply");
+    }
+  }
+}
+
+TEST(Kernels, ColumnarPipelineStagingBitIdenticalToScalarRowMajor) {
+  // Enough rows to trigger the columnar data plane (ChooseWorkingLayout),
+  // which stages col-major, runs the chain, and transposes back. The
+  // result must match a plain scalar row-major chain bit for bit.
+  Rng rng(9);
+  const Matrix train = RandomMatrix(rng, 300, 5);
+  const Matrix valid = RandomMatrix(rng, 80, 5);
+  const PipelineSpec spec = PipelineSpec::FromKinds(
+      {PreprocessorKind::kStandardScaler, PreprocessorKind::kMinMaxScaler,
+       PreprocessorKind::kQuantileTransformer});
+  ASSERT_EQ(ChooseWorkingLayout(spec, train.rows()),
+            Matrix::Layout::kColMajor);
+
+  TransformedPair reference;
+  {
+    simd::ScopedForceScalar forced(true);
+    reference.train = train;
+    reference.valid = valid;
+    for (const PreprocessorConfig& config : spec.steps) {
+      auto step = MakePreprocessor(config);
+      step->Fit(reference.train);
+      step->TransformInPlace(reference.train);
+      step->TransformInPlace(reference.valid);
+    }
+  }
+  ASSERT_EQ(reference.train.layout(), Matrix::Layout::kRowMajor);
+
+  const TransformedPair staged = FitTransformPair(spec, train, valid);
+  EXPECT_EQ(staged.train.layout(), Matrix::Layout::kRowMajor);
+  ExpectBitIdentical(staged.train, reference.train, "pipeline train");
+  ExpectBitIdentical(staged.valid, reference.valid, "pipeline valid");
+
+  // The scratch-backed uncached path takes the same staging route.
+  TransformScratch scratch;
+  Result<SharedTransformedPair> shared = CheckedFitTransformPairCached(
+      spec, train, valid, nullptr, "test", &scratch);
+  ASSERT_TRUE(shared.ok());
+  ExpectBitIdentical(*shared.value().train, reference.train,
+                     "scratch train");
+  ExpectBitIdentical(*shared.value().valid, reference.valid,
+                     "scratch valid");
+}
+
+}  // namespace
+}  // namespace autofp
